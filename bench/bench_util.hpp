@@ -1,0 +1,45 @@
+// Shared helpers for the figure/table harnesses.
+//
+// Each harness regenerates one table or figure of the paper: it runs the
+// paper's experimental design (§V: exhaustive for Pnpoly/Nbody/GEMM/
+// Convolution, 10 000 random configurations for Hotspot/Dedisp/Expdist)
+// and prints the same rows/series the paper reports.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "kernels/all_kernels.hpp"
+
+namespace bat::bench {
+
+inline constexpr std::uint64_t kDatasetSeed = 0xBA7BA7ULL;
+inline constexpr std::size_t kSampleCount = 10'000;
+inline constexpr std::uint64_t kExhaustiveLimit = 100'000;
+
+/// Per-process dataset cache: figure harnesses reuse sweeps across
+/// devices/benchmarks without re-simulating.
+inline const core::Dataset& dataset(const std::string& benchmark,
+                                    core::DeviceIndex device,
+                                    std::size_t samples = kSampleCount) {
+  static std::map<std::pair<std::string, core::DeviceIndex>, core::Dataset>
+      cache;
+  const auto key = std::make_pair(benchmark, device);
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  const auto bench = kernels::make(benchmark);
+  auto ds = core::Runner::run_default(*bench, device, kDatasetSeed, samples,
+                                      kExhaustiveLimit);
+  return cache.emplace(key, std::move(ds)).first->second;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bat::bench

@@ -1,0 +1,43 @@
+// Fig 1: performance distribution of configurations for all benchmarks on
+// all architectures, centered on the median configuration.
+#include <cstdio>
+
+#include "analysis/distribution.hpp"
+#include "bench/bench_util.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace bat;
+  for (const auto& name : kernels::paper_benchmark_names()) {
+    bench::print_header("Fig 1: performance distribution — " + name);
+    const auto bench_obj = kernels::make(name);
+    common::AsciiTable table({"device", "n_valid", "worst(x med)",
+                              "p25", "p75", "best(x med)"});
+    for (core::DeviceIndex d = 0; d < bench_obj->device_count(); ++d) {
+      const auto& ds = bench::dataset(name, d);
+      const auto series = analysis::distribution_series(ds);
+      const auto& s = series.speedup_over_median;
+      table.add_row(
+          {series.device, std::to_string(s.size()),
+           common::format_double(s.front(), 3),
+           common::format_double(s[s.size() / 4], 3),
+           common::format_double(s[(3 * s.size()) / 4], 3),
+           common::format_double(s.back(), 3)});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+
+    // Histogram series (speedup-over-median density) for one device per
+    // family, the plottable payload of the figure.
+    for (const core::DeviceIndex d : {std::size_t{0}, std::size_t{2}}) {
+      const auto series =
+          analysis::distribution_series(bench::dataset(name, d), 20);
+      std::printf("%s density:", series.device.c_str());
+      for (std::size_t b = 0; b < series.densities.size(); ++b) {
+        std::printf(" %.3f", series.densities[b]);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

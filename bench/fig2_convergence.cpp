@@ -1,0 +1,44 @@
+// Fig 2: convergence towards the optimum with random search (median of
+// 100 repeats, reported at symlog-style checkpoints).
+#include <cstdio>
+
+#include "analysis/convergence.hpp"
+#include "bench/bench_util.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace bat;
+  const std::vector<std::size_t> checkpoints{1,  2,   5,   10,  20,  50,
+                                             100, 200, 500, 1000, 2000};
+  for (const auto& name : kernels::paper_benchmark_names()) {
+    bench::print_header(
+        "Fig 2: convergence towards optimum (random search) — " + name);
+    std::vector<std::string> header{"device"};
+    for (const auto c : checkpoints) header.push_back("@" + std::to_string(c));
+    header.push_back("evals->90%");
+    common::AsciiTable table(header);
+
+    const auto bench_obj = kernels::make(name);
+    for (core::DeviceIndex d = 0; d < bench_obj->device_count(); ++d) {
+      const auto& ds = bench::dataset(name, d);
+      const auto curve =
+          analysis::random_search_convergence(ds, 2000, 100, 0xF16);
+      std::vector<std::string> row{curve.device};
+      for (const auto c : checkpoints) {
+        if (c <= curve.median_relative_perf.size()) {
+          row.push_back(
+              common::format_double(curve.median_relative_perf[c - 1], 3));
+        } else {
+          row.push_back("-");
+        }
+      }
+      row.push_back(curve.evals_to_90 > curve.median_relative_perf.size()
+                        ? ">" + std::to_string(curve.median_relative_perf.size())
+                        : std::to_string(curve.evals_to_90));
+      table.add_row(std::move(row));
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fig 4: max speedup of the best configuration over the median one, per
+// benchmark and architecture.
+#include <cstdio>
+
+#include "analysis/speedup.hpp"
+#include "bench/bench_util.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace bat;
+  bench::print_header("Fig 4: max speedup over median configuration");
+  common::AsciiTable table({"benchmark", "RTX_2080Ti", "RTX_3060",
+                            "RTX_3090", "RTX_Titan"});
+  for (const auto& name : kernels::paper_benchmark_names()) {
+    std::vector<std::string> row{name};
+    for (core::DeviceIndex d = 0; d < 4; ++d) {
+      const auto entry =
+          analysis::max_speedup_over_median(bench::dataset(name, d));
+      row.push_back(common::format_double(entry.speedup, 2) + "x");
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\nPaper reference: most benchmarks 1.5-3.06x; Hotspot 11.12-11.97x.\n");
+  return 0;
+}

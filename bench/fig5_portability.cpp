@@ -1,0 +1,46 @@
+// Fig 5: performance portability for the exhaustively searched
+// benchmarks (Convolution, Pnpoly, Nbody): the optimal configuration of
+// the row GPU is evaluated on the column GPU, relative to the column
+// GPU's own optimum.
+#include <cstdio>
+
+#include "analysis/portability.hpp"
+#include "bench/bench_util.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace bat;
+  for (const auto& name : {"convolution", "pnpoly", "nbody"}) {
+    bench::print_header("Fig 5: performance portability — " +
+                        std::string(name));
+    const auto bench_obj = kernels::make(name);
+    std::vector<core::Dataset> datasets;
+    for (core::DeviceIndex d = 0; d < bench_obj->device_count(); ++d) {
+      datasets.push_back(bench::dataset(name, d));
+    }
+    const auto matrix = analysis::portability_matrix(*bench_obj, datasets);
+
+    std::vector<std::string> header{"optimal of \\ run on"};
+    header.insert(header.end(), matrix.devices.begin(), matrix.devices.end());
+    common::AsciiTable table(header);
+    for (std::size_t from = 0; from < matrix.devices.size(); ++from) {
+      std::vector<std::string> row{matrix.devices[from]};
+      for (std::size_t to = 0; to < matrix.devices.size(); ++to) {
+        row.push_back(
+            common::format_double(100.0 * matrix.relative[from][to], 1) +
+            "%");
+      }
+      table.add_row(std::move(row));
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+    std::printf("worst transfer: %.1f%%   best off-diagonal: %.1f%%\n",
+                100.0 * matrix.worst_transfer(),
+                100.0 * matrix.best_off_diagonal());
+  }
+  std::printf(
+      "\nPaper reference: Pnpoly 3090->Titan 58.5%%, 3090->2080Ti 67.1%%;\n"
+      "Convolution 3060->2080Ti 73.3%%, 3060->Titan 75.0%%; same-family\n"
+      "transfers up to 99.9%%.\n");
+  return 0;
+}

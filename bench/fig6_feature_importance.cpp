@@ -1,0 +1,45 @@
+// Fig 6: permutation feature importance per parameter, per benchmark,
+// per architecture, from a GBDT fit of (configuration -> runtime); also
+// prints the model R^2 and the PFI sum (>1 indicates interactions,
+// paper §VI-H).
+#include <cstdio>
+
+#include "analysis/importance.hpp"
+#include "bench/bench_util.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace bat;
+  analysis::ImportanceOptions options;
+  options.gbdt.num_trees = 220;
+  for (const auto& name : kernels::paper_benchmark_names()) {
+    bench::print_header("Fig 6: feature importance — " + name);
+    const auto bench_obj = kernels::make(name);
+    const auto param_names = bench_obj->space().params().param_names();
+
+    std::vector<std::string> header{"device"};
+    header.insert(header.end(), param_names.begin(), param_names.end());
+    header.push_back("R^2");
+    header.push_back("PFI sum");
+    common::AsciiTable table(header);
+
+    for (core::DeviceIndex d = 0; d < bench_obj->device_count(); ++d) {
+      const auto report =
+          analysis::feature_importance(bench::dataset(name, d), options);
+      std::vector<std::string> row{report.device};
+      for (const auto imp : report.importance) {
+        row.push_back(common::format_double(imp, 3));
+      }
+      row.push_back(common::format_double(report.r2, 4));
+      row.push_back(common::format_double(report.importance_sum, 2));
+      table.add_row(std::move(row));
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+  }
+  std::printf(
+      "\nPaper reference: R^2 >= 0.992 everywhere except Convolution\n"
+      "(0.9268-0.9361); importance patterns consistent across GPUs; PFI\n"
+      "sums >> 1 signal parameter interactions (need for global search).\n");
+  return 0;
+}

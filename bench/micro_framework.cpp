@@ -1,0 +1,130 @@
+// google-benchmark microbenchmarks of the framework itself: the costs a
+// tuner pays per step (space decode, constraint check, simulated
+// evaluation, neighbor generation) and the analysis building blocks
+// (GBDT fit, PageRank iteration).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "analysis/pagerank.hpp"
+#include "common/rng.hpp"
+#include "core/evaluator.hpp"
+#include "kernels/all_kernels.hpp"
+#include "ml/gbdt.hpp"
+
+namespace {
+
+using namespace bat;
+
+void BM_SpaceDecode(benchmark::State& state) {
+  const auto bench = kernels::make("dedisp");
+  const auto& params = bench->space().params();
+  core::Config scratch;
+  core::ConfigIndex i = 0;
+  for (auto _ : state) {
+    params.decode_into(i % params.cardinality(), scratch);
+    benchmark::DoNotOptimize(scratch.data());
+    i += 977;
+  }
+}
+BENCHMARK(BM_SpaceDecode);
+
+void BM_ConstraintCheck(benchmark::State& state) {
+  const auto bench = kernels::make("gemm");
+  const auto& space = bench->space();
+  common::Rng rng(1);
+  const auto config = space.params().random_config(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.constraints().satisfied(config));
+  }
+}
+BENCHMARK(BM_ConstraintCheck);
+
+void BM_SimulatedEvaluation(benchmark::State& state) {
+  const auto bench = kernels::make("gemm");
+  common::Rng rng(2);
+  const auto config = bench->space().random_valid_config(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench->evaluate(config, 2).time_ms);
+  }
+}
+BENCHMARK(BM_SimulatedEvaluation);
+
+void BM_NeighborGeneration(benchmark::State& state) {
+  const auto bench = kernels::make("hotspot");
+  common::Rng rng(3);
+  const auto config = bench->space().random_valid_config(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench->space().valid_neighbors(config).size());
+  }
+}
+BENCHMARK(BM_NeighborGeneration);
+
+void BM_RandomValidSample(benchmark::State& state) {
+  const auto bench = kernels::make("expdist");  // ~5% acceptance
+  common::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench->space().random_valid_config(rng).front());
+  }
+}
+BENCHMARK(BM_RandomValidSample);
+
+void BM_GbdtFit(benchmark::State& state) {
+  common::Rng rng(5);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ml::Matrix x(n, 6);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 6; ++c) x(i, c) = rng.uniform(0.0, 8.0);
+    y[i] = std::exp(0.3 * x(i, 0) + 0.1 * x(i, 1));
+  }
+  ml::GbdtParams params;
+  params.num_trees = 50;
+  for (auto _ : state) {
+    ml::GbdtRegressor model(params);
+    model.fit(x, y);
+    benchmark::DoNotOptimize(model.predict(x.row(0)));
+  }
+}
+BENCHMARK(BM_GbdtFit)->Arg(500)->Arg(2000);
+
+void BM_PageRank(benchmark::State& state) {
+  // Random DAG-ish graph with n nodes, ~8 out-edges each.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(6);
+  std::vector<std::vector<std::uint32_t>> edges(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (int e = 0; e < 8; ++e) {
+      const auto v = static_cast<std::uint32_t>(rng.next_below(n));
+      if (v != u) edges[u].push_back(v);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::pagerank(edges).front());
+  }
+}
+BENCHMARK(BM_PageRank)->Arg(1000)->Arg(10000);
+
+void BM_TunerStepLocalSearch(benchmark::State& state) {
+  const auto bench = kernels::make("pnpoly");
+  for (auto _ : state) {
+    core::TuningProblem problem(*bench, 0);
+    core::CachingEvaluator eval(problem, 64);
+    common::Rng rng(7);
+    try {
+      core::Config current = bench->space().random_valid_config(rng);
+      double best = eval(current);
+      for (const auto& neighbor : bench->space().valid_neighbors(current)) {
+        best = std::min(best, eval(neighbor));
+      }
+      benchmark::DoNotOptimize(best);
+    } catch (const core::BudgetExhausted&) {
+    }
+  }
+}
+BENCHMARK(BM_TunerStepLocalSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

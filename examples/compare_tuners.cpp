@@ -1,0 +1,76 @@
+// The suite's raison d'être (paper §I): comparing optimization
+// algorithms from different tuners on the same benchmarks through one
+// shared problem interface.
+//
+//   $ ./compare_tuners [benchmark] [budget] [repeats]
+//
+// Runs every built-in optimizer with the same budget on every paper GPU
+// and reports the mean best time (and how far from the true optimum it
+// landed, when the space is small enough to know the optimum).
+#include <cstdio>
+#include <string>
+
+#include "common/statistics.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/runner.hpp"
+#include "kernels/all_kernels.hpp"
+#include "tuners/tuner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bat;
+  const std::string benchmark_name = argc > 1 ? argv[1] : "gemm";
+  const std::size_t budget = argc > 2 ? std::stoul(argv[2]) : 150;
+  const std::size_t repeats = argc > 3 ? std::stoul(argv[3]) : 5;
+
+  const auto benchmark = kernels::make(benchmark_name);
+  std::printf("comparing %zu tuners on '%s' (budget %zu, %zu repeats)\n",
+              tuners::tuner_names().size(), benchmark->name().c_str(),
+              budget, repeats);
+
+  // True optima where the space is exhaustively enumerable.
+  std::vector<double> optimum(benchmark->device_count(), 0.0);
+  const bool know_optimum = benchmark->space().cardinality() <= 100'000;
+  if (know_optimum) {
+    for (core::DeviceIndex d = 0; d < benchmark->device_count(); ++d) {
+      optimum[d] = core::Runner::run_exhaustive(*benchmark, d).best_time();
+    }
+  }
+
+  std::vector<std::string> header{"tuner"};
+  for (core::DeviceIndex d = 0; d < benchmark->device_count(); ++d) {
+    header.push_back(benchmark->device_name(d));
+  }
+  common::AsciiTable table(header);
+
+  for (const auto& tuner_name : tuners::tuner_names()) {
+    std::vector<std::string> row{tuner_name};
+    for (core::DeviceIndex d = 0; d < benchmark->device_count(); ++d) {
+      std::vector<double> bests;
+      for (std::size_t r = 0; r < repeats; ++r) {
+        auto tuner = tuners::make_tuner(tuner_name);
+        const auto run =
+            tuners::run_tuner(*tuner, *benchmark, d, budget, 1000 + r);
+        if (run.best) bests.push_back(run.best->objective);
+      }
+      if (bests.empty()) {
+        row.push_back("-");
+        continue;
+      }
+      const double mean_best = common::mean(bests);
+      std::string cell = common::format_double(mean_best, 3) + "ms";
+      if (know_optimum) {
+        cell += " (" +
+                common::format_double(100.0 * optimum[d] / mean_best, 1) +
+                "%)";
+      }
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  if (know_optimum) {
+    std::printf("(%% = achieved fraction of the true optimum)\n");
+  }
+  return 0;
+}

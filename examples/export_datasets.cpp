@@ -1,0 +1,34 @@
+// Exports the paper's evaluation datasets to CSV for external plotting
+// (the actual Fig 1-6 figures are drawn from exactly these files).
+//
+//   $ ./export_datasets [output_dir] [samples]
+//
+// Writes one CSV per (benchmark, device) with the paper's §V design:
+// exhaustive for the four small spaces, `samples` random configurations
+// for the three large ones. Files round-trip through
+// core::Dataset::load_csv for downstream C++ analysis too.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bat;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  const std::size_t samples = argc > 2 ? std::stoul(argv[2]) : 10'000;
+
+  for (const auto& name : kernels::paper_benchmark_names()) {
+    const auto benchmark = kernels::make(name);
+    for (core::DeviceIndex d = 0; d < benchmark->device_count(); ++d) {
+      const auto ds = core::Runner::run_default(
+          *benchmark, d, bench::kDatasetSeed, samples,
+          bench::kExhaustiveLimit);
+      const std::string path =
+          out_dir + "/" + name + "_" + benchmark->device_name(d) + ".csv";
+      ds.save_csv(path);
+      std::printf("wrote %-45s (%zu rows, %zu valid, best %.4f ms)\n",
+                  path.c_str(), ds.size(), ds.num_valid(), ds.best_time());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// The paper's portability study (§VI-E) as a reusable application: find
+// the optimal configuration per GPU, transfer it to every other GPU, and
+// quantify how much performance survives — including the within-family
+// vs cross-family split the paper highlights.
+#include <cstdio>
+
+#include "analysis/portability.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/runner.hpp"
+#include "kernels/all_kernels.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bat;
+  const std::string benchmark_name = argc > 1 ? argv[1] : "pnpoly";
+  const auto benchmark = kernels::make(benchmark_name);
+
+  std::printf("portability study for '%s'\n", benchmark->name().c_str());
+  std::vector<core::Dataset> datasets;
+  for (core::DeviceIndex d = 0; d < benchmark->device_count(); ++d) {
+    datasets.push_back(core::Runner::run_default(*benchmark, d));
+    const auto best = datasets.back().config(datasets.back().best_row());
+    std::printf("  %-11s optimum %.4f ms: %s\n",
+                benchmark->device_name(d).c_str(),
+                datasets.back().best_time(),
+                benchmark->space().params().describe(best).c_str());
+  }
+
+  const auto matrix = analysis::portability_matrix(*benchmark, datasets);
+  std::vector<std::string> header{"optimal of \\ run on"};
+  header.insert(header.end(), matrix.devices.begin(), matrix.devices.end());
+  common::AsciiTable table(header);
+  for (std::size_t from = 0; from < matrix.devices.size(); ++from) {
+    std::vector<std::string> row{matrix.devices[from]};
+    for (std::size_t to = 0; to < matrix.devices.size(); ++to) {
+      row.push_back(
+          common::format_double(100.0 * matrix.relative[from][to], 1) + "%");
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // Family split: Turing = {2080Ti, Titan} (0, 3); Ampere = {3060, 3090}.
+  double within = 0.0, cross = 0.0;
+  int nw = 0, nc = 0;
+  const auto family = [](std::size_t d) { return d == 1 || d == 2; };
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      if (family(i) == family(j)) {
+        within += matrix.relative[i][j];
+        ++nw;
+      } else {
+        cross += matrix.relative[i][j];
+        ++nc;
+      }
+    }
+  }
+  std::printf("mean within-family transfer: %.1f%%\n", 100.0 * within / nw);
+  std::printf("mean cross-family transfer : %.1f%%\n", 100.0 * cross / nc);
+  std::printf("worst transfer             : %.1f%%\n",
+              100.0 * matrix.worst_transfer());
+  return 0;
+}

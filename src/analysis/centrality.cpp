@@ -1,0 +1,41 @@
+#include "analysis/centrality.hpp"
+
+#include "common/contracts.hpp"
+
+namespace bat::analysis {
+
+CentralityCurve proportion_of_centrality(const FitnessFlowGraph& graph,
+                                         const std::vector<double>& proportions,
+                                         const PageRankOptions& pr_options) {
+  BAT_EXPECTS(!proportions.empty());
+  CentralityCurve out;
+  out.proportions = proportions;
+  out.num_nodes = graph.num_nodes();
+
+  // PageRank over the *reversed* edge direction is not needed: the FFG
+  // already points "downhill", so walks accumulate at minima; PageRank on
+  // the FFG as-is concentrates mass at sinks, which is exactly the
+  // arrival likelihood the metric wants.
+  const auto rank = pagerank(graph.out_edges(), pr_options);
+  const auto minima = graph.local_minima();
+  out.num_minima = minima.size();
+  BAT_EXPECTS(!minima.empty());
+
+  double total_minima_mass = 0.0;
+  for (const auto m : minima) total_minima_mass += rank[m];
+
+  const double best = graph.best_time();
+  out.centrality.reserve(proportions.size());
+  for (const double p : proportions) {
+    const double threshold = (1.0 + p) * best;
+    double good_mass = 0.0;
+    for (const auto m : minima) {
+      if (graph.time_of(m) <= threshold) good_mass += rank[m];
+    }
+    out.centrality.push_back(
+        total_minima_mass > 0.0 ? good_mass / total_minima_mass : 0.0);
+  }
+  return out;
+}
+
+}  // namespace bat::analysis

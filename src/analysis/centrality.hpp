@@ -1,0 +1,30 @@
+// Fig 3: proportion-of-centrality — the search-difficulty metric of
+// Schoonhoven et al.
+//
+// For a proportion p, take the set of local minima with fitness below
+// (1 + p) * f_opt ("suitably good" minima for minimization). The metric
+// is the share of PageRank mass (on the FFG) those minima hold relative
+// to all local minima: high values mean local search tends to arrive at
+// good minima, i.e. an easy space.
+#pragma once
+
+#include <vector>
+
+#include "analysis/ffg.hpp"
+#include "analysis/pagerank.hpp"
+
+namespace bat::analysis {
+
+struct CentralityCurve {
+  std::vector<double> proportions;  // the p values
+  std::vector<double> centrality;   // metric per p, in [0, 1]
+  std::size_t num_minima = 0;
+  std::size_t num_nodes = 0;
+};
+
+/// Computes the proportion-of-centrality curve for the given p values.
+[[nodiscard]] CentralityCurve proportion_of_centrality(
+    const FitnessFlowGraph& graph, const std::vector<double>& proportions,
+    const PageRankOptions& pr_options = {});
+
+}  // namespace bat::analysis

@@ -1,0 +1,57 @@
+#include "analysis/convergence.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "common/thread_pool.hpp"
+
+namespace bat::analysis {
+
+ConvergenceCurve random_search_convergence(const core::Dataset& ds,
+                                           std::size_t max_evals,
+                                           std::size_t repeats,
+                                           std::uint64_t seed) {
+  BAT_EXPECTS(max_evals >= 1);
+  BAT_EXPECTS(repeats >= 1);
+  const auto times = ds.valid_times();
+  BAT_EXPECTS(!times.empty());
+  const double best = *std::min_element(times.begin(), times.end());
+  const std::size_t evals = std::min(max_evals, times.size());
+
+  // relative_perf[r][k]: relative perf of repeat r after k+1 evals.
+  std::vector<std::vector<double>> relative(repeats,
+                                            std::vector<double>(evals));
+  common::parallel_for(0, repeats, [&](std::size_t r) {
+    common::Rng rng(common::hash_combine(seed, r));
+    // Sampling without replacement mimics a tuner that never re-measures.
+    const auto picks = rng.sample_indices(times.size(), evals);
+    double best_so_far = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < evals; ++k) {
+      best_so_far = std::min(best_so_far, times[picks[k]]);
+      relative[r][k] = best / best_so_far;
+    }
+  });
+
+  ConvergenceCurve out;
+  out.benchmark = ds.benchmark_name();
+  out.device = ds.device_name();
+  out.median_relative_perf.resize(evals);
+  std::vector<double> column(repeats);
+  for (std::size_t k = 0; k < evals; ++k) {
+    for (std::size_t r = 0; r < repeats; ++r) column[r] = relative[r][k];
+    out.median_relative_perf[k] = common::median(column);
+  }
+
+  out.evals_to_90 = evals + 1;
+  for (std::size_t k = 0; k < evals; ++k) {
+    if (out.median_relative_perf[k] >= 0.90) {
+      out.evals_to_90 = k + 1;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace bat::analysis

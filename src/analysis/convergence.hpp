@@ -1,0 +1,31 @@
+// Fig 2: convergence towards the optimum under random search.
+//
+// As in the paper: sample uniformly (without replacement) from the
+// archived dataset, track the best-so-far after each function
+// evaluation, repeat `repeats` times, and report the per-evaluation
+// median of relative performance (best_time / best_so_far, so 1.0 means
+// the optimum was found).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.hpp"
+
+namespace bat::analysis {
+
+struct ConvergenceCurve {
+  std::string benchmark;
+  std::string device;
+  /// median over repeats of relative performance after k+1 evaluations.
+  std::vector<double> median_relative_perf;
+  /// evaluations needed (median) to reach 0.90 relative performance;
+  /// equal to max_evals + 1 when never reached.
+  std::size_t evals_to_90 = 0;
+};
+
+[[nodiscard]] ConvergenceCurve random_search_convergence(
+    const core::Dataset& ds, std::size_t max_evals, std::size_t repeats = 100,
+    std::uint64_t seed = 0xC0117ULL);
+
+}  // namespace bat::analysis

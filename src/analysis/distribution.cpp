@@ -1,0 +1,48 @@
+#include "analysis/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/statistics.hpp"
+
+namespace bat::analysis {
+
+DistributionSeries distribution_series(const core::Dataset& ds,
+                                       std::size_t bins) {
+  BAT_EXPECTS(bins >= 2);
+  DistributionSeries out;
+  out.benchmark = ds.benchmark_name();
+  out.device = ds.device_name();
+
+  auto times = ds.valid_times();
+  BAT_EXPECTS(!times.empty());
+  std::sort(times.begin(), times.end());
+  out.best_time = times.front();
+  out.worst_time = times.back();
+  out.median_time = common::quantile_sorted(times, 0.5);
+
+  out.speedup_over_median.reserve(times.size());
+  for (const double t : times) {
+    out.speedup_over_median.push_back(out.median_time / t);
+  }
+  std::sort(out.speedup_over_median.begin(), out.speedup_over_median.end());
+
+  // Log-spaced bins from the worst to the best speedup (the distribution
+  // spans orders of magnitude; Fig 1 uses a log-like axis).
+  const double lo = std::log(out.speedup_over_median.front());
+  const double hi = std::log(out.speedup_over_median.back());
+  const double span = std::max(1e-12, hi - lo);
+  common::Histogram hist(lo, lo + span, bins);
+  for (const double s : out.speedup_over_median) hist.add(std::log(s));
+
+  out.bin_centers.reserve(bins);
+  const auto densities = hist.densities();
+  for (std::size_t b = 0; b < bins; ++b) {
+    out.bin_centers.push_back(std::exp(hist.bin_center(b)));
+  }
+  out.densities = densities;
+  return out;
+}
+
+}  // namespace bat::analysis

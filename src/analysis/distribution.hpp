@@ -1,0 +1,33 @@
+// Fig 1: performance distribution of configurations, centered on the
+// median-performing configuration and extending from worst to best.
+//
+// We express each configuration's performance relative to the median
+// (median/time: >1 is faster than median) and build a histogram whose
+// support runs from the worst to the best configuration.
+#pragma once
+
+#include <vector>
+
+#include "core/dataset.hpp"
+
+namespace bat::analysis {
+
+struct DistributionSeries {
+  std::string benchmark;
+  std::string device;
+  // Speedup-over-median per valid configuration, sorted ascending.
+  std::vector<double> speedup_over_median;
+  // Histogram over log-spaced bins of the above.
+  std::vector<double> bin_centers;
+  std::vector<double> densities;
+  double median_time = 0.0;
+  double best_time = 0.0;
+  double worst_time = 0.0;
+};
+
+/// Builds the Fig 1 series for one dataset. `bins` controls histogram
+/// resolution.
+[[nodiscard]] DistributionSeries distribution_series(const core::Dataset& ds,
+                                                     std::size_t bins = 40);
+
+}  // namespace bat::analysis

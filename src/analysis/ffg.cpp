@@ -1,0 +1,59 @@
+#include "analysis/ffg.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/contracts.hpp"
+#include "common/thread_pool.hpp"
+
+namespace bat::analysis {
+
+FitnessFlowGraph::FitnessFlowGraph(const core::SearchSpace& space,
+                                   const core::Dataset& ds) {
+  // Map ConfigIndex -> node id over valid rows.
+  std::unordered_map<core::ConfigIndex, std::uint32_t> node_of;
+  std::vector<core::ConfigIndex> index_of_node;
+  node_of.reserve(ds.size());
+  for (std::size_t r = 0; r < ds.size(); ++r) {
+    if (!ds.row_ok(r)) continue;
+    const auto id = static_cast<std::uint32_t>(index_of_node.size());
+    node_of.emplace(ds.config_index(r), id);
+    index_of_node.push_back(ds.config_index(r));
+    times_.push_back(ds.time_ms(r));
+  }
+  BAT_EXPECTS(!times_.empty());
+
+  edges_.resize(times_.size());
+  const auto& params = space.params();
+  common::parallel_for_chunked(
+      0, times_.size(), [&](std::size_t lo, std::size_t hi, std::size_t) {
+        core::Config config;
+        for (std::size_t node = lo; node < hi; ++node) {
+          params.decode_into(index_of_node[node], config);
+          auto& out = edges_[node];
+          params.for_each_neighbor(config, [&](const core::Config& n) {
+            // Invalid/unmeasured neighbors are not part of the graph.
+            const auto it = node_of.find(params.index_of_config(n));
+            if (it == node_of.end()) return;
+            if (times_[it->second] < times_[node]) {
+              out.push_back(it->second);
+            }
+          });
+        }
+      });
+}
+
+std::vector<std::uint32_t> FitnessFlowGraph::local_minima() const {
+  std::vector<std::uint32_t> minima;
+  for (std::size_t n = 0; n < edges_.size(); ++n) {
+    if (edges_[n].empty()) minima.push_back(static_cast<std::uint32_t>(n));
+  }
+  return minima;
+}
+
+double FitnessFlowGraph::best_time() const {
+  return *std::min_element(times_.begin(), times_.end());
+}
+
+}  // namespace bat::analysis

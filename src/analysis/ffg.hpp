@@ -1,0 +1,45 @@
+// Fitness-flow graph (Schoonhoven et al., paper §II-B2).
+//
+// Nodes are all valid configurations of a dataset; a directed edge goes
+// from a configuration to each Hamming-1 neighbor with strictly lower
+// fitness (runtime). A random walk on this graph mimics randomized
+// first-improvement local search. Local minima are the sink nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/search_space.hpp"
+
+namespace bat::analysis {
+
+class FitnessFlowGraph {
+ public:
+  /// Builds the FFG over the valid rows of an exhaustive dataset for the
+  /// given space. The dataset must cover every valid configuration
+  /// (exhaustive benchmarks only — the paper skips the large spaces too).
+  FitnessFlowGraph(const core::SearchSpace& space, const core::Dataset& ds);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return times_.size();
+  }
+  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>& out_edges()
+      const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] double time_of(std::size_t node) const {
+    return times_[node];
+  }
+  /// Nodes with no outgoing edge (local minima).
+  [[nodiscard]] std::vector<std::uint32_t> local_minima() const;
+
+  /// Minimum (best) runtime over all nodes.
+  [[nodiscard]] double best_time() const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<std::vector<std::uint32_t>> edges_;  // node -> lower neighbors
+};
+
+}  // namespace bat::analysis

@@ -1,0 +1,46 @@
+#include "analysis/importance.hpp"
+
+#include "common/contracts.hpp"
+#include "ml/matrix.hpp"
+
+namespace bat::analysis {
+
+std::vector<std::size_t> ImportanceReport::important_params(
+    double threshold) const {
+  std::vector<std::size_t> out;
+  for (std::size_t p = 0; p < importance.size(); ++p) {
+    if (importance[p] >= threshold) out.push_back(p);
+  }
+  return out;
+}
+
+ImportanceReport feature_importance(const core::Dataset& ds,
+                                    const ImportanceOptions& options) {
+  ImportanceReport report;
+  report.benchmark = ds.benchmark_name();
+  report.device = ds.device_name();
+  report.parameter_names = ds.param_names();
+
+  const auto features = ds.feature_matrix();
+  const auto targets = ds.target_vector();
+  BAT_EXPECTS(features.size() == targets.size());
+  BAT_EXPECTS(features.size() >= 20);
+
+  const auto x = ml::Matrix::from_rows(features);
+  const auto split =
+      ml::train_test_split(x, targets, options.test_fraction, options.seed);
+
+  ml::GbdtRegressor model(options.gbdt);
+  model.fit(split.x_train, split.y_train);
+
+  const auto predictions = model.predict_all(split.x_test);
+  report.r2 = ml::r2_score(split.y_test, predictions);
+
+  const auto pfi = ml::permutation_importance(model, split.x_test,
+                                              split.y_test, options.pfi);
+  report.importance = pfi.importance;
+  report.importance_sum = pfi.total();
+  return report;
+}
+
+}  // namespace bat::analysis

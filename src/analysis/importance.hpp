@@ -1,0 +1,40 @@
+// Fig 6: permutation feature importance of the tunable parameters, via a
+// GBDT fit of (configuration -> runtime) per (benchmark, device); also
+// reports the model's R^2 like the paper (>= 0.992 everywhere except
+// Convolution at 0.9268-0.9361).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/pfi.hpp"
+
+namespace bat::analysis {
+
+struct ImportanceReport {
+  std::string benchmark;
+  std::string device;
+  std::vector<std::string> parameter_names;
+  std::vector<double> importance;   // PFI per parameter (R^2 drop)
+  double r2 = 0.0;                  // held-out R^2 of the GBDT
+  double importance_sum = 0.0;      // > 1 signals parameter interactions
+
+  /// Parameters with importance >= threshold on this device.
+  [[nodiscard]] std::vector<std::size_t> important_params(
+      double threshold = 0.05) const;
+};
+
+struct ImportanceOptions {
+  ml::GbdtParams gbdt;
+  double test_fraction = 0.25;
+  std::uint64_t seed = 0x1396ULL;
+  ml::PfiOptions pfi;
+};
+
+[[nodiscard]] ImportanceReport feature_importance(
+    const core::Dataset& ds, const ImportanceOptions& options = {});
+
+}  // namespace bat::analysis

@@ -1,0 +1,45 @@
+#include "analysis/pagerank.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bat::analysis {
+
+std::vector<double> pagerank(
+    const std::vector<std::vector<std::uint32_t>>& out_edges,
+    const PageRankOptions& options) {
+  const std::size_t n = out_edges.size();
+  BAT_EXPECTS(n > 0);
+  BAT_EXPECTS(options.damping > 0.0 && options.damping < 1.0);
+
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, uniform);
+  std::vector<double> next(n, 0.0);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling_mass = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t u = 0; u < n; ++u) {
+      if (out_edges[u].empty()) {
+        dangling_mass += rank[u];
+        continue;
+      }
+      const double share =
+          rank[u] / static_cast<double>(out_edges[u].size());
+      for (const auto v : out_edges[u]) next[v] += share;
+    }
+    double delta = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const double value = (1.0 - options.damping) * uniform +
+                           options.damping *
+                               (next[v] + dangling_mass * uniform);
+      delta += std::abs(value - rank[v]);
+      rank[v] = value;
+    }
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace bat::analysis

@@ -1,0 +1,24 @@
+// PageRank by power iteration, used to weigh the reachability of local
+// minima in the fitness-flow graph (paper §II-B2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bat::analysis {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double tolerance = 1e-10;
+  std::size_t max_iterations = 200;
+};
+
+/// Computes PageRank over a directed graph given as out-edge adjacency
+/// lists. Dangling nodes (sinks — the FFG's local minima) distribute
+/// their mass uniformly, the standard correction. Returns a probability
+/// vector (sums to 1).
+[[nodiscard]] std::vector<double> pagerank(
+    const std::vector<std::vector<std::uint32_t>>& out_edges,
+    const PageRankOptions& options = {});
+
+}  // namespace bat::analysis

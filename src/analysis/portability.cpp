@@ -1,0 +1,58 @@
+#include "analysis/portability.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace bat::analysis {
+
+double PortabilityMatrix::worst_transfer() const {
+  double worst = 1.0;
+  for (std::size_t i = 0; i < relative.size(); ++i) {
+    for (std::size_t j = 0; j < relative[i].size(); ++j) {
+      if (i != j) worst = std::min(worst, relative[i][j]);
+    }
+  }
+  return worst;
+}
+
+double PortabilityMatrix::best_off_diagonal() const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < relative.size(); ++i) {
+    for (std::size_t j = 0; j < relative[i].size(); ++j) {
+      if (i != j) best = std::max(best, relative[i][j]);
+    }
+  }
+  return best;
+}
+
+PortabilityMatrix portability_matrix(
+    const core::Benchmark& benchmark,
+    const std::vector<core::Dataset>& datasets) {
+  BAT_EXPECTS(datasets.size() == benchmark.device_count());
+  PortabilityMatrix out;
+  out.benchmark = benchmark.name();
+  const std::size_t n = datasets.size();
+  out.devices.reserve(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    out.devices.push_back(benchmark.device_name(d));
+  }
+
+  out.relative.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t from = 0; from < n; ++from) {
+    const core::Config optimal = datasets[from].config(
+        datasets[from].best_row());
+    for (std::size_t to = 0; to < n; ++to) {
+      const auto measurement = benchmark.evaluate(optimal, to);
+      if (!measurement.ok()) {
+        out.relative[from][to] = 0.0;  // launch fails on the target device
+        continue;
+      }
+      out.relative[from][to] =
+          datasets[to].best_time() / measurement.time_ms;
+    }
+  }
+  return out;
+}
+
+}  // namespace bat::analysis

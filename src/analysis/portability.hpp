@@ -1,0 +1,34 @@
+// Fig 5: performance portability matrix.
+//
+// Entry (from, to) = relative performance on device `to` of the
+// configuration that is optimal on device `from`:
+//   best_time(to) / time(optimal_config_of_from, on to)
+// so the diagonal is 1.0 and low off-diagonals mean poor transfer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/benchmark.hpp"
+#include "core/dataset.hpp"
+
+namespace bat::analysis {
+
+struct PortabilityMatrix {
+  std::string benchmark;
+  std::vector<std::string> devices;
+  // matrix[from][to] in [0, 1]; 0 when the transferred configuration is
+  // invalid on the target device.
+  std::vector<std::vector<double>> relative;
+
+  [[nodiscard]] double worst_transfer() const;
+  [[nodiscard]] double best_off_diagonal() const;
+};
+
+/// `datasets[d]` must be the evaluation archive for device d of
+/// `benchmark` (exhaustive for faithful optima, as in the paper).
+[[nodiscard]] PortabilityMatrix portability_matrix(
+    const core::Benchmark& benchmark,
+    const std::vector<core::Dataset>& datasets);
+
+}  // namespace bat::analysis

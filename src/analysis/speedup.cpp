@@ -1,0 +1,15 @@
+#include "analysis/speedup.hpp"
+
+namespace bat::analysis {
+
+SpeedupEntry max_speedup_over_median(const core::Dataset& ds) {
+  SpeedupEntry out;
+  out.benchmark = ds.benchmark_name();
+  out.device = ds.device_name();
+  out.best_time = ds.best_time();
+  out.median_time = ds.median_time();
+  out.speedup = out.median_time / out.best_time;
+  return out;
+}
+
+}  // namespace bat::analysis

@@ -1,0 +1,20 @@
+// Fig 4: max speedup of the best configuration over the median one.
+#pragma once
+
+#include <string>
+
+#include "core/dataset.hpp"
+
+namespace bat::analysis {
+
+struct SpeedupEntry {
+  std::string benchmark;
+  std::string device;
+  double best_time = 0.0;
+  double median_time = 0.0;
+  double speedup = 0.0;  // median / best
+};
+
+[[nodiscard]] SpeedupEntry max_speedup_over_median(const core::Dataset& ds);
+
+}  // namespace bat::analysis

@@ -1,0 +1,41 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
+//
+// Violations throw bat::common::ContractViolation so tests can assert on
+// them; they are never compiled out because the library is used for
+// research where silent corruption is worse than the branch cost.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bat::common {
+
+/// Thrown when a BAT_EXPECTS/BAT_ENSURES contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+
+}  // namespace bat::common
+
+#define BAT_EXPECTS(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::bat::common::contract_fail("precondition", #cond, __FILE__,      \
+                                   __LINE__);                            \
+  } while (false)
+
+#define BAT_ENSURES(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::bat::common::contract_fail("postcondition", #cond, __FILE__,     \
+                                   __LINE__);                            \
+  } while (false)

@@ -1,0 +1,112 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bat::common {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) buffer_ += ',';
+    buffer_ += escape(cells[i]);
+  }
+  buffer_ += '\n';
+}
+
+void CsvWriter::save(const std::string& path) const {
+  write_file(path, buffer_);
+}
+
+std::vector<std::vector<std::string>> CsvReader::parse(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  const auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    row_has_content = true;
+  };
+  const auto end_row = [&] {
+    if (row_has_content || !row.empty()) {
+      end_cell();
+      rows.push_back(std::move(row));
+      row.clear();
+      row_has_content = false;
+    }
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else {
+      switch (c) {
+        case '"':
+          in_quotes = true;
+          row_has_content = true;
+          break;
+        case ',':
+          end_cell();
+          break;
+        case '\r':
+          break;  // tolerate CRLF
+        case '\n':
+          end_row();
+          break;
+        default:
+          cell += c;
+          row_has_content = true;
+          break;
+      }
+    }
+  }
+  if (row_has_content || !cell.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+std::vector<std::vector<std::string>> CsvReader::load(const std::string& path) {
+  return parse(read_file(path));
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open file for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  out << content;
+  if (!out) throw std::runtime_error("failed writing file: " + path);
+}
+
+}  // namespace bat::common

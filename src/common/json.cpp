@@ -1,0 +1,110 @@
+#include "common/json.hpp"
+
+#include <cmath>
+
+#include "common/string_util.hpp"
+
+namespace bat::common {
+
+Json Json::array(const std::vector<double>& values) {
+  JsonArray arr;
+  arr.reserve(values.size());
+  for (const double v : values) arr.emplace_back(v);
+  return Json(std::move(arr));
+}
+
+Json Json::array(const std::vector<std::string>& values) {
+  JsonArray arr;
+  arr.reserve(values.size());
+  for (const auto& v : values) arr.emplace_back(v);
+  return Json(std::move(arr));
+}
+
+void Json::escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_impl(out, indent, 0);
+  return out;
+}
+
+void Json::dump_impl(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                   static_cast<std::size_t>(depth + 1),
+                               ' ')
+                 : std::string();
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                   static_cast<std::size_t>(depth),
+                               ' ')
+                 : std::string();
+  const char* nl = indent > 0 ? "\n" : "";
+
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    if (std::isfinite(*d)) {
+      out += format_double(*d, 9);
+    } else {
+      out += "null";  // JSON has no NaN/Inf
+    }
+  } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    out += std::to_string(*i);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    escape_into(out, *s);
+  } else if (const auto* a = std::get_if<JsonArray>(&value_)) {
+    out += '[';
+    for (std::size_t k = 0; k < a->size(); ++k) {
+      if (k > 0) out += ',';
+      out += nl;
+      out += pad;
+      (*a)[k].dump_impl(out, indent, depth + 1);
+    }
+    if (!a->empty()) {
+      out += nl;
+      out += close_pad;
+    }
+    out += ']';
+  } else if (const auto* o = std::get_if<JsonObject>(&value_)) {
+    out += '{';
+    std::size_t k = 0;
+    for (const auto& [key, val] : *o) {
+      if (k++ > 0) out += ',';
+      out += nl;
+      out += pad;
+      escape_into(out, key);
+      out += indent > 0 ? ": " : ":";
+      val.dump_impl(out, indent, depth + 1);
+    }
+    if (!o->empty()) {
+      out += nl;
+      out += close_pad;
+    }
+    out += '}';
+  }
+}
+
+}  // namespace bat::common

@@ -1,0 +1,47 @@
+// Minimal JSON value + serializer for harness exports (write-only: BAT
+// emits results for external plotting; it never needs to parse JSON).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace bat::common {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(std::int64_t i) : value_(i) {}
+  Json(std::uint64_t u) : value_(static_cast<std::int64_t>(u)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  /// Builds an array from a vector of doubles (common case).
+  static Json array(const std::vector<double>& values);
+  static Json array(const std::vector<std::string>& values);
+
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  void dump_impl(std::string& out, int indent, int depth) const;
+  static void escape_into(std::string& out, const std::string& s);
+
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::string,
+               JsonArray, JsonObject>
+      value_;
+};
+
+}  // namespace bat::common

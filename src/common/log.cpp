@@ -1,0 +1,54 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/string_util.hpp"
+
+namespace bat::common {
+
+namespace {
+
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level = [] {
+    if (const char* env = std::getenv("BAT_LOG_LEVEL")) {
+      const std::string v = to_lower(env);
+      if (v == "debug") return LogLevel::kDebug;
+      if (v == "info") return LogLevel::kInfo;
+      if (v == "warn") return LogLevel::kWarn;
+      if (v == "error") return LogLevel::kError;
+      if (v == "off") return LogLevel::kOff;
+    }
+    return LogLevel::kInfo;
+  }();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  static std::mutex mutex;
+  std::lock_guard lock(mutex);
+  std::fprintf(stderr, "[bat:%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace bat::common

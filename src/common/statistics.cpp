@@ -1,0 +1,156 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bat::common {
+
+double mean(std::span<const double> xs) {
+  BAT_EXPECTS(!xs.empty());
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  BAT_EXPECTS(!xs.empty());
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (const double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_value(std::span<const double> xs) {
+  BAT_EXPECTS(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  BAT_EXPECTS(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+std::size_t argmin(std::span<const double> xs) {
+  BAT_EXPECTS(!xs.empty());
+  return static_cast<std::size_t>(
+      std::min_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+std::size_t argmax(std::span<const double> xs) {
+  BAT_EXPECTS(!xs.empty());
+  return static_cast<std::size_t>(
+      std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  BAT_EXPECTS(!sorted.empty());
+  BAT_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, q);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  BAT_EXPECTS(xs.size() == ys.size());
+  BAT_EXPECTS(xs.size() >= 2);
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  BAT_EXPECTS(bins > 0);
+  BAT_EXPECTS(hi > lo);
+}
+
+void Histogram::add(double x) noexcept {
+  if (x < lo_ || x > hi_) return;
+  auto b = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                    static_cast<double>(counts_.size()));
+  if (b >= counts_.size()) b = counts_.size() - 1;  // x == hi_
+  ++counts_[b];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t b) const {
+  BAT_EXPECTS(b < counts_.size());
+  return counts_[b];
+}
+
+double Histogram::bin_center(std::size_t b) const {
+  BAT_EXPECTS(b < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(b) + 0.5) * width;
+}
+
+std::vector<double> Histogram::densities() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    out[b] = static_cast<double>(counts_[b]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+}  // namespace bat::common

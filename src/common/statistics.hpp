@@ -1,0 +1,71 @@
+// Descriptive statistics used throughout the analysis modules.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bat::common {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);   // population
+[[nodiscard]] double stddev(std::span<const double> xs);     // population
+[[nodiscard]] double min_value(std::span<const double> xs);
+[[nodiscard]] double max_value(std::span<const double> xs);
+[[nodiscard]] std::size_t argmin(std::span<const double> xs);
+[[nodiscard]] std::size_t argmax(std::span<const double> xs);
+
+/// Quantile with linear interpolation between closest ranks
+/// (numpy's default "linear" method). q in [0, 1]. Copies + sorts.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Median = quantile(0.5).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Quantile over data that is already sorted ascending (no copy).
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Pearson correlation coefficient.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Numerically stable streaming mean/variance/min/max (Welford).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  // population
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Histogram with equal-width bins over [lo, hi].
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t b) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_center(std::size_t b) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Normalized density per bin (sums to 1 over all bins).
+  [[nodiscard]] std::vector<double> densities() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace bat::common

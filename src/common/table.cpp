@@ -1,0 +1,62 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/string_util.hpp"
+
+namespace bat::common {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  BAT_EXPECTS(!headers_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  BAT_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::add_row_values(const std::vector<double>& values,
+                                int decimals) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (const double v : values) cells.push_back(format_double(v, decimals));
+  add_row(std::move(cells));
+}
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += ' ';
+      line += cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  out += "|";
+  for (const std::size_t w : widths) {
+    out.append(w + 2, '-');
+    out += '|';
+  }
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace bat::common

@@ -1,0 +1,93 @@
+// A fixed-size thread pool with OpenMP-style parallel loops.
+//
+// BAT evaluates up to ~10^8 constraint predicates and ~10^5 simulated
+// kernel launches per experiment; all of that is embarrassingly parallel.
+// User code never spawns raw threads (CP.1/CP.25): it calls parallel_for /
+// parallel_reduce on the shared pool, which chunk the index range
+// statically like `#pragma omp parallel for schedule(static)`.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace bat::common {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Process-wide pool, created lazily, sized to the hardware.
+  static ThreadPool& global();
+
+  /// Runs body(begin..end) split into one contiguous chunk per worker.
+  /// body receives (chunk_begin, chunk_end, worker_index). Blocks until all
+  /// chunks complete. Exceptions from workers are rethrown (first one wins).
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+  /// Element-wise parallel for: body(index).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Parallel reduction: maps each index through `map` into a per-worker
+  /// accumulator (initialized with `init`) via `fold`, then combines the
+  /// per-worker accumulators with `combine`.
+  template <typename Acc, typename Map, typename Fold, typename Combine>
+  Acc parallel_reduce(std::size_t begin, std::size_t end, Acc init, Map map,
+                      Fold fold, Combine combine) {
+    std::vector<Acc> partials(size(), init);
+    parallel_for_chunked(begin, end,
+                         [&](std::size_t lo, std::size_t hi, std::size_t w) {
+                           Acc acc = init;
+                           for (std::size_t i = lo; i < hi; ++i) {
+                             acc = fold(std::move(acc), map(i));
+                           }
+                           partials[w] = std::move(acc);
+                         });
+    Acc total = init;
+    for (auto& p : partials) total = combine(std::move(total), std::move(p));
+    return total;
+  }
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience free functions using the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+/// Parallel count of indices in [begin, end) satisfying pred.
+std::size_t parallel_count_if(std::size_t begin, std::size_t end,
+                              const std::function<bool(std::size_t)>& pred);
+
+}  // namespace bat::common

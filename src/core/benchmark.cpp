@@ -1,0 +1,47 @@
+#include "core/benchmark.hpp"
+
+#include <stdexcept>
+
+namespace bat::core {
+
+DeviceIndex Benchmark::device_index(const std::string& device) const {
+  for (DeviceIndex d = 0; d < device_count(); ++d) {
+    if (device_name(d) == device) return d;
+  }
+  throw std::out_of_range("benchmark '" + name() + "' has no device '" +
+                          device + "'");
+}
+
+BenchmarkRegistry& BenchmarkRegistry::instance() {
+  static BenchmarkRegistry registry;
+  return registry;
+}
+
+void BenchmarkRegistry::register_factory(const std::string& name,
+                                         Factory factory) {
+  if (!factories_.emplace(name, std::move(factory)).second) {
+    throw std::invalid_argument("benchmark already registered: " + name);
+  }
+}
+
+std::unique_ptr<Benchmark> BenchmarkRegistry::create(
+    const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw std::out_of_range("no benchmark registered under '" + name + "'");
+  }
+  return it->second();
+}
+
+std::vector<std::string> BenchmarkRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  return out;
+}
+
+bool BenchmarkRegistry::contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+}  // namespace bat::core

@@ -1,0 +1,68 @@
+// Static validity constraints over configurations (device independent).
+//
+// These correspond to the "Constrained" column of Table VIII: conditions
+// like CLBlast's tiling divisibility rules that make a configuration
+// meaningful at all, regardless of which GPU runs it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace bat::core {
+
+class Constraint {
+ public:
+  using Predicate = std::function<bool(const Config&)>;
+
+  Constraint(std::string name, Predicate predicate)
+      : name_(std::move(name)), predicate_(std::move(predicate)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool check(const Config& config) const {
+    return predicate_(config);
+  }
+
+ private:
+  std::string name_;
+  Predicate predicate_;
+};
+
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+
+  ConstraintSet& add(std::string name, Constraint::Predicate predicate) {
+    constraints_.emplace_back(std::move(name), std::move(predicate));
+    return *this;
+  }
+
+  [[nodiscard]] bool satisfied(const Config& config) const {
+    for (const auto& c : constraints_) {
+      if (!c.check(config)) return false;
+    }
+    return true;
+  }
+
+  /// Name of the first violated constraint, or empty if all hold.
+  [[nodiscard]] std::string first_violation(const Config& config) const {
+    for (const auto& c : constraints_) {
+      if (!c.check(config)) return c.name();
+    }
+    return {};
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return constraints_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return constraints_.empty(); }
+  [[nodiscard]] const std::vector<Constraint>& all() const noexcept {
+    return constraints_;
+  }
+
+ private:
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace bat::core

@@ -1,0 +1,226 @@
+#include "core/dataset.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+#include "common/statistics.hpp"
+#include "common/string_util.hpp"
+
+namespace bat::core {
+
+namespace {
+
+template <typename T>
+T parse_number(const std::string& cell) {
+  T out{};
+  const auto* begin = cell.data();
+  const auto* end = cell.data() + cell.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc() || ptr != end) {
+    throw std::invalid_argument("bad numeric cell: '" + cell + "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+Dataset::Dataset(std::string benchmark_name, std::string device_name,
+                 std::vector<std::string> param_names)
+    : benchmark_name_(std::move(benchmark_name)),
+      device_name_(std::move(device_name)),
+      param_names_(std::move(param_names)) {
+  BAT_EXPECTS(!param_names_.empty());
+}
+
+void Dataset::add(ConfigIndex index, const Config& config,
+                  const Measurement& m) {
+  BAT_EXPECTS(config.size() == param_names_.size());
+  indices_.push_back(index);
+  values_.insert(values_.end(), config.begin(), config.end());
+  times_.push_back(m.time_ms);
+  statuses_.push_back(m.status);
+}
+
+void Dataset::reserve(std::size_t n) {
+  indices_.reserve(n);
+  values_.reserve(n * param_names_.size());
+  times_.reserve(n);
+  statuses_.reserve(n);
+}
+
+ConfigIndex Dataset::config_index(std::size_t row) const {
+  BAT_EXPECTS(row < size());
+  return indices_[row];
+}
+
+Config Dataset::config(std::size_t row) const {
+  BAT_EXPECTS(row < size());
+  const std::size_t p = param_names_.size();
+  return Config(values_.begin() + static_cast<std::ptrdiff_t>(row * p),
+                values_.begin() + static_cast<std::ptrdiff_t>((row + 1) * p));
+}
+
+Value Dataset::param_value(std::size_t row, std::size_t param) const {
+  BAT_EXPECTS(row < size());
+  BAT_EXPECTS(param < param_names_.size());
+  return values_[row * param_names_.size() + param];
+}
+
+double Dataset::time_ms(std::size_t row) const {
+  BAT_EXPECTS(row < size());
+  return times_[row];
+}
+
+MeasureStatus Dataset::status(std::size_t row) const {
+  BAT_EXPECTS(row < size());
+  return statuses_[row];
+}
+
+bool Dataset::row_ok(std::size_t row) const {
+  return status(row) == MeasureStatus::kOk;
+}
+
+std::vector<double> Dataset::valid_times() const {
+  std::vector<double> out;
+  out.reserve(size());
+  for (std::size_t r = 0; r < size(); ++r) {
+    if (row_ok(r)) out.push_back(times_[r]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::valid_rows() const {
+  std::vector<std::size_t> out;
+  out.reserve(size());
+  for (std::size_t r = 0; r < size(); ++r) {
+    if (row_ok(r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t Dataset::best_row() const {
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_row_index = size();
+  for (std::size_t r = 0; r < size(); ++r) {
+    if (row_ok(r) && times_[r] < best) {
+      best = times_[r];
+      best_row_index = r;
+    }
+  }
+  if (best_row_index == size()) {
+    throw std::runtime_error("dataset has no valid measurements");
+  }
+  return best_row_index;
+}
+
+double Dataset::best_time() const { return times_[best_row()]; }
+
+double Dataset::median_time() const {
+  const auto times = valid_times();
+  if (times.empty()) throw std::runtime_error("dataset has no valid times");
+  return common::median(times);
+}
+
+std::size_t Dataset::num_valid() const {
+  std::size_t n = 0;
+  for (const auto s : statuses_) {
+    if (s == MeasureStatus::kOk) ++n;
+  }
+  return n;
+}
+
+std::vector<std::vector<double>> Dataset::feature_matrix() const {
+  std::vector<std::vector<double>> out;
+  out.reserve(num_valid());
+  const std::size_t p = param_names_.size();
+  for (std::size_t r = 0; r < size(); ++r) {
+    if (!row_ok(r)) continue;
+    std::vector<double> row(p);
+    for (std::size_t c = 0; c < p; ++c) {
+      row[c] = static_cast<double>(values_[r * p + c]);
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<double> Dataset::target_vector() const { return valid_times(); }
+
+std::string Dataset::to_csv() const {
+  common::CsvWriter writer;
+  // Two metadata rows keep the file self-describing.
+  writer.write_row({"#benchmark", benchmark_name_});
+  writer.write_row({"#device", device_name_});
+  std::vector<std::string> header{"config_index"};
+  header.insert(header.end(), param_names_.begin(), param_names_.end());
+  header.push_back("time_ms");
+  header.push_back("status");
+  writer.write_row(header);
+
+  const std::size_t p = param_names_.size();
+  for (std::size_t r = 0; r < size(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(p + 3);
+    row.push_back(std::to_string(indices_[r]));
+    for (std::size_t c = 0; c < p; ++c) {
+      row.push_back(std::to_string(values_[r * p + c]));
+    }
+    row.push_back(std::isfinite(times_[r]) ? common::format_double(times_[r], 9)
+                                           : std::string("inf"));
+    row.push_back(std::to_string(static_cast<int>(statuses_[r])));
+    writer.write_row(row);
+  }
+  return writer.str();
+}
+
+Dataset Dataset::from_csv(const std::string& csv_text) {
+  const auto rows = common::CsvReader::parse(csv_text);
+  if (rows.size() < 3 || rows[0].size() < 2 || rows[1].size() < 2 ||
+      rows[0][0] != "#benchmark" || rows[1][0] != "#device") {
+    throw std::invalid_argument("not a BAT dataset CSV");
+  }
+  const auto& header = rows[2];
+  if (header.size() < 4 || header.front() != "config_index" ||
+      header[header.size() - 2] != "time_ms" || header.back() != "status") {
+    throw std::invalid_argument("bad dataset CSV header");
+  }
+  std::vector<std::string> param_names(header.begin() + 1, header.end() - 2);
+  Dataset ds(rows[0][1], rows[1][1], param_names);
+  ds.reserve(rows.size() - 3);
+  const std::size_t p = param_names.size();
+  for (std::size_t r = 3; r < rows.size(); ++r) {
+    const auto& cells = rows[r];
+    if (cells.size() != p + 3) {
+      throw std::invalid_argument("dataset CSV row has wrong cell count");
+    }
+    const auto index = parse_number<ConfigIndex>(cells[0]);
+    Config config(p);
+    for (std::size_t c = 0; c < p; ++c) {
+      config[c] = parse_number<Value>(cells[c + 1]);
+    }
+    Measurement m;
+    m.status = static_cast<MeasureStatus>(parse_number<int>(cells[p + 2]));
+    if (cells[p + 1] == "inf") {
+      m.time_ms = std::numeric_limits<double>::infinity();
+    } else {
+      m.time_ms = std::stod(cells[p + 1]);
+    }
+    ds.add(index, config, m);
+  }
+  return ds;
+}
+
+void Dataset::save_csv(const std::string& path) const {
+  common::write_file(path, to_csv());
+}
+
+Dataset Dataset::load_csv(const std::string& path) {
+  return from_csv(common::read_file(path));
+}
+
+}  // namespace bat::core

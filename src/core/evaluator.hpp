@@ -1,0 +1,94 @@
+// TuningProblem + CachingEvaluator: what a tuner actually sees.
+//
+// TuningProblem binds (benchmark, device) into a single minimization
+// objective. CachingEvaluator memoizes evaluations by ConfigIndex,
+// enforces an evaluation budget, and records the full evaluation trace —
+// the paper's convergence plots (Fig 2) are "best objective so far vs
+// number of *distinct* function evaluations".
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/benchmark.hpp"
+#include "core/measurement.hpp"
+#include "core/search_space.hpp"
+
+namespace bat::core {
+
+class TuningProblem {
+ public:
+  TuningProblem(const Benchmark& benchmark, DeviceIndex device)
+      : benchmark_(&benchmark), device_(device) {}
+
+  [[nodiscard]] const Benchmark& benchmark() const noexcept {
+    return *benchmark_;
+  }
+  [[nodiscard]] DeviceIndex device() const noexcept { return device_; }
+  [[nodiscard]] const SearchSpace& space() const noexcept {
+    return benchmark_->space();
+  }
+  [[nodiscard]] Measurement evaluate(const Config& config) const {
+    return benchmark_->evaluate(config, device_);
+  }
+
+ private:
+  const Benchmark* benchmark_;
+  DeviceIndex device_;
+};
+
+/// One evaluation in the trace.
+struct TraceEntry {
+  ConfigIndex index;
+  double objective;
+};
+
+class BudgetExhausted : public std::runtime_error {
+ public:
+  BudgetExhausted() : std::runtime_error("evaluation budget exhausted") {}
+};
+
+class CachingEvaluator {
+ public:
+  /// budget = maximum number of *distinct* configurations evaluated;
+  /// cache hits are free, matching how tuners are usually charged.
+  CachingEvaluator(const TuningProblem& problem, std::size_t budget);
+
+  /// Evaluates (or recalls) a configuration. Throws BudgetExhausted when a
+  /// cache miss would exceed the budget; tuners use this as their stop
+  /// signal.
+  double operator()(const Config& config);
+
+  [[nodiscard]] std::size_t evaluations() const noexcept {
+    return trace_.size();
+  }
+  [[nodiscard]] std::size_t budget() const noexcept { return budget_; }
+  [[nodiscard]] bool exhausted() const noexcept {
+    return trace_.size() >= budget_;
+  }
+
+  /// Chronological distinct-evaluation trace.
+  [[nodiscard]] const std::vector<TraceEntry>& trace() const noexcept {
+    return trace_;
+  }
+
+  /// Best (lowest-objective) evaluation so far, if any finite one exists.
+  [[nodiscard]] std::optional<TraceEntry> best() const noexcept;
+
+  /// best-so-far objective after each distinct evaluation (length ==
+  /// evaluations()); used directly by convergence analysis.
+  [[nodiscard]] std::vector<double> best_so_far() const;
+
+  [[nodiscard]] const TuningProblem& problem() const noexcept {
+    return problem_;
+  }
+
+ private:
+  TuningProblem problem_;
+  std::size_t budget_;
+  std::unordered_map<ConfigIndex, double> cache_;
+  std::vector<TraceEntry> trace_;
+};
+
+}  // namespace bat::core

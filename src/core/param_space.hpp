@@ -1,0 +1,95 @@
+// The Cartesian product of the parameters, with mixed-radix indexing.
+//
+// Every configuration has a unique ConfigIndex in [0, cardinality()):
+// the last parameter varies fastest, like row-major array order. This
+// gives O(1)-ish random access into spaces of up to ~10^8 configurations
+// (Dedispersion: 123 863 040) without materializing them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/parameter.hpp"
+#include "core/types.hpp"
+
+namespace bat::core {
+
+class ParamSpace {
+ public:
+  ParamSpace() = default;
+  explicit ParamSpace(std::vector<Parameter> params);
+
+  ParamSpace& add(Parameter param);
+
+  [[nodiscard]] std::size_t num_params() const noexcept {
+    return params_.size();
+  }
+  [[nodiscard]] const Parameter& param(std::size_t i) const;
+  [[nodiscard]] const std::vector<Parameter>& params() const noexcept {
+    return params_;
+  }
+
+  /// Position of the parameter named `name`; throws std::out_of_range if
+  /// missing.
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+  [[nodiscard]] bool has_param(const std::string& name) const noexcept;
+
+  /// Names in order, handy for Dataset headers and ML feature names.
+  [[nodiscard]] std::vector<std::string> param_names() const;
+
+  /// |P1| * |P2| * ... (throws on uint64 overflow).
+  [[nodiscard]] ConfigIndex cardinality() const noexcept { return cardinality_; }
+
+  /// Decodes a mixed-radix index into a configuration.
+  [[nodiscard]] Config config_at(ConfigIndex index) const;
+
+  /// Decodes into a caller-provided buffer (no allocation); buffer is
+  /// resized to num_params().
+  void decode_into(ConfigIndex index, Config& out) const;
+
+  /// Inverse of config_at; throws if any value is not in its parameter.
+  [[nodiscard]] ConfigIndex index_of_config(const Config& config) const;
+
+  /// True iff each value is a member of the corresponding parameter.
+  [[nodiscard]] bool contains(const Config& config) const noexcept;
+
+  /// Uniform random configuration from the full product.
+  [[nodiscard]] Config random_config(common::Rng& rng) const;
+
+  /// All Hamming-distance-1 neighbors (same parameters, one value swapped
+  /// for any other value of that parameter). This is the neighborhood
+  /// used for the fitness-flow graph and the local-search tuners.
+  [[nodiscard]] std::vector<Config> neighbors(const Config& config) const;
+
+  /// Calls fn(neighbor) for each Hamming-1 neighbor without materializing
+  /// the list. `scratch` is mutated in place and restored.
+  template <typename Fn>
+  void for_each_neighbor(const Config& config, Fn&& fn) const {
+    Config scratch = config;
+    for (std::size_t p = 0; p < params_.size(); ++p) {
+      const Value original = scratch[p];
+      for (const Value v : params_[p].values()) {
+        if (v == original) continue;
+        scratch[p] = v;
+        fn(static_cast<const Config&>(scratch));
+      }
+      scratch[p] = original;
+    }
+  }
+
+  /// Pretty "name=value, ..." string for logs and examples.
+  [[nodiscard]] std::string describe(const Config& config) const;
+
+ private:
+  void rebuild_index();
+
+  std::vector<Parameter> params_;
+  std::unordered_map<std::string, std::size_t> name_to_index_;
+  std::vector<ConfigIndex> strides_;  // strides_[i] = prod of radices after i
+  ConfigIndex cardinality_ = 1;
+};
+
+}  // namespace bat::core

@@ -1,0 +1,55 @@
+#include "core/parameter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace bat::core {
+
+Parameter::Parameter(std::string name, std::vector<Value> values)
+    : name_(std::move(name)), values_(std::move(values)) {
+  BAT_EXPECTS(!name_.empty());
+  BAT_EXPECTS(!values_.empty());
+  // Duplicate values would make value<->index mapping ambiguous.
+  auto sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  BAT_EXPECTS(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+Value Parameter::value_at(std::size_t i) const {
+  BAT_EXPECTS(i < values_.size());
+  return values_[i];
+}
+
+std::size_t Parameter::index_of(Value v) const {
+  const auto it = std::find(values_.begin(), values_.end(), v);
+  if (it == values_.end()) {
+    throw std::out_of_range("parameter '" + name_ + "' has no value " +
+                            std::to_string(v));
+  }
+  return static_cast<std::size_t>(it - values_.begin());
+}
+
+bool Parameter::contains(Value v) const noexcept {
+  return std::find(values_.begin(), values_.end(), v) != values_.end();
+}
+
+Parameter Parameter::range(std::string name, Value lo, Value hi, Value step) {
+  BAT_EXPECTS(step > 0);
+  BAT_EXPECTS(lo <= hi);
+  std::vector<Value> values;
+  for (Value v = lo; v <= hi; v += step) values.push_back(v);
+  return Parameter(std::move(name), std::move(values));
+}
+
+Parameter Parameter::pow2(std::string name, Value lo, Value hi) {
+  BAT_EXPECTS(lo > 0);
+  BAT_EXPECTS(lo <= hi);
+  std::vector<Value> values;
+  for (Value v = lo; v <= hi; v *= 2) values.push_back(v);
+  return Parameter(std::move(name), std::move(values));
+}
+
+}  // namespace bat::core

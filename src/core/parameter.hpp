@@ -1,0 +1,46 @@
+// A tunable parameter: a name plus its ordered, discrete value set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace bat::core {
+
+class Parameter {
+ public:
+  Parameter(std::string name, std::vector<Value> values);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Value>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] std::size_t cardinality() const noexcept {
+    return values_.size();
+  }
+  [[nodiscard]] Value value_at(std::size_t i) const;
+
+  /// Index of `v` in the value list; throws if absent.
+  [[nodiscard]] std::size_t index_of(Value v) const;
+  [[nodiscard]] bool contains(Value v) const noexcept;
+
+  // -- Builders for the value-set notations used in the paper's tables. --
+
+  /// {lo, lo+step, ..., hi}
+  [[nodiscard]] static Parameter range(std::string name, Value lo, Value hi,
+                                       Value step = 1);
+  /// {base^0 * lo, ..., doubling}   e.g. pow2("VWM", 1, 8) -> {1,2,4,8}
+  [[nodiscard]] static Parameter pow2(std::string name, Value lo, Value hi);
+  /// Explicit list.
+  [[nodiscard]] static Parameter list(std::string name,
+                                      std::vector<Value> values) {
+    return Parameter(std::move(name), std::move(values));
+  }
+
+ private:
+  std::string name_;
+  std::vector<Value> values_;
+};
+
+}  // namespace bat::core

@@ -1,0 +1,60 @@
+#include "core/runner.hpp"
+
+#include "common/contracts.hpp"
+#include "common/thread_pool.hpp"
+
+namespace bat::core {
+
+Dataset Runner::evaluate_indices(const Benchmark& benchmark,
+                                 DeviceIndex device,
+                                 const std::vector<ConfigIndex>& indices) {
+  const auto& space = benchmark.space().params();
+  Dataset ds(benchmark.name(), benchmark.device_name(device),
+             space.param_names());
+  ds.reserve(indices.size());
+
+  // Evaluate in parallel into a flat result buffer, then append in order
+  // so the dataset layout is deterministic.
+  std::vector<Measurement> results(indices.size());
+  common::parallel_for_chunked(
+      0, indices.size(), [&](std::size_t lo, std::size_t hi, std::size_t) {
+        Config scratch;
+        for (std::size_t i = lo; i < hi; ++i) {
+          space.decode_into(indices[i], scratch);
+          results[i] = benchmark.evaluate(scratch, device);
+        }
+      });
+
+  Config scratch;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    space.decode_into(indices[i], scratch);
+    ds.add(indices[i], scratch, results[i]);
+  }
+  return ds;
+}
+
+Dataset Runner::run_exhaustive(const Benchmark& benchmark,
+                               DeviceIndex device) {
+  const auto indices = benchmark.space().enumerate_constrained();
+  return evaluate_indices(benchmark, device, indices);
+}
+
+Dataset Runner::run_sampled(const Benchmark& benchmark, DeviceIndex device,
+                            std::size_t samples, std::uint64_t seed) {
+  common::Rng rng(seed);
+  const auto indices = benchmark.space().sample_constrained(samples, rng);
+  return evaluate_indices(benchmark, device, indices);
+}
+
+Dataset Runner::run_default(const Benchmark& benchmark, DeviceIndex device,
+                            std::uint64_t seed, std::size_t samples,
+                            std::uint64_t exhaustive_limit) {
+  // The cheap upper bound (cardinality) decides first; only when the full
+  // product is small do we pay for an exact constrained count.
+  if (benchmark.space().cardinality() <= exhaustive_limit) {
+    return run_exhaustive(benchmark, device);
+  }
+  return run_sampled(benchmark, device, samples, seed);
+}
+
+}  // namespace bat::core

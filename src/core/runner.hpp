@@ -1,0 +1,40 @@
+// Parallel dataset builders reproducing the paper's experimental design
+// (§V): exhaustive search for Pnpoly/Nbody/GEMM/Convolution, 10 000 random
+// configurations for Hotspot/Dedisp/Expdist.
+#pragma once
+
+#include "core/benchmark.hpp"
+#include "core/dataset.hpp"
+
+namespace bat::core {
+
+class Runner {
+ public:
+  /// Evaluates every constraint-valid configuration on `device`.
+  [[nodiscard]] static Dataset run_exhaustive(const Benchmark& benchmark,
+                                              DeviceIndex device);
+
+  /// Evaluates `samples` distinct valid configurations drawn with `seed`.
+  /// The same seed draws the same configurations on every device, like
+  /// the paper's shared random sample per architecture sweep.
+  [[nodiscard]] static Dataset run_sampled(const Benchmark& benchmark,
+                                           DeviceIndex device,
+                                           std::size_t samples,
+                                           std::uint64_t seed);
+
+  /// Paper §V policy: exhaustive when the constrained space has at most
+  /// `exhaustive_limit` configurations, otherwise `samples` random ones.
+  [[nodiscard]] static Dataset run_default(const Benchmark& benchmark,
+                                           DeviceIndex device,
+                                           std::uint64_t seed = 0xBA7BA7ULL,
+                                           std::size_t samples = 10'000,
+                                           std::uint64_t exhaustive_limit =
+                                               100'000);
+
+ private:
+  [[nodiscard]] static Dataset evaluate_indices(
+      const Benchmark& benchmark, DeviceIndex device,
+      const std::vector<ConfigIndex>& indices);
+};
+
+}  // namespace bat::core

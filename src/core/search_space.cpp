@@ -1,0 +1,120 @@
+#include "core/search_space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/contracts.hpp"
+#include "common/thread_pool.hpp"
+
+namespace bat::core {
+
+std::uint64_t SearchSpace::count_constrained() const {
+  if (constraints_.empty()) return space_.cardinality();
+  const ConfigIndex n = space_.cardinality();
+  auto& pool = common::ThreadPool::global();
+
+  std::vector<std::uint64_t> partial(pool.size(), 0);
+  pool.parallel_for_chunked(
+      0, static_cast<std::size_t>(n),
+      [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+        Config scratch;
+        std::uint64_t count = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          space_.decode_into(static_cast<ConfigIndex>(i), scratch);
+          if (constraints_.satisfied(scratch)) ++count;
+        }
+        partial[worker] = count;
+      });
+  std::uint64_t total = 0;
+  for (const auto c : partial) total += c;
+  return total;
+}
+
+std::vector<ConfigIndex> SearchSpace::enumerate_constrained() const {
+  const ConfigIndex n = space_.cardinality();
+  constexpr ConfigIndex kEnumerationLimit = 200'000'000;
+  if (n > kEnumerationLimit) {
+    throw std::length_error(
+        "search space too large to enumerate; use sample_constrained()");
+  }
+  auto& pool = common::ThreadPool::global();
+  std::vector<std::vector<ConfigIndex>> partial(pool.size());
+  pool.parallel_for_chunked(
+      0, static_cast<std::size_t>(n),
+      [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+        Config scratch;
+        auto& out = partial[worker];
+        for (std::size_t i = lo; i < hi; ++i) {
+          space_.decode_into(static_cast<ConfigIndex>(i), scratch);
+          if (constraints_.satisfied(scratch)) {
+            out.push_back(static_cast<ConfigIndex>(i));
+          }
+        }
+      });
+  std::vector<ConfigIndex> all;
+  std::size_t total = 0;
+  for (const auto& p : partial) total += p.size();
+  all.reserve(total);
+  // Chunks are contiguous ascending ranges, so concatenation stays sorted.
+  for (const auto& p : partial) all.insert(all.end(), p.begin(), p.end());
+  return all;
+}
+
+std::vector<ConfigIndex> SearchSpace::sample_constrained(
+    std::size_t n, common::Rng& rng) const {
+  std::vector<ConfigIndex> out;
+  out.reserve(n);
+  std::unordered_set<ConfigIndex> seen;
+  seen.reserve(n * 2);
+  const ConfigIndex card = space_.cardinality();
+  BAT_EXPECTS(card > 0);
+
+  Config scratch;
+  // Rejection sampling with a deterministic failure bound: if the space is
+  // so constrained that rejection stalls, fall back to enumeration.
+  const std::uint64_t max_attempts =
+      std::max<std::uint64_t>(1000, 400ULL * n);
+  std::uint64_t attempts = 0;
+  while (out.size() < n && attempts < max_attempts) {
+    ++attempts;
+    const ConfigIndex idx = rng.next_below(card);
+    if (seen.count(idx)) continue;
+    space_.decode_into(idx, scratch);
+    if (!constraints_.satisfied(scratch)) continue;
+    seen.insert(idx);
+    out.push_back(idx);
+  }
+  if (out.size() < n) {
+    // Deterministic fallback: enumerate and subsample.
+    const auto all = enumerate_constrained();
+    if (all.size() <= n) return all;
+    auto picks = rng.sample_indices(all.size(), n);
+    out.clear();
+    for (const auto p : picks) out.push_back(all[p]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Config SearchSpace::random_valid_config(common::Rng& rng) const {
+  Config scratch;
+  const ConfigIndex card = space_.cardinality();
+  BAT_EXPECTS(card > 0);
+  for (std::uint64_t attempts = 0; attempts < 10'000'000; ++attempts) {
+    space_.decode_into(rng.next_below(card), scratch);
+    if (constraints_.satisfied(scratch)) return scratch;
+  }
+  throw std::runtime_error(
+      "random_valid_config: rejection sampling failed; space over-constrained");
+}
+
+std::vector<Config> SearchSpace::valid_neighbors(const Config& config) const {
+  std::vector<Config> out;
+  space_.for_each_neighbor(config, [&](const Config& n) {
+    if (constraints_.satisfied(n)) out.push_back(n);
+  });
+  return out;
+}
+
+}  // namespace bat::core

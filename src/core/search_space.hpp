@@ -1,0 +1,67 @@
+// SearchSpace = ParamSpace + static constraints.
+//
+// Provides the three operations the experiments need at scale:
+//  * count_constrained(): parallel count over the full product
+//    (Table VIII "Constrained"; up to 1.2e8 configurations)
+//  * enumerate_constrained(): materialize all valid indices (used for the
+//    exhaustively-searched benchmarks: Pnpoly, Nbody, GEMM, Convolution)
+//  * sample_constrained(): rejection-sample n distinct valid configs
+//    (the 10 000-random-configuration datasets of Hotspot/Dedisp/Expdist)
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/constraint.hpp"
+#include "core/param_space.hpp"
+
+namespace bat::core {
+
+class SearchSpace {
+ public:
+  SearchSpace() = default;
+  SearchSpace(ParamSpace space, ConstraintSet constraints)
+      : space_(std::move(space)), constraints_(std::move(constraints)) {}
+
+  [[nodiscard]] const ParamSpace& params() const noexcept { return space_; }
+  [[nodiscard]] const ConstraintSet& constraints() const noexcept {
+    return constraints_;
+  }
+
+  [[nodiscard]] ConfigIndex cardinality() const noexcept {
+    return space_.cardinality();
+  }
+
+  [[nodiscard]] bool is_valid(const Config& config) const {
+    return space_.contains(config) && constraints_.satisfied(config);
+  }
+  [[nodiscard]] bool is_valid_index(ConfigIndex index) const {
+    return constraints_.satisfied(space_.config_at(index));
+  }
+
+  /// Parallel count of constraint-satisfying configurations.
+  [[nodiscard]] std::uint64_t count_constrained() const;
+
+  /// All valid ConfigIndex values, ascending. Only call on spaces small
+  /// enough to materialize (the paper's exhaustive benchmarks are <= 82 944
+  /// configurations before constraints).
+  [[nodiscard]] std::vector<ConfigIndex> enumerate_constrained() const;
+
+  /// n distinct valid configurations by rejection sampling from the full
+  /// product (deterministic given `rng`). If fewer than n valid configs
+  /// exist, returns all of them.
+  [[nodiscard]] std::vector<ConfigIndex> sample_constrained(
+      std::size_t n, common::Rng& rng) const;
+
+  /// One uniformly random valid configuration (rejection sampling).
+  [[nodiscard]] Config random_valid_config(common::Rng& rng) const;
+
+  /// Valid Hamming-1 neighbors of a configuration.
+  [[nodiscard]] std::vector<Config> valid_neighbors(const Config& config) const;
+
+ private:
+  ParamSpace space_;
+  ConstraintSet constraints_;
+};
+
+}  // namespace bat::core

@@ -1,0 +1,21 @@
+// Fundamental value types of the tuning framework.
+//
+// Every tunable parameter in BAT (Tables I-VII of the paper) takes integer
+// values, so a configuration is a fixed-length vector of int64 aligned with
+// the parameter order of its ParamSpace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bat::core {
+
+using Value = std::int64_t;
+
+/// A full assignment of one value per parameter, ordered like the space.
+using Config = std::vector<Value>;
+
+/// Index of a configuration within the Cartesian product (mixed radix).
+using ConfigIndex = std::uint64_t;
+
+}  // namespace bat::core

@@ -1,0 +1,122 @@
+#include "gpusim/device.hpp"
+
+#include <stdexcept>
+
+namespace bat::gpusim {
+
+namespace {
+
+DeviceSpec make_rtx_2080ti() {
+  DeviceSpec d;
+  d.name = "RTX_2080Ti";
+  d.arch = Architecture::kTuring;
+  d.sm_count = 68;
+  d.max_threads_per_sm = 1024;
+  d.max_warps_per_sm = 32;
+  d.max_blocks_per_sm = 16;
+  d.registers_per_sm = 65536;
+  d.shared_mem_per_sm = 64 * 1024;
+  d.max_shared_mem_per_block = 48 * 1024;
+  d.clock_ghz = 1.545;
+  d.fp32_lanes_per_sm = 64;
+  d.mem_bandwidth_gbs = 616.0;
+  d.l2_cache_bytes = 5.5 * 1024 * 1024;
+  d.launch_overhead_ms = 0.0042;
+  d.int_issue_ratio = 1.0;        // dedicated INT32 pipe
+  d.readonly_cache_boost = 1.14;  // strong tex/L1 RO path on Turing
+  d.smem_bandwidth_factor = 1.0;
+  d.compute_saturation_warps = 6.0;
+  return d;
+}
+
+DeviceSpec make_rtx_3060() {
+  DeviceSpec d;
+  d.name = "RTX_3060";
+  d.arch = Architecture::kAmpere;
+  d.sm_count = 28;
+  d.max_threads_per_sm = 1536;
+  d.max_warps_per_sm = 48;
+  d.max_blocks_per_sm = 16;
+  d.registers_per_sm = 65536;
+  d.shared_mem_per_sm = 100 * 1024;
+  d.max_shared_mem_per_block = 48 * 1024;  // static smem default carve-out
+  d.clock_ghz = 1.777;
+  d.fp32_lanes_per_sm = 128;
+  d.mem_bandwidth_gbs = 360.0;
+  d.l2_cache_bytes = 3.0 * 1024 * 1024;
+  d.launch_overhead_ms = 0.0038;
+  d.int_issue_ratio = 0.5;        // INT shares one FP32 datapath half
+  d.readonly_cache_boost = 1.05;
+  d.smem_bandwidth_factor = 1.08;
+  d.compute_saturation_warps = 11.0;
+  return d;
+}
+
+DeviceSpec make_rtx_3090() {
+  DeviceSpec d;
+  d.name = "RTX_3090";
+  d.arch = Architecture::kAmpere;
+  d.sm_count = 82;
+  d.max_threads_per_sm = 1536;
+  d.max_warps_per_sm = 48;
+  d.max_blocks_per_sm = 16;
+  d.registers_per_sm = 65536;
+  d.shared_mem_per_sm = 100 * 1024;
+  d.max_shared_mem_per_block = 48 * 1024;  // static smem default carve-out
+  d.clock_ghz = 1.695;
+  d.fp32_lanes_per_sm = 128;
+  d.mem_bandwidth_gbs = 936.0;
+  d.l2_cache_bytes = 6.0 * 1024 * 1024;
+  d.launch_overhead_ms = 0.0038;
+  d.int_issue_ratio = 0.5;
+  d.readonly_cache_boost = 1.05;
+  d.smem_bandwidth_factor = 1.08;
+  d.compute_saturation_warps = 11.0;
+  return d;
+}
+
+DeviceSpec make_rtx_titan() {
+  DeviceSpec d;
+  d.name = "RTX_Titan";
+  d.arch = Architecture::kTuring;
+  d.sm_count = 72;
+  d.max_threads_per_sm = 1024;
+  d.max_warps_per_sm = 32;
+  d.max_blocks_per_sm = 16;
+  d.registers_per_sm = 65536;
+  d.shared_mem_per_sm = 64 * 1024;
+  d.max_shared_mem_per_block = 48 * 1024;
+  d.clock_ghz = 1.770;
+  d.fp32_lanes_per_sm = 64;
+  d.mem_bandwidth_gbs = 672.0;
+  d.l2_cache_bytes = 5.5 * 1024 * 1024;
+  d.launch_overhead_ms = 0.0042;
+  d.int_issue_ratio = 1.0;
+  d.readonly_cache_boost = 1.14;
+  d.smem_bandwidth_factor = 1.0;
+  d.compute_saturation_warps = 6.0;
+  return d;
+}
+
+}  // namespace
+
+const std::vector<DeviceSpec>& paper_devices() {
+  static const std::vector<DeviceSpec> devices = {
+      make_rtx_2080ti(), make_rtx_3060(), make_rtx_3090(), make_rtx_titan()};
+  return devices;
+}
+
+const DeviceSpec& device_by_name(const std::string& name) {
+  for (const auto& d : paper_devices()) {
+    if (d.name == name) return d;
+  }
+  throw std::out_of_range("unknown device: " + name);
+}
+
+std::vector<std::string> paper_device_names() {
+  std::vector<std::string> names;
+  for (const auto& d : paper_devices()) names.push_back(d.name);
+  return names;
+}
+
+}  // namespace bat::gpusim

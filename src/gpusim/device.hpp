@@ -1,0 +1,75 @@
+// Device descriptions for the performance-model simulator.
+//
+// The paper evaluates on four NVIDIA GPUs: RTX 2080 Ti, RTX 3060,
+// RTX 3090 and RTX Titan (Titan RTX). Two are Turing (TU102), two are
+// Ampere (GA106/GA102); the family split is what drives the paper's
+// portability findings (Fig 5), so the specs below keep the real
+// architectural differences: FP32 width per SM, max warps/threads per SM,
+// shared-memory capacity, clocks, memory bandwidth and L2 size. All
+// numbers are the published specifications of the retail cards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bat::gpusim {
+
+enum class Architecture { kTuring, kAmpere };
+
+struct DeviceSpec {
+  std::string name;
+  Architecture arch = Architecture::kTuring;
+
+  // SM resources.
+  int sm_count = 0;
+  int max_threads_per_sm = 1024;
+  int max_warps_per_sm = 32;
+  int max_blocks_per_sm = 16;
+  int registers_per_sm = 65536;
+  int max_registers_per_thread = 255;
+  int shared_mem_per_sm = 64 * 1024;      // bytes
+  int max_shared_mem_per_block = 48 * 1024;  // bytes (default carve-out)
+  int max_threads_per_block = 1024;
+  int warp_size = 32;
+
+  // Throughput.
+  double clock_ghz = 1.5;        // sustained boost clock
+  int fp32_lanes_per_sm = 64;    // FP32 CUDA cores per SM
+  double mem_bandwidth_gbs = 600.0;
+  double l2_cache_bytes = 4.0 * 1024 * 1024;
+  double launch_overhead_ms = 0.004;  // per kernel launch
+
+  // Architecture personality knobs used by the kernel models.
+  double int_issue_ratio = 1.0;   // concurrent INT32 pipe (Turing ~1.0
+                                  // thanks to the dedicated INT unit;
+                                  // Ampere shares one datapath ~0.5)
+  double compute_saturation_warps = 6.0;  // warps needed to fill the FP32
+                                          // pipes (Ampere's doubled lanes
+                                          // need ~2x the in-flight work)
+  double readonly_cache_boost = 1.10;  // benefit of __ldg/texture path
+  double smem_bandwidth_factor = 1.0;  // relative shared-memory throughput
+
+  /// Peak FP32 throughput in GFLOP/s (2 ops per FMA lane per clock).
+  [[nodiscard]] double peak_gflops() const noexcept {
+    return 2.0 * sm_count * fp32_lanes_per_sm * clock_ghz;
+  }
+
+  /// Aggregate shared-memory bandwidth in GB/s (32 banks * 4 B per clock
+  /// per SM, scaled by the personality factor).
+  [[nodiscard]] double smem_bandwidth_gbs() const noexcept {
+    return smem_bandwidth_factor * sm_count * 32.0 * 4.0 * clock_ghz;
+  }
+};
+
+/// The four GPUs of the paper, in the row/column order of Fig 5:
+/// RTX 2080 Ti, RTX 3060, RTX 3090, RTX Titan.
+[[nodiscard]] const std::vector<DeviceSpec>& paper_devices();
+
+/// Lookup by name; throws std::out_of_range if unknown.
+[[nodiscard]] const DeviceSpec& device_by_name(const std::string& name);
+
+/// Names of the paper devices in order.
+[[nodiscard]] std::vector<std::string> paper_device_names();
+
+}  // namespace bat::gpusim

@@ -1,0 +1,119 @@
+#include "gpusim/launch_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bat::gpusim {
+
+namespace {
+
+// Warps-in-flight needed to saturate each pipe. Arithmetic pipes saturate
+// quickly; DRAM needs many outstanding transactions to cover ~400-cycle
+// latency (values in line with microbenchmark literature for
+// Turing/Ampere).
+constexpr double kDramSaturationWarps = 20.0;
+constexpr double kSmemSaturationWarps = 6.0;
+
+}  // namespace
+
+double LaunchModel::latency_hiding(double inflight,
+                                   double warps_needed) noexcept {
+  if (inflight <= 0.0) return 1e-6;
+  // Saturating exponential: ~63% at the saturation point, >95% at 3x.
+  return 1.0 - std::exp(-inflight / warps_needed);
+}
+
+std::optional<TimingBreakdown> LaunchModel::estimate(
+    const DeviceSpec& device, const KernelProfile& profile) {
+  BAT_EXPECTS(profile.grid_blocks >= 1);
+  BAT_EXPECTS(profile.launches >= 1);
+  BAT_EXPECTS(profile.mem_efficiency > 0.0 && profile.mem_efficiency <= 1.0);
+  BAT_EXPECTS(profile.compute_efficiency > 0.0 &&
+              profile.compute_efficiency <= 1.0);
+
+  const LaunchConfig launch{profile.block_threads, profile.regs_per_thread,
+                            profile.smem_per_block};
+  const OccupancyResult occ = compute_occupancy(device, launch);
+  if (!occ.valid()) return std::nullopt;
+
+  TimingBreakdown out;
+  out.occupancy = occ;
+
+  // Effective in-flight parallelism per SM: resident warps weighted by
+  // per-thread ILP (tiling several outputs per thread issues independent
+  // instructions even at low occupancy — the key effect behind large-tile
+  // configurations winning at low occupancy). When the grid is smaller
+  // than the residency capacity, blocks spread across SMs, so the warps
+  // actually resident per SM shrink accordingly.
+  const double ilp = std::max(1.0, profile.ilp);
+  const double warps_per_block =
+      static_cast<double>(occ.active_warps_per_sm) / occ.active_blocks_per_sm;
+  const double blocks_per_sm_eff = std::min(
+      static_cast<double>(occ.active_blocks_per_sm),
+      static_cast<double>(profile.grid_blocks) / device.sm_count);
+  const double inflight =
+      std::max(warps_per_block, warps_per_block * blocks_per_sm_eff) *
+      std::sqrt(ilp);
+
+  // SMs with no block at all stay idle (grids smaller than the SM count).
+  const double sm_fill = std::min(
+      1.0, static_cast<double>(profile.grid_blocks) / device.sm_count);
+  const double resident_capacity =
+      static_cast<double>(occ.active_blocks_per_sm) * device.sm_count;
+
+  const double hide_compute =
+      latency_hiding(inflight, device.compute_saturation_warps) * sm_fill;
+  const double hide_dram =
+      latency_hiding(inflight, kDramSaturationWarps) * sm_fill;
+  const double hide_smem =
+      latency_hiding(inflight, kSmemSaturationWarps) * sm_fill;
+
+  const double peak_gflops = device.peak_gflops() * profile.compute_efficiency;
+  if (profile.flops > 0.0) {
+    out.compute_ms =
+        profile.flops / (peak_gflops * 1e9 * std::max(hide_compute, 1e-6)) * 1e3;
+  }
+  const double dram_gbs = device.mem_bandwidth_gbs * profile.mem_efficiency;
+  if (profile.dram_bytes > 0.0) {
+    out.dram_ms =
+        profile.dram_bytes / (dram_gbs * 1e9 * std::max(hide_dram, 1e-6)) * 1e3;
+  }
+  if (profile.smem_bytes > 0.0) {
+    out.smem_ms = profile.smem_bytes /
+                  (device.smem_bandwidth_gbs() * 1e9 *
+                   std::max(hide_smem, 1e-6)) *
+                  1e3;
+  }
+
+  // Grid quantization: the partial last wave costs extra, but less than a
+  // full wave — its blocks finish together at higher effective occupancy
+  // headroom (power-law damping keeps the effect for 1-4 wave grids and
+  // lets it vanish for large grids).
+  const double waves = static_cast<double>(profile.grid_blocks) /
+                       std::max(1.0, resident_capacity);
+  if (waves > 1.0) {
+    const double full = std::floor(waves);
+    const double frac = waves - full;
+    const double tail = frac > 0.0 ? std::pow(frac, 0.55) : 0.0;
+    out.tail_factor = (full + tail) / waves;
+  } else {
+    out.tail_factor = 1.0;
+  }
+
+  out.overhead_ms = device.launch_overhead_ms * profile.launches;
+  out.total_ms =
+      std::max({out.compute_ms, out.dram_ms, out.smem_ms}) * out.tail_factor +
+      out.overhead_ms;
+  return out;
+}
+
+std::optional<double> LaunchModel::estimate_ms(const DeviceSpec& device,
+                                               const KernelProfile& profile) {
+  const auto breakdown = estimate(device, profile);
+  if (!breakdown) return std::nullopt;
+  return breakdown->total_ms;
+}
+
+}  // namespace bat::gpusim

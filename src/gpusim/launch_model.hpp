@@ -1,0 +1,79 @@
+// The kernel-launch timing model.
+//
+// Each kernel model summarizes one configuration as a KernelProfile:
+// launch geometry + resource footprint + the amount of arithmetic, DRAM
+// and shared-memory work, plus efficiency factors (coalescing,
+// instruction-mix, ILP). LaunchModel turns that into milliseconds with a
+// latency-hiding roofline:
+//
+//   t = max(t_compute, t_dram, t_smem) * tail_factor + launches * overhead
+//
+// where each component is divided by a saturating latency-hiding factor
+// derived from occupancy * ILP (few resident warps with little
+// instruction-level parallelism cannot keep the pipes busy), and
+// tail_factor accounts for grid quantization into waves.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "gpusim/device.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace bat::gpusim {
+
+struct KernelProfile {
+  // Launch geometry and per-block resources.
+  std::uint64_t grid_blocks = 1;
+  int block_threads = 1;
+  int regs_per_thread = 32;
+  int smem_per_block = 0;  // bytes
+
+  // Work totals for the whole kernel.
+  double flops = 0.0;             // FP32-equivalent arithmetic operations
+  double dram_bytes = 0.0;        // DRAM traffic after cache modelling
+  double smem_bytes = 0.0;        // shared-memory traffic (conflict-adjusted)
+
+  // Efficiency factors in (0, 1].
+  double mem_efficiency = 1.0;      // DRAM coalescing/transaction efficiency
+  double compute_efficiency = 1.0;  // pipeline/instruction-mix efficiency
+
+  // Independent in-flight operations per thread (tiling/unrolling raise it).
+  double ilp = 1.0;
+
+  // Number of kernel launches this measurement covers (e.g. Hotspot runs
+  // iterations/temporal_tiling_factor launches for a fixed simulation).
+  int launches = 1;
+};
+
+struct TimingBreakdown {
+  double compute_ms = 0.0;
+  double dram_ms = 0.0;
+  double smem_ms = 0.0;
+  double tail_factor = 1.0;
+  double overhead_ms = 0.0;
+  double total_ms = 0.0;
+  OccupancyResult occupancy;
+};
+
+class LaunchModel {
+ public:
+  /// Estimates the execution time; std::nullopt when the launch is
+  /// impossible on this device (block too large, shared memory or
+  /// registers over the limit). This is the paper's "invalid on device"
+  /// case that tuners observe as a failed run.
+  [[nodiscard]] static std::optional<TimingBreakdown> estimate(
+      const DeviceSpec& device, const KernelProfile& profile);
+
+  /// Convenience: total_ms or nullopt.
+  [[nodiscard]] static std::optional<double> estimate_ms(
+      const DeviceSpec& device, const KernelProfile& profile);
+
+  /// Latency-hiding factor in (0, 1]: how close to peak a pipe can run
+  /// given `inflight` independent warps-worth of work and a saturation
+  /// point `warps_needed`.
+  [[nodiscard]] static double latency_hiding(double inflight,
+                                             double warps_needed) noexcept;
+};
+
+}  // namespace bat::gpusim

@@ -1,0 +1,27 @@
+#include "gpusim/noise.hpp"
+
+#include "common/rng.hpp"
+
+namespace bat::gpusim {
+
+std::uint64_t stable_name_hash(std::string_view name) noexcept {
+  // FNV-1a, then a strong finalizer.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return common::mix64(h);
+}
+
+double noise_factor(std::uint64_t kernel_id, std::uint64_t config_index,
+                    std::uint64_t device_id, double amplitude) noexcept {
+  std::uint64_t h = common::hash_combine(kernel_id, config_index);
+  h = common::hash_combine(h, device_id);
+  // Map to [-1, 1) with 53-bit precision, then scale.
+  const double unit =
+      static_cast<double>(common::mix64(h) >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+  return 1.0 + amplitude * unit;
+}
+
+}  // namespace bat::gpusim

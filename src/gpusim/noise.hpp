@@ -1,0 +1,25 @@
+// Deterministic measurement jitter.
+//
+// Real timing runs vary by a fraction of a percent even with warm-up and
+// repetition. We model that with a multiplicative factor derived purely
+// from a hash of (kernel id, config index, device name), so repeated
+// evaluation of the same point returns the identical value — a property
+// the test suite asserts and the caching evaluator relies on.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bat::gpusim {
+
+/// Stable 64-bit id for a kernel/device name.
+[[nodiscard]] std::uint64_t stable_name_hash(std::string_view name) noexcept;
+
+/// Multiplicative noise factor in [1 - amplitude, 1 + amplitude],
+/// deterministic in the seed triple.
+[[nodiscard]] double noise_factor(std::uint64_t kernel_id,
+                                  std::uint64_t config_index,
+                                  std::uint64_t device_id,
+                                  double amplitude = 0.004) noexcept;
+
+}  // namespace bat::gpusim

@@ -1,0 +1,82 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace bat::gpusim {
+
+namespace {
+
+constexpr int kRegAllocGranularity = 256;  // registers per warp allocation unit
+constexpr int kSmemAllocGranularity = 256;  // bytes
+
+int round_up(int value, int granularity) {
+  return (value + granularity - 1) / granularity * granularity;
+}
+
+}  // namespace
+
+OccupancyResult compute_occupancy(const DeviceSpec& device,
+                                  const LaunchConfig& launch) {
+  BAT_EXPECTS(launch.block_threads >= 0);
+  OccupancyResult result;
+
+  if (launch.block_threads <= 0 ||
+      launch.block_threads > device.max_threads_per_block) {
+    return result;  // unlaunchable block shape
+  }
+  if (launch.smem_per_block > device.max_shared_mem_per_block) {
+    return result;  // static shared memory exceeds the per-block maximum
+  }
+  const int warps_per_block =
+      (launch.block_threads + device.warp_size - 1) / device.warp_size;
+
+  // Threads/warp limit.
+  const int blocks_by_warps = device.max_warps_per_sm / warps_per_block;
+  if (blocks_by_warps == 0) return result;
+
+  // Register limit (per-warp allocation granularity).
+  int blocks_by_regs = device.max_blocks_per_sm;
+  if (launch.regs_per_thread > 0) {
+    const int regs_per_warp = round_up(
+        launch.regs_per_thread * device.warp_size, kRegAllocGranularity);
+    const int regs_per_block = regs_per_warp * warps_per_block;
+    if (regs_per_block > device.registers_per_sm ||
+        launch.regs_per_thread > device.max_registers_per_thread) {
+      return result;  // register footprint cannot fit a single block
+    }
+    blocks_by_regs = device.registers_per_sm / regs_per_block;
+  }
+
+  // Shared-memory limit.
+  int blocks_by_smem = device.max_blocks_per_sm;
+  if (launch.smem_per_block > 0) {
+    const int smem = round_up(launch.smem_per_block, kSmemAllocGranularity);
+    if (smem > device.shared_mem_per_sm) return result;
+    blocks_by_smem = device.shared_mem_per_sm / smem;
+    if (blocks_by_smem == 0) return result;
+  }
+
+  const int blocks = std::min({device.max_blocks_per_sm, blocks_by_warps,
+                               blocks_by_regs, blocks_by_smem});
+  if (blocks <= 0) return result;
+
+  result.active_blocks_per_sm = blocks;
+  result.active_warps_per_sm = blocks * warps_per_block;
+  result.occupancy = static_cast<double>(result.active_warps_per_sm) /
+                     static_cast<double>(device.max_warps_per_sm);
+
+  if (blocks == device.max_blocks_per_sm) {
+    result.limiter = OccupancyLimiter::kBlocks;
+  } else if (blocks == blocks_by_warps) {
+    result.limiter = OccupancyLimiter::kWarps;
+  } else if (blocks == blocks_by_regs) {
+    result.limiter = OccupancyLimiter::kRegisters;
+  } else {
+    result.limiter = OccupancyLimiter::kSharedMem;
+  }
+  return result;
+}
+
+}  // namespace bat::gpusim

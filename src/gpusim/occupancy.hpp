@@ -1,0 +1,38 @@
+// CUDA-style occupancy calculation.
+//
+// Mirrors the logic of the CUDA occupancy calculator: the number of
+// thread blocks resident on an SM is limited by (a) the block slots,
+// (b) the thread/warp budget, (c) the register file, (d) shared memory.
+// Register allocation is per-warp with 256-register granularity, like
+// real hardware.
+#pragma once
+
+#include "gpusim/device.hpp"
+
+namespace bat::gpusim {
+
+struct LaunchConfig {
+  int block_threads = 0;
+  int regs_per_thread = 0;
+  int smem_per_block = 0;  // bytes
+};
+
+enum class OccupancyLimiter { kBlocks, kWarps, kRegisters, kSharedMem, kInvalid };
+
+struct OccupancyResult {
+  int active_blocks_per_sm = 0;
+  int active_warps_per_sm = 0;
+  double occupancy = 0.0;  // active warps / max warps
+  OccupancyLimiter limiter = OccupancyLimiter::kInvalid;
+
+  [[nodiscard]] bool valid() const noexcept { return active_blocks_per_sm > 0; }
+};
+
+/// Computes SM residency for a launch configuration. Returns an invalid
+/// result (active_blocks_per_sm == 0) when the block cannot be scheduled
+/// at all: more threads than the block limit, more shared memory than the
+/// per-block maximum, or a register footprint exceeding the file.
+[[nodiscard]] OccupancyResult compute_occupancy(const DeviceSpec& device,
+                                                const LaunchConfig& launch);
+
+}  // namespace bat::gpusim

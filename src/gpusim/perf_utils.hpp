@@ -1,0 +1,75 @@
+// Shared performance-model helpers used by the kernel models.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace bat::gpusim {
+
+/// DRAM transaction efficiency of strided access: stride 1 (in elements)
+/// is fully coalesced; larger strides waste a growing share of each
+/// 32-byte sector until every lane touches its own sector.
+[[nodiscard]] inline double coalescing_efficiency(double stride_elements,
+                                                  double element_bytes) noexcept {
+  if (stride_elements <= 1.0) return 1.0;
+  constexpr double kSectorBytes = 32.0;
+  // Each lane's element sits stride*element_bytes from its neighbor's;
+  // once that distance reaches a full sector every lane drags in its own
+  // 32-byte sector and only element_bytes of it are useful.
+  const double fetched_per_lane =
+      std::min(stride_elements * element_bytes, kSectorBytes);
+  return std::clamp(element_bytes / fetched_per_lane,
+                    element_bytes / kSectorBytes, 1.0);
+}
+
+/// Vector-load efficiency: wider loads issue fewer transactions and use
+/// the memory pipeline better, with diminishing returns beyond 128-bit.
+[[nodiscard]] inline double vector_load_boost(int vector_width) noexcept {
+  switch (vector_width) {
+    case 1: return 1.00;
+    case 2: return 1.06;
+    case 4: return 1.10;
+    case 8: return 1.08;  // 256-bit splits into two transactions again
+    default: return 1.0;
+  }
+}
+
+/// Partial loop unrolling: removes branch/index overhead with diminishing
+/// returns; very large factors hurt via instruction-cache pressure.
+/// Returns a multiplicative compute-efficiency factor (<= peak 1.0
+/// improvement of `max_gain`).
+[[nodiscard]] inline double unroll_efficiency(int factor,
+                                              double max_gain = 0.12,
+                                              int sweet_spot = 8) noexcept {
+  if (factor <= 1) return 1.0;
+  const double f = static_cast<double>(factor);
+  const double s = static_cast<double>(sweet_spot);
+  const double gain = max_gain * (1.0 - 1.0 / f);
+  const double icache_penalty =
+      f > s ? 0.04 * std::log2(f / s) : 0.0;
+  return 1.0 + gain - icache_penalty;
+}
+
+/// Shared-memory bank-conflict multiplier on traffic: `conflict_ways` is
+/// the average number of lanes hitting the same bank (1 = conflict free).
+[[nodiscard]] inline double bank_conflict_factor(double conflict_ways) noexcept {
+  return std::max(1.0, conflict_ways);
+}
+
+/// Cache-reuse model: a working set of `bytes` cycles through a cache of
+/// `capacity` bytes; returns the miss fraction in [floor, 1].
+[[nodiscard]] inline double cache_miss_fraction(double working_set_bytes,
+                                                double capacity_bytes,
+                                                double floor = 0.05) noexcept {
+  if (working_set_bytes <= capacity_bytes) return floor;
+  const double ratio = capacity_bytes / working_set_bytes;
+  return std::clamp(1.0 - ratio * (1.0 - floor), floor, 1.0);
+}
+
+/// Ceil-div helper for grid sizing.
+[[nodiscard]] constexpr std::uint64_t div_up(std::uint64_t a,
+                                             std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace bat::gpusim

@@ -1,0 +1,54 @@
+#include "kernels/all_kernels.hpp"
+
+namespace bat::kernels {
+
+namespace {
+
+/// Registers the seven paper benchmarks exactly once. Registration lives
+/// here (not in per-kernel static initializers) so that linking any user
+/// of make()/make_all() reliably pulls it in — static registrar objects
+/// in an archive member nobody references get dead-stripped.
+void ensure_registered() {
+  static const bool done = [] {
+    auto& registry = core::BenchmarkRegistry::instance();
+    registry.register_factory(
+        "gemm", [] { return std::make_unique<GemmBenchmark>(); });
+    registry.register_factory(
+        "nbody", [] { return std::make_unique<NbodyBenchmark>(); });
+    registry.register_factory(
+        "hotspot", [] { return std::make_unique<HotspotBenchmark>(); });
+    registry.register_factory(
+        "pnpoly", [] { return std::make_unique<PnpolyBenchmark>(); });
+    registry.register_factory(
+        "convolution", [] { return std::make_unique<ConvolutionBenchmark>(); });
+    registry.register_factory(
+        "expdist", [] { return std::make_unique<ExpdistBenchmark>(); });
+    registry.register_factory(
+        "dedisp", [] { return std::make_unique<DedispBenchmark>(); });
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+std::vector<std::string> paper_benchmark_names() {
+  return {"gemm",        "nbody",   "hotspot", "pnpoly",
+          "convolution", "expdist", "dedisp"};
+}
+
+std::vector<std::unique_ptr<core::Benchmark>> make_all() {
+  ensure_registered();
+  std::vector<std::unique_ptr<core::Benchmark>> out;
+  for (const auto& name : paper_benchmark_names()) {
+    out.push_back(core::BenchmarkRegistry::instance().create(name));
+  }
+  return out;
+}
+
+std::unique_ptr<core::Benchmark> make(const std::string& name) {
+  ensure_registered();
+  return core::BenchmarkRegistry::instance().create(name);
+}
+
+}  // namespace bat::kernels

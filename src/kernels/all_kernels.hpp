@@ -1,0 +1,28 @@
+// Convenience aggregation of the seven paper benchmarks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kernels/convolution.hpp"
+#include "kernels/dedisp.hpp"
+#include "kernels/expdist.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/hotspot.hpp"
+#include "kernels/kernel_benchmark.hpp"
+#include "kernels/nbody.hpp"
+#include "kernels/pnpoly.hpp"
+
+namespace bat::kernels {
+
+/// The paper's benchmark order: GEMM, Nbody, Hotspot, Pnpoly,
+/// Convolution, Expdist, Dedisp (§IV).
+[[nodiscard]] std::vector<std::string> paper_benchmark_names();
+
+/// Instantiates every benchmark in paper order.
+[[nodiscard]] std::vector<std::unique_ptr<core::Benchmark>> make_all();
+
+/// Instantiates one by name via the registry.
+[[nodiscard]] std::unique_ptr<core::Benchmark> make(const std::string& name);
+
+}  // namespace bat::kernels

@@ -1,0 +1,40 @@
+// 2D Convolution benchmark (paper §IV-E, Table V) — van Werkhoven's
+// adaptive-tiling convolution library kernel.
+//
+// Input image 4096 x 4096, filter 17 x 17, single precision. Each block
+// stages an input tile (block * tile + filter halo) in shared memory.
+// Parameters (in space order):
+//   block_size_x, block_size_y   thread-block shape
+//   tile_size_x, tile_size_y     output pixels per thread
+//   use_padding                  shared-memory padding against bank
+//                                conflicts (only matters when
+//                                block_size_x is not a multiple of 32)
+//   read_only                    route input loads through the read-only
+//                                (texture) cache
+#pragma once
+
+#include "kernels/kernel_benchmark.hpp"
+
+namespace bat::kernels {
+
+struct ConvolutionParams {
+  int bx, by, tx, ty, use_padding, read_only;
+};
+
+class ConvolutionBenchmark final : public KernelBenchmark {
+ public:
+  static constexpr int kImage = 4096;
+  static constexpr int kFilter = 17;
+
+  ConvolutionBenchmark();
+
+  [[nodiscard]] static core::SearchSpace make_space();
+  [[nodiscard]] static ConvolutionParams decode(const core::Config& config);
+
+ protected:
+  [[nodiscard]] std::optional<double> model_time_ms(
+      const core::Config& config,
+      const gpusim::DeviceSpec& device) const override;
+};
+
+}  // namespace bat::kernels

@@ -1,0 +1,165 @@
+#include "kernels/dedisp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/launch_model.hpp"
+#include "gpusim/perf_utils.hpp"
+
+namespace bat::kernels {
+
+namespace {
+
+enum Pos {
+  kBx,
+  kBy,
+  kTx,
+  kTy,
+  kStrideX,
+  kStrideY,
+  kUnrollChannel,
+  kBlocksPerSm
+};
+
+}  // namespace
+
+DedispBenchmark::DedispBenchmark() : KernelBenchmark("dedisp", make_space()) {}
+
+core::SearchSpace DedispBenchmark::make_space() {
+  // Table VII: block_size_x in {1,2,4,8} ∪ {16n | n in [1,32]} (36 values),
+  // block_size_y in {4n | n in [1,32]} (32 values).
+  std::vector<core::Value> bx{1, 2, 4, 8};
+  for (core::Value x = 16; x <= 512; x += 16) bx.push_back(x);
+  std::vector<core::Value> by;
+  for (core::Value y = 4; y <= 128; y += 4) by.push_back(y);
+
+  core::ParamSpace space;
+  space.add(core::Parameter::list("block_size_x", bx))
+      .add(core::Parameter::list("block_size_y", by))
+      .add(core::Parameter::range("tile_size_x", 1, 16))
+      .add(core::Parameter::range("tile_size_y", 1, 16))
+      .add(core::Parameter::list("tile_stride_x", {0, 1}))
+      .add(core::Parameter::list("tile_stride_y", {0, 1}))
+      .add(core::Parameter::list("loop_unroll_factor_channel",
+                                 {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64,
+                                  96, 128, 192, 256, 384, 512, 768, 1536}))
+      .add(core::Parameter::list("blocks_per_sm", {0, 1, 2, 3, 4}));
+
+  core::ConstraintSet constraints;
+  constraints
+      .add("tile_stride_x needs tile_size_x > 1",
+           [](const core::Config& c) {
+             return c[kStrideX] == 0 || c[kTx] > 1;
+           })
+      .add("tile_stride_y needs tile_size_y > 1",
+           [](const core::Config& c) {
+             return c[kStrideY] == 0 || c[kTy] > 1;
+           });
+  return core::SearchSpace(std::move(space), std::move(constraints));
+}
+
+DedispParams DedispBenchmark::decode(const core::Config& c) {
+  return DedispParams{static_cast<int>(c[kBx]),
+                      static_cast<int>(c[kBy]),
+                      static_cast<int>(c[kTx]),
+                      static_cast<int>(c[kTy]),
+                      static_cast<int>(c[kStrideX]),
+                      static_cast<int>(c[kStrideY]),
+                      static_cast<int>(c[kUnrollChannel]),
+                      static_cast<int>(c[kBlocksPerSm])};
+}
+
+std::optional<double> DedispBenchmark::model_time_ms(
+    const core::Config& config, const gpusim::DeviceSpec& device) const {
+  using gpusim::KernelProfile;
+  const DedispParams p = decode(config);
+
+  const int threads = p.bx * p.by;
+  if (threads > device.max_threads_per_block) return std::nullopt;
+
+  const double outputs = static_cast<double>(kDMs) * kSamples;
+  const double flops = outputs * kChannels * 2.0;  // load-add per channel
+
+  const std::uint64_t grid =
+      gpusim::div_up(kSamples, static_cast<std::uint64_t>(p.bx) * p.tx) *
+      gpusim::div_up(kDMs, static_cast<std::uint64_t>(p.by) * p.ty);
+
+  double regs = 24.0 + 1.8 * (p.tx * p.ty);
+  if (p.unroll_channel > 8) regs += 6.0;
+  if (device.arch == gpusim::Architecture::kAmpere) regs += 2.0;
+  double spill_penalty = 1.0;
+  if (p.blocks_per_sm > 0) {
+    const double reg_cap = static_cast<double>(device.registers_per_sm) /
+                           (p.blocks_per_sm * std::max(threads, 32));
+    if (reg_cap < regs) {
+      spill_penalty = 1.0 + std::min(1.5, 0.02 * (regs - reg_cap));
+      regs = std::max(20.0, reg_cap);
+    }
+  }
+  if (regs > device.max_registers_per_thread) {
+    regs = device.max_registers_per_thread;
+    spill_penalty *= 1.4;
+  }
+
+  // --- DRAM traffic --------------------------------------------------------
+  // Input: channels x samples floats; every DM-tile row of blocks re-reads
+  // the input at shifted offsets. Larger per-block DM tiles (by * ty) mean
+  // fewer passes over the input; the L2 absorbs neighboring-delay overlap.
+  const double input_bytes =
+      static_cast<double>(kChannels) * (kSamples + 2048) * 4.0;
+  const double dm_tiles =
+      static_cast<double>(gpusim::div_up(kDMs, static_cast<std::uint64_t>(p.by) * p.ty));
+  // Blocks of different DM tiles run concurrently and stream the input
+  // window together, so the L2 turns most nominal re-reads into hits;
+  // only a fraction of the per-tile passes reach DRAM.
+  const double l2_miss = gpusim::cache_miss_fraction(
+      input_bytes, device.l2_cache_bytes, 0.12);
+  double dram_bytes =
+      input_bytes * (1.0 + (dm_tiles - 1.0) * l2_miss * 0.25) + outputs * 4.0;
+  dram_bytes *= spill_penalty;
+
+  // Coalescing in x: consecutive threads read consecutive samples when
+  // tile_stride_x == 1 (block-strided tiles) or tile_size_x == 1;
+  // consecutive tiles per thread (stride 0, tile > 1) stride the warp.
+  double stride_elems = 1.0;
+  if (p.stride_x == 0 && p.tx > 1) stride_elems = p.tx;
+  if (p.bx < 32) stride_elems = std::max(stride_elems, 32.0 / p.bx);
+  const double mem_eff = std::clamp(
+      gpusim::coalescing_efficiency(stride_elems, 4.0), 0.10, 1.0);
+
+  // --- On-chip traffic: each output sums one L1-resident word per
+  // channel; warp-contiguous sample access (wide bx, stride-friendly
+  // tiling) turns those into full cache-line transactions.
+  double l1_eff = 1.0;
+  if (p.bx < 32) l1_eff = std::max(0.2, p.bx / 32.0);
+  if (p.stride_x == 0 && p.tx > 1) {
+    l1_eff /= std::min(2.5, static_cast<double>(p.tx));
+  }
+  const double l1_bytes = outputs * kChannels * 4.0 / (6.0 * l1_eff);
+
+  // tile_stride_y shifts which DMs share delay tables; mild latency effect.
+  double compute_eff = 0.70;
+  if (p.unroll_channel == 0) {
+    compute_eff *= 1.04;  // compiler picks a sane factor
+  } else {
+    compute_eff *= gpusim::unroll_efficiency(p.unroll_channel, 0.10, 8);
+  }
+  if (p.stride_y == 1) compute_eff *= 1.02;
+  compute_eff /= spill_penalty;
+  compute_eff = std::clamp(compute_eff, 0.05, 1.0);
+
+  KernelProfile prof;
+  prof.grid_blocks = grid;
+  prof.block_threads = threads;
+  prof.regs_per_thread = static_cast<int>(regs);
+  prof.smem_per_block = 0;
+  prof.flops = flops;
+  prof.dram_bytes = dram_bytes;
+  prof.smem_bytes = l1_bytes;
+  prof.mem_efficiency = mem_eff;
+  prof.compute_efficiency = compute_eff;
+  prof.ilp = std::min(16.0, static_cast<double>(p.tx) * p.ty);
+  return gpusim::LaunchModel::estimate_ms(device, prof);
+}
+
+}  // namespace bat::kernels

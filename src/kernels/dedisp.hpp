@@ -1,0 +1,42 @@
+// Dedispersion benchmark (paper §IV-G, Table VII) — the AMBER pipeline
+// kernel for single-pulse radio-astronomy transients (ARTS/Apertif setup:
+// 24.4 kHz sampling, 2048 dispersion measures, 1536 channels).
+//
+// Each output (DM, sample) sums one input sample per channel at a
+// DM-dependent delay. Threads tile samples in x and DMs in y;
+// `tile_stride_*` chooses consecutive (0) or block-strided (1) element
+// assignment, which flips the coalescing pattern.
+// Parameters (in space order):
+//   block_size_x, block_size_y
+//   tile_size_x, tile_size_y
+//   tile_stride_x, tile_stride_y
+//   loop_unroll_factor_channel   divisor of 1536, 0 = compiler decides
+//   blocks_per_sm                __launch_bounds__ hint
+#pragma once
+
+#include "kernels/kernel_benchmark.hpp"
+
+namespace bat::kernels {
+
+struct DedispParams {
+  int bx, by, tx, ty, stride_x, stride_y, unroll_channel, blocks_per_sm;
+};
+
+class DedispBenchmark final : public KernelBenchmark {
+ public:
+  static constexpr int kChannels = 1536;
+  static constexpr int kDMs = 1024;       // dispersion measures per launch
+  static constexpr int kSamples = 4096;   // output samples per launch
+
+  DedispBenchmark();
+
+  [[nodiscard]] static core::SearchSpace make_space();
+  [[nodiscard]] static DedispParams decode(const core::Config& config);
+
+ protected:
+  [[nodiscard]] std::optional<double> model_time_ms(
+      const core::Config& config,
+      const gpusim::DeviceSpec& device) const override;
+};
+
+}  // namespace bat::kernels

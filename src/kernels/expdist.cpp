@@ -1,0 +1,154 @@
+#include "kernels/expdist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/launch_model.hpp"
+#include "gpusim/perf_utils.hpp"
+
+namespace bat::kernels {
+
+namespace {
+
+enum Pos {
+  kBx,
+  kBy,
+  kTx,
+  kTy,
+  kUseSharedMem,
+  kUnrollX,
+  kUnrollY,
+  kUseColumn,
+  kNyBlocks
+};
+
+}  // namespace
+
+ExpdistBenchmark::ExpdistBenchmark()
+    : KernelBenchmark("expdist", make_space()) {}
+
+core::SearchSpace ExpdistBenchmark::make_space() {
+  core::ParamSpace space;
+  space
+      .add(core::Parameter::list("block_size_x",
+                                 {32, 64, 128, 256, 512, 1024}))
+      .add(core::Parameter::list("block_size_y", {1, 2, 4, 8, 16, 32}))
+      .add(core::Parameter::range("tile_size_x", 1, 8))
+      .add(core::Parameter::range("tile_size_y", 1, 8))
+      .add(core::Parameter::list("use_shared_mem", {0, 1, 2}))
+      .add(core::Parameter::range("loop_unroll_factor_x", 1, 8))
+      .add(core::Parameter::range("loop_unroll_factor_y", 1, 8))
+      .add(core::Parameter::list("use_column", {0, 1}))
+      .add(core::Parameter::list(
+          "n_y_blocks", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}));
+
+  core::ConstraintSet constraints;
+  constraints
+      .add("loop_unroll_factor_x divides tile_size_x",
+           [](const core::Config& c) { return c[kTx] % c[kUnrollX] == 0; })
+      .add("loop_unroll_factor_y divides tile_size_y",
+           [](const core::Config& c) { return c[kTy] % c[kUnrollY] == 0; })
+      .add("n_y_blocks only meaningful in the column variant",
+           [](const core::Config& c) {
+             return c[kUseColumn] == 1 || c[kNyBlocks] == 1;
+           });
+  return core::SearchSpace(std::move(space), std::move(constraints));
+}
+
+ExpdistParams ExpdistBenchmark::decode(const core::Config& c) {
+  return ExpdistParams{
+      static_cast<int>(c[kBx]),        static_cast<int>(c[kBy]),
+      static_cast<int>(c[kTx]),        static_cast<int>(c[kTy]),
+      static_cast<int>(c[kUseSharedMem]),
+      static_cast<int>(c[kUnrollX]),   static_cast<int>(c[kUnrollY]),
+      static_cast<int>(c[kUseColumn]), static_cast<int>(c[kNyBlocks])};
+}
+
+std::optional<double> ExpdistBenchmark::model_time_ms(
+    const core::Config& config, const gpusim::DeviceSpec& device) const {
+  using gpusim::KernelProfile;
+  const ExpdistParams p = decode(config);
+
+  const int threads = p.bx * p.by;
+  if (threads > device.max_threads_per_block) return std::nullopt;
+
+  const double n = kLocalizations;
+  const double pairs = n * n;
+  const double flops = pairs * kOpsPerPair;
+
+  // Grid: 2D over (i, j) tiles; the column variant fixes the y dimension.
+  const std::uint64_t tiles_x = gpusim::div_up(
+      kLocalizations, static_cast<std::uint64_t>(p.bx) * p.tx);
+  std::uint64_t grid;
+  if (p.use_column) {
+    grid = tiles_x * static_cast<std::uint64_t>(p.n_y_blocks);
+  } else {
+    grid = tiles_x * gpusim::div_up(kLocalizations,
+                                    static_cast<std::uint64_t>(p.by) * p.ty);
+  }
+
+  // Registers: 2D tile accumulators plus unroll temporaries.
+  double regs = 30.0 + 2.0 * (p.tx * p.ty) + 1.0 * (p.unroll_x + p.unroll_y);
+  if (device.arch == gpusim::Architecture::kAmpere) regs += 2.0;
+  bool spills = false;
+  if (regs > device.max_registers_per_thread) {
+    spills = true;
+    regs = device.max_registers_per_thread;
+  }
+
+  // Shared memory: variant 1 caches the j-side localizations (4 floats
+  // each); variant 2 additionally stages block-level partial sums.
+  int smem = 0;
+  if (p.use_shared_mem >= 1) smem += p.by * p.ty * 16;
+  if (p.use_shared_mem == 2) smem += threads * 8;
+  if (smem > device.max_shared_mem_per_block) return std::nullopt;
+
+  // --- Memory traffic ----------------------------------------------------
+  // Localizations are tiny (32768 * 16 B = 512 KiB); L2 holds them after
+  // the first pass, so DRAM is not the story — pipe utilization is.
+  const double l2_miss = gpusim::cache_miss_fraction(
+      2.0 * n * 16.0, device.l2_cache_bytes, 0.08);
+  double dram_bytes = static_cast<double>(grid) * (p.by * p.ty) * 16.0 *
+                          l2_miss +
+                      2.0 * n * 16.0;
+  // The column variant writes per-block partials that a second pass sums.
+  if (p.use_column) {
+    dram_bytes += static_cast<double>(grid) * 8.0 * 2.0;
+  }
+
+  const double smem_bytes =
+      p.use_shared_mem >= 1 ? pairs * 16.0 / std::max(1, p.tx) : 0.0;
+
+  // --- Compute -----------------------------------------------------------
+  // exp() runs on the SFU: ~1/4 FP32 rate, partially overlapped.
+  double compute_eff = 0.58;
+  compute_eff *= gpusim::unroll_efficiency(p.unroll_x, 0.14, 4);
+  compute_eff *= gpusim::unroll_efficiency(p.unroll_y, 0.14, 4);
+  if (p.use_shared_mem == 0) compute_eff *= 0.78;  // repeated L1 hits
+  if (p.use_shared_mem == 2) compute_eff *= 1.07;  // cheap accumulation
+  if (spills) compute_eff *= 0.6;
+  // The column variant loops j inside the kernel: fewer blocks, better
+  // re-use, but too few y-blocks underfills the device.
+  if (p.use_column) {
+    const double fill =
+        std::min(1.0, static_cast<double>(grid) /
+                          (2.0 * device.sm_count));
+    compute_eff *= 0.92 * (0.55 + 0.45 * fill);
+  }
+  compute_eff = std::clamp(compute_eff, 0.05, 1.0);
+
+  KernelProfile prof;
+  prof.grid_blocks = grid;
+  prof.block_threads = threads;
+  prof.regs_per_thread = static_cast<int>(regs);
+  prof.smem_per_block = smem;
+  prof.flops = flops;
+  prof.dram_bytes = dram_bytes;
+  prof.smem_bytes = smem_bytes;
+  prof.mem_efficiency = 0.9;
+  prof.compute_efficiency = compute_eff;
+  prof.ilp = static_cast<double>(p.tx) * p.ty;
+  return gpusim::LaunchModel::estimate_ms(device, prof);
+}
+
+}  // namespace bat::kernels

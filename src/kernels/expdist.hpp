@@ -1,0 +1,43 @@
+// ExpDist benchmark (paper §IV-F, Table VI) — the localization-microscopy
+// particle-registration kernel (template-free particle fusion).
+//
+// Computes the Bhattacharya-like distance between two particles of
+// 32 768 localizations each: a quadratic sum of Gaussian terms
+// exp(-||x_t,i - M(x_m,j)||^2 / 2 sigma^2). Threads form a 2D grid over
+// (i, j); `use_column == 1` switches to a column-looped variant with a
+// fixed number of blocks in y (`n_y_blocks`) and per-block accumulation.
+// Parameters (in space order):
+//   block_size_x, block_size_y
+//   tile_size_x, tile_size_y
+//   use_shared_mem               0 = none, 1 = cache j-points,
+//                                2 = also stage partial sums
+//   loop_unroll_factor_x, loop_unroll_factor_y
+//   use_column, n_y_blocks
+#pragma once
+
+#include "kernels/kernel_benchmark.hpp"
+
+namespace bat::kernels {
+
+struct ExpdistParams {
+  int bx, by, tx, ty, use_shared_mem, unroll_x, unroll_y, use_column,
+      n_y_blocks;
+};
+
+class ExpdistBenchmark final : public KernelBenchmark {
+ public:
+  static constexpr int kLocalizations = 32768;
+  static constexpr double kOpsPerPair = 30.0;  // dist + exp + accumulate
+
+  ExpdistBenchmark();
+
+  [[nodiscard]] static core::SearchSpace make_space();
+  [[nodiscard]] static ExpdistParams decode(const core::Config& config);
+
+ protected:
+  [[nodiscard]] std::optional<double> model_time_ms(
+      const core::Config& config,
+      const gpusim::DeviceSpec& device) const override;
+};
+
+}  // namespace bat::kernels

@@ -1,0 +1,40 @@
+// GEMM benchmark (paper §IV-A, Table I) — the CLBlast tunable kernel.
+//
+// C = alpha * A * B + beta * C with M = N = K = 4096 (single precision).
+// Parameters (in space order):
+//   MWG, NWG     per-block output tile
+//   MDIMC, NDIMC thread-block dimensions
+//   MDIMA, NDIMB load-rearrangement dimensions for A/B staging
+//   VWM, VWN     vector widths for global loads/stores
+//   SA, SB       shared-memory caching of A/B tiles
+// Constraints are the CLBlast xgemm set (with KWG = 32), which yields
+// exactly the paper's 17 956 constrained configurations.
+#pragma once
+
+#include "kernels/kernel_benchmark.hpp"
+
+namespace bat::kernels {
+
+struct GemmParams {
+  int mwg, nwg, mdimc, ndimc, mdima, ndimb, vwm, vwn, sa, sb;
+};
+
+class GemmBenchmark final : public KernelBenchmark {
+ public:
+  static constexpr int kM = 4096;
+  static constexpr int kN = 4096;
+  static constexpr int kK = 4096;
+  static constexpr int kKwg = 32;  // k-loop blocking factor (fixed)
+
+  GemmBenchmark();
+
+  [[nodiscard]] static core::SearchSpace make_space();
+  [[nodiscard]] static GemmParams decode(const core::Config& config);
+
+ protected:
+  [[nodiscard]] std::optional<double> model_time_ms(
+      const core::Config& config,
+      const gpusim::DeviceSpec& device) const override;
+};
+
+}  // namespace bat::kernels

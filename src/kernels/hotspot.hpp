@@ -1,0 +1,42 @@
+// Hotspot benchmark (paper §IV-C, Table III) — BAT's from-scratch
+// re-implementation of the Rodinia thermal-simulation stencil.
+//
+// Grid 4096 x 4096, 60 simulated time steps per measurement. The kernel
+// supports arbitrary block shapes, per-thread tiling and temporal tiling:
+// one launch advances `temporal_tiling_factor` steps by loading an
+// enlarged halo into shared memory and recomputing the shrinking pyramid.
+// Parameters (in space order):
+//   block_size_x, block_size_y   thread-block shape
+//   tile_size_x, tile_size_y     outputs per thread
+//   temporal_tiling_factor       stencil steps fused per launch
+//   loop_unroll_factor_t         unroll of the time loop inside the kernel
+//   sh_power                     cache the power grid in shared memory
+//   blocks_per_sm                __launch_bounds__ occupancy hint
+#pragma once
+
+#include "kernels/kernel_benchmark.hpp"
+
+namespace bat::kernels {
+
+struct HotspotParams {
+  int bx, by, tx, ty, tf, unroll_t, sh_power, blocks_per_sm;
+};
+
+class HotspotBenchmark final : public KernelBenchmark {
+ public:
+  static constexpr int kGrid = 4096;    // simulation grid (kGrid x kGrid)
+  static constexpr int kSteps = 60;     // time steps per measurement
+  static constexpr double kOpsPerCell = 25.0;
+
+  HotspotBenchmark();
+
+  [[nodiscard]] static core::SearchSpace make_space();
+  [[nodiscard]] static HotspotParams decode(const core::Config& config);
+
+ protected:
+  [[nodiscard]] std::optional<double> model_time_ms(
+      const core::Config& config,
+      const gpusim::DeviceSpec& device) const override;
+};
+
+}  // namespace bat::kernels

@@ -1,0 +1,151 @@
+#include "kernels/nbody.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/launch_model.hpp"
+#include "gpusim/perf_utils.hpp"
+
+namespace bat::kernels {
+
+namespace {
+
+enum Pos {
+  kBlockSize,
+  kOuterUnroll,
+  kInnerUnroll1,
+  kInnerUnroll2,
+  kUseSoa,
+  kLocalMem,
+  kVectorType
+};
+
+}  // namespace
+
+NbodyBenchmark::NbodyBenchmark() : KernelBenchmark("nbody", make_space()) {}
+
+core::SearchSpace NbodyBenchmark::make_space() {
+  core::ParamSpace space;
+  space.add(core::Parameter::list("block_size", {64, 128, 256, 512}))
+      .add(core::Parameter::list("outer_unroll_factor", {1, 2, 4, 8}))
+      .add(core::Parameter::list("inner_unroll_factor1",
+                                 {0, 1, 2, 4, 8, 16, 32}))
+      .add(core::Parameter::list("inner_unroll_factor2",
+                                 {0, 1, 2, 4, 8, 16, 32}))
+      .add(core::Parameter::list("use_soa", {0, 1}))
+      .add(core::Parameter::list("local_mem", {0, 1}))
+      .add(core::Parameter::list("vector_type", {1, 2, 4}));
+
+  core::ConstraintSet constraints;
+  constraints
+      .add("inner_unroll_factor2 used only with local_mem",
+           [](const core::Config& c) {
+             // The second inner loop exists only in the shared-memory
+             // variant of the kernel.
+             return c[kLocalMem] == 1 || c[kInnerUnroll2] == 0;
+           })
+      .add("vector loads require AoS layout",
+           [](const core::Config& c) {
+             // float2/float4 loads fetch whole body records; with SoA the
+             // components live in separate arrays and only scalar loads
+             // are generated.
+             return c[kUseSoa] == 0 || c[kVectorType] == 1;
+           });
+  return core::SearchSpace(std::move(space), std::move(constraints));
+}
+
+NbodyParams NbodyBenchmark::decode(const core::Config& c) {
+  return NbodyParams{static_cast<int>(c[kBlockSize]),
+                     static_cast<int>(c[kOuterUnroll]),
+                     static_cast<int>(c[kInnerUnroll1]),
+                     static_cast<int>(c[kInnerUnroll2]),
+                     static_cast<int>(c[kUseSoa]),
+                     static_cast<int>(c[kLocalMem]),
+                     static_cast<int>(c[kVectorType])};
+}
+
+std::optional<double> NbodyBenchmark::model_time_ms(
+    const core::Config& config, const gpusim::DeviceSpec& device) const {
+  using gpusim::KernelProfile;
+  const NbodyParams p = decode(config);
+
+  const std::uint64_t grid = gpusim::div_up(
+      kBodies, static_cast<std::uint64_t>(p.block_size) * p.outer_unroll);
+  const double pairs = static_cast<double>(kBodies) * kBodies;
+  const double flops = pairs * kOpsPerPair;
+
+  // Register estimate: one body state per outer-unroll slot plus inner
+  // unroll operand buffers.
+  double regs = 26.0 + 6.0 * p.outer_unroll +
+                1.2 * std::max(p.inner_unroll1, p.inner_unroll2) +
+                3.0 * p.vector_type;
+  if (device.arch == gpusim::Architecture::kAmpere) regs += 2.0;
+  bool spills = false;
+  if (regs > device.max_registers_per_thread) {
+    spills = true;
+    regs = device.max_registers_per_thread;
+  }
+
+  // Shared-memory tile: one body record (16 B) per thread in the block.
+  const int smem = p.local_mem ? p.block_size * 16 : 0;
+
+  // --- Memory traffic ---------------------------------------------------
+  // With the software cache, each block streams all bodies once per outer
+  // pass. Without it the loads go through L1/L2; all threads of a warp
+  // read the same j-body (a broadcast), so traffic stays modest but the
+  // layout matters: AoS without vector loads issues 4 strided scalar
+  // loads per body.
+  const double bytes_per_body = 16.0;
+  double dram_bytes =
+      static_cast<double>(grid) * kBodies * bytes_per_body;  // tile streaming
+  double mem_eff = 1.0;
+  if (p.local_mem == 0) {
+    const double l2_miss = gpusim::cache_miss_fraction(
+        kBodies * bytes_per_body, device.l2_cache_bytes, 0.10);
+    dram_bytes *= (0.6 + l2_miss);
+  }
+  if (p.use_soa == 0) {
+    // AoS: coalescing of the cooperative loads depends on vector width.
+    mem_eff = gpusim::coalescing_efficiency(4.0 / p.vector_type,
+                                            4.0 * p.vector_type);
+  }
+  mem_eff = std::clamp(mem_eff * gpusim::vector_load_boost(p.vector_type),
+                       0.05, 1.0);
+
+  // Shared-memory traffic: every pair interaction reads one cached body.
+  const double smem_bytes = p.local_mem ? pairs * bytes_per_body /
+                                              std::max(1, p.outer_unroll)
+                                        : 0.0;
+
+  // --- Compute efficiency ------------------------------------------------
+  // The kernel is FMA+rsqrt dominated. AoS without vector loads inserts
+  // address arithmetic and shuffles into the inner loop — the distinct
+  // low-performance cluster of Fig 1f.
+  double compute_eff = 0.82;
+  if (p.use_soa == 0) {
+    if (p.vector_type == 1) compute_eff *= 0.38;
+    else if (p.vector_type == 2) compute_eff *= 0.62;
+    else compute_eff *= 0.90;
+  }
+  const int inner = p.local_mem ? p.inner_unroll2 : p.inner_unroll1;
+  // inner == 0 leaves unrolling to the compiler (a solid default).
+  compute_eff *= inner == 0 ? 1.06 : gpusim::unroll_efficiency(inner, 0.10, 8);
+  compute_eff *= gpusim::unroll_efficiency(p.outer_unroll, 0.06, 4);
+  if (spills) compute_eff *= 0.6;
+  compute_eff = std::clamp(compute_eff, 0.05, 1.0);
+
+  KernelProfile prof;
+  prof.grid_blocks = grid;
+  prof.block_threads = p.block_size;
+  prof.regs_per_thread = static_cast<int>(regs);
+  prof.smem_per_block = smem;
+  prof.flops = flops;
+  prof.dram_bytes = dram_bytes;
+  prof.smem_bytes = smem_bytes;
+  prof.mem_efficiency = mem_eff;
+  prof.compute_efficiency = compute_eff;
+  prof.ilp = static_cast<double>(p.outer_unroll) * std::max(1, inner / 4 + 1);
+  return gpusim::LaunchModel::estimate_ms(device, prof);
+}
+
+}  // namespace bat::kernels

@@ -1,0 +1,40 @@
+// N-body benchmark (paper §IV-B, Table II) — KTT's tunable version of the
+// CUDA SDK all-pairs gravitational kernel.
+//
+// N = 131072 bodies, one force-computation step, single precision.
+// Parameters (in space order):
+//   block_size            threads per block
+//   outer_unroll_factor   bodies computed per thread
+//   inner_unroll_factor1  partial unroll of the global-memory j-loop
+//   inner_unroll_factor2  partial unroll of the shared-memory j-loop
+//   use_soa               structure-of-arrays (1) vs array-of-structures (0)
+//   local_mem             shared memory as software-managed cache
+//   vector_type           elements per load instruction (float, float2/4)
+#pragma once
+
+#include "kernels/kernel_benchmark.hpp"
+
+namespace bat::kernels {
+
+struct NbodyParams {
+  int block_size, outer_unroll, inner_unroll1, inner_unroll2;
+  int use_soa, local_mem, vector_type;
+};
+
+class NbodyBenchmark final : public KernelBenchmark {
+ public:
+  static constexpr int kBodies = 131072;
+  static constexpr double kOpsPerPair = 22.0;  // 3 sub, 3 fma, rsqrt(4), ...
+
+  NbodyBenchmark();
+
+  [[nodiscard]] static core::SearchSpace make_space();
+  [[nodiscard]] static NbodyParams decode(const core::Config& config);
+
+ protected:
+  [[nodiscard]] std::optional<double> model_time_ms(
+      const core::Config& config,
+      const gpusim::DeviceSpec& device) const override;
+};
+
+}  // namespace bat::kernels

@@ -1,0 +1,39 @@
+// Pnpoly benchmark (paper §IV-D, Table IV) — the point-in-polygon GPU
+// kernel of a geospatial database operator for LiDAR point clouds.
+//
+// 20 million query points against a 600-vertex polygon. Each thread tests
+// `tile_size` points against every polygon edge with the crossing-number
+// algorithm; `between_method` and `use_method` select among algorithmic
+// variants with different instruction mixes (the paper's Table IV).
+// Parameters (in space order):
+//   block_size_x    threads per block (32..1024 step 32)
+//   tile_size       points per thread {1, 2, 4, ..., 20}
+//   between_method  0..3  "is y between the edge endpoints" variant
+//   use_method      0..2  inside/outside bookkeeping variant
+#pragma once
+
+#include "kernels/kernel_benchmark.hpp"
+
+namespace bat::kernels {
+
+struct PnpolyParams {
+  int block_size_x, tile_size, between_method, use_method;
+};
+
+class PnpolyBenchmark final : public KernelBenchmark {
+ public:
+  static constexpr int kPoints = 20'000'000;
+  static constexpr int kVertices = 600;
+
+  PnpolyBenchmark();
+
+  [[nodiscard]] static core::SearchSpace make_space();
+  [[nodiscard]] static PnpolyParams decode(const core::Config& config);
+
+ protected:
+  [[nodiscard]] std::optional<double> model_time_ms(
+      const core::Config& config,
+      const gpusim::DeviceSpec& device) const override;
+};
+
+}  // namespace bat::kernels

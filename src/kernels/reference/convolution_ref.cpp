@@ -1,0 +1,75 @@
+#include "kernels/reference/convolution_ref.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace bat::kernels::ref {
+
+std::vector<float> convolve2d(std::span<const float> input, std::size_t w,
+                              std::size_t h, std::span<const float> filter,
+                              std::size_t fw, std::size_t fh) {
+  BAT_EXPECTS(input.size() == w * h);
+  BAT_EXPECTS(filter.size() == fw * fh);
+  BAT_EXPECTS(w >= fw && h >= fh);
+  const std::size_t ow = w - fw + 1;
+  const std::size_t oh = h - fh + 1;
+  std::vector<float> out(ow * oh, 0.0f);
+  for (std::size_t y = 0; y < oh; ++y) {
+    for (std::size_t x = 0; x < ow; ++x) {
+      float acc = 0.0f;
+      for (std::size_t j = 0; j < fh; ++j) {
+        for (std::size_t i = 0; i < fw; ++i) {
+          acc += input[(y + j) * w + (x + i)] * filter[j * fw + i];
+        }
+      }
+      out[y * ow + x] = acc;
+    }
+  }
+  return out;
+}
+
+std::vector<float> convolve2d_tiled(std::span<const float> input,
+                                    std::size_t w, std::size_t h,
+                                    std::span<const float> filter,
+                                    std::size_t fw, std::size_t fh,
+                                    std::size_t tile_w, std::size_t tile_h) {
+  BAT_EXPECTS(input.size() == w * h);
+  BAT_EXPECTS(filter.size() == fw * fh);
+  BAT_EXPECTS(w >= fw && h >= fh);
+  BAT_EXPECTS(tile_w >= 1 && tile_h >= 1);
+  const std::size_t ow = w - fw + 1;
+  const std::size_t oh = h - fh + 1;
+  std::vector<float> out(ow * oh, 0.0f);
+
+  // Staging buffer plays the role of the shared-memory input tile.
+  std::vector<float> staged;
+  for (std::size_t ty = 0; ty < oh; ty += tile_h) {
+    for (std::size_t tx = 0; tx < ow; tx += tile_w) {
+      const std::size_t cur_w = std::min(tile_w, ow - tx);
+      const std::size_t cur_h = std::min(tile_h, oh - ty);
+      const std::size_t in_w = cur_w + fw - 1;
+      const std::size_t in_h = cur_h + fh - 1;
+      staged.assign(in_w * in_h, 0.0f);
+      for (std::size_t y = 0; y < in_h; ++y) {
+        for (std::size_t x = 0; x < in_w; ++x) {
+          staged[y * in_w + x] = input[(ty + y) * w + (tx + x)];
+        }
+      }
+      for (std::size_t y = 0; y < cur_h; ++y) {
+        for (std::size_t x = 0; x < cur_w; ++x) {
+          float acc = 0.0f;
+          for (std::size_t j = 0; j < fh; ++j) {
+            for (std::size_t i = 0; i < fw; ++i) {
+              acc += staged[(y + j) * in_w + (x + i)] * filter[j * fw + i];
+            }
+          }
+          out[(ty + y) * ow + (tx + x)] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bat::kernels::ref

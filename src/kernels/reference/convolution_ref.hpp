@@ -1,0 +1,26 @@
+// Functional reference implementation of the 2D convolution benchmark
+// kernel: direct convolution and a tiled variant that stages halo-extended
+// input tiles exactly like the GPU kernel's shared-memory scheme.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bat::kernels::ref {
+
+/// Valid-mode 2D convolution: output[y][x] = sum_j sum_i
+/// input[y+j][x+i] * filter[j][i]. Output is (w - fw + 1) x (h - fh + 1).
+[[nodiscard]] std::vector<float> convolve2d(std::span<const float> input,
+                                            std::size_t w, std::size_t h,
+                                            std::span<const float> filter,
+                                            std::size_t fw, std::size_t fh);
+
+/// Same computation with (tile_w x tile_h) output tiles staged through a
+/// local halo buffer; bit-identical to convolve2d for any tile shape.
+[[nodiscard]] std::vector<float> convolve2d_tiled(
+    std::span<const float> input, std::size_t w, std::size_t h,
+    std::span<const float> filter, std::size_t fw, std::size_t fh,
+    std::size_t tile_w, std::size_t tile_h);
+
+}  // namespace bat::kernels::ref

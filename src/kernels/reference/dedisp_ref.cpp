@@ -1,0 +1,92 @@
+#include "kernels/reference/dedisp_ref.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bat::kernels::ref {
+
+std::size_t DedispProblem::delay(std::size_t dm_index,
+                                 std::size_t channel) const {
+  const double dm = dm_step * static_cast<double>(dm_index);
+  const double f_i =
+      f_low_mhz + channel_bw_mhz * static_cast<double>(channel);
+  const double f_h =
+      f_low_mhz + channel_bw_mhz * static_cast<double>(channels);
+  // Dispersion equation (seconds), with frequencies in MHz:
+  // k = 4.15e3 * DM * (1/f_i^2 - 1/f_h^2)
+  const double seconds = 4.15e3 * dm * (1.0 / (f_i * f_i) - 1.0 / (f_h * f_h));
+  const double in_samples = seconds * sample_rate_khz * 1e3;
+  return static_cast<std::size_t>(in_samples);
+}
+
+std::vector<float> dedisperse(const DedispProblem& p,
+                              std::span<const float> input) {
+  BAT_EXPECTS(input.size() == p.channels * p.samples);
+  // Validate headroom for the largest delay once.
+  const std::size_t max_delay = p.delay(p.dms - 1, 0);
+  BAT_EXPECTS(p.out_samples + max_delay <= p.samples);
+
+  std::vector<float> out(p.dms * p.out_samples, 0.0f);
+  for (std::size_t dm = 0; dm < p.dms; ++dm) {
+    for (std::size_t c = 0; c < p.channels; ++c) {
+      const std::size_t d = p.delay(dm, c);
+      const float* in_row = input.data() + c * p.samples + d;
+      float* out_row = out.data() + dm * p.out_samples;
+      for (std::size_t s = 0; s < p.out_samples; ++s) {
+        out_row[s] += in_row[s];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> dedisperse_tiled(const DedispProblem& p,
+                                    std::span<const float> input,
+                                    std::size_t block_x, std::size_t block_y,
+                                    std::size_t tile_x, std::size_t tile_y,
+                                    bool stride_x, bool stride_y) {
+  BAT_EXPECTS(input.size() == p.channels * p.samples);
+  BAT_EXPECTS(block_x >= 1 && block_y >= 1 && tile_x >= 1 && tile_y >= 1);
+  std::vector<float> out(p.dms * p.out_samples, 0.0f);
+
+  // Index assignment identical to the GPU kernel: a "thread" (bx, by)
+  // within a block handles tile_x x tile_y outputs, either consecutive
+  // (stride flag 0: thread covers [t*tile, t*tile+tile)) or block-strided
+  // (stride flag 1: thread covers {t, t+block, t+2*block, ...}).
+  const auto element = [](std::size_t thread_id, std::size_t k,
+                          std::size_t tile, std::size_t block,
+                          bool strided) {
+    return strided ? thread_id + k * block : thread_id * tile + k;
+  };
+
+  const std::size_t span_x = block_x * tile_x;
+  const std::size_t span_y = block_y * tile_y;
+  for (std::size_t gy = 0; gy < p.dms; gy += span_y) {
+    for (std::size_t gx = 0; gx < p.out_samples; gx += span_x) {
+      for (std::size_t ty = 0; ty < block_y; ++ty) {
+        for (std::size_t tx = 0; tx < block_x; ++tx) {
+          for (std::size_t ky = 0; ky < tile_y; ++ky) {
+            const std::size_t dm =
+                gy + element(ty, ky, tile_y, block_y, stride_y);
+            if (dm >= p.dms) continue;
+            for (std::size_t kx = 0; kx < tile_x; ++kx) {
+              const std::size_t s =
+                  gx + element(tx, kx, tile_x, block_x, stride_x);
+              if (s >= p.out_samples) continue;
+              float acc = 0.0f;
+              for (std::size_t c = 0; c < p.channels; ++c) {
+                acc += input[c * p.samples + s + p.delay(dm, c)];
+              }
+              out[dm * p.out_samples + s] = acc;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bat::kernels::ref

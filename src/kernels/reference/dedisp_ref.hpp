@@ -1,0 +1,43 @@
+// Functional reference implementation of the Dedispersion benchmark
+// kernel: shifting-sum over frequency channels with the quadratic
+// dispersion delay, in the direct form and a tiled form matching the
+// GPU kernel's consecutive vs block-strided tile assignment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bat::kernels::ref {
+
+struct DedispProblem {
+  std::size_t channels = 0;
+  std::size_t samples = 0;     // input samples per channel
+  std::size_t dms = 0;         // dispersion measures
+  std::size_t out_samples = 0; // output samples per DM
+  float f_low_mhz = 1220.0f;   // lowest channel frequency
+  float channel_bw_mhz = 0.1953125f;
+  float dm_step = 0.1f;
+  float sample_rate_khz = 24.4f;
+
+  /// Delay in samples for (dm_index, channel), per the dispersion
+  /// equation k ~ 4150e3 * DM * (1/f_i^2 - 1/f_h^2) with f in MHz.
+  [[nodiscard]] std::size_t delay(std::size_t dm_index,
+                                  std::size_t channel) const;
+};
+
+/// out[dm][s] = sum_c in[c][s + delay(dm, c)]; input indexed
+/// in[c * samples + s]. Requires samples >= out_samples + max delay.
+[[nodiscard]] std::vector<float> dedisperse(const DedispProblem& problem,
+                                            std::span<const float> input);
+
+/// Tiled variant: each "thread" handles tile_x samples and tile_y DMs,
+/// either consecutively (stride 0) or block-strided (stride 1), matching
+/// the tunable kernel. Identical results for every tiling.
+[[nodiscard]] std::vector<float> dedisperse_tiled(
+    const DedispProblem& problem, std::span<const float> input,
+    std::size_t block_x, std::size_t block_y, std::size_t tile_x,
+    std::size_t tile_y, bool stride_x, bool stride_y);
+
+}  // namespace bat::kernels::ref

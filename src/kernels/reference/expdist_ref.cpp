@@ -1,0 +1,72 @@
+#include "kernels/reference/expdist_ref.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace bat::kernels::ref {
+
+namespace {
+
+double pair_term(const Localization& t, const Localization& m) {
+  const double dx = static_cast<double>(t.x) - m.x;
+  const double dy = static_cast<double>(t.y) - m.y;
+  const double s2 = static_cast<double>(t.sigma) * t.sigma +
+                    static_cast<double>(m.sigma) * m.sigma;
+  return std::exp(-(dx * dx + dy * dy) / (2.0 * s2));
+}
+
+}  // namespace
+
+double expdist_direct(std::span<const Localization> target,
+                      std::span<const Localization> model) {
+  double sum = 0.0;
+  for (const auto& t : target) {
+    for (const auto& m : model) {
+      sum += pair_term(t, m);
+    }
+  }
+  return sum;
+}
+
+double expdist_column(std::span<const Localization> target,
+                      std::span<const Localization> model,
+                      std::size_t blocks) {
+  BAT_EXPECTS(blocks >= 1);
+  std::vector<double> partial(blocks, 0.0);
+  const std::size_t chunk = (model.size() + blocks - 1) / blocks;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * chunk;
+    const std::size_t hi = std::min(model.size(), lo + chunk);
+    double acc = 0.0;
+    for (const auto& t : target) {
+      for (std::size_t j = lo; j < hi; ++j) {
+        acc += pair_term(t, model[j]);
+      }
+    }
+    partial[b] = acc;
+  }
+  double total = 0.0;
+  for (const double p : partial) total += p;
+  return total;
+}
+
+std::vector<Localization> make_test_particle(std::size_t n,
+                                             std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<Localization> out;
+  out.reserve(n);
+  const double tau = 6.283185307179586;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = rng.uniform(0.0, tau);
+    const double radius = 25.0 + rng.normal(0.0, 1.5);
+    out.push_back(Localization{
+        static_cast<float>(radius * std::cos(angle)),
+        static_cast<float>(radius * std::sin(angle)),
+        static_cast<float>(0.5 + 0.5 * rng.uniform())});
+  }
+  return out;
+}
+
+}  // namespace bat::kernels::ref

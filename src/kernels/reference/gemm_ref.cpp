@@ -1,0 +1,75 @@
+#include "kernels/reference/gemm_ref.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace bat::kernels::ref {
+
+void gemm_naive(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                std::span<const float> a, std::span<const float> b, float beta,
+                std::span<float> c) {
+  BAT_EXPECTS(a.size() == m * k);
+  BAT_EXPECTS(b.size() == k * n);
+  BAT_EXPECTS(c.size() == m * n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += a[i * k + p] * b[p * n + j];
+      }
+      c[i * n + j] = alpha * acc + beta * c[i * n + j];
+    }
+  }
+}
+
+void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                  std::span<const float> a, std::span<const float> b,
+                  float beta, std::span<float> c, std::size_t mwg,
+                  std::size_t nwg, std::size_t kwg) {
+  BAT_EXPECTS(a.size() == m * k);
+  BAT_EXPECTS(b.size() == k * n);
+  BAT_EXPECTS(c.size() == m * n);
+  BAT_EXPECTS(mwg > 0 && nwg > 0 && kwg > 0);
+  BAT_EXPECTS(m % mwg == 0 && n % nwg == 0 && k % kwg == 0);
+
+  // Per-tile accumulators play the role of the GPU kernel's register tile;
+  // the staged A/B panels play the role of the shared-memory tiles.
+  std::vector<float> acc(mwg * nwg);
+  std::vector<float> a_panel(mwg * kwg);
+  std::vector<float> b_panel(kwg * nwg);
+
+  for (std::size_t bi = 0; bi < m; bi += mwg) {
+    for (std::size_t bj = 0; bj < n; bj += nwg) {
+      std::fill(acc.begin(), acc.end(), 0.0f);
+      for (std::size_t bp = 0; bp < k; bp += kwg) {
+        for (std::size_t i = 0; i < mwg; ++i) {
+          for (std::size_t p = 0; p < kwg; ++p) {
+            a_panel[i * kwg + p] = a[(bi + i) * k + (bp + p)];
+          }
+        }
+        for (std::size_t p = 0; p < kwg; ++p) {
+          for (std::size_t j = 0; j < nwg; ++j) {
+            b_panel[p * nwg + j] = b[(bp + p) * n + (bj + j)];
+          }
+        }
+        for (std::size_t i = 0; i < mwg; ++i) {
+          for (std::size_t p = 0; p < kwg; ++p) {
+            const float av = a_panel[i * kwg + p];
+            for (std::size_t j = 0; j < nwg; ++j) {
+              acc[i * nwg + j] += av * b_panel[p * nwg + j];
+            }
+          }
+        }
+      }
+      for (std::size_t i = 0; i < mwg; ++i) {
+        for (std::size_t j = 0; j < nwg; ++j) {
+          float& out = c[(bi + i) * n + (bj + j)];
+          out = alpha * acc[i * nwg + j] + beta * out;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace bat::kernels::ref

@@ -1,0 +1,27 @@
+// Functional reference implementation of the GEMM benchmark kernel.
+//
+// Used by the test suite to validate that the blocked/tiled algorithm the
+// tunable kernel implements is semantics-preserving for every legal
+// blocking configuration, and by the examples as a workload generator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bat::kernels::ref {
+
+/// C = alpha * A(MxK) * B(KxN) + beta * C(MxN), row-major, naive loops.
+void gemm_naive(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                std::span<const float> a, std::span<const float> b, float beta,
+                std::span<float> c);
+
+/// Same computation, blocked like the GPU kernel: (mwg x nwg) output tiles
+/// with kwg-deep panels and (wpt_m x wpt_n) register tiles. Requires
+/// mwg | m, nwg | n, kwg | k.
+void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                  std::span<const float> a, std::span<const float> b,
+                  float beta, std::span<float> c, std::size_t mwg,
+                  std::size_t nwg, std::size_t kwg);
+
+}  // namespace bat::kernels::ref

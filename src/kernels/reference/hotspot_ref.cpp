@@ -1,0 +1,168 @@
+#include "kernels/reference/hotspot_ref.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace bat::kernels::ref {
+
+namespace {
+
+float cell_update(const HotspotGrid& g, const HotspotCoefficients& c,
+                  std::span<const float> temp, std::size_t x, std::size_t y) {
+  const std::size_t w = g.width;
+  const std::size_t h = g.height;
+  const auto at = [&](std::size_t xx, std::size_t yy) {
+    return temp[yy * w + xx];
+  };
+  const float center = at(x, y);
+  const float north = y > 0 ? at(x, y - 1) : center;
+  const float south = y + 1 < h ? at(x, y + 1) : center;
+  const float west = x > 0 ? at(x - 1, y) : center;
+  const float east = x + 1 < w ? at(x + 1, y) : center;
+  const float delta =
+      c.cap * (g.power[y * w + x] + (east + west - 2.0f * center) * c.rx +
+               (north + south - 2.0f * center) * c.ry +
+               (80.0f - center) * c.rz);
+  return center + delta;
+}
+
+}  // namespace
+
+void hotspot_step(const HotspotGrid& in, const HotspotCoefficients& coeff,
+                  std::span<float> out) {
+  BAT_EXPECTS(in.temperature.size() == in.width * in.height);
+  BAT_EXPECTS(in.power.size() == in.width * in.height);
+  BAT_EXPECTS(out.size() == in.temperature.size());
+  for (std::size_t y = 0; y < in.height; ++y) {
+    for (std::size_t x = 0; x < in.width; ++x) {
+      out[y * in.width + x] = cell_update(in, coeff, in.temperature, x, y);
+    }
+  }
+}
+
+std::vector<float> hotspot_run(const HotspotGrid& grid,
+                               const HotspotCoefficients& coeff,
+                               std::size_t steps) {
+  HotspotGrid cur = grid;
+  std::vector<float> next(cur.temperature.size());
+  for (std::size_t s = 0; s < steps; ++s) {
+    hotspot_step(cur, coeff, next);
+    cur.temperature.swap(next);
+  }
+  return cur.temperature;
+}
+
+std::vector<float> hotspot_run_tiled(const HotspotGrid& grid,
+                                     const HotspotCoefficients& coeff,
+                                     std::size_t steps, std::size_t tile_w,
+                                     std::size_t tile_h, std::size_t tf) {
+  BAT_EXPECTS(tile_w >= 1 && tile_h >= 1 && tf >= 1);
+  const std::size_t w = grid.width;
+  const std::size_t h = grid.height;
+
+  HotspotGrid cur = grid;
+  std::vector<float> result(w * h);
+
+  std::size_t remaining = steps;
+  while (remaining > 0) {
+    const std::size_t fuse = std::min(tf, remaining);
+    // One "launch": every output tile is computed from a halo-extended
+    // input pyramid, reading only `cur` (like the GPU kernel reading
+    // global memory into shared memory once per launch).
+    for (std::size_t ty = 0; ty < h; ty += tile_h) {
+      for (std::size_t tx = 0; tx < w; tx += tile_w) {
+        const std::size_t out_w = std::min(tile_w, w - tx);
+        const std::size_t out_h = std::min(tile_h, h - ty);
+        // Halo-extended region, clamped to the grid.
+        const std::size_t halo = fuse;  // one cell per fused step
+        const std::size_t rx0 = tx >= halo ? tx - halo : 0;
+        const std::size_t ry0 = ty >= halo ? ty - halo : 0;
+        const std::size_t rx1 = std::min(w, tx + out_w + halo);
+        const std::size_t ry1 = std::min(h, ty + out_h + halo);
+        const std::size_t rw = rx1 - rx0;
+        const std::size_t rh = ry1 - ry0;
+
+        // Local ping-pong buffers ("shared memory").
+        HotspotGrid local;
+        local.width = rw;
+        local.height = rh;
+        local.temperature.resize(rw * rh);
+        local.power.resize(rw * rh);
+        for (std::size_t y = 0; y < rh; ++y) {
+          for (std::size_t x = 0; x < rw; ++x) {
+            local.temperature[y * rw + x] =
+                cur.temperature[(ry0 + y) * w + (rx0 + x)];
+            local.power[y * rw + x] = cur.power[(ry0 + y) * w + (rx0 + x)];
+          }
+        }
+
+        std::vector<float> scratch(rw * rh);
+        for (std::size_t s = 0; s < fuse; ++s) {
+          // Cells whose full neighborhood history is inside the local
+          // region shrink by one per step; edge-adjacent cells stay exact
+          // because clamping matches the global boundary condition.
+          for (std::size_t y = 0; y < rh; ++y) {
+            for (std::size_t x = 0; x < rw; ++x) {
+              // Construct a view where clamping uses *global* boundaries:
+              // interior local edges would clamp wrongly, so only compute
+              // cells that are still valid at this step; others are
+              // garbage that later steps will not read (the valid pyramid
+              // shrinks inward faster than the garbage spreads only if we
+              // track it — easiest correct policy: recompute the update
+              // with global-aware clamping by checking region edges).
+              const bool local_left_is_global = rx0 == 0;
+              const bool local_right_is_global = rx1 == w;
+              const bool local_top_is_global = ry0 == 0;
+              const bool local_bottom_is_global = ry1 == h;
+              const auto at = [&](std::ptrdiff_t xx, std::ptrdiff_t yy) {
+                xx = std::clamp<std::ptrdiff_t>(
+                    xx, 0, static_cast<std::ptrdiff_t>(rw) - 1);
+                yy = std::clamp<std::ptrdiff_t>(
+                    yy, 0, static_cast<std::ptrdiff_t>(rh) - 1);
+                return local.temperature[static_cast<std::size_t>(yy) * rw +
+                                         static_cast<std::size_t>(xx)];
+              };
+              const auto xi = static_cast<std::ptrdiff_t>(x);
+              const auto yi = static_cast<std::ptrdiff_t>(y);
+              const float center = at(xi, yi);
+              const float west =
+                  (x == 0 && !local_left_is_global) ? center : at(xi - 1, yi);
+              const float east = (x == rw - 1 && !local_right_is_global)
+                                     ? center
+                                     : at(xi + 1, yi);
+              const float north =
+                  (y == 0 && !local_top_is_global) ? center : at(xi, yi - 1);
+              const float south = (y == rh - 1 && !local_bottom_is_global)
+                                      ? center
+                                      : at(xi, yi + 1);
+              const float delta =
+                  coeff.cap * (local.power[y * rw + x] +
+                               (east + west - 2.0f * center) * coeff.rx +
+                               (north + south - 2.0f * center) * coeff.ry +
+                               (80.0f - center) * coeff.rz);
+              scratch[y * rw + x] = center + delta;
+            }
+          }
+          local.temperature.swap(scratch);
+        }
+
+        // Copy out only the target tile: those cells are exact because
+        // they sit >= fuse-steps inside the halo (or against a true
+        // global boundary).
+        for (std::size_t y = 0; y < out_h; ++y) {
+          for (std::size_t x = 0; x < out_w; ++x) {
+            const std::size_t lx = tx - rx0 + x;
+            const std::size_t ly = ty - ry0 + y;
+            result[(ty + y) * w + (tx + x)] = local.temperature[ly * rw + lx];
+          }
+        }
+      }
+    }
+    cur.temperature = result;
+    remaining -= fuse;
+  }
+  return cur.temperature;
+}
+
+}  // namespace bat::kernels::ref

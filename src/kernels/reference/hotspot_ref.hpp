@@ -1,0 +1,48 @@
+// Functional reference implementation of the Hotspot benchmark kernel:
+// the Rodinia-style thermal stencil, plus a temporal-tiling variant that
+// fuses several steps per "launch" the way the tunable GPU kernel does.
+// Tests assert the fused version equals step-by-step application.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bat::kernels::ref {
+
+struct HotspotGrid {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<float> temperature;
+  std::vector<float> power;
+};
+
+/// Physical coefficients of the update (Rodinia defaults collapsed into
+/// per-neighbor weights).
+struct HotspotCoefficients {
+  float cap = 0.5f;    // step_div_cap
+  float rx = 1.0f;     // 1/Rx
+  float ry = 1.0f;     // 1/Ry
+  float rz = 0.0625f;  // 1/Rz (ambient coupling)
+};
+
+/// One explicit stencil step over the full grid (edge-clamped), writing
+/// into `out` (same size as in.temperature).
+void hotspot_step(const HotspotGrid& in, const HotspotCoefficients& coeff,
+                  std::span<float> out);
+
+/// Advances `steps` steps by repeated hotspot_step (ping-pong buffers).
+[[nodiscard]] std::vector<float> hotspot_run(const HotspotGrid& grid,
+                                             const HotspotCoefficients& coeff,
+                                             std::size_t steps);
+
+/// Advances `steps` steps using temporal tiling: processes output tiles of
+/// (tile_w x tile_h) fusing `tf` steps per pass over an enlarged halo,
+/// exactly like the tunable kernel's shared-memory pyramid. Bit-equal to
+/// hotspot_run for any tile shape and tf >= 1.
+[[nodiscard]] std::vector<float> hotspot_run_tiled(
+    const HotspotGrid& grid, const HotspotCoefficients& coeff,
+    std::size_t steps, std::size_t tile_w, std::size_t tile_h,
+    std::size_t tf);
+
+}  // namespace bat::kernels::ref

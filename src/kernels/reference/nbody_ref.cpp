@@ -1,0 +1,81 @@
+#include "kernels/reference/nbody_ref.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bat::kernels::ref {
+
+BodiesSoA BodiesSoA::from_aos(std::span<const Body> bodies) {
+  BodiesSoA out;
+  out.x.reserve(bodies.size());
+  out.y.reserve(bodies.size());
+  out.z.reserve(bodies.size());
+  out.mass.reserve(bodies.size());
+  for (const auto& b : bodies) {
+    out.x.push_back(b.x);
+    out.y.push_back(b.y);
+    out.z.push_back(b.z);
+    out.mass.push_back(b.mass);
+  }
+  return out;
+}
+
+void nbody_forces_aos(std::span<const Body> bodies, float softening,
+                      std::span<float> ax, std::span<float> ay,
+                      std::span<float> az) {
+  const std::size_t n = bodies.size();
+  BAT_EXPECTS(ax.size() == n && ay.size() == n && az.size() == n);
+  const float eps2 = softening * softening;
+  for (std::size_t i = 0; i < n; ++i) {
+    float fx = 0.0f, fy = 0.0f, fz = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float dx = bodies[j].x - bodies[i].x;
+      const float dy = bodies[j].y - bodies[i].y;
+      const float dz = bodies[j].z - bodies[i].z;
+      const float dist2 = dx * dx + dy * dy + dz * dz + eps2;
+      const float inv = 1.0f / std::sqrt(dist2);
+      const float inv3 = inv * inv * inv;
+      const float s = bodies[j].mass * inv3;
+      fx += dx * s;
+      fy += dy * s;
+      fz += dz * s;
+    }
+    ax[i] = fx;
+    ay[i] = fy;
+    az[i] = fz;
+  }
+}
+
+void nbody_forces_soa(const BodiesSoA& bodies, float softening,
+                      std::span<float> ax, std::span<float> ay,
+                      std::span<float> az, std::size_t tile) {
+  const std::size_t n = bodies.size();
+  BAT_EXPECTS(ax.size() == n && ay.size() == n && az.size() == n);
+  BAT_EXPECTS(tile >= 1);
+  const float eps2 = softening * softening;
+  for (std::size_t i = 0; i < n; ++i) {
+    float fx = 0.0f, fy = 0.0f, fz = 0.0f;
+    for (std::size_t t = 0; t < n; t += tile) {
+      const std::size_t end = std::min(n, t + tile);
+      for (std::size_t j = t; j < end; ++j) {
+        const float dx = bodies.x[j] - bodies.x[i];
+        const float dy = bodies.y[j] - bodies.y[i];
+        const float dz = bodies.z[j] - bodies.z[i];
+        const float dist2 = dx * dx + dy * dy + dz * dz + eps2;
+        const float inv = 1.0f / std::sqrt(dist2);
+        const float inv3 = inv * inv * inv;
+        const float s = bodies.mass[j] * inv3;
+        fx += dx * s;
+        fy += dy * s;
+        fz += dz * s;
+      }
+    }
+    ax[i] = fx;
+    ay[i] = fy;
+    az[i] = fz;
+  }
+}
+
+}  // namespace bat::kernels::ref

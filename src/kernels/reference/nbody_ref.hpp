@@ -1,0 +1,34 @@
+// Functional reference implementation of the N-body benchmark kernel:
+// AoS and SoA all-pairs gravity with the softening term of the CUDA SDK
+// sample. Tests assert the two layouts produce identical forces.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bat::kernels::ref {
+
+struct Body {  // array-of-structures layout
+  float x, y, z, mass;
+};
+
+struct BodiesSoA {  // structure-of-arrays layout
+  std::vector<float> x, y, z, mass;
+
+  [[nodiscard]] std::size_t size() const noexcept { return x.size(); }
+  [[nodiscard]] static BodiesSoA from_aos(std::span<const Body> bodies);
+};
+
+/// Computes accelerations for all bodies (softened all-pairs gravity).
+void nbody_forces_aos(std::span<const Body> bodies, float softening,
+                      std::span<float> ax, std::span<float> ay,
+                      std::span<float> az);
+
+/// Same computation on the SoA layout; `tile` mimics the shared-memory
+/// tile size of the GPU kernel (results are identical for any tile >= 1).
+void nbody_forces_soa(const BodiesSoA& bodies, float softening,
+                      std::span<float> ax, std::span<float> ay,
+                      std::span<float> az, std::size_t tile = 1);
+
+}  // namespace bat::kernels::ref

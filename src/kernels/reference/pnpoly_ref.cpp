@@ -1,0 +1,121 @@
+#include "kernels/reference/pnpoly_ref.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace bat::kernels::ref {
+
+namespace {
+
+/// Does the horizontal ray from `p` cross edge (a, b)?
+bool edge_crossing(const Point2D& p, const Point2D& a, const Point2D& b,
+                   int between_method) {
+  // "p.y is between a.y and b.y" — four equivalent formulations that map
+  // to different instruction mixes on the GPU.
+  bool between = false;
+  switch (between_method) {
+    case 0:  // direct comparison pair
+      between = (a.y > p.y) != (b.y > p.y);
+      break;
+    case 1:  // sign of the product of differences
+      between = (a.y - p.y) * (b.y - p.y) < 0.0f ||
+                (a.y > p.y) != (b.y > p.y);  // handles the zero-product edge
+      break;
+    case 2: {  // XOR of sign bits (branchless float trick)
+      const bool sa = a.y > p.y;
+      const bool sb = b.y > p.y;
+      between = sa ^ sb;
+      break;
+    }
+    case 3: {  // interval test after ordering
+      const float lo = a.y < b.y ? a.y : b.y;
+      const float hi = a.y < b.y ? b.y : a.y;
+      between = p.y >= lo && p.y < hi && a.y != b.y;
+      // Align the half-open orientation with the comparison variants.
+      if (between) between = (a.y > p.y) != (b.y > p.y);
+      break;
+    }
+    default:
+      BAT_EXPECTS(false);
+  }
+  if (!between) return false;
+  // Ray-edge intersection x-coordinate test (shared by all variants).
+  return p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+}
+
+}  // namespace
+
+bool pnpoly_test(const Point2D& point, std::span<const Point2D> vertices,
+                 int between_method, int use_method) {
+  BAT_EXPECTS(vertices.size() >= 3);
+  BAT_EXPECTS(between_method >= 0 && between_method <= 3);
+  BAT_EXPECTS(use_method >= 0 && use_method <= 2);
+
+  // Three parity-tracking variants.
+  bool inside_flag = false;    // use_method 0: branchy toggle
+  int crossings = 0;           // use_method 1: counter, odd => inside
+  std::uint32_t parity = 0;    // use_method 2: xor bit
+  const std::size_t n = vertices.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const bool crossed =
+        edge_crossing(point, vertices[i], vertices[j], between_method);
+    switch (use_method) {
+      case 0:
+        if (crossed) inside_flag = !inside_flag;
+        break;
+      case 1:
+        crossings += crossed ? 1 : 0;
+        break;
+      case 2:
+        parity ^= crossed ? 1u : 0u;
+        break;
+      default:
+        BAT_EXPECTS(false);
+    }
+  }
+  switch (use_method) {
+    case 0: return inside_flag;
+    case 1: return (crossings & 1) != 0;
+    default: return parity != 0;
+  }
+}
+
+std::vector<std::uint8_t> pnpoly_batch(std::span<const Point2D> points,
+                                       std::span<const Point2D> vertices,
+                                       int between_method, int use_method,
+                                       std::size_t tile) {
+  BAT_EXPECTS(tile >= 1);
+  std::vector<std::uint8_t> out(points.size());
+  // Tiled iteration order mirrors the GPU kernel's per-thread tiles.
+  for (std::size_t base = 0; base < points.size(); base += tile) {
+    const std::size_t end = std::min(points.size(), base + tile);
+    for (std::size_t i = base; i < end; ++i) {
+      out[i] = pnpoly_test(points[i], vertices, between_method, use_method)
+                   ? 1
+                   : 0;
+    }
+  }
+  return out;
+}
+
+std::vector<Point2D> make_test_polygon(std::size_t vertices,
+                                       std::uint64_t seed) {
+  BAT_EXPECTS(vertices >= 3);
+  common::Rng rng(seed);
+  std::vector<Point2D> poly;
+  poly.reserve(vertices);
+  const double tau = 6.283185307179586;
+  for (std::size_t i = 0; i < vertices; ++i) {
+    const double angle = tau * static_cast<double>(i) /
+                         static_cast<double>(vertices);
+    const double radius = 0.5 + 0.45 * rng.uniform();  // star-shaped: no
+                                                       // self-intersection
+    poly.push_back(Point2D{static_cast<float>(radius * std::cos(angle)),
+                           static_cast<float>(radius * std::sin(angle))});
+  }
+  return poly;
+}
+
+}  // namespace bat::kernels::ref

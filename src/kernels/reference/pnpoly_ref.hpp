@@ -1,0 +1,35 @@
+// Functional reference implementation of the Pnpoly benchmark kernel:
+// the crossing-number point-in-polygon test with the algorithmic variants
+// exposed by the tunable parameters `between_method` (how "is py between
+// the edge endpoints" is evaluated) and `use_method` (how the crossing
+// parity is tracked). Tests assert all 12 variants agree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bat::kernels::ref {
+
+struct Point2D {
+  float x, y;
+};
+
+/// Tests one point against a polygon using the selected variants.
+/// between_method in 0..3, use_method in 0..2 (Table IV).
+[[nodiscard]] bool pnpoly_test(const Point2D& point,
+                               std::span<const Point2D> vertices,
+                               int between_method, int use_method);
+
+/// Batch version over many points; `tile` reproduces the per-thread
+/// tiling of the GPU kernel (identical results for any tile >= 1).
+[[nodiscard]] std::vector<std::uint8_t> pnpoly_batch(
+    std::span<const Point2D> points, std::span<const Point2D> vertices,
+    int between_method, int use_method, std::size_t tile = 1);
+
+/// Builds a deterministic, non-self-intersecting test polygon with
+/// `vertices` corners (a radial star shape).
+[[nodiscard]] std::vector<Point2D> make_test_polygon(std::size_t vertices,
+                                                     std::uint64_t seed);
+
+}  // namespace bat::kernels::ref

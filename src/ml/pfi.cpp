@@ -1,0 +1,38 @@
+#include "ml/pfi.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace bat::ml {
+
+PfiResult permutation_importance(const GbdtRegressor& model, const Matrix& x,
+                                 std::span<const double> y,
+                                 const PfiOptions& options) {
+  BAT_EXPECTS(model.trained());
+  BAT_EXPECTS(x.rows() == y.size());
+  BAT_EXPECTS(options.repeats >= 1);
+
+  PfiResult result;
+  const auto baseline_pred = model.predict_all(x);
+  result.baseline_r2 = r2_score(y, baseline_pred);
+  result.importance.assign(x.cols(), 0.0);
+
+  common::Rng rng(options.seed);
+  std::vector<std::size_t> perm(x.rows());
+  for (std::size_t f = 0; f < x.cols(); ++f) {
+    double drop_sum = 0.0;
+    for (std::size_t rep = 0; rep < options.repeats; ++rep) {
+      for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      rng.shuffle(perm);
+      const Matrix shuffled = x.with_permuted_column(f, perm);
+      const auto pred = model.predict_all(shuffled);
+      drop_sum += result.baseline_r2 - r2_score(y, pred);
+    }
+    result.importance[f] =
+        std::max(0.0, drop_sum / static_cast<double>(options.repeats));
+  }
+  return result;
+}
+
+}  // namespace bat::ml

@@ -1,0 +1,42 @@
+// Permutation Feature Importance (paper §II-B1, Fig 6).
+//
+// PFI measures how much a fitted model's quality drops when one feature
+// column is shuffled, breaking its relationship with the target. As in
+// the paper, importances are computed per feature and can sum to values
+// well above 1 when features interact (their §VI-H argument for global
+// over orthogonal optimization).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/gbdt.hpp"
+#include "ml/matrix.hpp"
+
+namespace bat::ml {
+
+struct PfiOptions {
+  std::size_t repeats = 3;       // shuffles averaged per feature
+  std::uint64_t seed = 0xF177ULL;
+};
+
+struct PfiResult {
+  /// Importance per feature: mean drop in R^2 when that feature's values
+  /// are permuted, clamped below at 0.
+  std::vector<double> importance;
+  double baseline_r2 = 0.0;
+
+  [[nodiscard]] double total() const {
+    double sum = 0.0;
+    for (const double v : importance) sum += v;
+    return sum;
+  }
+};
+
+/// Evaluates PFI of `model` on (x, y). The model must already be fitted.
+[[nodiscard]] PfiResult permutation_importance(const GbdtRegressor& model,
+                                               const Matrix& x,
+                                               std::span<const double> y,
+                                               const PfiOptions& options = {});
+
+}  // namespace bat::ml

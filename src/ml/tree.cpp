@@ -1,0 +1,131 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace bat::ml {
+
+namespace {
+
+struct SplitCandidate {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;
+};
+
+}  // namespace
+
+void RegressionTree::fit(const Matrix& x, std::span<const double> y,
+                         std::span<const std::size_t> sample_rows,
+                         const TreeParams& params) {
+  BAT_EXPECTS(x.rows() == y.size());
+  BAT_EXPECTS(!sample_rows.empty());
+  nodes_.clear();
+  std::vector<std::size_t> rows(sample_rows.begin(), sample_rows.end());
+  build(x, y, rows, 0, rows.size(), 0, params);
+}
+
+int RegressionTree::build(const Matrix& x, std::span<const double> y,
+                          std::vector<std::size_t>& rows, std::size_t begin,
+                          std::size_t end, int depth,
+                          const TreeParams& params) {
+  const std::size_t n = end - begin;
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += y[rows[i]];
+  const double mean = sum / static_cast<double>(n);
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_index].value = mean;
+
+  if (depth >= params.max_depth || n < 2 * params.min_samples_leaf) {
+    return node_index;
+  }
+
+  // Exact best split: for each feature, sort the slice by value and scan
+  // prefix sums. Feature value sets in BAT are small and discrete, so
+  // this is cheap and deterministic.
+  SplitCandidate best;
+  std::vector<std::pair<double, double>> vals;  // (feature value, target)
+  vals.reserve(n);
+  for (std::size_t f = 0; f < x.cols(); ++f) {
+    vals.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      vals.emplace_back(x(rows[i], f), y[rows[i]]);
+    }
+    std::sort(vals.begin(), vals.end());
+    if (vals.front().first == vals.back().first) continue;  // constant
+
+    double left_sum = 0.0;
+    const double total_sum = sum;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left_sum += vals[i].second;
+      if (vals[i].first == vals[i + 1].first) continue;  // not a boundary
+      const std::size_t nl = i + 1;
+      const std::size_t nr = n - nl;
+      if (nl < params.min_samples_leaf || nr < params.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = total_sum - left_sum;
+      // Variance-reduction gain (up to constants): sum^2/n terms.
+      const double gain = left_sum * left_sum / static_cast<double>(nl) +
+                          right_sum * right_sum / static_cast<double>(nr) -
+                          total_sum * total_sum / static_cast<double>(n);
+      if (gain > best.gain) {
+        best.feature = static_cast<int>(f);
+        best.threshold = 0.5 * (vals[i].first + vals[i + 1].first);
+        best.gain = gain;
+      }
+    }
+  }
+
+  if (best.feature < 0 || best.gain <= params.min_gain) {
+    return node_index;
+  }
+
+  // Partition rows in place.
+  const auto mid_it = std::partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t r) {
+        return x(r, static_cast<std::size_t>(best.feature)) <= best.threshold;
+      });
+  const auto mid =
+      static_cast<std::size_t>(mid_it - rows.begin());
+  if (mid == begin || mid == end) return node_index;  // degenerate
+
+  nodes_[node_index].feature = best.feature;
+  nodes_[node_index].threshold = best.threshold;
+  nodes_[node_index].gain = best.gain;
+  const int left = build(x, y, rows, begin, mid, depth + 1, params);
+  const int right = build(x, y, rows, mid, end, depth + 1, params);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+double RegressionTree::predict(std::span<const double> features) const {
+  BAT_EXPECTS(!nodes_.empty());
+  int idx = 0;
+  while (nodes_[static_cast<std::size_t>(idx)].feature >= 0) {
+    const auto& node = nodes_[static_cast<std::size_t>(idx)];
+    const double v = features[static_cast<std::size_t>(node.feature)];
+    idx = v <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[static_cast<std::size_t>(idx)].value;
+}
+
+std::vector<double> RegressionTree::split_gains(
+    std::size_t num_features) const {
+  std::vector<double> gains(num_features, 0.0);
+  for (const auto& node : nodes_) {
+    if (node.feature >= 0) {
+      gains[static_cast<std::size_t>(node.feature)] += node.gain;
+    }
+  }
+  return gains;
+}
+
+}  // namespace bat::ml

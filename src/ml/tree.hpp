@@ -1,0 +1,54 @@
+// CART regression tree with exact splits over the (few, discrete)
+// distinct values each feature takes in BAT datasets.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace bat::ml {
+
+struct TreeParams {
+  int max_depth = 6;
+  std::size_t min_samples_leaf = 5;
+  double min_gain = 1e-12;
+};
+
+class RegressionTree {
+ public:
+  /// Fits on the rows of x listed in `sample_rows` (gradient targets in
+  /// `y`, aligned with x's rows).
+  void fit(const Matrix& x, std::span<const double> y,
+           std::span<const std::size_t> sample_rows, const TreeParams& params);
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  [[nodiscard]] bool trained() const noexcept { return !nodes_.empty(); }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+
+  /// Total squared-error gain contributed by splits on each feature
+  /// (tree-internal importance; PFI is computed separately).
+  [[nodiscard]] std::vector<double> split_gains(std::size_t num_features) const;
+
+ private:
+  struct Node {
+    int feature = -1;          // -1 => leaf
+    double threshold = 0.0;    // go left if value <= threshold
+    double value = 0.0;        // leaf prediction
+    double gain = 0.0;         // split gain (internal nodes)
+    int left = -1;
+    int right = -1;
+  };
+
+  int build(const Matrix& x, std::span<const double> y,
+            std::vector<std::size_t>& rows, std::size_t begin,
+            std::size_t end, int depth, const TreeParams& params);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace bat::ml

@@ -1,0 +1,79 @@
+#include "tuners/de.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bat::tuners {
+
+namespace {
+
+core::Config snap(const core::ParamSpace& params,
+                  const std::vector<double>& position) {
+  core::Config config(params.num_params());
+  for (std::size_t p = 0; p < config.size(); ++p) {
+    const auto hi = static_cast<double>(params.param(p).cardinality() - 1);
+    const double clamped = std::clamp(position[p], 0.0, hi);
+    config[p] = params.param(p).value_at(
+        static_cast<std::size_t>(std::llround(clamped)));
+  }
+  return config;
+}
+
+}  // namespace
+
+void DifferentialEvolution::optimize(core::CachingEvaluator& evaluator,
+                                     common::Rng& rng) {
+  const auto& space = evaluator.problem().space();
+  const auto& params = space.params();
+  const std::size_t dims = params.num_params();
+  const std::size_t n = std::max<std::size_t>(4, options_.population);
+
+  std::vector<std::vector<double>> population(n, std::vector<double>(dims));
+  std::vector<double> objective(n,
+                                std::numeric_limits<double>::infinity());
+
+  const auto eval_position = [&](const std::vector<double>& pos) {
+    const core::Config config = snap(params, pos);
+    return space.constraints().satisfied(config)
+               ? evaluator(config)
+               : std::numeric_limits<double>::infinity();
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::Config seed_config = space.random_valid_config(rng);
+    for (std::size_t p = 0; p < dims; ++p) {
+      population[i][p] =
+          static_cast<double>(params.param(p).index_of(seed_config[p]));
+    }
+    objective[i] = eval_position(population[i]);
+  }
+
+  std::vector<double> trial(dims);
+  while (true) {  // generations
+    for (std::size_t i = 0; i < n; ++i) {
+      // Pick three distinct partners != i.
+      std::size_t a, b, c;
+      do { a = rng.next_below(n); } while (a == i);
+      do { b = rng.next_below(n); } while (b == i || b == a);
+      do { c = rng.next_below(n); } while (c == i || c == a || c == b);
+
+      const std::size_t forced = rng.next_below(dims);
+      for (std::size_t p = 0; p < dims; ++p) {
+        if (p == forced || rng.uniform() < options_.crossover_rate) {
+          trial[p] = population[a][p] +
+                     options_.weight * (population[b][p] - population[c][p]);
+        } else {
+          trial[p] = population[i][p];
+        }
+      }
+      const double obj = eval_position(trial);
+      if (obj <= objective[i]) {
+        population[i] = trial;
+        objective[i] = obj;
+      }
+    }
+  }
+}
+
+}  // namespace bat::tuners

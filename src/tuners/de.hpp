@@ -1,0 +1,31 @@
+// Differential evolution (DE/rand/1/bin) on the value-index embedding.
+#pragma once
+
+#include "tuners/tuner.hpp"
+
+namespace bat::tuners {
+
+class DifferentialEvolution final : public Tuner {
+ public:
+  struct Options {
+    std::size_t population = 20;
+    double weight = 0.6;          // F
+    double crossover_rate = 0.8;  // CR
+  };
+
+  DifferentialEvolution() : options_(Options{}) {}
+  explicit DifferentialEvolution(Options options) : options_(options) {}
+
+  [[nodiscard]] const std::string& name() const override {
+    static const std::string kName = "de";
+    return kName;
+  }
+
+ protected:
+  void optimize(core::CachingEvaluator& evaluator, common::Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace bat::tuners

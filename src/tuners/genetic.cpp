@@ -1,0 +1,81 @@
+#include "tuners/genetic.hpp"
+
+#include <algorithm>
+
+namespace bat::tuners {
+
+namespace {
+
+struct Individual {
+  core::Config config;
+  double objective = 0.0;
+};
+
+}  // namespace
+
+void GeneticAlgorithm::optimize(core::CachingEvaluator& evaluator,
+                                common::Rng& rng) {
+  const auto& space = evaluator.problem().space();
+  const auto& params = space.params();
+
+  std::vector<Individual> population;
+  population.reserve(options_.population);
+  for (std::size_t i = 0; i < options_.population; ++i) {
+    Individual ind;
+    ind.config = space.random_valid_config(rng);
+    ind.objective = evaluator(ind.config);
+    population.push_back(std::move(ind));
+  }
+
+  const auto tournament = [&]() -> const Individual& {
+    const Individual* best = nullptr;
+    for (std::size_t i = 0; i < options_.tournament; ++i) {
+      const auto& contender =
+          population[static_cast<std::size_t>(rng.next_below(population.size()))];
+      if (best == nullptr || contender.objective < best->objective) {
+        best = &contender;
+      }
+    }
+    return *best;
+  };
+
+  while (true) {  // generations
+    std::sort(population.begin(), population.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.objective < b.objective;
+              });
+    std::vector<Individual> next(
+        population.begin(),
+        population.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(options_.elites, population.size())));
+
+    while (next.size() < options_.population) {
+      const Individual& a = tournament();
+      const Individual& b = tournament();
+      core::Config child = a.config;
+      if (rng.uniform() < options_.crossover_rate) {
+        for (std::size_t p = 0; p < child.size(); ++p) {
+          if (rng.bernoulli(0.5)) child[p] = b.config[p];
+        }
+      }
+      for (std::size_t p = 0; p < child.size(); ++p) {
+        if (rng.uniform() < options_.mutation_rate) {
+          child[p] = rng.pick(params.param(p).values());
+        }
+      }
+      if (!space.constraints().satisfied(child)) {
+        // Repair by resampling a fresh valid configuration: simple and
+        // unbiased, mirroring Kernel Tuner's GA handling of constraints.
+        child = space.random_valid_config(rng);
+      }
+      Individual ind;
+      ind.objective = evaluator(child);
+      ind.config = std::move(child);
+      next.push_back(std::move(ind));
+    }
+    population = std::move(next);
+  }
+}
+
+}  // namespace bat::tuners

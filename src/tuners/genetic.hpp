@@ -1,0 +1,34 @@
+// Generational genetic algorithm: tournament selection, uniform
+// crossover, per-parameter mutation, elitism.
+#pragma once
+
+#include "tuners/tuner.hpp"
+
+namespace bat::tuners {
+
+class GeneticAlgorithm final : public Tuner {
+ public:
+  struct Options {
+    std::size_t population = 24;
+    double crossover_rate = 0.9;
+    double mutation_rate = 0.1;  // per parameter
+    std::size_t tournament = 3;
+    std::size_t elites = 2;
+  };
+
+  GeneticAlgorithm() : options_(Options{}) {}
+  explicit GeneticAlgorithm(Options options) : options_(options) {}
+
+  [[nodiscard]] const std::string& name() const override {
+    static const std::string kName = "genetic";
+    return kName;
+  }
+
+ protected:
+  void optimize(core::CachingEvaluator& evaluator, common::Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace bat::tuners

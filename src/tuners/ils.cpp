@@ -1,0 +1,72 @@
+#include "tuners/ils.hpp"
+
+#include <algorithm>
+
+namespace bat::tuners {
+
+namespace {
+
+/// Greedy first-improvement descent from `start`; returns the local
+/// minimum and its objective.
+std::pair<core::Config, double> descend(core::CachingEvaluator& evaluator,
+                                        common::Rng& rng, core::Config start,
+                                        double start_obj) {
+  const auto& space = evaluator.problem().space();
+  core::Config current = std::move(start);
+  double current_obj = start_obj;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    auto neighbors = space.valid_neighbors(current);
+    rng.shuffle(neighbors);
+    for (const auto& candidate : neighbors) {
+      const double obj = evaluator(candidate);
+      if (obj < current_obj) {
+        current = candidate;
+        current_obj = obj;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return {std::move(current), current_obj};
+}
+
+}  // namespace
+
+void IteratedLocalSearch::optimize(core::CachingEvaluator& evaluator,
+                                   common::Rng& rng) {
+  const auto& space = evaluator.problem().space();
+  const auto& params = space.params();
+
+  while (true) {  // restart loop
+    core::Config start = space.random_valid_config(rng);
+    auto [incumbent, incumbent_obj] =
+        descend(evaluator, rng, start, evaluator(start));
+
+    std::size_t no_improve = 0;
+    while (no_improve < options_.max_no_improve) {
+      // Perturb: re-randomize a few parameters of the incumbent.
+      core::Config perturbed = incumbent;
+      const std::size_t k =
+          std::min(options_.perturbation_strength, perturbed.size());
+      const auto picks = rng.sample_indices(perturbed.size(), k);
+      for (const auto p : picks) {
+        perturbed[p] = rng.pick(params.param(p).values());
+      }
+      if (!space.constraints().satisfied(perturbed)) continue;
+
+      auto [candidate, candidate_obj] =
+          descend(evaluator, rng, perturbed, evaluator(perturbed));
+      if (candidate_obj < incumbent_obj) {
+        incumbent = std::move(candidate);
+        incumbent_obj = candidate_obj;
+        no_improve = 0;
+      } else {
+        ++no_improve;
+      }
+    }
+  }
+}
+
+}  // namespace bat::tuners

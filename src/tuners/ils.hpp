@@ -1,0 +1,33 @@
+// Greedy iterated local search (ILS): hill-climb to a local minimum,
+// perturb a few parameters of the incumbent, climb again; accept the new
+// local minimum if it improves. Matches the GreedyILS family evaluated by
+// Schoonhoven et al.
+#pragma once
+
+#include "tuners/tuner.hpp"
+
+namespace bat::tuners {
+
+class IteratedLocalSearch final : public Tuner {
+ public:
+  struct Options {
+    std::size_t perturbation_strength = 2;  // parameters re-randomized
+    std::size_t max_no_improve = 4;         // perturbations before restart
+  };
+
+  IteratedLocalSearch() : options_(Options{}) {}
+  explicit IteratedLocalSearch(Options options) : options_(options) {}
+
+  [[nodiscard]] const std::string& name() const override {
+    static const std::string kName = "ils";
+    return kName;
+  }
+
+ protected:
+  void optimize(core::CachingEvaluator& evaluator, common::Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace bat::tuners

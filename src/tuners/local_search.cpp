@@ -1,0 +1,30 @@
+#include "tuners/local_search.hpp"
+
+namespace bat::tuners {
+
+void LocalSearch::optimize(core::CachingEvaluator& evaluator,
+                           common::Rng& rng) {
+  const auto& space = evaluator.problem().space();
+  while (true) {  // restart loop; budget exhaustion exits via exception
+    core::Config current = space.random_valid_config(rng);
+    double current_obj = evaluator(current);
+
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      auto neighbors = space.valid_neighbors(current);
+      rng.shuffle(neighbors);
+      for (const auto& candidate : neighbors) {
+        const double obj = evaluator(candidate);
+        if (obj < current_obj) {  // first improvement
+          current = candidate;
+          current_obj = obj;
+          improved = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace bat::tuners

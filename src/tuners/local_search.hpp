@@ -1,0 +1,24 @@
+// Randomized first-improvement local search with random restarts.
+//
+// This is the algorithm whose dynamics the fitness-flow graph models
+// (paper §II-B2): from a random valid start, visit Hamming-1 neighbors in
+// random order and move to the first strictly better one; restart when a
+// local minimum is reached. Also serves as BAT's "basic reference tuner".
+#pragma once
+
+#include "tuners/tuner.hpp"
+
+namespace bat::tuners {
+
+class LocalSearch final : public Tuner {
+ public:
+  [[nodiscard]] const std::string& name() const override {
+    static const std::string kName = "local";
+    return kName;
+  }
+
+ protected:
+  void optimize(core::CachingEvaluator& evaluator, common::Rng& rng) override;
+};
+
+}  // namespace bat::tuners

@@ -1,0 +1,90 @@
+#include "tuners/pso.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bat::tuners {
+
+namespace {
+
+/// Snaps continuous per-parameter index positions to a configuration.
+core::Config snap(const core::ParamSpace& params,
+                  const std::vector<double>& position) {
+  core::Config config(params.num_params());
+  for (std::size_t p = 0; p < config.size(); ++p) {
+    const auto hi = static_cast<double>(params.param(p).cardinality() - 1);
+    const double clamped = std::clamp(position[p], 0.0, hi);
+    config[p] = params.param(p).value_at(
+        static_cast<std::size_t>(std::llround(clamped)));
+  }
+  return config;
+}
+
+struct Particle {
+  std::vector<double> position;
+  std::vector<double> velocity;
+  std::vector<double> best_position;
+  double best_objective = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+void ParticleSwarm::optimize(core::CachingEvaluator& evaluator,
+                             common::Rng& rng) {
+  const auto& space = evaluator.problem().space();
+  const auto& params = space.params();
+  const std::size_t dims = params.num_params();
+
+  std::vector<Particle> swarm(options_.particles);
+  std::vector<double> global_best_position(dims, 0.0);
+  double global_best = std::numeric_limits<double>::infinity();
+
+  const auto evaluate_particle = [&](Particle& particle) {
+    const core::Config config = snap(params, particle.position);
+    const double obj = space.constraints().satisfied(config)
+                           ? evaluator(config)
+                           : std::numeric_limits<double>::infinity();
+    if (obj < particle.best_objective) {
+      particle.best_objective = obj;
+      particle.best_position = particle.position;
+    }
+    if (obj < global_best) {
+      global_best = obj;
+      global_best_position = particle.position;
+    }
+  };
+
+  for (auto& particle : swarm) {
+    particle.position.resize(dims);
+    particle.velocity.resize(dims);
+    const core::Config seed_config = space.random_valid_config(rng);
+    for (std::size_t p = 0; p < dims; ++p) {
+      particle.position[p] =
+          static_cast<double>(params.param(p).index_of(seed_config[p]));
+      const auto span = static_cast<double>(params.param(p).cardinality());
+      particle.velocity[p] = rng.uniform(-span * 0.25, span * 0.25);
+    }
+    particle.best_position = particle.position;
+    evaluate_particle(particle);
+  }
+
+  while (true) {  // swarm iterations
+    for (auto& particle : swarm) {
+      for (std::size_t p = 0; p < dims; ++p) {
+        const double r1 = rng.uniform();
+        const double r2 = rng.uniform();
+        particle.velocity[p] =
+            options_.inertia * particle.velocity[p] +
+            options_.cognitive * r1 *
+                (particle.best_position[p] - particle.position[p]) +
+            options_.social * r2 *
+                (global_best_position[p] - particle.position[p]);
+        particle.position[p] += particle.velocity[p];
+      }
+      evaluate_particle(particle);
+    }
+  }
+}
+
+}  // namespace bat::tuners

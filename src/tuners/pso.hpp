@@ -1,0 +1,34 @@
+// Particle swarm optimization on the value-index embedding: particles
+// move in the continuous per-parameter index space and snap to the
+// nearest legal value for evaluation.
+#pragma once
+
+#include "tuners/tuner.hpp"
+
+namespace bat::tuners {
+
+class ParticleSwarm final : public Tuner {
+ public:
+  struct Options {
+    std::size_t particles = 16;
+    double inertia = 0.7;
+    double cognitive = 1.5;
+    double social = 1.5;
+  };
+
+  ParticleSwarm() : options_(Options{}) {}
+  explicit ParticleSwarm(Options options) : options_(options) {}
+
+  [[nodiscard]] const std::string& name() const override {
+    static const std::string kName = "pso";
+    return kName;
+  }
+
+ protected:
+  void optimize(core::CachingEvaluator& evaluator, common::Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace bat::tuners

@@ -1,0 +1,13 @@
+#include "tuners/random_search.hpp"
+
+namespace bat::tuners {
+
+void RandomSearch::optimize(core::CachingEvaluator& evaluator,
+                            common::Rng& rng) {
+  const auto& space = evaluator.problem().space();
+  while (true) {
+    (void)evaluator(space.random_valid_config(rng));
+  }
+}
+
+}  // namespace bat::tuners

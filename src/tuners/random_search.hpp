@@ -1,0 +1,20 @@
+// Pure random search over valid configurations — the paper's convergence
+// baseline (Fig 2).
+#pragma once
+
+#include "tuners/tuner.hpp"
+
+namespace bat::tuners {
+
+class RandomSearch final : public Tuner {
+ public:
+  [[nodiscard]] const std::string& name() const override {
+    static const std::string kName = "random";
+    return kName;
+  }
+
+ protected:
+  void optimize(core::CachingEvaluator& evaluator, common::Rng& rng) override;
+};
+
+}  // namespace bat::tuners

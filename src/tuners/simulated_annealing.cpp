@@ -1,0 +1,37 @@
+#include "tuners/simulated_annealing.hpp"
+
+#include <cmath>
+
+namespace bat::tuners {
+
+void SimulatedAnnealing::optimize(core::CachingEvaluator& evaluator,
+                                  common::Rng& rng) {
+  const auto& space = evaluator.problem().space();
+  while (true) {  // reheat loop
+    core::Config current = space.random_valid_config(rng);
+    double current_obj = evaluator(current);
+    // Normalize temperature by the first observed objective so the same
+    // schedule works across benchmarks with very different time scales.
+    double scale = std::isfinite(current_obj) && current_obj > 0.0
+                       ? current_obj
+                       : 1.0;
+    double temperature = options_.initial_temperature;
+
+    while (temperature > options_.restart_temperature) {
+      const auto neighbors = space.valid_neighbors(current);
+      if (neighbors.empty()) break;
+      const auto& candidate = rng.pick(neighbors);
+      const double obj = evaluator(candidate);
+      const double delta = (obj - current_obj) / scale;
+      if (delta <= 0.0 ||
+          rng.uniform() < std::exp(-delta / temperature)) {
+        current = candidate;
+        current_obj = obj;
+        if (std::isfinite(obj) && obj > 0.0) scale = obj;
+      }
+      temperature *= options_.cooling;
+    }
+  }
+}
+
+}  // namespace bat::tuners

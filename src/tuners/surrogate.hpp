@@ -1,0 +1,35 @@
+// Sequential model-based search (SMAC-style): fit a GBDT surrogate on the
+// evaluations so far, screen a pool of random candidates through it, and
+// spend real evaluations only on the most promising ones (with
+// epsilon-greedy exploration).
+#pragma once
+
+#include "tuners/tuner.hpp"
+
+namespace bat::tuners {
+
+class SurrogateTuner final : public Tuner {
+ public:
+  struct Options {
+    std::size_t initial_random = 20;   // warm-up evaluations
+    std::size_t candidate_pool = 400;  // surrogate-screened candidates
+    std::size_t refit_every = 8;       // evaluations between refits
+    double explore_fraction = 0.15;    // epsilon
+  };
+
+  SurrogateTuner() : options_(Options{}) {}
+  explicit SurrogateTuner(Options options) : options_(options) {}
+
+  [[nodiscard]] const std::string& name() const override {
+    static const std::string kName = "surrogate";
+    return kName;
+  }
+
+ protected:
+  void optimize(core::CachingEvaluator& evaluator, common::Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace bat::tuners

@@ -1,0 +1,56 @@
+#include "tuners/tuner.hpp"
+
+#include <stdexcept>
+
+#include "tuners/de.hpp"
+#include "tuners/genetic.hpp"
+#include "tuners/ils.hpp"
+#include "tuners/local_search.hpp"
+#include "tuners/pso.hpp"
+#include "tuners/random_search.hpp"
+#include "tuners/simulated_annealing.hpp"
+#include "tuners/surrogate.hpp"
+
+namespace bat::tuners {
+
+void Tuner::run(core::CachingEvaluator& evaluator, common::Rng& rng) {
+  try {
+    optimize(evaluator, rng);
+  } catch (const core::BudgetExhausted&) {
+    // Normal termination: the evaluator refused the next measurement.
+  }
+}
+
+TuningRun run_tuner(Tuner& tuner, const core::Benchmark& bench,
+                    core::DeviceIndex device, std::size_t budget,
+                    std::uint64_t seed) {
+  core::TuningProblem problem(bench, device);
+  core::CachingEvaluator evaluator(problem, budget);
+  common::Rng rng(seed);
+  tuner.run(evaluator, rng);
+  TuningRun result;
+  result.tuner = tuner.name();
+  result.trace = evaluator.trace();
+  result.best = evaluator.best();
+  result.best_so_far = evaluator.best_so_far();
+  return result;
+}
+
+std::unique_ptr<Tuner> make_tuner(const std::string& name) {
+  if (name == "random") return std::make_unique<RandomSearch>();
+  if (name == "local" || name == "basic") return std::make_unique<LocalSearch>();
+  if (name == "annealing") return std::make_unique<SimulatedAnnealing>();
+  if (name == "genetic") return std::make_unique<GeneticAlgorithm>();
+  if (name == "ils") return std::make_unique<IteratedLocalSearch>();
+  if (name == "pso") return std::make_unique<ParticleSwarm>();
+  if (name == "de") return std::make_unique<DifferentialEvolution>();
+  if (name == "surrogate") return std::make_unique<SurrogateTuner>();
+  throw std::out_of_range("unknown tuner: " + name);
+}
+
+std::vector<std::string> tuner_names() {
+  return {"random", "local",     "annealing", "genetic",
+          "ils",    "pso",       "de",        "surrogate"};
+}
+
+}  // namespace bat::tuners

@@ -1,0 +1,60 @@
+// The tuner-side of the shared problem interface.
+//
+// A Tuner sees only a CachingEvaluator (objective + budget + trace) and
+// the search space behind it — exactly the contract the paper defines so
+// that Optuna/SMAC3/Kernel Tuner/KTT-style optimizers can drive any BAT
+// benchmark. Tuners run until the evaluation budget is exhausted (the
+// evaluator throws BudgetExhausted, which run() treats as the stop
+// signal).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/evaluator.hpp"
+
+namespace bat::tuners {
+
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  /// Optimizes until the budget is exhausted. Implementations must treat
+  /// core::BudgetExhausted as a normal termination signal.
+  void run(core::CachingEvaluator& evaluator, common::Rng& rng);
+
+ protected:
+  /// Algorithm body; may simply let BudgetExhausted propagate.
+  virtual void optimize(core::CachingEvaluator& evaluator,
+                        common::Rng& rng) = 0;
+};
+
+/// Result of a full tuning run.
+struct TuningRun {
+  std::string tuner;
+  std::vector<core::TraceEntry> trace;
+  std::optional<core::TraceEntry> best;
+  std::vector<double> best_so_far;
+};
+
+/// Convenience: builds an evaluator over (benchmark, device), runs the
+/// tuner with an explicit seed, returns the collected run.
+[[nodiscard]] TuningRun run_tuner(Tuner& tuner, const core::Benchmark& bench,
+                                  core::DeviceIndex device, std::size_t budget,
+                                  std::uint64_t seed);
+
+/// Factory for all built-in tuners:
+///   "random", "local", "annealing", "genetic", "ils", "pso", "de",
+///   "surrogate", "basic" (alias of "local": the paper's reference tuner).
+[[nodiscard]] std::unique_ptr<Tuner> make_tuner(const std::string& name);
+
+/// Names of all built-in tuners (canonical order used by the examples).
+[[nodiscard]] std::vector<std::string> tuner_names();
+
+}  // namespace bat::tuners

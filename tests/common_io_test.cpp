@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+#include "common/json.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace bat::common {
+namespace {
+
+TEST(Csv, RoundTripSimpleRows) {
+  CsvWriter w;
+  w.write_row({"a", "b", "c"});
+  w.write_row({"1", "2", "3"});
+  const auto rows = CsvReader::parse(w.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(Csv, EscapesCommasQuotesNewlines) {
+  CsvWriter w;
+  w.write_row({"he,llo", "qu\"ote", "line\nbreak", "plain"});
+  const auto rows = CsvReader::parse(w.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "he,llo");
+  EXPECT_EQ(rows[0][1], "qu\"ote");
+  EXPECT_EQ(rows[0][2], "line\nbreak");
+  EXPECT_EQ(rows[0][3], "plain");
+}
+
+TEST(Csv, ToleratesCrlfAndEmptyCells) {
+  const auto rows = CsvReader::parse("a,,c\r\nd,e,\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "");
+  EXPECT_EQ(rows[1][2], "");
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/bat_csv_test.csv";
+  CsvWriter w;
+  w.write_row({"x", "y"});
+  w.save(path);
+  const auto rows = CsvReader::load(path);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "x");
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW((void)read_file("/nonexistent/bat/file.csv"),
+               std::runtime_error);
+}
+
+TEST(Json, ScalarsAndEscapes) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(std::int64_t{42}).dump(), "42");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json("a\"b\n").dump(), "\"a\\\"b\\n\"");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, NestedStructure) {
+  JsonObject obj;
+  obj["name"] = Json("gemm");
+  obj["values"] = Json::array(std::vector<double>{1.0, 2.0});
+  const std::string compact = Json(obj).dump();
+  EXPECT_EQ(compact, "{\"name\":\"gemm\",\"values\":[1,2]}");
+}
+
+TEST(Json, IndentedOutputContainsNewlines) {
+  JsonObject obj;
+  obj["k"] = Json(1);
+  EXPECT_NE(Json(obj).dump(2).find('\n'), std::string::npos);
+}
+
+TEST(Table, AlignsColumns) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, RowArityIsChecked) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, AddRowValuesFormats) {
+  AsciiTable t({"v"});
+  t.add_row_values({1.2345}, 2);
+  EXPECT_NE(t.to_string().find("1.23"), std::string::npos);
+}
+
+TEST(StringUtil, SplitJoinTrim) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(join({"a", "b"}, "-"), "a-b");
+  EXPECT_EQ(trim("  x \t"), "x");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringUtil, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+}
+
+struct GroupedCase {
+  std::uint64_t value;
+  const char* expected;
+};
+
+class FormatGrouped : public ::testing::TestWithParam<GroupedCase> {};
+
+TEST_P(FormatGrouped, MatchesPaperStyle) {
+  EXPECT_EQ(format_grouped(GetParam().value), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, FormatGrouped,
+    ::testing::Values(GroupedCase{0, "0"}, GroupedCase{999, "999"},
+                      GroupedCase{4092, "4 092"},
+                      GroupedCase{82944, "82 944"},
+                      GroupedCase{9732096, "9 732 096"},
+                      GroupedCase{123863040, "123 863 040"}));
+
+}  // namespace
+}  // namespace bat::common

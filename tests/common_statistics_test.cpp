@@ -1,0 +1,132 @@
+#include "common/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace bat::common {
+namespace {
+
+const std::vector<double> kSample{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+
+TEST(Statistics, Mean) { EXPECT_DOUBLE_EQ(mean(kSample), 31.0 / 8.0); }
+
+TEST(Statistics, MinMaxArg) {
+  EXPECT_DOUBLE_EQ(min_value(kSample), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(kSample), 9.0);
+  EXPECT_EQ(argmin(kSample), 1u);  // first minimum wins
+  EXPECT_EQ(argmax(kSample), 5u);
+}
+
+TEST(Statistics, VarianceMatchesHandComputation) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Statistics, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Statistics, QuantileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+}
+
+TEST(Statistics, QuantileSingleElement) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.3), 7.0);
+}
+
+TEST(Statistics, QuantileRejectsBadInput) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)quantile(xs, 1.5), ContractViolation);
+  EXPECT_THROW((void)mean(std::vector<double>{}), ContractViolation);
+}
+
+TEST(Statistics, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg(ys.rbegin(), ys.rend());
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(OnlineStats, MatchesBatchStatistics) {
+  OnlineStats stats;
+  for (const double x : kSample) stats.add(x);
+  EXPECT_EQ(stats.count(), kSample.size());
+  EXPECT_NEAR(stats.mean(), mean(kSample), 1e-12);
+  EXPECT_NEAR(stats.variance(), variance(kSample), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeEqualsSinglePass) {
+  OnlineStats a, b, whole;
+  for (std::size_t i = 0; i < kSample.size(); ++i) {
+    (i < 3 ? a : b).add(kSample[i]);
+    whole.add(kSample[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(Histogram, CountsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  for (const double x : {0.0, 1.9, 2.0, 9.99, 10.0}) h.add(x);
+  h.add(-0.1);  // ignored
+  h.add(10.1);  // ignored
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);  // 0.0, 1.9
+  EXPECT_EQ(h.bin_count(1), 1u);  // 2.0
+  EXPECT_EQ(h.bin_count(4), 2u);  // 9.99 and the x == hi edge case
+}
+
+TEST(Histogram, DensitiesSumToOne) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i / 100.0);
+  double sum = 0.0;
+  for (const double d : h.densities()) sum += d;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+class QuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSweep, SortedAndUnsortedAgree) {
+  std::vector<double> xs{5.0, 3.0, 8.0, 1.0, 9.0, 2.0, 7.0};
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_DOUBLE_EQ(quantile(xs, GetParam()),
+                   quantile_sorted(sorted, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, QuantileSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           1.0));
+
+}  // namespace
+}  // namespace bat::common

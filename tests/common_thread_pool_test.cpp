@@ -1,0 +1,85 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+namespace bat::common {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> counts(1000);
+  parallel_for(0, counts.size(), [&](std::size_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ChunksAreContiguousAndCoverRange) {
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for_chunked(10, 250,
+                       [&](std::size_t lo, std::size_t hi, std::size_t) {
+                         std::lock_guard lock(m);
+                         chunks.emplace_back(lo, hi);
+                       });
+  std::sort(chunks.begin(), chunks.end());
+  EXPECT_EQ(chunks.front().first, 10u);
+  EXPECT_EQ(chunks.back().second, 250u);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+  }
+}
+
+TEST(ThreadPool, ParallelReduceSumsCorrectly) {
+  const auto total = ThreadPool::global().parallel_reduce<long long>(
+      1, 10001, 0LL, [](std::size_t i) { return static_cast<long long>(i); },
+      [](long long acc, long long v) { return acc + v; },
+      [](long long a, long long b) { return a + b; });
+  EXPECT_EQ(total, 50005000LL);
+}
+
+TEST(ThreadPool, ParallelCountIf) {
+  const auto evens = parallel_count_if(
+      0, 1001, [](std::size_t i) { return i % 2 == 0; });
+  EXPECT_EQ(evens, 501u);
+}
+
+TEST(ThreadPool, WorkerExceptionsPropagate) {
+  EXPECT_THROW(parallel_for(0, 100,
+                            [](std::size_t i) {
+                              if (i == 57) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReentrantUseFromResultsIsSafeSequentially) {
+  // Two back-to-back parallel loops must both run to completion.
+  std::atomic<int> first{0}, second{0};
+  parallel_for(0, 100, [&](std::size_t) { first++; });
+  parallel_for(0, 200, [&](std::size_t) { second++; });
+  EXPECT_EQ(first.load(), 100);
+  EXPECT_EQ(second.load(), 200);
+}
+
+TEST(ThreadPool, SingleElementRange) {
+  int count = 0;
+  parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace bat::common

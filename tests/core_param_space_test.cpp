@@ -1,0 +1,167 @@
+#include "core/param_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/contracts.hpp"
+
+namespace bat::core {
+namespace {
+
+ParamSpace tiny_space() {
+  ParamSpace space;
+  space.add(Parameter::list("a", {1, 2, 3}))
+      .add(Parameter::list("b", {10, 20}))
+      .add(Parameter::list("c", {0, 1, 2, 3}));
+  return space;
+}
+
+TEST(Parameter, Builders) {
+  const auto r = Parameter::range("r", 1, 10);
+  EXPECT_EQ(r.cardinality(), 10u);
+  EXPECT_EQ(r.value_at(0), 1);
+  EXPECT_EQ(r.value_at(9), 10);
+
+  const auto stepped = Parameter::range("s", 4, 128, 4);
+  EXPECT_EQ(stepped.cardinality(), 32u);
+
+  const auto p2 = Parameter::pow2("p", 1, 8);
+  EXPECT_EQ(p2.values(), (std::vector<Value>{1, 2, 4, 8}));
+}
+
+TEST(Parameter, IndexOfAndContains) {
+  const auto p = Parameter::list("x", {5, 7, 9});
+  EXPECT_EQ(p.index_of(7), 1u);
+  EXPECT_TRUE(p.contains(9));
+  EXPECT_FALSE(p.contains(6));
+  EXPECT_THROW((void)p.index_of(6), std::out_of_range);
+}
+
+TEST(Parameter, RejectsDuplicatesAndEmpty) {
+  EXPECT_THROW(Parameter("d", {1, 1}), common::ContractViolation);
+  EXPECT_THROW(Parameter("e", {}), common::ContractViolation);
+}
+
+TEST(ParamSpace, CardinalityIsProduct) {
+  EXPECT_EQ(tiny_space().cardinality(), 3u * 2u * 4u);
+}
+
+TEST(ParamSpace, DuplicateNamesRejected) {
+  ParamSpace space;
+  space.add(Parameter::list("a", {1}));
+  EXPECT_THROW(space.add(Parameter::list("a", {2})), std::invalid_argument);
+}
+
+TEST(ParamSpace, IndexLookups) {
+  const auto space = tiny_space();
+  EXPECT_EQ(space.index_of("b"), 1u);
+  EXPECT_TRUE(space.has_param("c"));
+  EXPECT_FALSE(space.has_param("z"));
+  EXPECT_THROW((void)space.index_of("z"), std::out_of_range);
+  EXPECT_EQ(space.param_names(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParamSpace, RowMajorOrderLastParamFastest) {
+  const auto space = tiny_space();
+  EXPECT_EQ(space.config_at(0), (Config{1, 10, 0}));
+  EXPECT_EQ(space.config_at(1), (Config{1, 10, 1}));
+  EXPECT_EQ(space.config_at(4), (Config{1, 20, 0}));
+  EXPECT_EQ(space.config_at(8), (Config{2, 10, 0}));
+  EXPECT_EQ(space.config_at(23), (Config{3, 20, 3}));
+}
+
+TEST(ParamSpace, IndexConfigBijection) {
+  const auto space = tiny_space();
+  for (ConfigIndex i = 0; i < space.cardinality(); ++i) {
+    EXPECT_EQ(space.index_of_config(space.config_at(i)), i);
+  }
+}
+
+TEST(ParamSpace, ContainsChecksMembershipAndArity) {
+  const auto space = tiny_space();
+  EXPECT_TRUE(space.contains(Config{1, 10, 0}));
+  EXPECT_FALSE(space.contains(Config{1, 11, 0}));
+  EXPECT_FALSE(space.contains(Config{1, 10}));
+}
+
+TEST(ParamSpace, DecodeRejectsOutOfRangeIndex) {
+  const auto space = tiny_space();
+  EXPECT_THROW((void)space.config_at(space.cardinality()),
+               common::ContractViolation);
+}
+
+TEST(ParamSpace, NeighborsAreHammingOne) {
+  const auto space = tiny_space();
+  const Config center{2, 10, 1};
+  const auto neighbors = space.neighbors(center);
+  EXPECT_EQ(neighbors.size(), (3u - 1) + (2u - 1) + (4u - 1));
+  for (const auto& n : neighbors) {
+    int diff = 0;
+    for (std::size_t p = 0; p < n.size(); ++p) diff += n[p] != center[p];
+    EXPECT_EQ(diff, 1);
+    EXPECT_TRUE(space.contains(n));
+  }
+  // All distinct.
+  std::set<Config> unique(neighbors.begin(), neighbors.end());
+  EXPECT_EQ(unique.size(), neighbors.size());
+}
+
+TEST(ParamSpace, ForEachNeighborRestoresScratch) {
+  const auto space = tiny_space();
+  const Config center{1, 20, 3};
+  std::size_t count = 0;
+  space.for_each_neighbor(center, [&](const Config&) { ++count; });
+  EXPECT_EQ(count, 6u);
+}
+
+TEST(ParamSpace, RandomConfigIsMember) {
+  const auto space = tiny_space();
+  common::Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(space.contains(space.random_config(rng)));
+  }
+}
+
+TEST(ParamSpace, DescribeFormats) {
+  EXPECT_EQ(tiny_space().describe(Config{3, 20, 0}), "a=3, b=20, c=0");
+}
+
+struct SpaceShape {
+  std::vector<std::size_t> radices;
+};
+
+class MixedRadixSweep : public ::testing::TestWithParam<SpaceShape> {};
+
+TEST_P(MixedRadixSweep, BijectionHoldsForAllIndices) {
+  ParamSpace space;
+  const auto& radices = GetParam().radices;
+  for (std::size_t p = 0; p < radices.size(); ++p) {
+    std::vector<Value> values;
+    for (std::size_t v = 0; v < radices[p]; ++v) {
+      values.push_back(static_cast<Value>(v * 3 + 1));
+    }
+    space.add(Parameter::list("p" + std::to_string(p), values));
+  }
+  ConfigIndex expected = 1;
+  for (const auto r : radices) expected *= r;
+  ASSERT_EQ(space.cardinality(), expected);
+
+  std::set<Config> seen;
+  for (ConfigIndex i = 0; i < space.cardinality(); ++i) {
+    const auto config = space.config_at(i);
+    EXPECT_EQ(space.index_of_config(config), i);
+    seen.insert(config);
+  }
+  EXPECT_EQ(seen.size(), space.cardinality());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MixedRadixSweep,
+    ::testing::Values(SpaceShape{{1}}, SpaceShape{{5}}, SpaceShape{{2, 2}},
+                      SpaceShape{{4, 1, 3}}, SpaceShape{{3, 5, 2, 4}},
+                      SpaceShape{{2, 2, 2, 2, 2, 2}}));
+
+}  // namespace
+}  // namespace bat::core

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+#include "gpusim/launch_model.hpp"
+#include "gpusim/noise.hpp"
+#include "gpusim/occupancy.hpp"
+#include "gpusim/perf_utils.hpp"
+
+namespace bat::gpusim {
+namespace {
+
+TEST(Device, PaperDevicesPresentInFigureOrder) {
+  const auto names = paper_device_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "RTX_2080Ti");
+  EXPECT_EQ(names[1], "RTX_3060");
+  EXPECT_EQ(names[2], "RTX_3090");
+  EXPECT_EQ(names[3], "RTX_Titan");
+}
+
+TEST(Device, ArchitectureFamiliesAreCorrect) {
+  EXPECT_EQ(device_by_name("RTX_2080Ti").arch, Architecture::kTuring);
+  EXPECT_EQ(device_by_name("RTX_Titan").arch, Architecture::kTuring);
+  EXPECT_EQ(device_by_name("RTX_3060").arch, Architecture::kAmpere);
+  EXPECT_EQ(device_by_name("RTX_3090").arch, Architecture::kAmpere);
+  EXPECT_THROW((void)device_by_name("H100"), std::out_of_range);
+}
+
+TEST(Device, PublishedThroughputSanity) {
+  // Peak FP32 within 5% of the published numbers (TFLOPS).
+  EXPECT_NEAR(device_by_name("RTX_2080Ti").peak_gflops() / 1000.0, 13.4, 0.7);
+  EXPECT_NEAR(device_by_name("RTX_3060").peak_gflops() / 1000.0, 12.7, 0.7);
+  EXPECT_NEAR(device_by_name("RTX_3090").peak_gflops() / 1000.0, 35.6, 1.8);
+  EXPECT_NEAR(device_by_name("RTX_Titan").peak_gflops() / 1000.0, 16.3, 0.9);
+  // The 3090 has the most bandwidth; the 3060 the least.
+  EXPECT_GT(device_by_name("RTX_3090").mem_bandwidth_gbs, 900.0);
+  EXPECT_LT(device_by_name("RTX_3060").mem_bandwidth_gbs, 400.0);
+}
+
+struct OccCase {
+  const char* device;
+  LaunchConfig launch;
+  int expected_blocks;
+  OccupancyLimiter limiter;
+};
+
+class OccupancySweep : public ::testing::TestWithParam<OccCase> {};
+
+TEST_P(OccupancySweep, MatchesHandComputedResidency) {
+  const auto& c = GetParam();
+  const auto result = compute_occupancy(device_by_name(c.device), c.launch);
+  EXPECT_EQ(result.active_blocks_per_sm, c.expected_blocks);
+  EXPECT_EQ(result.limiter, c.limiter);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, OccupancySweep,
+    ::testing::Values(
+        // Turing: 32 warps/SM. 256-thread blocks, light registers:
+        // warps limit -> 32/8 = 4 blocks.
+        OccCase{"RTX_2080Ti", {256, 32, 0}, 4, OccupancyLimiter::kWarps},
+        // 64 registers/thread, 256 threads: 64*32=2048 regs/warp ->
+        // 8 warps/block * 2048 = 16384 per block -> 4 blocks (registers
+        // and warps tie; warps reported first only if it binds alone).
+        OccCase{"RTX_2080Ti", {256, 64, 0}, 4, OccupancyLimiter::kWarps},
+        // 128 regs/thread: 128*32=4096/warp, block = 32768 -> 2 blocks.
+        OccCase{"RTX_2080Ti", {256, 128, 0}, 2,
+                OccupancyLimiter::kRegisters},
+        // Shared memory bound: 40 KiB/block on 64 KiB SM -> 1 block.
+        OccCase{"RTX_2080Ti", {128, 32, 40 * 1024}, 1,
+                OccupancyLimiter::kSharedMem},
+        // Ampere: 48 warps/SM -> 1536 threads: 6 blocks of 256.
+        OccCase{"RTX_3090", {256, 32, 0}, 6, OccupancyLimiter::kWarps},
+        // Tiny blocks hit the 16-block slot limit.
+        OccCase{"RTX_3090", {32, 16, 0}, 16, OccupancyLimiter::kBlocks}));
+
+TEST(Occupancy, InvalidLaunches) {
+  const auto& dev = device_by_name("RTX_2080Ti");
+  EXPECT_FALSE(compute_occupancy(dev, {0, 32, 0}).valid());
+  EXPECT_FALSE(compute_occupancy(dev, {2048, 32, 0}).valid());  // >1024
+  EXPECT_FALSE(compute_occupancy(dev, {128, 300, 0}).valid());  // regs/thread
+  EXPECT_FALSE(compute_occupancy(dev, {128, 32, 64 * 1024}).valid());  // smem
+}
+
+TEST(Occupancy, OccupancyFractionIsConsistent) {
+  const auto& dev = device_by_name("RTX_3090");
+  const auto r = compute_occupancy(dev, {256, 32, 0});
+  EXPECT_DOUBLE_EQ(r.occupancy,
+                   static_cast<double>(r.active_warps_per_sm) /
+                       dev.max_warps_per_sm);
+  EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
+}
+
+KernelProfile base_profile() {
+  KernelProfile p;
+  p.grid_blocks = 16384;
+  p.block_threads = 256;
+  p.regs_per_thread = 32;
+  p.flops = 1e12;
+  p.dram_bytes = 1e9;
+  p.ilp = 4.0;
+  return p;
+}
+
+TEST(LaunchModel, MoreWorkTakesLonger) {
+  const auto& dev = device_by_name("RTX_3090");
+  auto p = base_profile();
+  const double t1 = *LaunchModel::estimate_ms(dev, p);
+  p.flops *= 2.0;
+  const double t2 = *LaunchModel::estimate_ms(dev, p);
+  EXPECT_GT(t2, t1);
+}
+
+TEST(LaunchModel, FasterDeviceIsFasterOnComputeBoundWork) {
+  auto p = base_profile();
+  p.dram_bytes = 0.0;
+  const double turing =
+      *LaunchModel::estimate_ms(device_by_name("RTX_2080Ti"), p);
+  const double ampere =
+      *LaunchModel::estimate_ms(device_by_name("RTX_3090"), p);
+  EXPECT_GT(turing, ampere);
+}
+
+TEST(LaunchModel, BandwidthBoundWorkTracksBandwidth) {
+  auto p = base_profile();
+  p.flops = 0.0;
+  p.dram_bytes = 1e10;
+  const double t3060 = *LaunchModel::estimate_ms(device_by_name("RTX_3060"), p);
+  const double t3090 = *LaunchModel::estimate_ms(device_by_name("RTX_3090"), p);
+  EXPECT_GT(t3060, 2.0 * t3090);  // 360 vs 936 GB/s
+}
+
+TEST(LaunchModel, ImpossibleLaunchReturnsNullopt) {
+  auto p = base_profile();
+  p.block_threads = 4096;
+  EXPECT_FALSE(
+      LaunchModel::estimate_ms(device_by_name("RTX_3090"), p).has_value());
+}
+
+TEST(LaunchModel, LowOccupancyLowIlpIsSlower) {
+  const auto& dev = device_by_name("RTX_3090");
+  auto p = base_profile();
+  p.ilp = 1.0;
+  p.block_threads = 32;
+  p.smem_per_block = 40 * 1024;  // 1-2 blocks resident
+  const double starved = *LaunchModel::estimate_ms(dev, p);
+  auto q = base_profile();
+  const double healthy = *LaunchModel::estimate_ms(dev, q);
+  EXPECT_GT(starved, healthy);
+}
+
+TEST(LaunchModel, TailFactorOnlyAboveOneWave) {
+  const auto& dev = device_by_name("RTX_3090");
+  auto p = base_profile();
+  p.grid_blocks = 10;  // far below capacity
+  const auto breakdown = LaunchModel::estimate(dev, p);
+  ASSERT_TRUE(breakdown.has_value());
+  EXPECT_DOUBLE_EQ(breakdown->tail_factor, 1.0);
+}
+
+TEST(LaunchModel, LaunchOverheadScalesWithLaunches) {
+  const auto& dev = device_by_name("RTX_3090");
+  auto p = base_profile();
+  p.launches = 100;
+  const auto b = LaunchModel::estimate(dev, p);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NEAR(b->overhead_ms, 100 * dev.launch_overhead_ms, 1e-12);
+}
+
+TEST(LaunchModel, LatencyHidingSaturates) {
+  EXPECT_LT(LaunchModel::latency_hiding(1.0, 20.0), 0.1);
+  EXPECT_GT(LaunchModel::latency_hiding(60.0, 20.0), 0.9);
+  EXPECT_LE(LaunchModel::latency_hiding(1000.0, 20.0), 1.0);
+}
+
+TEST(Noise, DeterministicAndBounded) {
+  const double f1 = noise_factor(1, 2, 3, 0.01);
+  EXPECT_DOUBLE_EQ(f1, noise_factor(1, 2, 3, 0.01));
+  EXPECT_NE(f1, noise_factor(1, 2, 4, 0.01));
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double f = noise_factor(7, i, 9, 0.004);
+    EXPECT_GE(f, 0.996);
+    EXPECT_LE(f, 1.004);
+  }
+}
+
+TEST(Noise, StableNameHashDiffersAcrossNames) {
+  EXPECT_EQ(stable_name_hash("gemm"), stable_name_hash("gemm"));
+  EXPECT_NE(stable_name_hash("gemm"), stable_name_hash("nbody"));
+}
+
+TEST(PerfUtils, CoalescingEfficiency) {
+  EXPECT_DOUBLE_EQ(coalescing_efficiency(1.0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(coalescing_efficiency(8.0, 4.0), 0.125);  // own sector
+  EXPECT_GT(coalescing_efficiency(2.0, 4.0),
+            coalescing_efficiency(4.0, 4.0));
+}
+
+TEST(PerfUtils, UnrollEfficiencyHasInteriorOptimum) {
+  const double u1 = unroll_efficiency(1);
+  const double u8 = unroll_efficiency(8);
+  const double u64 = unroll_efficiency(64);
+  EXPECT_GT(u8, u1);
+  EXPECT_GT(u8, u64);
+}
+
+TEST(PerfUtils, CacheMissFraction) {
+  EXPECT_DOUBLE_EQ(cache_miss_fraction(100.0, 200.0, 0.05), 0.05);
+  EXPECT_GT(cache_miss_fraction(1e9, 1e6, 0.05), 0.9);
+  EXPECT_LE(cache_miss_fraction(1e9, 1e6, 0.05), 1.0);
+}
+
+TEST(PerfUtils, DivUp) {
+  EXPECT_EQ(div_up(10, 3), 4u);
+  EXPECT_EQ(div_up(9, 3), 3u);
+  EXPECT_EQ(div_up(1, 100), 1u);
+}
+
+}  // namespace
+}  // namespace bat::gpusim

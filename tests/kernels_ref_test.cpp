@@ -1,0 +1,355 @@
+// Functional correctness of the reference kernel implementations: every
+// tunable algorithmic variant must compute the same result.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "kernels/reference/convolution_ref.hpp"
+#include "kernels/reference/dedisp_ref.hpp"
+#include "kernels/reference/expdist_ref.hpp"
+#include "kernels/reference/gemm_ref.hpp"
+#include "kernels/reference/hotspot_ref.hpp"
+#include "kernels/reference/nbody_ref.hpp"
+#include "kernels/reference/pnpoly_ref.hpp"
+
+namespace bat::kernels::ref {
+namespace {
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<float> out(n);
+  for (auto& v : out) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return out;
+}
+
+// ---------------------------------------------------------------- GEMM --
+
+struct GemmTiling {
+  std::size_t mwg, nwg, kwg;
+};
+
+class GemmBlockingSweep : public ::testing::TestWithParam<GemmTiling> {};
+
+TEST_P(GemmBlockingSweep, BlockedEqualsNaive) {
+  const std::size_t m = 32, n = 48, k = 64;
+  const auto a = random_floats(m * k, 1);
+  const auto b = random_floats(k * n, 2);
+  auto c_naive = random_floats(m * n, 3);
+  auto c_blocked = c_naive;
+
+  gemm_naive(m, n, k, 1.5f, a, b, 0.5f, c_naive);
+  gemm_blocked(m, n, k, 1.5f, a, b, 0.5f, c_blocked, GetParam().mwg,
+               GetParam().nwg, GetParam().kwg);
+  for (std::size_t i = 0; i < c_naive.size(); ++i) {
+    EXPECT_NEAR(c_blocked[i], c_naive[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tilings, GemmBlockingSweep,
+                         ::testing::Values(GemmTiling{8, 8, 8},
+                                           GemmTiling{16, 16, 16},
+                                           GemmTiling{32, 48, 64},
+                                           GemmTiling{8, 16, 32},
+                                           GemmTiling{16, 24, 8}));
+
+TEST(GemmRef, AlphaBetaSemantics) {
+  const std::size_t m = 4, n = 4, k = 4;
+  const auto a = random_floats(m * k, 4);
+  const auto b = random_floats(k * n, 5);
+  std::vector<float> c(m * n, 1.0f);
+  gemm_naive(m, n, k, 0.0f, a, b, 2.0f, c);  // alpha 0: C = 2*C
+  for (const float v : c) EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(GemmRef, BlockedRejectsNonDividingTiles) {
+  const std::size_t m = 10, n = 10, k = 10;
+  const auto a = random_floats(m * k, 6);
+  const auto b = random_floats(k * n, 7);
+  std::vector<float> c(m * n, 0.0f);
+  EXPECT_THROW(gemm_blocked(m, n, k, 1.0f, a, b, 0.0f, c, 4, 5, 5),
+               common::ContractViolation);
+}
+
+// --------------------------------------------------------------- Nbody --
+
+TEST(NbodyRef, SoaEqualsAos) {
+  common::Rng rng(8);
+  std::vector<Body> bodies(64);
+  for (auto& body : bodies) {
+    body = Body{static_cast<float>(rng.uniform(-1, 1)),
+                static_cast<float>(rng.uniform(-1, 1)),
+                static_cast<float>(rng.uniform(-1, 1)),
+                static_cast<float>(rng.uniform(0.1, 2.0))};
+  }
+  const auto soa = BodiesSoA::from_aos(bodies);
+  std::vector<float> ax_a(64), ay_a(64), az_a(64);
+  std::vector<float> ax_s(64), ay_s(64), az_s(64);
+  nbody_forces_aos(bodies, 0.1f, ax_a, ay_a, az_a);
+  nbody_forces_soa(soa, 0.1f, ax_s, ay_s, az_s);
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    EXPECT_FLOAT_EQ(ax_a[i], ax_s[i]);
+    EXPECT_FLOAT_EQ(ay_a[i], ay_s[i]);
+    EXPECT_FLOAT_EQ(az_a[i], az_s[i]);
+  }
+}
+
+class NbodyTileSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NbodyTileSweep, TilingDoesNotChangeForces) {
+  common::Rng rng(9);
+  std::vector<Body> bodies(50);
+  for (auto& body : bodies) {
+    body = Body{static_cast<float>(rng.uniform(-1, 1)),
+                static_cast<float>(rng.uniform(-1, 1)),
+                static_cast<float>(rng.uniform(-1, 1)), 1.0f};
+  }
+  const auto soa = BodiesSoA::from_aos(bodies);
+  std::vector<float> base_x(50), base_y(50), base_z(50);
+  nbody_forces_soa(soa, 0.05f, base_x, base_y, base_z, 1);
+  std::vector<float> x(50), y(50), z(50);
+  nbody_forces_soa(soa, 0.05f, x, y, z, GetParam());
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_FLOAT_EQ(base_x[i], x[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiles, NbodyTileSweep,
+                         ::testing::Values(2u, 7u, 16u, 50u, 64u));
+
+// ------------------------------------------------------------- Hotspot --
+
+HotspotGrid make_grid(std::size_t w, std::size_t h, std::uint64_t seed) {
+  HotspotGrid g;
+  g.width = w;
+  g.height = h;
+  common::Rng rng(seed);
+  g.temperature.resize(w * h);
+  g.power.resize(w * h);
+  for (auto& t : g.temperature) {
+    t = static_cast<float>(rng.uniform(40.0, 90.0));
+  }
+  for (auto& p : g.power) p = static_cast<float>(rng.uniform(0.0, 1.0));
+  return g;
+}
+
+struct HotspotTiling {
+  std::size_t tile_w, tile_h, tf, steps;
+};
+
+class HotspotTilingSweep : public ::testing::TestWithParam<HotspotTiling> {};
+
+TEST_P(HotspotTilingSweep, TemporalTilingIsExact) {
+  const auto grid = make_grid(20, 17, 10);
+  const HotspotCoefficients coeff;
+  const auto plain = hotspot_run(grid, coeff, GetParam().steps);
+  const auto tiled =
+      hotspot_run_tiled(grid, coeff, GetParam().steps, GetParam().tile_w,
+                        GetParam().tile_h, GetParam().tf);
+  ASSERT_EQ(plain.size(), tiled.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_NEAR(plain[i], tiled[i], 2e-3f) << "cell " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tilings, HotspotTilingSweep,
+    ::testing::Values(HotspotTiling{4, 4, 1, 3}, HotspotTiling{4, 4, 2, 4},
+                      HotspotTiling{5, 3, 3, 6}, HotspotTiling{7, 7, 4, 4},
+                      HotspotTiling{20, 17, 5, 5},
+                      HotspotTiling{1, 1, 2, 2}));
+
+TEST(HotspotRef, StepMovesTowardAmbientWithoutPower) {
+  HotspotGrid g = make_grid(8, 8, 11);
+  std::fill(g.power.begin(), g.power.end(), 0.0f);
+  std::fill(g.temperature.begin(), g.temperature.end(), 100.0f);
+  std::vector<float> out(g.temperature.size());
+  hotspot_step(g, HotspotCoefficients{}, out);
+  // All cells are equal, so only the ambient term acts: temperature drops.
+  for (const float t : out) {
+    EXPECT_LT(t, 100.0f);
+    EXPECT_GT(t, 80.0f);
+  }
+}
+
+// -------------------------------------------------------------- Pnpoly --
+
+struct PnpolyVariant {
+  int between, use;
+};
+
+class PnpolyVariantSweep : public ::testing::TestWithParam<PnpolyVariant> {};
+
+TEST_P(PnpolyVariantSweep, AgreesWithBaselineVariant) {
+  const auto polygon = make_test_polygon(60, 12);
+  common::Rng rng(13);
+  std::vector<Point2D> points(500);
+  for (auto& p : points) {
+    p = Point2D{static_cast<float>(rng.uniform(-1.2, 1.2)),
+                static_cast<float>(rng.uniform(-1.2, 1.2))};
+  }
+  const auto base = pnpoly_batch(points, polygon, 0, 0);
+  const auto variant = pnpoly_batch(points, polygon, GetParam().between,
+                                    GetParam().use);
+  EXPECT_EQ(base, variant);
+}
+
+std::vector<PnpolyVariant> all_pnpoly_variants() {
+  std::vector<PnpolyVariant> out;
+  for (int b = 0; b < 4; ++b) {
+    for (int u = 0; u < 3; ++u) out.push_back(PnpolyVariant{b, u});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwelve, PnpolyVariantSweep,
+                         ::testing::ValuesIn(all_pnpoly_variants()),
+                         [](const auto& info) {
+                           return "b" + std::to_string(info.param.between) +
+                                  "_u" + std::to_string(info.param.use);
+                         });
+
+TEST(PnpolyRef, KnownSquareMembership) {
+  // Unit square with CCW corners.
+  const std::vector<Point2D> square{
+      {0.0f, 0.0f}, {1.0f, 0.0f}, {1.0f, 1.0f}, {0.0f, 1.0f}};
+  EXPECT_TRUE(pnpoly_test({0.5f, 0.5f}, square, 0, 0));
+  EXPECT_FALSE(pnpoly_test({1.5f, 0.5f}, square, 0, 0));
+  EXPECT_FALSE(pnpoly_test({-0.1f, 0.9f}, square, 0, 0));
+}
+
+TEST(PnpolyRef, TilingDoesNotChangeResults) {
+  const auto polygon = make_test_polygon(30, 14);
+  common::Rng rng(15);
+  std::vector<Point2D> points(100);
+  for (auto& p : points) {
+    p = Point2D{static_cast<float>(rng.uniform(-1, 1)),
+                static_cast<float>(rng.uniform(-1, 1))};
+  }
+  const auto t1 = pnpoly_batch(points, polygon, 1, 1, 1);
+  const auto t7 = pnpoly_batch(points, polygon, 1, 1, 7);
+  EXPECT_EQ(t1, t7);
+}
+
+// --------------------------------------------------------- Convolution --
+
+struct ConvTiling {
+  std::size_t tile_w, tile_h;
+};
+
+class ConvTilingSweep : public ::testing::TestWithParam<ConvTiling> {};
+
+TEST_P(ConvTilingSweep, TiledEqualsDirect) {
+  const std::size_t w = 40, h = 33, fw = 5, fh = 5;
+  const auto input = random_floats(w * h, 16);
+  const auto filter = random_floats(fw * fh, 17);
+  const auto direct = convolve2d(input, w, h, filter, fw, fh);
+  const auto tiled = convolve2d_tiled(input, w, h, filter, fw, fh,
+                                      GetParam().tile_w, GetParam().tile_h);
+  ASSERT_EQ(direct.size(), tiled.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_FLOAT_EQ(direct[i], tiled[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tilings, ConvTilingSweep,
+                         ::testing::Values(ConvTiling{1, 1}, ConvTiling{4, 4},
+                                           ConvTiling{7, 3},
+                                           ConvTiling{36, 29},
+                                           ConvTiling{64, 64}));
+
+TEST(ConvolutionRef, IdentityFilterPassesThrough) {
+  const std::size_t w = 10, h = 10;
+  const auto input = random_floats(w * h, 18);
+  std::vector<float> filter(9, 0.0f);
+  filter[4] = 1.0f;  // 3x3 delta
+  const auto out = convolve2d(input, w, h, filter, 3, 3);
+  EXPECT_FLOAT_EQ(out[0], input[1 * w + 1]);
+  EXPECT_FLOAT_EQ(out.back(), input[(h - 2) * w + (w - 2)]);
+}
+
+// ------------------------------------------------------------- Expdist --
+
+class ExpdistBlockSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExpdistBlockSweep, ColumnBlockedEqualsDirect) {
+  const auto target = make_test_particle(80, 19);
+  const auto model = make_test_particle(70, 20);
+  const double direct = expdist_direct(target, model);
+  const double column = expdist_column(target, model, GetParam());
+  EXPECT_NEAR(direct, column, 1e-9 * std::abs(direct));
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, ExpdistBlockSweep,
+                         ::testing::Values(1u, 2u, 7u, 32u, 70u, 100u));
+
+TEST(ExpdistRef, IdenticalParticlesGiveMaximalSelfTerms) {
+  const auto particle = make_test_particle(30, 21);
+  const double self = expdist_direct(particle, particle);
+  // Each self-pair contributes exp(0) = 1, so D >= n.
+  EXPECT_GE(self, 30.0);
+}
+
+// -------------------------------------------------------------- Dedisp --
+
+DedispProblem small_problem() {
+  DedispProblem p;
+  p.channels = 16;
+  p.dms = 12;
+  p.out_samples = 32;
+  p.samples = 256;  // headroom for delays
+  p.dm_step = 2.0f;
+  return p;
+}
+
+struct DedispTiling {
+  std::size_t bx, by, tx, ty;
+  bool sx, sy;
+};
+
+class DedispTilingSweep : public ::testing::TestWithParam<DedispTiling> {};
+
+TEST_P(DedispTilingSweep, TiledEqualsDirect) {
+  const auto problem = small_problem();
+  const auto input =
+      random_floats(problem.channels * problem.samples, 22);
+  const auto direct = dedisperse(problem, input);
+  const auto& t = GetParam();
+  const auto tiled =
+      dedisperse_tiled(problem, input, t.bx, t.by, t.tx, t.ty, t.sx, t.sy);
+  ASSERT_EQ(direct.size(), tiled.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_FLOAT_EQ(direct[i], tiled[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tilings, DedispTilingSweep,
+    ::testing::Values(DedispTiling{1, 1, 1, 1, false, false},
+                      DedispTiling{4, 2, 2, 3, false, false},
+                      DedispTiling{4, 2, 2, 3, true, true},
+                      DedispTiling{8, 4, 4, 2, true, false},
+                      DedispTiling{3, 5, 2, 2, false, true}));
+
+TEST(DedispRef, DelayGrowsWithDmAndLowerFrequency) {
+  const auto p = small_problem();
+  EXPECT_EQ(p.delay(0, 0), 0u);
+  EXPECT_GT(p.delay(8, 0), p.delay(2, 0));
+  EXPECT_GT(p.delay(8, 0), p.delay(8, p.channels - 1));
+}
+
+TEST(DedispRef, ZeroDmRowIsPlainChannelSum) {
+  const auto p = small_problem();
+  const auto input = random_floats(p.channels * p.samples, 23);
+  const auto out = dedisperse(p, input);
+  for (std::size_t s = 0; s < 4; ++s) {
+    float expected = 0.0f;
+    for (std::size_t c = 0; c < p.channels; ++c) {
+      expected += input[c * p.samples + s];
+    }
+    EXPECT_FLOAT_EQ(out[s], expected);
+  }
+}
+
+}  // namespace
+}  // namespace bat::kernels::ref

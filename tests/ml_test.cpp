@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/matrix.hpp"
+#include "ml/pfi.hpp"
+#include "ml/tree.hpp"
+
+namespace bat::ml {
+namespace {
+
+/// y = 3*x0 + step(x1) + noise; x2 is pure noise.
+std::pair<Matrix, std::vector<double>> synthetic_data(std::size_t n,
+                                                      std::uint64_t seed) {
+  common::Rng rng(seed);
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(0.0, 4.0);
+    x(i, 1) = static_cast<double>(rng.uniform_int(0, 3));
+    x(i, 2) = rng.uniform(-1.0, 1.0);
+    y[i] = std::exp(0.5 * x(i, 0) + (x(i, 1) >= 2.0 ? 1.0 : 0.0) +
+                    rng.normal(0.0, 0.01));
+  }
+  return {std::move(x), std::move(y)};
+}
+
+TEST(Matrix, FromRowsAndAccess) {
+  const auto m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.row(0)[1], 2.0);
+}
+
+TEST(Matrix, PermutedColumnOnlyTouchesThatColumn) {
+  const auto m = Matrix::from_rows({{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}});
+  const auto p = m.with_permuted_column(1, {2, 0, 1});
+  EXPECT_DOUBLE_EQ(p(0, 1), 30.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 10.0);
+  EXPECT_DOUBLE_EQ(p(0, 0), 1.0);  // column 0 untouched
+}
+
+TEST(TrainTestSplit, SizesAndDeterminism) {
+  const auto [x, y] = synthetic_data(100, 1);
+  const auto s1 = train_test_split(x, y, 0.25, 7);
+  const auto s2 = train_test_split(x, y, 0.25, 7);
+  EXPECT_EQ(s1.x_train.rows(), 75u);
+  EXPECT_EQ(s1.x_test.rows(), 25u);
+  EXPECT_EQ(s1.y_test, s2.y_test);
+  const auto s3 = train_test_split(x, y, 0.25, 8);
+  EXPECT_NE(s1.y_test, s3.y_test);
+}
+
+TEST(RegressionTree, FitsAStepFunctionExactly) {
+  Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = i < 50 ? 1.0 : 5.0;
+  }
+  std::vector<std::size_t> rows(100);
+  for (std::size_t i = 0; i < 100; ++i) rows[i] = i;
+  RegressionTree tree;
+  tree.fit(x, y, rows, TreeParams{});
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{10.0}), 1.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{80.0}), 5.0);
+}
+
+TEST(RegressionTree, RespectsMinSamplesLeaf) {
+  Matrix x(10, 1);
+  std::vector<double> y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = static_cast<double>(i);
+  }
+  std::vector<std::size_t> rows(10);
+  for (std::size_t i = 0; i < 10; ++i) rows[i] = i;
+  TreeParams params;
+  params.min_samples_leaf = 5;
+  RegressionTree tree;
+  tree.fit(x, y, rows, params);
+  // Only one split is possible (5|5).
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(RegressionTree, SplitGainsConcentrateOnInformativeFeature) {
+  const auto [x, y] = synthetic_data(400, 2);
+  std::vector<double> logy(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) logy[i] = std::log(y[i]);
+  std::vector<std::size_t> rows(x.rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  RegressionTree tree;
+  tree.fit(x, logy, rows, TreeParams{});
+  const auto gains = tree.split_gains(3);
+  EXPECT_GT(gains[0], gains[2]);
+}
+
+TEST(Gbdt, HighR2OnSmoothTarget) {
+  const auto [x, y] = synthetic_data(600, 3);
+  const auto split = train_test_split(x, y, 0.25, 11);
+  GbdtRegressor model;
+  model.fit(split.x_train, split.y_train);
+  const auto pred = model.predict_all(split.x_test);
+  EXPECT_GT(r2_score(split.y_test, pred), 0.95);
+}
+
+TEST(Gbdt, MoreTreesDoNotHurtTrainFit) {
+  const auto [x, y] = synthetic_data(300, 4);
+  GbdtParams small;
+  small.num_trees = 10;
+  GbdtParams large;
+  large.num_trees = 150;
+  GbdtRegressor m_small(small), m_large(large);
+  m_small.fit(x, y);
+  m_large.fit(x, y);
+  const auto p_small = m_small.predict_all(x);
+  const auto p_large = m_large.predict_all(x);
+  EXPECT_GE(r2_score(y, p_large), r2_score(y, p_small));
+}
+
+TEST(Gbdt, DeterministicGivenSeed) {
+  const auto [x, y] = synthetic_data(200, 5);
+  GbdtRegressor a, b;
+  a.fit(x, y);
+  b.fit(x, y);
+  EXPECT_DOUBLE_EQ(a.predict(x.row(0)), b.predict(x.row(0)));
+}
+
+TEST(Gbdt, LogTargetRequiresPositiveY) {
+  Matrix x(4, 1);
+  std::vector<double> y{1.0, 2.0, -1.0, 3.0};
+  GbdtRegressor model;
+  EXPECT_THROW(model.fit(x, y, /*log_target=*/true),
+               common::ContractViolation);
+  EXPECT_NO_THROW(model.fit(x, y, /*log_target=*/false));
+}
+
+TEST(Metrics, R2Properties) {
+  const std::vector<double> truth{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r2_score(truth, truth), 1.0);
+  const std::vector<double> mean_pred(4, 2.5);
+  EXPECT_DOUBLE_EQ(r2_score(truth, mean_pred), 0.0);
+  const std::vector<double> bad{4.0, 3.0, 2.0, 1.0};
+  EXPECT_LT(r2_score(truth, bad), 0.0);
+}
+
+TEST(Metrics, Rmse) {
+  const std::vector<double> truth{0.0, 0.0};
+  const std::vector<double> pred{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rmse(truth, pred), std::sqrt(12.5));
+}
+
+TEST(Pfi, InformativeFeaturesDominateNoise) {
+  const auto [x, y] = synthetic_data(600, 6);
+  GbdtRegressor model;
+  model.fit(x, y);
+  const auto result = permutation_importance(model, x, y);
+  EXPECT_GT(result.baseline_r2, 0.9);
+  EXPECT_GT(result.importance[0], 10.0 * result.importance[2] + 1e-9);
+  EXPECT_GT(result.importance[1], result.importance[2]);
+  EXPECT_GT(result.total(), 0.0);
+}
+
+TEST(Pfi, RequiresTrainedModel) {
+  GbdtRegressor model;
+  Matrix x(2, 1);
+  std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW((void)permutation_importance(model, x, y),
+               common::ContractViolation);
+}
+
+class GbdtDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GbdtDepthSweep, DeeperTreesFitInteractionsBetter) {
+  // y depends on XOR(x0 > .5, x1 > .5): needs depth >= 2.
+  common::Rng rng(7);
+  Matrix x(400, 2);
+  std::vector<double> y(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    x(i, 0) = rng.uniform();
+    x(i, 1) = rng.uniform();
+    const bool a = x(i, 0) > 0.5, b = x(i, 1) > 0.5;
+    y[i] = (a ^ b) ? 4.0 : 1.0;
+  }
+  GbdtParams params;
+  params.tree.max_depth = GetParam();
+  GbdtRegressor model(params);
+  model.fit(x, y);
+  const double r2 = r2_score(y, model.predict_all(x));
+  if (GetParam() >= 2) {
+    EXPECT_GT(r2, 0.9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, GbdtDepthSweep, ::testing::Values(2, 4, 6));
+
+}  // namespace
+}  // namespace bat::ml

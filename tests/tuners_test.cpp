@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/runner.hpp"
+#include "kernels/all_kernels.hpp"
+#include "tuners/tuner.hpp"
+
+namespace bat::tuners {
+namespace {
+
+TEST(TunerFactory, KnowsAllNamesAndRejectsUnknown) {
+  for (const auto& name : tuner_names()) {
+    const auto tuner = make_tuner(name);
+    EXPECT_EQ(tuner->name(), name);
+  }
+  EXPECT_EQ(make_tuner("basic")->name(), "local");  // paper's basic tuner
+  EXPECT_THROW((void)make_tuner("gradient_descent"), std::out_of_range);
+}
+
+class AllTunersSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllTunersSweep, RespectsBudgetExactly) {
+  const auto bench = kernels::make("pnpoly");
+  auto tuner = make_tuner(GetParam());
+  const auto run = run_tuner(*tuner, *bench, 0, 60, 17);
+  EXPECT_EQ(run.trace.size(), 60u);
+  EXPECT_EQ(run.best_so_far.size(), 60u);
+}
+
+TEST_P(AllTunersSweep, FindsFiniteBest) {
+  const auto bench = kernels::make("pnpoly");
+  auto tuner = make_tuner(GetParam());
+  const auto run = run_tuner(*tuner, *bench, 2, 80, 23);
+  ASSERT_TRUE(run.best.has_value());
+  EXPECT_TRUE(std::isfinite(run.best->objective));
+}
+
+TEST_P(AllTunersSweep, DeterministicGivenSeed) {
+  const auto bench = kernels::make("convolution");
+  auto t1 = make_tuner(GetParam());
+  auto t2 = make_tuner(GetParam());
+  const auto r1 = run_tuner(*t1, *bench, 1, 40, 99);
+  const auto r2 = run_tuner(*t2, *bench, 1, 40, 99);
+  ASSERT_EQ(r1.trace.size(), r2.trace.size());
+  for (std::size_t i = 0; i < r1.trace.size(); ++i) {
+    EXPECT_EQ(r1.trace[i].index, r2.trace[i].index);
+  }
+}
+
+TEST_P(AllTunersSweep, BeatsTheMedianWithModestBudget) {
+  const auto bench = kernels::make("pnpoly");
+  // Median of the exhaustive space (computed once, cheap for pnpoly).
+  static const double median = [] {
+    const auto b = kernels::make("pnpoly");
+    const auto ds = core::Runner::run_exhaustive(*b, 0);
+    return ds.median_time();
+  }();
+  auto tuner = make_tuner(GetParam());
+  const auto run = run_tuner(*tuner, *bench, 0, 150, 31);
+  ASSERT_TRUE(run.best.has_value());
+  EXPECT_LT(run.best->objective, median);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tuners, AllTunersSweep,
+                         ::testing::ValuesIn(tuner_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(LocalSearch, ReachesALocalMinimum) {
+  const auto bench = kernels::make("pnpoly");
+  auto tuner = make_tuner("local");
+  const auto run = run_tuner(*tuner, *bench, 2, 400, 5);
+  ASSERT_TRUE(run.best.has_value());
+  // Verify the incumbent is no worse than all its valid neighbors OR the
+  // budget ended mid-descent; for a 400-eval budget on a 4k space, at
+  // least one full descent completes, so check against neighbors.
+  const auto& space = bench->space();
+  const auto best_config =
+      space.params().config_at(run.best->index);
+  std::size_t better_neighbors = 0;
+  for (const auto& n : space.valid_neighbors(best_config)) {
+    const auto m = bench->evaluate(n, 2);
+    if (m.ok() && m.time_ms < run.best->objective) ++better_neighbors;
+  }
+  EXPECT_EQ(better_neighbors, 0u);
+}
+
+TEST(Comparison, InformedTunersBeatRandomOnGemm) {
+  // The whole point of the suite: optimization algorithms can be
+  // compared through a single interface. On the hard GEMM space a
+  // model/structure-exploiting tuner should beat random search given the
+  // same modest budget (aggregated over seeds to avoid flakiness).
+  const auto bench = kernels::make("gemm");
+  double random_best = 0.0, informed_best = 0.0;
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto random = make_tuner("random");
+    auto informed = make_tuner("ils");
+    random_best += run_tuner(*random, *bench, 2, 220, seed).best->objective;
+    informed_best +=
+        run_tuner(*informed, *bench, 2, 220, seed).best->objective;
+  }
+  EXPECT_LT(informed_best, random_best * 1.10);
+}
+
+TEST(RunTuner, TraceObjectivesMatchBenchmark) {
+  const auto bench = kernels::make("nbody");
+  auto tuner = make_tuner("random");
+  const auto run = run_tuner(*tuner, *bench, 3, 25, 77);
+  for (const auto& entry : run.trace) {
+    const auto config = bench->space().params().config_at(entry.index);
+    const auto m = bench->evaluate(config, 3);
+    EXPECT_DOUBLE_EQ(entry.objective, m.objective());
+  }
+}
+
+}  // namespace
+}  // namespace bat::tuners

@@ -1,0 +1,68 @@
+// Scratch calibration harness (not part of the library build).
+#include <cstdio>
+#include <algorithm>
+#include "kernels/all_kernels.hpp"
+#include "core/runner.hpp"
+#include "common/statistics.hpp"
+#include "common/rng.hpp"
+
+using namespace bat;
+
+int main() {
+  const auto& devices = gpusim::paper_devices();
+  for (const auto& bench : kernels::make_all()) {
+    const auto& sp = bench->space();
+    std::printf("== %s: card=%llu constrained=%llu\n", bench->name().c_str(),
+                (unsigned long long)sp.cardinality(),
+                (unsigned long long)sp.count_constrained());
+    for (size_t d = 0; d < devices.size(); ++d) {
+      auto ds = core::Runner::run_default(*bench, d, 0xBA7, 10000, 100000);
+      auto times = ds.valid_times();
+      if (times.empty()) { std::printf("  %s: NO VALID\n", devices[d].name.c_str()); continue; }
+      std::sort(times.begin(), times.end());
+      double best = times.front(), med = common::quantile_sorted(times, 0.5);
+      double worst = times.back();
+      // convergence: evals needed so random search median reaches 90% of best perf
+      // perf = best/time; do 100 runs sampling from dataset
+      common::Rng rng(123);
+      std::vector<int> evals_to_90;
+      for (int r = 0; r < 100; ++r) {
+        double cur = 1e300; int hit = -1;
+        std::vector<size_t> idx(times.size());
+        // sample with replacement is fine for estimate
+        for (int e = 1; e <= 2000; ++e) {
+          double t = times[rng.next_below(times.size())];
+          cur = std::min(cur, t);
+          if (best / cur >= 0.90) { hit = e; break; }
+        }
+        evals_to_90.push_back(hit < 0 ? 2000 : hit);
+      }
+      std::sort(evals_to_90.begin(), evals_to_90.end());
+      size_t within90 = 0;
+      for (double t : times) if (best / t >= 0.90) ++within90;
+      std::printf("  %-11s n_ok=%zu best=%.4fms med=%.4f worst=%.4f max/med=%.2f  evals90=%d  frac90=%.4f\n",
+                  devices[d].name.c_str(), times.size(), best, med, worst, med / best,
+                  evals_to_90[50], (double)within90 / times.size());
+      std::printf("    best cfg: %s\n",
+                  sp.params().describe(ds.config(ds.best_row())).c_str());
+    }
+    // portability: best config of each device evaluated on others (only exhaustive)
+    if (sp.cardinality() <= 100000) {
+      std::vector<core::Dataset> ds;
+      for (size_t d = 0; d < devices.size(); ++d)
+        ds.push_back(core::Runner::run_exhaustive(*bench, d));
+      std::printf("  portability:\n");
+      for (size_t from = 0; from < devices.size(); ++from) {
+        auto cfg = ds[from].config(ds[from].best_row());
+        std::printf("   %-11s:", devices[from].name.c_str());
+        for (size_t to = 0; to < devices.size(); ++to) {
+          auto m = bench->evaluate(cfg, to);
+          double rel = m.ok() ? ds[to].best_time() / m.time_ms : 0.0;
+          std::printf(" %5.1f%%", rel * 100);
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include <cstdio>
+#include "core/runner.hpp"
+#include "kernels/all_kernels.hpp"
+int main() {
+  using namespace bat;
+  auto bench = kernels::make("nbody");
+  auto ds = core::Runner::run_exhaustive(*bench, 0);
+  double med = ds.median_time();
+  for (double f : {1.3, 1.5, 1.8, 2.0}) {
+    size_t poor = 0, tot = 0;
+    for (size_t r = 0; r < ds.size(); ++r) {
+      if (!ds.row_ok(r)) continue;
+      ++tot;
+      if (ds.time_ms(r) > f * med) ++poor;
+    }
+    std::printf("f=%.1f frac=%.3f\n", f, double(poor) / tot);
+  }
+}

@@ -1,0 +1,25 @@
+// Prints the top-12 configurations per device for one benchmark.
+#include <cstdio>
+#include <algorithm>
+#include <numeric>
+#include "kernels/all_kernels.hpp"
+#include "core/runner.hpp"
+int main(int argc, char** argv) {
+  using namespace bat;
+  auto bench = kernels::make(argc > 1 ? argv[1] : "gemm");
+  for (size_t d : {0, 2}) {
+    auto ds = core::Runner::run_default(*bench, d, 0xBA7, 10000, 100000);
+    std::vector<size_t> rows = ds.valid_rows();
+    std::sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+      return ds.time_ms(a) < ds.time_ms(b);
+    });
+    std::printf("== %s on %s\n", bench->name().c_str(), bench->device_name(d).c_str());
+    double best = ds.time_ms(rows[0]);
+    for (size_t i = 0; i < std::min<size_t>(12, rows.size()); ++i) {
+      std::printf("  %5.2f%% %8.4fms  %s\n", 100.0 * best / ds.time_ms(rows[i]),
+                  ds.time_ms(rows[i]),
+                  bench->space().params().describe(ds.config(rows[i])).c_str());
+    }
+  }
+  return 0;
+}

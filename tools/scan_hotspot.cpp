@@ -1,0 +1,21 @@
+#include <cstdio>
+#include <algorithm>
+#include "kernels/all_kernels.hpp"
+#include "core/runner.hpp"
+#include "common/statistics.hpp"
+int main() {
+  using namespace bat;
+  auto bench = kernels::make("hotspot");
+  for (size_t d : {0, 2}) {
+    auto ds = core::Runner::run_sampled(*bench, d, 10000, 0xBA7);
+    auto times = ds.valid_times();
+    std::sort(times.begin(), times.end());
+    double best = times.front(), med = common::quantile_sorted(times, 0.5);
+    size_t w90 = 0; for (double t : times) if (best / t >= 0.9) ++w90;
+    std::printf("%-11s n=%zu best=%.3f med/best=%.2f frac90=%.4f  best:%s\n",
+                bench->device_name(d).c_str(), times.size(), best, med / best,
+                (double)w90 / times.size(),
+                bench->space().params().describe(ds.config(ds.best_row())).c_str());
+  }
+  return 0;
+}
