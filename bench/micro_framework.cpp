@@ -8,7 +8,9 @@
 
 #include "analysis/pagerank.hpp"
 #include "common/rng.hpp"
+#include "core/backend.hpp"
 #include "core/evaluator.hpp"
+#include "core/runner.hpp"
 #include "kernels/all_kernels.hpp"
 #include "ml/gbdt.hpp"
 
@@ -109,8 +111,8 @@ BENCHMARK(BM_PageRank)->Arg(1000)->Arg(10000);
 void BM_TunerStepLocalSearch(benchmark::State& state) {
   const auto bench = kernels::make("pnpoly");
   for (auto _ : state) {
-    core::TuningProblem problem(*bench, 0);
-    core::CachingEvaluator eval(problem, 64);
+    core::LiveBackend backend(*bench, 0);
+    core::CachingEvaluator eval(backend, 64);
     common::Rng rng(7);
     try {
       core::Config current = bench->space().random_valid_config(rng);
@@ -124,6 +126,45 @@ void BM_TunerStepLocalSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TunerStepLocalSearch);
+
+void BM_BatchEvaluateLive(benchmark::State& state) {
+  // The batched hot path: one generation fanned out over the thread
+  // pool vs evaluated element-wise (state.range(0) = batch size).
+  const auto bench = kernels::make("gemm");
+  common::Rng rng(8);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<core::ConfigIndex> indices;
+  indices.reserve(n);
+  const auto& params = bench->space().params();
+  for (std::size_t i = 0; i < n; ++i) {
+    indices.push_back(
+        params.index_of_config(bench->space().random_valid_config(rng)));
+  }
+  core::LiveBackend backend(*bench, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.evaluate_batch(indices).front().time_ms);
+  }
+}
+BENCHMARK(BM_BatchEvaluateLive)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_BatchEvaluateReplay(benchmark::State& state) {
+  // Tabular replay: the same generation served from a dataset.
+  const auto bench = kernels::make("pnpoly");
+  const auto ds = core::Runner::run_exhaustive(*bench, 0);
+  core::ReplayBackend backend(bench->space(), ds);
+  common::Rng rng(9);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<core::ConfigIndex> indices;
+  const auto& params = bench->space().params();
+  for (std::size_t i = 0; i < n; ++i) {
+    indices.push_back(
+        params.index_of_config(bench->space().random_valid_config(rng)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.evaluate_batch(indices).front().time_ms);
+  }
+}
+BENCHMARK(BM_BatchEvaluateReplay)->Arg(64)->Arg(1024);
 
 }  // namespace
 

@@ -2,17 +2,31 @@
 // algorithms from different tuners on the same benchmarks through one
 // shared problem interface.
 //
-//   $ ./compare_tuners [benchmark] [budget] [repeats]
+//   $ ./compare_tuners [benchmark] [budget] [repeats] [backend]
 //
 // Runs every built-in optimizer with the same budget on every paper GPU
 // and reports the mean best time (and how far from the true optimum it
 // landed, when the space is small enough to know the optimum).
+//
+// backend = auto | live | replay:
+//   * live   — every evaluation goes through the gpusim model (batched
+//              tuners fan generations out over the thread pool);
+//   * replay — one Runner sweep per device builds a tabular dataset and
+//              all tuner evaluations become free lookups (only sound
+//              when the sweep is exhaustive);
+//   * auto   — replay when the space is exhaustively enumerable,
+//              live otherwise (default).
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 
+#include "bench/bench_util.hpp"
 #include "common/statistics.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/backend.hpp"
 #include "core/runner.hpp"
 #include "kernels/all_kernels.hpp"
 #include "tuners/tuner.hpp"
@@ -22,36 +36,92 @@ int main(int argc, char** argv) {
   const std::string benchmark_name = argc > 1 ? argv[1] : "gemm";
   const std::size_t budget = argc > 2 ? std::stoul(argv[2]) : 150;
   const std::size_t repeats = argc > 3 ? std::stoul(argv[3]) : 5;
+  const std::string backend_mode = argc > 4 ? argv[4] : "auto";
 
   const auto benchmark = kernels::make(benchmark_name);
-  std::printf("comparing %zu tuners on '%s' (budget %zu, %zu repeats)\n",
+  const bool exhaustive =
+      benchmark->space().cardinality() <= bench::kExhaustiveLimit;
+  const bool replay =
+      backend_mode == "replay" || (backend_mode == "auto" && exhaustive);
+  if (replay && !exhaustive) {
+    std::fprintf(stderr,
+                 "replay needs an exhaustively enumerable space; '%s' has "
+                 "%llu configurations\n",
+                 benchmark->name().c_str(),
+                 static_cast<unsigned long long>(
+                     benchmark->space().cardinality()));
+    return 1;
+  }
+  std::printf("comparing %zu tuners on '%s' (budget %zu, %zu repeats, %s "
+              "backend)\n",
               tuners::tuner_names().size(), benchmark->name().c_str(),
-              budget, repeats);
+              budget, repeats, replay ? "replay" : "live");
 
-  // True optima where the space is exhaustively enumerable.
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // One sweep per device: gives the true optimum where exhaustive, and
+  // doubles as the replay table so tuner evaluations are free lookups.
+  std::vector<core::Dataset> datasets;
   std::vector<double> optimum(benchmark->device_count(), 0.0);
-  const bool know_optimum = benchmark->space().cardinality() <= 100'000;
-  if (know_optimum) {
+  if (exhaustive) {
     for (core::DeviceIndex d = 0; d < benchmark->device_count(); ++d) {
-      optimum[d] = core::Runner::run_exhaustive(*benchmark, d).best_time();
+      datasets.push_back(core::Runner::run_exhaustive(*benchmark, d));
+      optimum[d] = datasets.back().best_time();
     }
   }
 
-  std::vector<std::string> header{"tuner"};
+  // One backend per device, shared by every run on that device: both
+  // LiveBackend and ReplayBackend are stateless under evaluate_batch, and
+  // per-run bookkeeping lives in each run's own CountingBackend.
+  std::vector<std::unique_ptr<core::EvaluationBackend>> backends;
   for (core::DeviceIndex d = 0; d < benchmark->device_count(); ++d) {
+    if (replay) {
+      backends.push_back(std::make_unique<core::ReplayBackend>(
+          benchmark->space(), datasets[d]));
+    } else {
+      backends.push_back(std::make_unique<core::LiveBackend>(*benchmark, d));
+    }
+  }
+
+  // Every (tuner, device, repeat) run is independent, so the whole grid
+  // fans out over the thread pool; nested parallelism inside a run (GBDT
+  // fits, batched generations) degrades to inline execution.
+  const auto names = tuners::tuner_names();
+  const std::size_t devices = benchmark->device_count();
+  struct Job {
+    std::size_t tuner;
+    core::DeviceIndex device;
+    std::size_t repeat;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t t = 0; t < names.size(); ++t) {
+    for (core::DeviceIndex d = 0; d < devices; ++d) {
+      for (std::size_t r = 0; r < repeats; ++r) jobs.push_back({t, d, r});
+    }
+  }
+  constexpr double kNoBest = -1.0;
+  std::vector<double> best_of(jobs.size(), kNoBest);
+  common::parallel_for(0, jobs.size(), [&](std::size_t j) {
+    const Job& job = jobs[j];
+    auto tuner = tuners::make_tuner(names[job.tuner]);
+    const auto run = tuners::run_tuner(*tuner, *backends[job.device], budget,
+                                       1000 + job.repeat);
+    if (run.best) best_of[j] = run.best->objective;
+  });
+
+  std::vector<std::string> header{"tuner"};
+  for (core::DeviceIndex d = 0; d < devices; ++d) {
     header.push_back(benchmark->device_name(d));
   }
   common::AsciiTable table(header);
 
-  for (const auto& tuner_name : tuners::tuner_names()) {
-    std::vector<std::string> row{tuner_name};
-    for (core::DeviceIndex d = 0; d < benchmark->device_count(); ++d) {
+  for (std::size_t t = 0; t < names.size(); ++t) {
+    std::vector<std::string> row{names[t]};
+    for (core::DeviceIndex d = 0; d < devices; ++d) {
       std::vector<double> bests;
       for (std::size_t r = 0; r < repeats; ++r) {
-        auto tuner = tuners::make_tuner(tuner_name);
-        const auto run =
-            tuners::run_tuner(*tuner, *benchmark, d, budget, 1000 + r);
-        if (run.best) bests.push_back(run.best->objective);
+        const double b = best_of[(t * devices + d) * repeats + r];
+        if (b != kNoBest) bests.push_back(b);
       }
       if (bests.empty()) {
         row.push_back("-");
@@ -59,7 +129,7 @@ int main(int argc, char** argv) {
       }
       const double mean_best = common::mean(bests);
       std::string cell = common::format_double(mean_best, 3) + "ms";
-      if (know_optimum) {
+      if (exhaustive) {
         cell += " (" +
                 common::format_double(100.0 * optimum[d] / mean_best, 1) +
                 "%)";
@@ -69,8 +139,12 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   std::fputs(table.to_string().c_str(), stdout);
-  if (know_optimum) {
+  if (exhaustive) {
     std::printf("(%% = achieved fraction of the true optimum)\n");
   }
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  std::printf("total wall-clock: %.2fs\n", elapsed);
   return 0;
 }

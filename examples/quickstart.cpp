@@ -1,15 +1,22 @@
 // Quickstart: tune one kernel on one GPU with one optimizer.
 //
-//   $ ./quickstart [benchmark] [device] [tuner] [budget]
-//   defaults:       gemm        RTX_3090 random  200
+//   $ ./quickstart [benchmark] [device] [tuner] [budget] [backend]
+//   defaults:       gemm        RTX_3090 random  200      live
 //
 // Shows the three core concepts of the BAT problem interface:
 //   1. a Benchmark (search space + constraints + evaluation),
-//   2. a Tuner driving it through a budgeted CachingEvaluator,
+//   2. a Tuner driving it through a budgeted CachingEvaluator over a
+//      pluggable EvaluationBackend (live gpusim model, or tabular
+//      replay of a Runner-built dataset — pass "replay" to see that
+//      both paths produce the identical run),
 //   3. the resulting trace/best configuration.
 #include <cstdio>
+#include <memory>
 #include <string>
 
+#include "bench/bench_util.hpp"
+#include "core/backend.hpp"
+#include "core/runner.hpp"
 #include "kernels/all_kernels.hpp"
 #include "tuners/tuner.hpp"
 
@@ -19,6 +26,7 @@ int main(int argc, char** argv) {
   const std::string device_name = argc > 2 ? argv[2] : "RTX_3090";
   const std::string tuner_name = argc > 3 ? argv[3] : "random";
   const std::size_t budget = argc > 4 ? std::stoul(argv[4]) : 200;
+  const std::string backend_name = argc > 5 ? argv[5] : "live";
 
   const auto benchmark = kernels::make(benchmark_name);
   const auto device = benchmark->device_index(device_name);
@@ -30,9 +38,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   benchmark->space().count_constrained()));
 
+  core::Dataset dataset;  // keeps replay rows alive for the run
+  std::unique_ptr<core::EvaluationBackend> backend;
+  if (backend_name == "replay") {
+    if (benchmark->space().cardinality() > bench::kExhaustiveLimit) {
+      std::fprintf(stderr,
+                   "replay needs an exhaustively enumerable space; '%s' has "
+                   "%llu configurations\n",
+                   benchmark->name().c_str(),
+                   static_cast<unsigned long long>(
+                       benchmark->space().cardinality()));
+      return 1;
+    }
+    dataset = core::Runner::run_exhaustive(*benchmark, device);
+    backend =
+        std::make_unique<core::ReplayBackend>(benchmark->space(), dataset);
+  } else {
+    backend = std::make_unique<core::LiveBackend>(*benchmark, device);
+  }
+  std::printf("backend   : %s\n", backend->name().c_str());
+
   auto tuner = tuners::make_tuner(tuner_name);
-  const auto run =
-      tuners::run_tuner(*tuner, *benchmark, device, budget, /*seed=*/42);
+  const auto run = tuners::run_tuner(*tuner, *backend, budget, /*seed=*/42);
 
   std::printf("tuner     : %s, %zu evaluations\n", run.tuner.c_str(),
               run.trace.size());

@@ -27,10 +27,11 @@ ConvergenceCurve random_search_convergence(const core::Dataset& ds,
     common::Rng rng(common::hash_combine(seed, r));
     // Sampling without replacement mimics a tuner that never re-measures.
     const auto picks = rng.sample_indices(times.size(), evals);
-    double best_so_far = std::numeric_limits<double>::infinity();
+    std::vector<double> sampled(evals);
+    for (std::size_t k = 0; k < evals; ++k) sampled[k] = times[picks[k]];
+    const auto best_so_far = common::running_minimum(sampled);
     for (std::size_t k = 0; k < evals; ++k) {
-      best_so_far = std::min(best_so_far, times[picks[k]]);
-      relative[r][k] = best / best_so_far;
+      relative[r][k] = best / best_so_far[k];
     }
   });
 

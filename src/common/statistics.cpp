@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/contracts.hpp"
 
@@ -80,6 +81,17 @@ double pearson(std::span<const double> xs, std::span<const double> ys) {
   }
   if (sxx == 0.0 || syy == 0.0) return 0.0;
   return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> running_minimum(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (const double x : xs) {
+    best = std::min(best, x);
+    out.push_back(best);
+  }
+  return out;
 }
 
 void OnlineStats::add(double x) noexcept {

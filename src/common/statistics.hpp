@@ -29,6 +29,10 @@ namespace bat::common {
 [[nodiscard]] double pearson(std::span<const double> xs,
                              std::span<const double> ys);
 
+/// out[i] = min(xs[0..i]) — the "best so far" curve of a minimization
+/// trace. Shared by evaluation traces and convergence analysis.
+[[nodiscard]] std::vector<double> running_minimum(std::span<const double> xs);
+
 /// Numerically stable streaming mean/variance/min/max (Welford).
 class OnlineStats {
  public:

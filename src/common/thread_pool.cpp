@@ -31,7 +31,15 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
+namespace {
+// Set while a pool worker runs a task: nested parallel_for calls from
+// inside a task execute inline instead of re-entering the queue, which
+// would deadlock once every worker is blocked waiting on nested chunks.
+thread_local bool t_inside_worker = false;
+}  // namespace
+
 void ThreadPool::worker_loop() {
+  t_inside_worker = true;
   for (;;) {
     Task task;
     {
@@ -52,7 +60,7 @@ void ThreadPool::parallel_for_chunked(
   const std::size_t n = end - begin;
   if (n == 0) return;
   const std::size_t workers = std::min(size(), n);
-  if (workers <= 1) {
+  if (workers <= 1 || t_inside_worker) {
     body(begin, end, 0);
     return;
   }

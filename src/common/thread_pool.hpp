@@ -36,6 +36,9 @@ class ThreadPool {
   /// Runs body(begin..end) split into one contiguous chunk per worker.
   /// body receives (chunk_begin, chunk_end, worker_index). Blocks until all
   /// chunks complete. Exceptions from workers are rethrown (first one wins).
+  /// Re-entrant: a nested call from inside a pool task runs its body
+  /// inline on the calling worker (the outer level owns the parallelism),
+  /// so composed parallel code cannot deadlock the pool.
   void parallel_for_chunked(
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& body);

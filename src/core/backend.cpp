@@ -1,0 +1,122 @@
+#include "core/backend.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/thread_pool.hpp"
+
+namespace bat::core {
+
+Measurement EvaluationBackend::evaluate(ConfigIndex index) {
+  const ConfigIndex indices[1] = {index};
+  return evaluate_batch(indices).front();
+}
+
+// ------------------------------------------------------------ LiveBackend --
+
+LiveBackend::LiveBackend(const Benchmark& benchmark, DeviceIndex device,
+                         std::size_t parallel_threshold)
+    : benchmark_(&benchmark),
+      device_(device),
+      parallel_threshold_(std::max<std::size_t>(parallel_threshold, 2)),
+      name_("live:" + benchmark.name() + "@" + benchmark.device_name(device)) {}
+
+std::vector<Measurement> LiveBackend::evaluate_batch(
+    std::span<const ConfigIndex> indices) {
+  const auto& params = benchmark_->space().params();
+  std::vector<Measurement> results(indices.size());
+  if (indices.size() < parallel_threshold_) {
+    Config scratch;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      params.decode_into(indices[i], scratch);
+      results[i] = benchmark_->evaluate(scratch, device_);
+    }
+    return results;
+  }
+  common::parallel_for_chunked(
+      0, indices.size(), [&](std::size_t lo, std::size_t hi, std::size_t) {
+        Config scratch;
+        for (std::size_t i = lo; i < hi; ++i) {
+          params.decode_into(indices[i], scratch);
+          results[i] = benchmark_->evaluate(scratch, device_);
+        }
+      });
+  return results;
+}
+
+// ---------------------------------------------------------- ReplayBackend --
+
+ReplayBackend::ReplayBackend(const SearchSpace& space, const Dataset& dataset)
+    : space_(&space),
+      name_("replay:" + dataset.benchmark_name() + "@" +
+            dataset.device_name()) {
+  table_.reserve(dataset.size());
+  for (std::size_t row = 0; row < dataset.size(); ++row) {
+    table_.emplace(dataset.config_index(row),
+                   Measurement{dataset.time_ms(row), dataset.status(row)});
+  }
+}
+
+std::vector<Measurement> ReplayBackend::evaluate_batch(
+    std::span<const ConfigIndex> indices) {
+  std::vector<Measurement> results;
+  results.reserve(indices.size());
+  for (const ConfigIndex index : indices) {
+    const auto it = table_.find(index);
+    if (it == table_.end()) {
+      throw std::out_of_range(name_ + ": config index " +
+                              std::to_string(index) +
+                              " is not covered by the dataset");
+    }
+    results.push_back(it->second);
+  }
+  return results;
+}
+
+// -------------------------------------------------------- CountingBackend --
+
+CountingBackend::CountingBackend(EvaluationBackend& inner, std::size_t budget)
+    : inner_(&inner), budget_(budget), name_("counting:" + inner.name()) {
+  BAT_EXPECTS(budget > 0);
+  cache_.reserve(std::min<std::size_t>(budget, 1 << 16));
+}
+
+std::vector<Measurement> CountingBackend::evaluate_batch(
+    std::span<const ConfigIndex> indices) {
+  // First-occurrence misses, in batch order, truncated to the remaining
+  // budget. `truncated` means at least one miss was refused.
+  std::vector<ConfigIndex> misses;
+  bool truncated = false;
+  {
+    std::size_t remaining = budget_ - trace_.size();
+    for (const ConfigIndex index : indices) {
+      if (cache_.find(index) != cache_.end()) continue;
+      if (std::find(misses.begin(), misses.end(), index) != misses.end()) {
+        continue;  // duplicate within this batch: charged once
+      }
+      if (misses.size() >= remaining) {
+        truncated = true;
+        break;
+      }
+      misses.push_back(index);
+    }
+  }
+
+  if (!misses.empty()) {
+    const auto measured = inner_->evaluate_batch(misses);
+    for (std::size_t i = 0; i < misses.size(); ++i) {
+      cache_.emplace(misses[i], measured[i]);
+      trace_.push_back(TraceEntry{misses[i], measured[i].objective()});
+    }
+  }
+  if (truncated) throw BudgetExhausted();
+
+  std::vector<Measurement> results;
+  results.reserve(indices.size());
+  for (const ConfigIndex index : indices) {
+    results.push_back(cache_.at(index));
+  }
+  return results;
+}
+
+}  // namespace bat::core

@@ -1,0 +1,151 @@
+// Pluggable evaluation backends: where measurements come from.
+//
+// EvaluationBackend is the seam between "what to evaluate" (tuners,
+// runners, analyses — all speak ConfigIndex batches) and "how it is
+// evaluated". Three implementations cover the paper's modes:
+//
+//   * LiveBackend    — calls Benchmark::evaluate, fanning batches out over
+//                      the shared ThreadPool (many independent simulated
+//                      kernel launches per batch).
+//   * ReplayBackend  — serves a precomputed Dataset: the paper's tabular-
+//                      benchmark mode, making tuner comparisons free after
+//                      one Runner sweep.
+//   * CountingBackend— decorator adding the tuner-side bookkeeping: a
+//                      distinct-evaluation budget, a memoization cache and
+//                      the chronological trace (cache hits are free).
+//
+// All backends are deterministic: identical index batches always yield
+// identical measurements, so live and replay paths are interchangeable.
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/benchmark.hpp"
+#include "core/dataset.hpp"
+#include "core/measurement.hpp"
+#include "core/search_space.hpp"
+#include "core/trace.hpp"
+
+namespace bat::core {
+
+class EvaluationBackend {
+ public:
+  virtual ~EvaluationBackend() = default;
+
+  /// Human-readable identifier ("live:gemm@RTX_3090", "replay:...").
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  /// The search space configurations are drawn from (tuners use it for
+  /// sampling, neighborhoods and index<->config mapping).
+  [[nodiscard]] virtual const SearchSpace& space() const = 0;
+
+  /// Evaluates a batch of configurations identified by ConfigIndex.
+  /// Results align with `indices` (result[i] belongs to indices[i]).
+  /// Implementations may evaluate in parallel but must be deterministic.
+  [[nodiscard]] virtual std::vector<Measurement> evaluate_batch(
+      std::span<const ConfigIndex> indices) = 0;
+
+  /// Single-evaluation convenience on top of evaluate_batch.
+  [[nodiscard]] Measurement evaluate(ConfigIndex index);
+};
+
+/// Live evaluation through a (benchmark, device) pair. Batches of at
+/// least `parallel_threshold` fan out over ThreadPool::global(); smaller
+/// batches stay on the calling thread (a single evaluation is far cheaper
+/// than a pool handoff).
+class LiveBackend final : public EvaluationBackend {
+ public:
+  LiveBackend(const Benchmark& benchmark, DeviceIndex device,
+              std::size_t parallel_threshold = 8);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const SearchSpace& space() const override {
+    return benchmark_->space();
+  }
+  [[nodiscard]] std::vector<Measurement> evaluate_batch(
+      std::span<const ConfigIndex> indices) override;
+
+  [[nodiscard]] const Benchmark& benchmark() const noexcept {
+    return *benchmark_;
+  }
+  [[nodiscard]] DeviceIndex device() const noexcept { return device_; }
+
+ private:
+  const Benchmark* benchmark_;
+  DeviceIndex device_;
+  std::size_t parallel_threshold_;
+  std::string name_;
+};
+
+/// Tabular replay of a precomputed Dataset. Requesting an index the
+/// dataset does not cover throws std::out_of_range — replay is only
+/// sound when the dataset covers every configuration a client may ask
+/// for (e.g. an exhaustive Runner sweep).
+class ReplayBackend final : public EvaluationBackend {
+ public:
+  /// `space` must be the search space the dataset was built from; the
+  /// dataset rows are keyed by their ConfigIndex within that space.
+  ReplayBackend(const SearchSpace& space, const Dataset& dataset);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const SearchSpace& space() const override { return *space_; }
+  [[nodiscard]] std::vector<Measurement> evaluate_batch(
+      std::span<const ConfigIndex> indices) override;
+
+  [[nodiscard]] bool contains(ConfigIndex index) const noexcept {
+    return table_.find(index) != table_.end();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+
+ private:
+  const SearchSpace* space_;
+  std::unordered_map<ConfigIndex, Measurement> table_;
+  std::string name_;
+};
+
+/// Decorator adding budget + cache + trace on top of any backend.
+///
+/// The budget counts *distinct* configurations (cache hits are free,
+/// matching how tuners are usually charged). A batch whose cache misses
+/// would overflow the remaining budget is truncated: the misses that
+/// still fit are evaluated and recorded, then BudgetExhausted is thrown —
+/// so the trace always ends exactly at the budget boundary, identical to
+/// charging one evaluation at a time.
+class CountingBackend final : public EvaluationBackend {
+ public:
+  CountingBackend(EvaluationBackend& inner, std::size_t budget);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const SearchSpace& space() const override {
+    return inner_->space();
+  }
+  [[nodiscard]] std::vector<Measurement> evaluate_batch(
+      std::span<const ConfigIndex> indices) override;
+
+  [[nodiscard]] std::size_t evaluations() const noexcept {
+    return trace_.size();
+  }
+  [[nodiscard]] std::size_t budget() const noexcept { return budget_; }
+  [[nodiscard]] bool exhausted() const noexcept {
+    return trace_.size() >= budget_;
+  }
+
+  /// Chronological distinct-evaluation trace.
+  [[nodiscard]] const std::vector<TraceEntry>& trace() const noexcept {
+    return trace_;
+  }
+
+  [[nodiscard]] EvaluationBackend& inner() noexcept { return *inner_; }
+
+ private:
+  EvaluationBackend* inner_;
+  std::size_t budget_;
+  std::unordered_map<ConfigIndex, Measurement> cache_;
+  std::vector<TraceEntry> trace_;
+  std::string name_;
+};
+
+}  // namespace bat::core

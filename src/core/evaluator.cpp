@@ -1,51 +1,25 @@
 #include "core/evaluator.hpp"
 
-#include <limits>
-
-#include "common/contracts.hpp"
-
 namespace bat::core {
 
-CachingEvaluator::CachingEvaluator(const TuningProblem& problem,
-                                   std::size_t budget)
-    : problem_(problem), budget_(budget) {
-  BAT_EXPECTS(budget > 0);
-  cache_.reserve(std::min<std::size_t>(budget, 1 << 16));
-}
-
 double CachingEvaluator::operator()(const Config& config) {
-  const ConfigIndex index = problem_.space().params().index_of_config(config);
-  if (const auto it = cache_.find(index); it != cache_.end()) {
-    return it->second;
-  }
-  if (trace_.size() >= budget_) throw BudgetExhausted();
-  const double objective = problem_.evaluate(config).objective();
-  cache_.emplace(index, objective);
-  trace_.push_back(TraceEntry{index, objective});
-  return objective;
+  const ConfigIndex index = space().params().index_of_config(config);
+  return counting_.evaluate(index).objective();
 }
 
-std::optional<TraceEntry> CachingEvaluator::best() const noexcept {
-  std::optional<TraceEntry> best_entry;
-  for (const auto& e : trace_) {
-    if (!best_entry || e.objective < best_entry->objective) best_entry = e;
+std::vector<double> CachingEvaluator::evaluate_batch(
+    const std::vector<Config>& configs) {
+  const auto& params = space().params();
+  std::vector<ConfigIndex> indices;
+  indices.reserve(configs.size());
+  for (const auto& config : configs) {
+    indices.push_back(params.index_of_config(config));
   }
-  if (best_entry &&
-      best_entry->objective == std::numeric_limits<double>::infinity()) {
-    return std::nullopt;
-  }
-  return best_entry;
-}
-
-std::vector<double> CachingEvaluator::best_so_far() const {
-  std::vector<double> out;
-  out.reserve(trace_.size());
-  double best = std::numeric_limits<double>::infinity();
-  for (const auto& e : trace_) {
-    best = std::min(best, e.objective);
-    out.push_back(best);
-  }
-  return out;
+  const auto measurements = counting_.evaluate_batch(indices);
+  std::vector<double> objectives;
+  objectives.reserve(measurements.size());
+  for (const auto& m : measurements) objectives.push_back(m.objective());
+  return objectives;
 }
 
 }  // namespace bat::core

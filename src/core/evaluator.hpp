@@ -1,94 +1,84 @@
-// TuningProblem + CachingEvaluator: what a tuner actually sees.
+// CachingEvaluator: what a tuner actually sees.
 //
-// TuningProblem binds (benchmark, device) into a single minimization
-// objective. CachingEvaluator memoizes evaluations by ConfigIndex,
-// enforces an evaluation budget, and records the full evaluation trace —
-// the paper's convergence plots (Fig 2) are "best objective so far vs
-// number of *distinct* function evaluations".
+// A thin Config-level adapter over an EvaluationBackend wrapped in a
+// CountingBackend: it memoizes evaluations by ConfigIndex, enforces a
+// distinct-evaluation budget (cache hits are free) and records the full
+// evaluation trace — the paper's convergence plots (Fig 2) are "best
+// objective so far vs number of *distinct* function evaluations".
+//
+// Tuners drive it two ways:
+//   * exception-driven: operator()(config) one evaluation at a time until
+//     BudgetExhausted is thrown (the classic single-point tuners);
+//   * batched ask/tell: evaluate_batch(configs) sends a whole population
+//     generation through the backend in one call, which LiveBackend fans
+//     out over the thread pool. A batch crossing the budget boundary is
+//     truncated so the trace ends exactly at the budget, byte-identical
+//     to charging one evaluation at a time.
+//
+// Swapping the backend (live vs replay) never changes what a tuner
+// observes, only where the measurements come from.
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
-#include "core/benchmark.hpp"
-#include "core/measurement.hpp"
-#include "core/search_space.hpp"
+#include "core/backend.hpp"
+#include "core/trace.hpp"
 
 namespace bat::core {
 
-class TuningProblem {
- public:
-  TuningProblem(const Benchmark& benchmark, DeviceIndex device)
-      : benchmark_(&benchmark), device_(device) {}
-
-  [[nodiscard]] const Benchmark& benchmark() const noexcept {
-    return *benchmark_;
-  }
-  [[nodiscard]] DeviceIndex device() const noexcept { return device_; }
-  [[nodiscard]] const SearchSpace& space() const noexcept {
-    return benchmark_->space();
-  }
-  [[nodiscard]] Measurement evaluate(const Config& config) const {
-    return benchmark_->evaluate(config, device_);
-  }
-
- private:
-  const Benchmark* benchmark_;
-  DeviceIndex device_;
-};
-
-/// One evaluation in the trace.
-struct TraceEntry {
-  ConfigIndex index;
-  double objective;
-};
-
-class BudgetExhausted : public std::runtime_error {
- public:
-  BudgetExhausted() : std::runtime_error("evaluation budget exhausted") {}
-};
-
 class CachingEvaluator {
  public:
-  /// budget = maximum number of *distinct* configurations evaluated;
-  /// cache hits are free, matching how tuners are usually charged.
-  CachingEvaluator(const TuningProblem& problem, std::size_t budget);
+  /// budget = maximum number of *distinct* configurations evaluated.
+  /// The backend must outlive the evaluator.
+  CachingEvaluator(EvaluationBackend& backend, std::size_t budget)
+      : counting_(backend, budget) {}
 
-  /// Evaluates (or recalls) a configuration. Throws BudgetExhausted when a
-  /// cache miss would exceed the budget; tuners use this as their stop
-  /// signal.
+  /// Evaluates (or recalls) one configuration. Throws BudgetExhausted
+  /// when a cache miss would exceed the budget.
   double operator()(const Config& config);
 
-  [[nodiscard]] std::size_t evaluations() const noexcept {
-    return trace_.size();
+  /// Evaluates a batch of configurations; results align with `configs`.
+  /// Distinct cache misses are evaluated through one backend batch (in
+  /// parallel for LiveBackend) and charged in first-occurrence order;
+  /// hits and within-batch duplicates are free. Throws BudgetExhausted
+  /// after recording as many misses as still fit the budget.
+  std::vector<double> evaluate_batch(const std::vector<Config>& configs);
+
+  [[nodiscard]] const SearchSpace& space() const noexcept {
+    return counting_.space();
   }
-  [[nodiscard]] std::size_t budget() const noexcept { return budget_; }
+
+  [[nodiscard]] std::size_t evaluations() const noexcept {
+    return counting_.evaluations();
+  }
+  [[nodiscard]] std::size_t budget() const noexcept {
+    return counting_.budget();
+  }
   [[nodiscard]] bool exhausted() const noexcept {
-    return trace_.size() >= budget_;
+    return counting_.exhausted();
   }
 
   /// Chronological distinct-evaluation trace.
   [[nodiscard]] const std::vector<TraceEntry>& trace() const noexcept {
-    return trace_;
+    return counting_.trace();
   }
 
   /// Best (lowest-objective) evaluation so far, if any finite one exists.
-  [[nodiscard]] std::optional<TraceEntry> best() const noexcept;
+  [[nodiscard]] std::optional<TraceEntry> best() const {
+    return trace_best(counting_.trace());
+  }
 
   /// best-so-far objective after each distinct evaluation (length ==
   /// evaluations()); used directly by convergence analysis.
-  [[nodiscard]] std::vector<double> best_so_far() const;
-
-  [[nodiscard]] const TuningProblem& problem() const noexcept {
-    return problem_;
+  [[nodiscard]] std::vector<double> best_so_far() const {
+    return trace_best_so_far(counting_.trace());
   }
 
+  [[nodiscard]] CountingBackend& counting() noexcept { return counting_; }
+
  private:
-  TuningProblem problem_;
-  std::size_t budget_;
-  std::unordered_map<ConfigIndex, double> cache_;
-  std::vector<TraceEntry> trace_;
+  CountingBackend counting_;
 };
 
 }  // namespace bat::core

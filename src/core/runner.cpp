@@ -1,7 +1,6 @@
 #include "core/runner.hpp"
 
-#include "common/contracts.hpp"
-#include "common/thread_pool.hpp"
+#include "core/backend.hpp"
 
 namespace bat::core {
 
@@ -13,17 +12,11 @@ Dataset Runner::evaluate_indices(const Benchmark& benchmark,
              space.param_names());
   ds.reserve(indices.size());
 
-  // Evaluate in parallel into a flat result buffer, then append in order
-  // so the dataset layout is deterministic.
-  std::vector<Measurement> results(indices.size());
-  common::parallel_for_chunked(
-      0, indices.size(), [&](std::size_t lo, std::size_t hi, std::size_t) {
-        Config scratch;
-        for (std::size_t i = lo; i < hi; ++i) {
-          space.decode_into(indices[i], scratch);
-          results[i] = benchmark.evaluate(scratch, device);
-        }
-      });
+  // One backend batch: LiveBackend fans the evaluations out over the
+  // thread pool and returns results aligned with `indices`, so the
+  // dataset layout stays deterministic.
+  LiveBackend backend(benchmark, device);
+  const auto results = backend.evaluate_batch(indices);
 
   Config scratch;
   for (std::size_t i = 0; i < indices.size(); ++i) {

@@ -1,0 +1,28 @@
+#include "core/trace.hpp"
+
+#include <limits>
+
+#include "common/statistics.hpp"
+
+namespace bat::core {
+
+std::optional<TraceEntry> trace_best(std::span<const TraceEntry> trace) {
+  std::optional<TraceEntry> best_entry;
+  for (const auto& e : trace) {
+    if (!best_entry || e.objective < best_entry->objective) best_entry = e;
+  }
+  if (best_entry &&
+      best_entry->objective == std::numeric_limits<double>::infinity()) {
+    return std::nullopt;
+  }
+  return best_entry;
+}
+
+std::vector<double> trace_best_so_far(std::span<const TraceEntry> trace) {
+  std::vector<double> objectives;
+  objectives.reserve(trace.size());
+  for (const auto& e : trace) objectives.push_back(e.objective);
+  return common::running_minimum(objectives);
+}
+
+}  // namespace bat::core

@@ -22,58 +22,107 @@ core::Config snap(const core::ParamSpace& params,
 
 }  // namespace
 
-void DifferentialEvolution::optimize(core::CachingEvaluator& evaluator,
-                                     common::Rng& rng) {
-  const auto& space = evaluator.problem().space();
+void DifferentialEvolution::start(const core::SearchSpace& space,
+                                  common::Rng& rng) {
+  space_ = &space;
   const auto& params = space.params();
   const std::size_t dims = params.num_params();
   const std::size_t n = std::max<std::size_t>(4, options_.population);
 
-  std::vector<std::vector<double>> population(n, std::vector<double>(dims));
-  std::vector<double> objective(n,
-                                std::numeric_limits<double>::infinity());
-
-  const auto eval_position = [&](const std::vector<double>& pos) {
-    const core::Config config = snap(params, pos);
-    return space.constraints().satisfied(config)
-               ? evaluator(config)
-               : std::numeric_limits<double>::infinity();
-  };
+  population_.assign(n, std::vector<double>(dims));
+  objective_.assign(n, std::numeric_limits<double>::infinity());
+  trials_.clear();
+  slots_.clear();
+  seeded_ = false;
 
   for (std::size_t i = 0; i < n; ++i) {
     const core::Config seed_config = space.random_valid_config(rng);
     for (std::size_t p = 0; p < dims; ++p) {
-      population[i][p] =
+      population_[i][p] =
           static_cast<double>(params.param(p).index_of(seed_config[p]));
     }
-    objective[i] = eval_position(population[i]);
   }
+}
 
-  std::vector<double> trial(dims);
-  while (true) {  // generations
-    for (std::size_t i = 0; i < n; ++i) {
-      // Pick three distinct partners != i.
-      std::size_t a, b, c;
-      do { a = rng.next_below(n); } while (a == i);
-      do { b = rng.next_below(n); } while (b == i || b == a);
-      do { c = rng.next_below(n); } while (c == i || c == a || c == b);
+std::vector<core::Config> DifferentialEvolution::breed(common::Rng& rng) {
+  const auto& params = space_->params();
+  const std::size_t dims = params.num_params();
+  const std::size_t n = population_.size();
 
-      const std::size_t forced = rng.next_below(dims);
-      for (std::size_t p = 0; p < dims; ++p) {
-        if (p == forced || rng.uniform() < options_.crossover_rate) {
-          trial[p] = population[a][p] +
-                     options_.weight * (population[b][p] - population[c][p]);
-        } else {
-          trial[p] = population[i][p];
-        }
-      }
-      const double obj = eval_position(trial);
-      if (obj <= objective[i]) {
-        population[i] = trial;
-        objective[i] = obj;
+  std::vector<core::Config> batch;
+  trials_.assign(n, std::vector<double>(dims));
+  slots_.assign(n, kInvalidSlot);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Pick three distinct partners != i.
+    std::size_t a, b, c;
+    do { a = rng.next_below(n); } while (a == i);
+    do { b = rng.next_below(n); } while (b == i || b == a);
+    do { c = rng.next_below(n); } while (c == i || c == a || c == b);
+
+    auto& trial = trials_[i];
+    const std::size_t forced = rng.next_below(dims);
+    for (std::size_t p = 0; p < dims; ++p) {
+      if (p == forced || rng.uniform() < options_.crossover_rate) {
+        trial[p] = population_[a][p] +
+                   options_.weight * (population_[b][p] - population_[c][p]);
+      } else {
+        trial[p] = population_[i][p];
       }
     }
+    core::Config config = snap(params, trial);
+    if (space_->constraints().satisfied(config)) {
+      slots_[i] = batch.size();
+      batch.push_back(std::move(config));
+    }
   }
+  return batch;
+}
+
+void DifferentialEvolution::select(const std::vector<double>& objectives) {
+  for (std::size_t i = 0; i < population_.size(); ++i) {
+    const double obj = slots_[i] == kInvalidSlot
+                           ? std::numeric_limits<double>::infinity()
+                           : objectives[slots_[i]];
+    if (obj <= objective_[i]) {
+      population_[i] = trials_[i];
+      objective_[i] = obj;
+    }
+  }
+}
+
+std::vector<core::Config> DifferentialEvolution::ask(std::size_t,
+                                                     common::Rng& rng) {
+  if (!seeded_) {
+    // Evaluate the initial population (valid by construction).
+    seeded_ = true;
+    const auto& params = space_->params();
+    std::vector<core::Config> batch;
+    batch.reserve(population_.size());
+    slots_.assign(population_.size(), kInvalidSlot);
+    for (std::size_t i = 0; i < population_.size(); ++i) {
+      slots_[i] = batch.size();
+      batch.push_back(snap(params, population_[i]));
+    }
+    trials_ = population_;  // selection keeps them (obj <= +inf)
+    return batch;
+  }
+
+  auto batch = breed(rng);
+  // An all-invalid generation evaluates nothing: apply the (+inf) trial
+  // selection directly and breed again (bounded — a population frozen in
+  // an invalid region will never recover; an empty batch ends the run).
+  for (int attempts = 0; batch.empty() && attempts < 1000; ++attempts) {
+    select({});
+    batch = breed(rng);
+  }
+  return batch;
+}
+
+void DifferentialEvolution::tell(const std::vector<core::Config>&,
+                                 const std::vector<double>& objectives,
+                                 common::Rng&) {
+  select(objectives);
 }
 
 }  // namespace bat::tuners

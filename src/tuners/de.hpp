@@ -1,4 +1,8 @@
 // Differential evolution (DE/rand/1/bin) on the value-index embedding.
+// Batched (synchronous DE): every ask() builds one trial per population
+// member from the previous generation's vectors, the whole trial set is
+// evaluated through the backend in one parallel batch, and selection
+// happens in tell().
 #pragma once
 
 #include "tuners/tuner.hpp"
@@ -21,11 +25,30 @@ class DifferentialEvolution final : public Tuner {
     return kName;
   }
 
+  [[nodiscard]] bool batched() const override { return true; }
+
  protected:
-  void optimize(core::CachingEvaluator& evaluator, common::Rng& rng) override;
+  void start(const core::SearchSpace& space, common::Rng& rng) override;
+  std::vector<core::Config> ask(std::size_t remaining,
+                                common::Rng& rng) override;
+  void tell(const std::vector<core::Config>& configs,
+            const std::vector<double>& objectives, common::Rng& rng) override;
 
  private:
+  static constexpr std::size_t kInvalidSlot = static_cast<std::size_t>(-1);
+
+  /// Breeds one generation of trial vectors; fills trials_/slots_ and
+  /// returns the constraint-valid configurations to evaluate.
+  std::vector<core::Config> breed(common::Rng& rng);
+  void select(const std::vector<double>& objectives);
+
   Options options_;
+  const core::SearchSpace* space_ = nullptr;
+  std::vector<std::vector<double>> population_;
+  std::vector<double> objective_;
+  std::vector<std::vector<double>> trials_;
+  std::vector<std::size_t> slots_;  // population member -> batch slot
+  bool seeded_ = false;
 };
 
 }  // namespace bat::tuners

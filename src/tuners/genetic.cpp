@@ -4,34 +4,40 @@
 
 namespace bat::tuners {
 
-namespace {
+void GeneticAlgorithm::start(const core::SearchSpace& space, common::Rng&) {
+  space_ = &space;
+  population_.clear();
+  elites_.clear();
+}
 
-struct Individual {
-  core::Config config;
-  double objective = 0.0;
-};
+std::vector<core::Config> GeneticAlgorithm::ask(std::size_t,
+                                                common::Rng& rng) {
+  std::vector<core::Config> batch;
 
-}  // namespace
-
-void GeneticAlgorithm::optimize(core::CachingEvaluator& evaluator,
-                                common::Rng& rng) {
-  const auto& space = evaluator.problem().space();
-  const auto& params = space.params();
-
-  std::vector<Individual> population;
-  population.reserve(options_.population);
-  for (std::size_t i = 0; i < options_.population; ++i) {
-    Individual ind;
-    ind.config = space.random_valid_config(rng);
-    ind.objective = evaluator(ind.config);
-    population.push_back(std::move(ind));
+  if (population_.empty()) {  // initial generation
+    batch.reserve(options_.population);
+    for (std::size_t i = 0; i < options_.population; ++i) {
+      batch.push_back(space_->random_valid_config(rng));
+    }
+    return batch;
   }
+
+  const auto& params = space_->params();
+  std::sort(population_.begin(), population_.end(),
+            [](const Individual& a, const Individual& b) {
+              return a.objective < b.objective;
+            });
+  elites_.assign(population_.begin(),
+                 population_.begin() +
+                     static_cast<std::ptrdiff_t>(
+                         std::min(options_.elites, population_.size())));
 
   const auto tournament = [&]() -> const Individual& {
     const Individual* best = nullptr;
     for (std::size_t i = 0; i < options_.tournament; ++i) {
       const auto& contender =
-          population[static_cast<std::size_t>(rng.next_below(population.size()))];
+          population_[static_cast<std::size_t>(
+              rng.next_below(population_.size()))];
       if (best == nullptr || contender.objective < best->objective) {
         best = &contender;
       }
@@ -39,43 +45,41 @@ void GeneticAlgorithm::optimize(core::CachingEvaluator& evaluator,
     return *best;
   };
 
-  while (true) {  // generations
-    std::sort(population.begin(), population.end(),
-              [](const Individual& a, const Individual& b) {
-                return a.objective < b.objective;
-              });
-    std::vector<Individual> next(
-        population.begin(),
-        population.begin() +
-            static_cast<std::ptrdiff_t>(
-                std::min(options_.elites, population.size())));
-
-    while (next.size() < options_.population) {
-      const Individual& a = tournament();
-      const Individual& b = tournament();
-      core::Config child = a.config;
-      if (rng.uniform() < options_.crossover_rate) {
-        for (std::size_t p = 0; p < child.size(); ++p) {
-          if (rng.bernoulli(0.5)) child[p] = b.config[p];
-        }
-      }
+  batch.reserve(options_.population - elites_.size());
+  while (batch.size() + elites_.size() < options_.population) {
+    const Individual& a = tournament();
+    const Individual& b = tournament();
+    core::Config child = a.config;
+    if (rng.uniform() < options_.crossover_rate) {
       for (std::size_t p = 0; p < child.size(); ++p) {
-        if (rng.uniform() < options_.mutation_rate) {
-          child[p] = rng.pick(params.param(p).values());
-        }
+        if (rng.bernoulli(0.5)) child[p] = b.config[p];
       }
-      if (!space.constraints().satisfied(child)) {
-        // Repair by resampling a fresh valid configuration: simple and
-        // unbiased, mirroring Kernel Tuner's GA handling of constraints.
-        child = space.random_valid_config(rng);
-      }
-      Individual ind;
-      ind.objective = evaluator(child);
-      ind.config = std::move(child);
-      next.push_back(std::move(ind));
     }
-    population = std::move(next);
+    for (std::size_t p = 0; p < child.size(); ++p) {
+      if (rng.uniform() < options_.mutation_rate) {
+        child[p] = rng.pick(params.param(p).values());
+      }
+    }
+    if (!space_->constraints().satisfied(child)) {
+      // Repair by resampling a fresh valid configuration: simple and
+      // unbiased, mirroring Kernel Tuner's GA handling of constraints.
+      child = space_->random_valid_config(rng);
+    }
+    batch.push_back(std::move(child));
   }
+  return batch;
+}
+
+void GeneticAlgorithm::tell(const std::vector<core::Config>& configs,
+                            const std::vector<double>& objectives,
+                            common::Rng&) {
+  std::vector<Individual> next = std::move(elites_);
+  elites_.clear();
+  next.reserve(next.size() + configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    next.push_back(Individual{configs[i], objectives[i]});
+  }
+  population_ = std::move(next);
 }
 
 }  // namespace bat::tuners

@@ -1,5 +1,8 @@
 // Generational genetic algorithm: tournament selection, uniform
-// crossover, per-parameter mutation, elitism.
+// crossover, per-parameter mutation, elitism. Batched: every ask()
+// breeds a full generation of children whose genomes depend only on the
+// previous (already-evaluated) population, so the whole generation is
+// evaluated through the backend in one parallel batch.
 #pragma once
 
 #include "tuners/tuner.hpp"
@@ -24,11 +27,25 @@ class GeneticAlgorithm final : public Tuner {
     return kName;
   }
 
+  [[nodiscard]] bool batched() const override { return true; }
+
  protected:
-  void optimize(core::CachingEvaluator& evaluator, common::Rng& rng) override;
+  void start(const core::SearchSpace& space, common::Rng& rng) override;
+  std::vector<core::Config> ask(std::size_t remaining,
+                                common::Rng& rng) override;
+  void tell(const std::vector<core::Config>& configs,
+            const std::vector<double>& objectives, common::Rng& rng) override;
 
  private:
+  struct Individual {
+    core::Config config;
+    double objective = 0.0;
+  };
+
   Options options_;
+  const core::SearchSpace* space_ = nullptr;
+  std::vector<Individual> population_;  // previous generation, evaluated
+  std::vector<Individual> elites_;     // carried over, objective known
 };
 
 }  // namespace bat::tuners

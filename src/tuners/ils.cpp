@@ -11,7 +11,7 @@ namespace {
 std::pair<core::Config, double> descend(core::CachingEvaluator& evaluator,
                                         common::Rng& rng, core::Config start,
                                         double start_obj) {
-  const auto& space = evaluator.problem().space();
+  const auto& space = evaluator.space();
   core::Config current = std::move(start);
   double current_obj = start_obj;
   bool improved = true;
@@ -36,7 +36,7 @@ std::pair<core::Config, double> descend(core::CachingEvaluator& evaluator,
 
 void IteratedLocalSearch::optimize(core::CachingEvaluator& evaluator,
                                    common::Rng& rng) {
-  const auto& space = evaluator.problem().space();
+  const auto& space = evaluator.space();
   const auto& params = space.params();
 
   while (true) {  // restart loop

@@ -4,7 +4,7 @@ namespace bat::tuners {
 
 void LocalSearch::optimize(core::CachingEvaluator& evaluator,
                            common::Rng& rng) {
-  const auto& space = evaluator.problem().space();
+  const auto& space = evaluator.space();
   while (true) {  // restart loop; budget exhaustion exits via exception
     core::Config current = space.random_valid_config(rng);
     double current_obj = evaluator(current);

@@ -21,43 +21,23 @@ core::Config snap(const core::ParamSpace& params,
   return config;
 }
 
-struct Particle {
-  std::vector<double> position;
-  std::vector<double> velocity;
-  std::vector<double> best_position;
-  double best_objective = std::numeric_limits<double>::infinity();
-};
-
 }  // namespace
 
-void ParticleSwarm::optimize(core::CachingEvaluator& evaluator,
-                             common::Rng& rng) {
-  const auto& space = evaluator.problem().space();
+void ParticleSwarm::start(const core::SearchSpace& space, common::Rng& rng) {
+  space_ = &space;
   const auto& params = space.params();
   const std::size_t dims = params.num_params();
 
-  std::vector<Particle> swarm(options_.particles);
-  std::vector<double> global_best_position(dims, 0.0);
-  double global_best = std::numeric_limits<double>::infinity();
+  swarm_.assign(options_.particles, Particle{});
+  global_best_position_.assign(dims, 0.0);
+  global_best_ = std::numeric_limits<double>::infinity();
+  slots_.clear();
+  seeded_ = false;
 
-  const auto evaluate_particle = [&](Particle& particle) {
-    const core::Config config = snap(params, particle.position);
-    const double obj = space.constraints().satisfied(config)
-                           ? evaluator(config)
-                           : std::numeric_limits<double>::infinity();
-    if (obj < particle.best_objective) {
-      particle.best_objective = obj;
-      particle.best_position = particle.position;
-    }
-    if (obj < global_best) {
-      global_best = obj;
-      global_best_position = particle.position;
-    }
-  };
-
-  for (auto& particle : swarm) {
+  for (auto& particle : swarm_) {
     particle.position.resize(dims);
     particle.velocity.resize(dims);
+    particle.best_objective = std::numeric_limits<double>::infinity();
     const core::Config seed_config = space.random_valid_config(rng);
     for (std::size_t p = 0; p < dims; ++p) {
       particle.position[p] =
@@ -66,23 +46,73 @@ void ParticleSwarm::optimize(core::CachingEvaluator& evaluator,
       particle.velocity[p] = rng.uniform(-span * 0.25, span * 0.25);
     }
     particle.best_position = particle.position;
-    evaluate_particle(particle);
   }
+}
 
-  while (true) {  // swarm iterations
-    for (auto& particle : swarm) {
-      for (std::size_t p = 0; p < dims; ++p) {
-        const double r1 = rng.uniform();
-        const double r2 = rng.uniform();
-        particle.velocity[p] =
-            options_.inertia * particle.velocity[p] +
-            options_.cognitive * r1 *
-                (particle.best_position[p] - particle.position[p]) +
-            options_.social * r2 *
-                (global_best_position[p] - particle.position[p]);
-        particle.position[p] += particle.velocity[p];
-      }
-      evaluate_particle(particle);
+void ParticleSwarm::move_swarm(common::Rng& rng) {
+  const std::size_t dims = space_->params().num_params();
+  for (auto& particle : swarm_) {
+    for (std::size_t p = 0; p < dims; ++p) {
+      const double r1 = rng.uniform();
+      const double r2 = rng.uniform();
+      particle.velocity[p] =
+          options_.inertia * particle.velocity[p] +
+          options_.cognitive * r1 *
+              (particle.best_position[p] - particle.position[p]) +
+          options_.social * r2 *
+              (global_best_position_[p] - particle.position[p]);
+      particle.position[p] += particle.velocity[p];
+    }
+  }
+}
+
+std::vector<core::Config> ParticleSwarm::snap_swarm() {
+  const auto& params = space_->params();
+  std::vector<core::Config> batch;
+  slots_.assign(swarm_.size(), kInvalidSlot);
+  for (std::size_t i = 0; i < swarm_.size(); ++i) {
+    core::Config config = snap(params, swarm_[i].position);
+    if (space_->constraints().satisfied(config)) {
+      slots_[i] = batch.size();
+      batch.push_back(std::move(config));
+    }
+  }
+  return batch;
+}
+
+std::vector<core::Config> ParticleSwarm::ask(std::size_t, common::Rng& rng) {
+  if (seeded_) {
+    move_swarm(rng);
+  } else {
+    seeded_ = true;  // evaluate the freshly-seeded (valid) positions first
+  }
+  auto batch = snap_swarm();
+  // An all-invalid swarm means nothing to evaluate this round (invalid
+  // positions score +inf, which never improves a best); keep moving
+  // until a particle lands on a valid configuration. A swarm frozen in
+  // an invalid region will never recover — give up and end the run.
+  for (int attempts = 0; batch.empty() && attempts < 1000; ++attempts) {
+    move_swarm(rng);
+    batch = snap_swarm();
+  }
+  return batch;
+}
+
+void ParticleSwarm::tell(const std::vector<core::Config>&,
+                         const std::vector<double>& objectives,
+                         common::Rng&) {
+  for (std::size_t i = 0; i < swarm_.size(); ++i) {
+    auto& particle = swarm_[i];
+    const double obj = slots_[i] == kInvalidSlot
+                           ? std::numeric_limits<double>::infinity()
+                           : objectives[slots_[i]];
+    if (obj < particle.best_objective) {
+      particle.best_objective = obj;
+      particle.best_position = particle.position;
+    }
+    if (obj < global_best_) {
+      global_best_ = obj;
+      global_best_position_ = particle.position;
     }
   }
 }

@@ -1,6 +1,9 @@
 // Particle swarm optimization on the value-index embedding: particles
 // move in the continuous per-parameter index space and snap to the
-// nearest legal value for evaluation.
+// nearest legal value for evaluation. Batched (synchronous PSO): every
+// ask() moves the whole swarm and the generation is evaluated through
+// the backend in one parallel batch; personal/global bests update in
+// tell().
 #pragma once
 
 #include "tuners/tuner.hpp"
@@ -24,11 +27,37 @@ class ParticleSwarm final : public Tuner {
     return kName;
   }
 
+  [[nodiscard]] bool batched() const override { return true; }
+
  protected:
-  void optimize(core::CachingEvaluator& evaluator, common::Rng& rng) override;
+  void start(const core::SearchSpace& space, common::Rng& rng) override;
+  std::vector<core::Config> ask(std::size_t remaining,
+                                common::Rng& rng) override;
+  void tell(const std::vector<core::Config>& configs,
+            const std::vector<double>& objectives, common::Rng& rng) override;
 
  private:
+  struct Particle {
+    std::vector<double> position;
+    std::vector<double> velocity;
+    std::vector<double> best_position;
+    double best_objective;
+  };
+
+  static constexpr std::size_t kInvalidSlot = static_cast<std::size_t>(-1);
+
+  void move_swarm(common::Rng& rng);
+  /// Snaps every particle, fills slots_ (kInvalidSlot for constraint
+  /// violations) and returns the valid configurations to evaluate.
+  std::vector<core::Config> snap_swarm();
+
   Options options_;
+  const core::SearchSpace* space_ = nullptr;
+  std::vector<Particle> swarm_;
+  std::vector<double> global_best_position_;
+  double global_best_ = 0.0;
+  std::vector<std::size_t> slots_;  // particle -> batch slot
+  bool seeded_ = false;             // first ask() evaluates init positions
 };
 
 }  // namespace bat::tuners

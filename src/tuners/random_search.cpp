@@ -1,13 +1,23 @@
 #include "tuners/random_search.hpp"
 
+#include <algorithm>
+
 namespace bat::tuners {
 
-void RandomSearch::optimize(core::CachingEvaluator& evaluator,
-                            common::Rng& rng) {
-  const auto& space = evaluator.problem().space();
-  while (true) {
-    (void)evaluator(space.random_valid_config(rng));
+void RandomSearch::start(const core::SearchSpace& space, common::Rng&) {
+  space_ = &space;
+}
+
+std::vector<core::Config> RandomSearch::ask(std::size_t remaining,
+                                            common::Rng& rng) {
+  const std::size_t n =
+      std::max<std::size_t>(1, std::min(options_.batch, remaining));
+  std::vector<core::Config> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(space_->random_valid_config(rng));
   }
+  return batch;
 }
 
 }  // namespace bat::tuners

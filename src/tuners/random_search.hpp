@@ -1,5 +1,8 @@
 // Pure random search over valid configurations — the paper's convergence
-// baseline (Fig 2).
+// baseline (Fig 2). Batched: proposals are independent, so whole blocks
+// of samples are evaluated through the backend in parallel. The trace is
+// identical to sampling one configuration at a time (same rng stream,
+// first-occurrence charging).
 #pragma once
 
 #include "tuners/tuner.hpp"
@@ -8,13 +11,28 @@ namespace bat::tuners {
 
 class RandomSearch final : public Tuner {
  public:
+  struct Options {
+    std::size_t batch = 64;  // samples proposed per ask()
+  };
+
+  RandomSearch() : options_(Options{}) {}
+  explicit RandomSearch(Options options) : options_(options) {}
+
   [[nodiscard]] const std::string& name() const override {
     static const std::string kName = "random";
     return kName;
   }
 
+  [[nodiscard]] bool batched() const override { return true; }
+
  protected:
-  void optimize(core::CachingEvaluator& evaluator, common::Rng& rng) override;
+  void start(const core::SearchSpace& space, common::Rng& rng) override;
+  std::vector<core::Config> ask(std::size_t remaining,
+                                common::Rng& rng) override;
+
+ private:
+  Options options_;
+  const core::SearchSpace* space_ = nullptr;
 };
 
 }  // namespace bat::tuners

@@ -6,7 +6,7 @@ namespace bat::tuners {
 
 void SimulatedAnnealing::optimize(core::CachingEvaluator& evaluator,
                                   common::Rng& rng) {
-  const auto& space = evaluator.problem().space();
+  const auto& space = evaluator.space();
   while (true) {  // reheat loop
     core::Config current = space.random_valid_config(rng);
     double current_obj = evaluator(current);

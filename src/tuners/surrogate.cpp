@@ -10,7 +10,7 @@ namespace bat::tuners {
 
 void SurrogateTuner::optimize(core::CachingEvaluator& evaluator,
                               common::Rng& rng) {
-  const auto& space = evaluator.problem().space();
+  const auto& space = evaluator.space();
   const auto& params = space.params();
   const std::size_t dims = params.num_params();
 

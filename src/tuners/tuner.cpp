@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "tuners/de.hpp"
 #include "tuners/genetic.hpp"
 #include "tuners/ils.hpp"
@@ -21,11 +22,37 @@ void Tuner::run(core::CachingEvaluator& evaluator, common::Rng& rng) {
   }
 }
 
-TuningRun run_tuner(Tuner& tuner, const core::Benchmark& bench,
-                    core::DeviceIndex device, std::size_t budget,
-                    std::uint64_t seed) {
-  core::TuningProblem problem(bench, device);
-  core::CachingEvaluator evaluator(problem, budget);
+void Tuner::optimize(core::CachingEvaluator& evaluator, common::Rng& rng) {
+  // Default body: drive the ask/tell protocol. Exception-driven tuners
+  // override optimize() instead and never reach this.
+  BAT_EXPECTS(batched());
+  start(evaluator.space(), rng);
+  // A fully converged population can keep proposing already-cached
+  // configurations forever without consuming budget; stop after enough
+  // consecutive generations make no progress on the trace.
+  constexpr std::size_t kMaxStallRounds = 128;
+  std::size_t stalled = 0;
+  while (!evaluator.exhausted() && stalled < kMaxStallRounds) {
+    const std::size_t remaining = evaluator.budget() - evaluator.evaluations();
+    const auto batch = ask(remaining, rng);
+    if (batch.empty()) break;
+    const std::size_t before = evaluator.evaluations();
+    const auto objectives = evaluator.evaluate_batch(batch);
+    tell(batch, objectives, rng);
+    stalled = evaluator.evaluations() == before ? stalled + 1 : 0;
+  }
+}
+
+void Tuner::start(const core::SearchSpace&, common::Rng&) {}
+
+std::vector<core::Config> Tuner::ask(std::size_t, common::Rng&) { return {}; }
+
+void Tuner::tell(const std::vector<core::Config>&, const std::vector<double>&,
+                 common::Rng&) {}
+
+TuningRun run_tuner(Tuner& tuner, core::EvaluationBackend& backend,
+                    std::size_t budget, std::uint64_t seed) {
+  core::CachingEvaluator evaluator(backend, budget);
   common::Rng rng(seed);
   tuner.run(evaluator, rng);
   TuningRun result;
@@ -34,6 +61,13 @@ TuningRun run_tuner(Tuner& tuner, const core::Benchmark& bench,
   result.best = evaluator.best();
   result.best_so_far = evaluator.best_so_far();
   return result;
+}
+
+TuningRun run_tuner(Tuner& tuner, const core::Benchmark& bench,
+                    core::DeviceIndex device, std::size_t budget,
+                    std::uint64_t seed) {
+  core::LiveBackend backend(bench, device);
+  return run_tuner(tuner, backend, budget, seed);
 }
 
 std::unique_ptr<Tuner> make_tuner(const std::string& name) {

@@ -3,18 +3,31 @@
 // A Tuner sees only a CachingEvaluator (objective + budget + trace) and
 // the search space behind it — exactly the contract the paper defines so
 // that Optuna/SMAC3/Kernel Tuner/KTT-style optimizers can drive any BAT
-// benchmark. Tuners run until the evaluation budget is exhausted (the
-// evaluator throws BudgetExhausted, which run() treats as the stop
-// signal).
+// benchmark. Two driving styles coexist:
+//
+//   * exception-driven (default): override optimize() and call
+//     evaluator(config) until it throws BudgetExhausted, which run()
+//     treats as the stop signal.
+//   * batched ask/tell: override batched() to return true plus
+//     start()/ask()/tell(). The framework then loops
+//         batch = ask(remaining, rng)
+//         objectives = evaluator.evaluate_batch(batch)
+//         tell(batch, objectives, rng)
+//     so population tuners (random, genetic, pso, de) evaluate whole
+//     generations through the backend in one parallel batch.
+//
+// Both styles stop exactly at the evaluation budget, and neither knows
+// (or cares) whether measurements are computed live or replayed from a
+// dataset — that is the EvaluationBackend's business.
 #pragma once
 
-#include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "core/backend.hpp"
 #include "core/evaluator.hpp"
 
 namespace bat::tuners {
@@ -25,14 +38,35 @@ class Tuner {
 
   [[nodiscard]] virtual const std::string& name() const = 0;
 
+  /// True if this tuner implements the batched ask/tell protocol.
+  [[nodiscard]] virtual bool batched() const { return false; }
+
   /// Optimizes until the budget is exhausted. Implementations must treat
   /// core::BudgetExhausted as a normal termination signal.
   void run(core::CachingEvaluator& evaluator, common::Rng& rng);
 
  protected:
-  /// Algorithm body; may simply let BudgetExhausted propagate.
-  virtual void optimize(core::CachingEvaluator& evaluator,
-                        common::Rng& rng) = 0;
+  /// Exception-driven algorithm body; may simply let BudgetExhausted
+  /// propagate. The default drives the ask/tell protocol (only valid for
+  /// batched tuners).
+  virtual void optimize(core::CachingEvaluator& evaluator, common::Rng& rng);
+
+  // --- batched ask/tell protocol (batched() == true) ---
+
+  /// Resets internal state for a fresh run over `space`.
+  virtual void start(const core::SearchSpace& space, common::Rng& rng);
+
+  /// Proposes the next batch of configurations to evaluate. `remaining`
+  /// is the number of distinct evaluations left in the budget (a hint:
+  /// proposing more is allowed, the evaluator truncates at the
+  /// boundary). An empty batch ends the run.
+  virtual std::vector<core::Config> ask(std::size_t remaining,
+                                        common::Rng& rng);
+
+  /// Receives the objectives for the batch returned by the previous
+  /// ask() (objectives[i] belongs to configs[i]).
+  virtual void tell(const std::vector<core::Config>& configs,
+                    const std::vector<double>& objectives, common::Rng& rng);
 };
 
 /// Result of a full tuning run.
@@ -43,8 +77,13 @@ struct TuningRun {
   std::vector<double> best_so_far;
 };
 
-/// Convenience: builds an evaluator over (benchmark, device), runs the
-/// tuner with an explicit seed, returns the collected run.
+/// Runs the tuner against an arbitrary evaluation backend (live, replay,
+/// ...) with an explicit seed and returns the collected run.
+[[nodiscard]] TuningRun run_tuner(Tuner& tuner,
+                                  core::EvaluationBackend& backend,
+                                  std::size_t budget, std::uint64_t seed);
+
+/// Convenience: live evaluation over (benchmark, device).
 [[nodiscard]] TuningRun run_tuner(Tuner& tuner, const core::Benchmark& bench,
                                   core::DeviceIndex device, std::size_t budget,
                                   std::uint64_t seed);

@@ -72,6 +72,28 @@ TEST(ThreadPool, ReentrantUseFromResultsIsSafeSequentially) {
   EXPECT_EQ(second.load(), 200);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  // Every task of the outer loop starts a nested loop on the same pool.
+  // Nested calls must degrade to inline execution on the calling worker;
+  // with queue re-entry this deadlocks as soon as all workers block.
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 16, [&](std::size_t) { inner_total++; });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, NestedCallOnGlobalPoolFromWorkerIsInline) {
+  // Same property through the free functions (the global pool), the path
+  // composed code (tuner run -> GBDT fit -> parallel_for) actually takes.
+  std::atomic<int> total{0};
+  parallel_for(0, 4, [&](std::size_t) {
+    parallel_for(0, 32, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 4 * 32);
+}
+
 TEST(ThreadPool, SingleElementRange) {
   int count = 0;
   parallel_for(7, 8, [&](std::size_t i) {

@@ -89,8 +89,8 @@ TEST(Measurement, ObjectiveOfInvalidIsInfinite) {
 
 TEST(CachingEvaluator, CountsOnlyDistinctEvaluations) {
   const auto bench = kernels::make("pnpoly");
-  TuningProblem problem(*bench, 0);
-  CachingEvaluator eval(problem, 10);
+  LiveBackend backend(*bench, 0);
+  CachingEvaluator eval(backend, 10);
   common::Rng rng(3);
   const Config a = bench->space().random_valid_config(rng);
   const double first = eval(a);
@@ -101,8 +101,8 @@ TEST(CachingEvaluator, CountsOnlyDistinctEvaluations) {
 
 TEST(CachingEvaluator, ThrowsWhenBudgetExhausted) {
   const auto bench = kernels::make("pnpoly");
-  TuningProblem problem(*bench, 0);
-  CachingEvaluator eval(problem, 3);
+  LiveBackend backend(*bench, 0);
+  CachingEvaluator eval(backend, 3);
   common::Rng rng(4);
   for (int i = 0; i < 3; ++i) {
     (void)eval(bench->space().random_valid_config(rng));
@@ -118,8 +118,8 @@ TEST(CachingEvaluator, ThrowsWhenBudgetExhausted) {
 
 TEST(CachingEvaluator, BestSoFarIsMonotone) {
   const auto bench = kernels::make("pnpoly");
-  TuningProblem problem(*bench, 0);
-  CachingEvaluator eval(problem, 30);
+  LiveBackend backend(*bench, 0);
+  CachingEvaluator eval(backend, 30);
   common::Rng rng(5);
   for (int i = 0; i < 30; ++i) {
     (void)eval(bench->space().random_valid_config(rng));

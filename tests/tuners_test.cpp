@@ -102,6 +102,43 @@ TEST(Comparison, InformedTunersBeatRandomOnGemm) {
   EXPECT_LT(informed_best, random_best * 1.10);
 }
 
+TEST_P(AllTunersSweep, LiveAndReplayTracesAreIdentical) {
+  // The backend-parity acceptance test: one Runner sweep replayed as a
+  // tabular benchmark must reproduce the exact live run (same
+  // ConfigIndex sequence, same objectives) for the same seed.
+  const auto bench = kernels::make("pnpoly");
+  static const core::Dataset ds = core::Runner::run_exhaustive(*bench, 1);
+  for (const std::uint64_t seed : {11ULL, 12ULL}) {
+    auto live_tuner = make_tuner(GetParam());
+    core::LiveBackend live(*bench, 1);
+    const auto live_run = run_tuner(*live_tuner, live, 70, seed);
+
+    auto replay_tuner = make_tuner(GetParam());
+    core::ReplayBackend replay(bench->space(), ds);
+    const auto replay_run = run_tuner(*replay_tuner, replay, 70, seed);
+
+    ASSERT_EQ(live_run.trace.size(), replay_run.trace.size());
+    for (std::size_t i = 0; i < live_run.trace.size(); ++i) {
+      EXPECT_EQ(live_run.trace[i].index, replay_run.trace[i].index);
+      EXPECT_DOUBLE_EQ(live_run.trace[i].objective,
+                       replay_run.trace[i].objective);
+    }
+    ASSERT_EQ(live_run.best_so_far.size(), replay_run.best_so_far.size());
+    for (std::size_t i = 0; i < live_run.best_so_far.size(); ++i) {
+      EXPECT_DOUBLE_EQ(live_run.best_so_far[i], replay_run.best_so_far[i]);
+    }
+  }
+}
+
+TEST(BatchedTuners, PopulationTunersUseAskTell) {
+  for (const auto& name : {"random", "genetic", "pso", "de"}) {
+    EXPECT_TRUE(make_tuner(name)->batched()) << name;
+  }
+  for (const auto& name : {"local", "annealing", "ils", "surrogate"}) {
+    EXPECT_FALSE(make_tuner(name)->batched()) << name;
+  }
+}
+
 TEST(RunTuner, TraceObjectivesMatchBenchmark) {
   const auto bench = kernels::make("nbody");
   auto tuner = make_tuner("random");

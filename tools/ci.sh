@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI pipeline: configure + build + ctest, then an ASan/UBSan build of the
+# concurrency-critical tests (evaluator/backend batching and the thread
+# pool) so the batched evaluation path stays sanitizer-clean.
+#
+#   $ tools/ci.sh [build_dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+JOBS="$(nproc)"
+
+echo "=== configure + build (${BUILD_DIR}) ==="
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "=== ctest ==="
+# (cd instead of --test-dir: the latter needs CTest >= 3.20, we support 3.16)
+(cd "${BUILD_DIR}" && ctest --output-on-failure -j "${JOBS}")
+
+echo "=== ASan/UBSan build of evaluator + thread-pool tests ==="
+SAN_DIR="${BUILD_DIR}-asan"
+cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DBAT_SANITIZE=ON
+cmake --build "${SAN_DIR}" -j "${JOBS}" --target \
+    core_backend_test core_dataset_evaluator_test common_thread_pool_test
+for t in core_backend_test core_dataset_evaluator_test common_thread_pool_test; do
+  echo "--- ${t} (sanitized) ---"
+  "${SAN_DIR}/${t}"
+done
+
+echo "CI OK"
