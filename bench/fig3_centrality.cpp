@@ -16,7 +16,7 @@ int main() {
   for (const auto& name : {"gemm", "convolution", "pnpoly"}) {
     bench::print_header("Fig 3: proportion of centrality — " +
                         std::string(name));
-    std::vector<std::string> header{"device", "minima"};
+    std::vector<std::string> header{"device", "nodes", "edges", "minima"};
     for (const auto p : proportions) {
       header.push_back("p=" + common::format_double(p, 2));
     }
@@ -24,10 +24,14 @@ int main() {
     const auto bench_obj = kernels::make(name);
     for (core::DeviceIndex d = 0; d < bench_obj->device_count(); ++d) {
       const auto& ds = bench::dataset(name, d);
+      // Built straight into flat CSR arrays from the compiled
+      // valid-index set; pagerank consumes them without conversion.
       const analysis::FitnessFlowGraph graph(bench_obj->space(), ds);
       const auto curve =
           analysis::proportion_of_centrality(graph, proportions);
       std::vector<std::string> row{ds.device_name(),
+                                   std::to_string(graph.num_nodes()),
+                                   std::to_string(graph.graph().num_edges()),
                                    std::to_string(curve.num_minima)};
       for (const auto c : curve.centrality) {
         row.push_back(common::format_double(c, 3));

@@ -2,13 +2,22 @@
 // tuner pays per step (space decode, constraint check, simulated
 // evaluation, neighbor generation) and the analysis building blocks
 // (GBDT fit, PageRank iteration).
+//
+// The *Config / *Index pairs compare the seed Config-materializing hot
+// paths against the compiled index-space paths (CompiledSpace): neighbor
+// iteration with no per-step Config allocation, and FFG construction in
+// flat CSR off the valid-index set instead of a hash map.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <unordered_map>
 
+#include "analysis/ffg.hpp"
 #include "analysis/pagerank.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/backend.hpp"
+#include "core/compiled_space.hpp"
 #include "core/evaluator.hpp"
 #include "core/runner.hpp"
 #include "kernels/all_kernels.hpp"
@@ -52,15 +61,36 @@ void BM_SimulatedEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedEvaluation);
 
-void BM_NeighborGeneration(benchmark::State& state) {
-  const auto bench = kernels::make("hotspot");
+// Seed path: materialize a std::vector<Config> of valid neighbors.
+void BM_NeighborsConfig(benchmark::State& state, const std::string& kernel) {
+  const auto bench = kernels::make(kernel);
   common::Rng rng(3);
   const auto config = bench->space().random_valid_config(rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(bench->space().valid_neighbors(config).size());
   }
 }
-BENCHMARK(BM_NeighborGeneration);
+BENCHMARK_CAPTURE(BM_NeighborsConfig, gemm, "gemm");
+BENCHMARK_CAPTURE(BM_NeighborsConfig, hotspot, "hotspot");
+
+// Index-space path: for_each_valid_neighbor_index, pure index
+// arithmetic + rank probes (gemm, materialized) or the constraint plan
+// (hotspot, streamed) — no per-step allocation.
+void BM_NeighborsIndex(benchmark::State& state, const std::string& kernel) {
+  const auto bench = kernels::make(kernel);
+  const auto& compiled = bench->space().compiled();
+  common::Rng rng(3);
+  const auto base = bench->space().random_valid_index(rng);
+  core::NeighborScratch scratch;
+  for (auto _ : state) {
+    std::size_t count = 0;
+    compiled.for_each_valid_neighbor_index(
+        base, scratch, [&](core::ConfigIndex) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK_CAPTURE(BM_NeighborsIndex, gemm, "gemm");
+BENCHMARK_CAPTURE(BM_NeighborsIndex, hotspot, "hotspot");
 
 void BM_RandomValidSample(benchmark::State& state) {
   const auto bench = kernels::make("expdist");  // ~5% acceptance
@@ -71,6 +101,56 @@ void BM_RandomValidSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RandomValidSample);
+
+// Seed FFG construction: ConfigIndex -> node via an unordered_map, one
+// edge vector per node (replica of the pre-CompiledSpace build).
+void BM_FfgBuildHashMap(benchmark::State& state) {
+  const auto bench = kernels::make("pnpoly");
+  const auto ds = core::Runner::run_exhaustive(*bench, 0);
+  const auto& params = bench->space().params();
+  for (auto _ : state) {
+    std::unordered_map<core::ConfigIndex, std::uint32_t> node_of;
+    std::vector<core::ConfigIndex> index_of_node;
+    std::vector<double> times;
+    node_of.reserve(ds.size());
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+      if (!ds.row_ok(r)) continue;
+      node_of.emplace(ds.config_index(r),
+                      static_cast<std::uint32_t>(index_of_node.size()));
+      index_of_node.push_back(ds.config_index(r));
+      times.push_back(ds.time_ms(r));
+    }
+    std::vector<std::vector<std::uint32_t>> edges(times.size());
+    common::parallel_for_chunked(
+        0, times.size(), [&](std::size_t lo, std::size_t hi, std::size_t) {
+          core::Config config;
+          for (std::size_t node = lo; node < hi; ++node) {
+            params.decode_into(index_of_node[node], config);
+            auto& out = edges[node];
+            params.for_each_neighbor(config, [&](const core::Config& n) {
+              const auto it = node_of.find(params.index_of_config(n));
+              if (it == node_of.end()) return;
+              if (times[it->second] < times[node]) out.push_back(it->second);
+            });
+          }
+        });
+    benchmark::DoNotOptimize(edges.data());
+  }
+}
+BENCHMARK(BM_FfgBuildHashMap);
+
+// Index-space FFG construction: flat CSR arrays off the compiled
+// valid-index set (rank lookups, parallel pass).
+void BM_FfgBuildCsr(benchmark::State& state) {
+  const auto bench = kernels::make("pnpoly");
+  const auto ds = core::Runner::run_exhaustive(*bench, 0);
+  (void)bench->space().compiled();  // compile outside the timed region
+  for (auto _ : state) {
+    const analysis::FitnessFlowGraph graph(bench->space(), ds);
+    benchmark::DoNotOptimize(graph.graph().num_edges());
+  }
+}
+BENCHMARK(BM_FfgBuildCsr);
 
 void BM_GbdtFit(benchmark::State& state) {
   common::Rng rng(5);
@@ -102,8 +182,9 @@ void BM_PageRank(benchmark::State& state) {
       if (v != u) edges[u].push_back(v);
     }
   }
+  const auto csr = analysis::CsrGraph::from_adjacency(edges);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(analysis::pagerank(edges).front());
+    benchmark::DoNotOptimize(analysis::pagerank(csr).front());
   }
 }
 BENCHMARK(BM_PageRank)->Arg(1000)->Arg(10000);

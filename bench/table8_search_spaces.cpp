@@ -1,26 +1,68 @@
 // Table VIII: search-space sizes of the benchmarks in BAT —
 // Cardinality, Constrained, Valid (per-device range), Reduced (PFI >=
 // 0.05 on any device) and Reduce-Constrained.
+//
+// Usage: table8_search_spaces [--trees N] [benchmark...]
+//   --trees N     GBDT trees for the importance fits (default 180)
+//   benchmark...  subset of the paper's seven benchmarks, in the given
+//                 order (default: all, paper row order). The reduced
+//                 forms are what tools/ci.sh runs under ASan so the
+//                 compiled-space paths stay sanitizer-clean.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "analysis/space_stats.hpp"
 #include "bench/bench_util.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bat;
+
+  // Paper row order (Table VIII).
+  std::vector<std::string> benchmarks{"pnpoly",  "nbody",   "convolution",
+                                      "gemm",    "expdist", "hotspot",
+                                      "dedisp"};
+  std::size_t num_trees = 180;
+  {
+    std::vector<std::string> selected;
+    for (int a = 1; a < argc; ++a) {
+      const std::string arg = argv[a];
+      if (arg == "--trees" && a + 1 < argc) {
+        char* end = nullptr;
+        const unsigned long trees = std::strtoul(argv[++a], &end, 10);
+        // (strtoul silently wraps a leading '-', so reject it explicitly)
+        if (end == argv[a] || *end != '\0' || trees == 0 ||
+            argv[a][0] == '-') {
+          std::fprintf(stderr, "--trees expects a positive integer, got '%s'\n",
+                       argv[a]);
+          return 1;
+        }
+        num_trees = static_cast<std::size_t>(trees);
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::fprintf(stderr,
+                     "unknown flag '%s' (usage: table8_search_spaces "
+                     "[--trees N] [benchmark...])\n",
+                     arg.c_str());
+        return 1;
+      } else {
+        selected.push_back(arg);
+      }
+    }
+    if (!selected.empty()) benchmarks = std::move(selected);
+  }
+
   bench::print_header("Table VIII: search space sizes of benchmarks in BAT");
   common::AsciiTable table({"Benchmark", "Cardinality", "Constrained",
                             "Valid", "Reduced", "Reduce-Constrained",
                             "kept params"});
 
   analysis::ImportanceOptions importance_options;
-  importance_options.gbdt.num_trees = 180;
+  importance_options.gbdt.num_trees = num_trees;
 
-  // Paper row order (Table VIII).
-  for (const auto& name : {"pnpoly", "nbody", "convolution", "gemm",
-                           "expdist", "hotspot", "dedisp"}) {
+  for (const auto& name : benchmarks) {
     const auto bench_obj = kernels::make(name);
     std::vector<analysis::ImportanceReport> reports;
     for (core::DeviceIndex d = 0; d < bench_obj->device_count(); ++d) {

@@ -15,8 +15,9 @@ CentralityCurve proportion_of_centrality(const FitnessFlowGraph& graph,
   // PageRank over the *reversed* edge direction is not needed: the FFG
   // already points "downhill", so walks accumulate at minima; PageRank on
   // the FFG as-is concentrates mass at sinks, which is exactly the
-  // arrival likelihood the metric wants.
-  const auto rank = pagerank(graph.out_edges(), pr_options);
+  // arrival likelihood the metric wants. The FFG's CSR arrays feed the
+  // power iteration directly.
+  const auto rank = pagerank(graph.graph(), pr_options);
   const auto minima = graph.local_minima();
   out.num_minima = minima.size();
   BAT_EXPECTS(!minima.empty());

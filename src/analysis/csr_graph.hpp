@@ -1,0 +1,47 @@
+// Flat CSR (compressed sparse row) adjacency storage for the analysis
+// graphs. One offsets array + one edge array replaces a
+// vector<vector<...>> — edge iteration is a contiguous scan, and the
+// fitness-flow graph builds straight into this form from the compiled
+// valid-index set.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bat::analysis {
+
+struct CsrGraph {
+  std::vector<std::size_t> offsets;    // size num_nodes()+1; offsets[0]==0
+  std::vector<std::uint32_t> edges;    // concatenated out-edge lists
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edges.size();
+  }
+  [[nodiscard]] std::size_t out_degree(std::size_t u) const {
+    return offsets[u + 1] - offsets[u];
+  }
+  [[nodiscard]] std::span<const std::uint32_t> out(std::size_t u) const {
+    return {edges.data() + offsets[u], offsets[u + 1] - offsets[u]};
+  }
+
+  [[nodiscard]] static CsrGraph from_adjacency(
+      const std::vector<std::vector<std::uint32_t>>& adjacency) {
+    CsrGraph g;
+    g.offsets.reserve(adjacency.size() + 1);
+    g.offsets.push_back(0);
+    std::size_t total = 0;
+    for (const auto& out : adjacency) total += out.size();
+    g.edges.reserve(total);
+    for (const auto& out : adjacency) {
+      g.edges.insert(g.edges.end(), out.begin(), out.end());
+      g.offsets.push_back(g.edges.size());
+    }
+    return g;
+  }
+};
+
+}  // namespace bat::analysis

@@ -4,11 +4,20 @@
 // from a configuration to each Hamming-1 neighbor with strictly lower
 // fitness (runtime). A random walk on this graph mimics randomized
 // first-improvement local search. Local minima are the sink nodes.
+//
+// The graph is built directly in flat CSR arrays: node lookup goes
+// through the compiled valid-index set (ConfigIndex -> valid-ordinal
+// rank, then an array load) and neighbor enumeration is pure index
+// arithmetic — one parallel pass over the nodes, no hash probes and no
+// per-node edge vectors. Datasets over spaces too large to materialize
+// fall back to a hash-keyed build.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "analysis/csr_graph.hpp"
 #include "core/dataset.hpp"
 #include "core/search_space.hpp"
 
@@ -24,9 +33,11 @@ class FitnessFlowGraph {
   [[nodiscard]] std::size_t num_nodes() const noexcept {
     return times_.size();
   }
-  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>& out_edges()
-      const noexcept {
-    return edges_;
+  /// The downhill edges in flat CSR form (what pagerank consumes).
+  [[nodiscard]] const CsrGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] std::span<const std::uint32_t> out_edges_of(
+      std::size_t node) const {
+    return graph_.out(node);
   }
   [[nodiscard]] double time_of(std::size_t node) const {
     return times_[node];
@@ -39,7 +50,7 @@ class FitnessFlowGraph {
 
  private:
   std::vector<double> times_;
-  std::vector<std::vector<std::uint32_t>> edges_;  // node -> lower neighbors
+  CsrGraph graph_;  // node -> strictly lower neighbors
 };
 
 }  // namespace bat::analysis

@@ -6,10 +6,9 @@
 
 namespace bat::analysis {
 
-std::vector<double> pagerank(
-    const std::vector<std::vector<std::uint32_t>>& out_edges,
-    const PageRankOptions& options) {
-  const std::size_t n = out_edges.size();
+std::vector<double> pagerank(const CsrGraph& graph,
+                             const PageRankOptions& options) {
+  const std::size_t n = graph.num_nodes();
   BAT_EXPECTS(n > 0);
   BAT_EXPECTS(options.damping > 0.0 && options.damping < 1.0);
 
@@ -21,13 +20,13 @@ std::vector<double> pagerank(
     double dangling_mass = 0.0;
     std::fill(next.begin(), next.end(), 0.0);
     for (std::size_t u = 0; u < n; ++u) {
-      if (out_edges[u].empty()) {
+      const std::size_t degree = graph.out_degree(u);
+      if (degree == 0) {
         dangling_mass += rank[u];
         continue;
       }
-      const double share =
-          rank[u] / static_cast<double>(out_edges[u].size());
-      for (const auto v : out_edges[u]) next[v] += share;
+      const double share = rank[u] / static_cast<double>(degree);
+      for (const auto v : graph.out(u)) next[v] += share;
     }
     double delta = 0.0;
     for (std::size_t v = 0; v < n; ++v) {
@@ -40,6 +39,12 @@ std::vector<double> pagerank(
     if (delta < options.tolerance) break;
   }
   return rank;
+}
+
+std::vector<double> pagerank(
+    const std::vector<std::vector<std::uint32_t>>& out_edges,
+    const PageRankOptions& options) {
+  return pagerank(CsrGraph::from_adjacency(out_edges), options);
 }
 
 }  // namespace bat::analysis

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/csr_graph.hpp"
+
 namespace bat::analysis {
 
 struct PageRankOptions {
@@ -13,10 +15,14 @@ struct PageRankOptions {
   std::size_t max_iterations = 200;
 };
 
-/// Computes PageRank over a directed graph given as out-edge adjacency
-/// lists. Dangling nodes (sinks — the FFG's local minima) distribute
-/// their mass uniformly, the standard correction. Returns a probability
-/// vector (sums to 1).
+/// Computes PageRank over a directed graph in flat CSR form (the native
+/// layout of the fitness-flow graph). Dangling nodes (sinks — the FFG's
+/// local minima) distribute their mass uniformly, the standard
+/// correction. Returns a probability vector (sums to 1).
+[[nodiscard]] std::vector<double> pagerank(const CsrGraph& graph,
+                                           const PageRankOptions& options = {});
+
+/// Adjacency-list convenience overload (converts to CSR once).
 [[nodiscard]] std::vector<double> pagerank(
     const std::vector<std::vector<std::uint32_t>>& out_edges,
     const PageRankOptions& options = {});

@@ -23,12 +23,14 @@ LiveBackend::LiveBackend(const Benchmark& benchmark, DeviceIndex device,
 
 std::vector<Measurement> LiveBackend::evaluate_batch(
     std::span<const ConfigIndex> indices) {
-  const auto& params = benchmark_->space().params();
+  // Decoding goes through the compiled value tables: the same mixed-radix
+  // arithmetic as ParamSpace but without touching Parameter objects.
+  const auto& compiled = benchmark_->space().compiled();
   std::vector<Measurement> results(indices.size());
   if (indices.size() < parallel_threshold_) {
     Config scratch;
     for (std::size_t i = 0; i < indices.size(); ++i) {
-      params.decode_into(indices[i], scratch);
+      compiled.decode_into(indices[i], scratch);
       results[i] = benchmark_->evaluate(scratch, device_);
     }
     return results;
@@ -37,7 +39,7 @@ std::vector<Measurement> LiveBackend::evaluate_batch(
       0, indices.size(), [&](std::size_t lo, std::size_t hi, std::size_t) {
         Config scratch;
         for (std::size_t i = lo; i < hi; ++i) {
-          params.decode_into(indices[i], scratch);
+          compiled.decode_into(indices[i], scratch);
           results[i] = benchmark_->evaluate(scratch, device_);
         }
       });
@@ -48,8 +50,35 @@ std::vector<Measurement> LiveBackend::evaluate_batch(
 
 ReplayBackend::ReplayBackend(const SearchSpace& space, const Dataset& dataset)
     : space_(&space),
+      compiled_(space.compiled_shared()),
+      size_(dataset.size()),
       name_("replay:" + dataset.benchmark_name() + "@" +
             dataset.device_name()) {
+  if (compiled_->has_valid_set()) {
+    // Ordinal mode: measurements live in a flat array indexed by
+    // valid-ordinal. Bail out to the hash table if any row falls outside
+    // the valid set (a foreign or corrupted dataset).
+    by_ordinal_.assign(static_cast<std::size_t>(compiled_->num_valid()),
+                       Measurement{});
+    covered_.assign(by_ordinal_.size(), 0);
+    ordinal_mode_ = true;
+    for (std::size_t row = 0; row < dataset.size(); ++row) {
+      const auto ordinal = compiled_->rank(dataset.config_index(row));
+      if (!ordinal) {
+        ordinal_mode_ = false;
+        by_ordinal_.clear();
+        covered_.clear();
+        break;
+      }
+      // First row wins on duplicate indices, matching the hash-mode
+      // emplace semantics (lookups must not depend on storage mode).
+      if (covered_[static_cast<std::size_t>(*ordinal)] != 0) continue;
+      by_ordinal_[static_cast<std::size_t>(*ordinal)] =
+          Measurement{dataset.time_ms(row), dataset.status(row)};
+      covered_[static_cast<std::size_t>(*ordinal)] = 1;
+    }
+    if (ordinal_mode_) return;
+  }
   table_.reserve(dataset.size());
   for (std::size_t row = 0; row < dataset.size(); ++row) {
     table_.emplace(dataset.config_index(row),
@@ -57,18 +86,35 @@ ReplayBackend::ReplayBackend(const SearchSpace& space, const Dataset& dataset)
   }
 }
 
+bool ReplayBackend::contains(ConfigIndex index) const noexcept {
+  if (ordinal_mode_) {
+    const auto ordinal = compiled_->rank(index);
+    return ordinal && covered_[static_cast<std::size_t>(*ordinal)] != 0;
+  }
+  return table_.find(index) != table_.end();
+}
+
 std::vector<Measurement> ReplayBackend::evaluate_batch(
     std::span<const ConfigIndex> indices) {
   std::vector<Measurement> results;
   results.reserve(indices.size());
   for (const ConfigIndex index : indices) {
-    const auto it = table_.find(index);
-    if (it == table_.end()) {
-      throw std::out_of_range(name_ + ": config index " +
-                              std::to_string(index) +
-                              " is not covered by the dataset");
+    if (ordinal_mode_) {
+      const auto ordinal = compiled_->rank(index);
+      if (ordinal && covered_[static_cast<std::size_t>(*ordinal)] != 0) {
+        results.push_back(by_ordinal_[static_cast<std::size_t>(*ordinal)]);
+        continue;
+      }
+    } else {
+      const auto it = table_.find(index);
+      if (it != table_.end()) {
+        results.push_back(it->second);
+        continue;
+      }
     }
-    results.push_back(it->second);
+    throw std::out_of_range(name_ + ": config index " +
+                            std::to_string(index) +
+                            " is not covered by the dataset");
   }
   return results;
 }

@@ -18,12 +18,14 @@
 // identical measurements, so live and replay paths are interchangeable.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/benchmark.hpp"
+#include "core/compiled_space.hpp"
 #include "core/dataset.hpp"
 #include "core/measurement.hpp"
 #include "core/search_space.hpp"
@@ -84,10 +86,16 @@ class LiveBackend final : public EvaluationBackend {
 /// dataset does not cover throws std::out_of_range — replay is only
 /// sound when the dataset covers every configuration a client may ask
 /// for (e.g. an exhaustive Runner sweep).
+///
+/// Storage is batched by valid-ordinal when the compiled space has a
+/// materialized valid set: a lookup is one rank probe plus an array
+/// index instead of a hash probe. Datasets over streamed (huge) spaces,
+/// or containing rows outside the valid set, fall back to a hash table.
 class ReplayBackend final : public EvaluationBackend {
  public:
-  /// `space` must be the search space the dataset was built from; the
-  /// dataset rows are keyed by their ConfigIndex within that space.
+  /// `space` must be the search space the dataset was built from (and
+  /// must outlive this backend); the dataset rows are keyed by their
+  /// ConfigIndex within that space.
   ReplayBackend(const SearchSpace& space, const Dataset& dataset);
 
   [[nodiscard]] const std::string& name() const override { return name_; }
@@ -95,14 +103,17 @@ class ReplayBackend final : public EvaluationBackend {
   [[nodiscard]] std::vector<Measurement> evaluate_batch(
       std::span<const ConfigIndex> indices) override;
 
-  [[nodiscard]] bool contains(ConfigIndex index) const noexcept {
-    return table_.find(index) != table_.end();
-  }
-  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+  [[nodiscard]] bool contains(ConfigIndex index) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
  private:
   const SearchSpace* space_;
-  std::unordered_map<ConfigIndex, Measurement> table_;
+  std::shared_ptr<const CompiledSpace> compiled_;  // kept alive with us
+  bool ordinal_mode_ = false;
+  std::vector<Measurement> by_ordinal_;     // valid-ordinal -> measurement
+  std::vector<unsigned char> covered_;      // valid-ordinal covered by ds
+  std::unordered_map<ConfigIndex, Measurement> table_;  // fallback
+  std::size_t size_ = 0;
   std::string name_;
 };
 

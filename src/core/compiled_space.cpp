@@ -1,0 +1,237 @@
+#include "core/compiled_space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/thread_pool.hpp"
+
+namespace bat::core {
+
+CompiledSpace::CompiledSpace(const ParamSpace& params,
+                             const ConstraintSet& constraints)
+    : CompiledSpace(params, constraints, Options{}) {}
+
+CompiledSpace::CompiledSpace(const ParamSpace& params,
+                             const ConstraintSet& constraints,
+                             Options options)
+    : constraints_(constraints.all()) {
+  const std::size_t n = params.num_params();
+  names_.reserve(n);
+  values_.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    names_.push_back(params.param(p).name());
+    values_.push_back(params.param(p).values());
+  }
+  strides_.assign(n, 1);
+  cardinality_ = 1;
+  for (std::size_t p = n; p-- > 0;) {
+    strides_[p] = cardinality_;
+    cardinality_ *= static_cast<ConfigIndex>(values_[p].size());
+  }
+
+  // Constraint plan: bind each constraint to the parameter positions it
+  // declares; an empty declaration conservatively touches everything.
+  touching_.assign(n, {});
+  for (std::size_t c = 0; c < constraints_.size(); ++c) {
+    const auto& reads = constraints_[c].reads();
+    if (reads.empty()) {
+      for (auto& t : touching_) t.push_back(static_cast<std::uint16_t>(c));
+      continue;
+    }
+    std::vector<std::size_t> positions;
+    positions.reserve(reads.size());
+    for (const auto& name : reads) {
+      const auto it = std::find(names_.begin(), names_.end(), name);
+      if (it == names_.end()) {
+        throw std::invalid_argument("constraint '" + constraints_[c].name() +
+                                    "' reads unknown parameter '" + name +
+                                    "'");
+      }
+      positions.push_back(static_cast<std::size_t>(it - names_.begin()));
+    }
+    // Dedupe: a repeated name must not double-count the constraint in
+    // the per-parameter plan (failing_touching would overshoot).
+    std::sort(positions.begin(), positions.end());
+    positions.erase(std::unique(positions.begin(), positions.end()),
+                    positions.end());
+    for (const auto p : positions) {
+      touching_[p].push_back(static_cast<std::uint16_t>(c));
+    }
+  }
+
+  if (cardinality_ > 0 && cardinality_ <= options.materialize_limit) {
+    materialize();
+  }
+}
+
+void CompiledSpace::materialize() {
+  const auto n = static_cast<std::size_t>(cardinality_);
+  if (constraints_.empty()) {
+    valid_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      valid_[i] = static_cast<ConfigIndex>(i);
+    }
+  } else {
+    auto& pool = common::ThreadPool::global();
+    std::vector<std::vector<ConfigIndex>> partial(pool.size());
+    pool.parallel_for_chunked(
+        0, n, [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+          Config scratch;
+          auto& out = partial[worker];
+          for (std::size_t i = lo; i < hi; ++i) {
+            decode_into(static_cast<ConfigIndex>(i), scratch);
+            if (satisfied(scratch)) out.push_back(static_cast<ConfigIndex>(i));
+          }
+        });
+    std::size_t total = 0;
+    for (const auto& p : partial) total += p.size();
+    valid_.reserve(total);
+    // Chunks are contiguous ascending ranges: concatenation stays sorted.
+    for (const auto& p : partial) {
+      valid_.insert(valid_.end(), p.begin(), p.end());
+    }
+  }
+
+  // Bucket the sorted valid set so rank() probes one ~2-entry slice:
+  // shrink buckets until there are at least half as many as valid
+  // entries (capped well below cardinality to bound the offsets array).
+  bucket_shift_ = 64;
+  const std::uint64_t target =
+      std::max<std::uint64_t>(1024, 2 * valid_.size());
+  while (bucket_shift_ > 0 && (cardinality_ >> (bucket_shift_ - 1)) <= target) {
+    --bucket_shift_;
+  }
+  const std::size_t buckets =
+      static_cast<std::size_t>(((cardinality_ - 1) >> bucket_shift_) + 1);
+  bucket_offsets_.assign(buckets + 1, 0);
+  for (const auto idx : valid_) {
+    ++bucket_offsets_[static_cast<std::size_t>(idx >> bucket_shift_) + 1];
+  }
+  for (std::size_t b = 1; b <= buckets; ++b) {
+    bucket_offsets_[b] += bucket_offsets_[b - 1];
+  }
+  materialized_ = true;
+}
+
+void CompiledSpace::decode_digits(ConfigIndex index,
+                                  std::vector<std::uint32_t>& digits) const {
+  BAT_EXPECTS(index < cardinality_);
+  digits.resize(values_.size());
+  for (std::size_t p = 0; p < values_.size(); ++p) {
+    digits[p] = static_cast<std::uint32_t>(
+        (index / strides_[p]) % static_cast<ConfigIndex>(values_[p].size()));
+  }
+}
+
+ConfigIndex CompiledSpace::index_of_digits(
+    const std::vector<std::uint32_t>& digits) const {
+  BAT_EXPECTS(digits.size() == values_.size());
+  ConfigIndex index = 0;
+  for (std::size_t p = 0; p < values_.size(); ++p) {
+    BAT_EXPECTS(digits[p] < values_[p].size());
+    index += static_cast<ConfigIndex>(digits[p]) * strides_[p];
+  }
+  return index;
+}
+
+void CompiledSpace::decode_into(ConfigIndex index, Config& out) const {
+  BAT_EXPECTS(index < cardinality_);
+  out.resize(values_.size());
+  for (std::size_t p = 0; p < values_.size(); ++p) {
+    const auto digit = static_cast<std::size_t>(
+        (index / strides_[p]) % static_cast<ConfigIndex>(values_[p].size()));
+    out[p] = values_[p][digit];
+  }
+}
+
+void CompiledSpace::decode_values(const std::vector<std::uint32_t>& digits,
+                                  Config& out) const {
+  out.resize(values_.size());
+  for (std::size_t p = 0; p < values_.size(); ++p) {
+    out[p] = values_[p][digits[p]];
+  }
+}
+
+bool CompiledSpace::satisfied(const Config& values) const {
+  for (const auto& c : constraints_) {
+    if (!c.check(values)) return false;
+  }
+  return true;
+}
+
+bool CompiledSpace::is_valid_index(ConfigIndex index) const {
+  if (materialized_) return rank(index).has_value();
+  Config scratch;
+  decode_into(index, scratch);
+  return satisfied(scratch);
+}
+
+std::optional<std::uint64_t> CompiledSpace::rank(ConfigIndex index) const {
+  BAT_EXPECTS(materialized_);
+  if (index >= cardinality_) return std::nullopt;
+  const auto bucket = static_cast<std::size_t>(index >> bucket_shift_);
+  const auto lo = valid_.begin() +
+                  static_cast<std::ptrdiff_t>(bucket_offsets_[bucket]);
+  const auto hi = valid_.begin() +
+                  static_cast<std::ptrdiff_t>(bucket_offsets_[bucket + 1]);
+  const auto it = std::lower_bound(lo, hi, index);
+  if (it == hi || *it != index) return std::nullopt;
+  return static_cast<std::uint64_t>(it - valid_.begin());
+}
+
+ConfigIndex CompiledSpace::random_valid_index(common::Rng& rng) const {
+  BAT_EXPECTS(cardinality_ > 0);
+  if (materialized_) {
+    if (valid_.empty()) {
+      throw std::runtime_error(
+          "random_valid_index: the constraint set admits no configuration");
+    }
+    return valid_[static_cast<std::size_t>(rng.next_below(valid_.size()))];
+  }
+  Config scratch;
+  for (std::uint64_t attempts = 0; attempts < 10'000'000; ++attempts) {
+    const ConfigIndex idx = rng.next_below(cardinality_);
+    decode_into(idx, scratch);
+    if (satisfied(scratch)) return idx;
+  }
+  throw std::runtime_error(
+      "random_valid_index: rejection sampling failed; space over-constrained");
+}
+
+std::vector<ConfigIndex> CompiledSpace::sample_valid(std::size_t n,
+                                                     common::Rng& rng) const {
+  std::vector<ConfigIndex> out;
+  if (materialized_) {
+    if (valid_.size() <= n) return valid_;  // all of them (possibly none)
+    const auto picks = rng.sample_indices(valid_.size(), n);
+    out.reserve(n);
+    for (const auto p : picks) out.push_back(valid_[p]);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  BAT_EXPECTS(cardinality_ > 0);
+  out.reserve(n);
+  std::unordered_set<ConfigIndex> seen;
+  seen.reserve(n * 2);
+  Config scratch;
+  // Bounded rejection: the caller (SearchSpace::sample_constrained)
+  // falls back to enumeration when the space is too sparse for this to
+  // fill up — rejection never spins unboundedly.
+  const std::uint64_t max_attempts = std::max<std::uint64_t>(1000, 400ULL * n);
+  std::uint64_t attempts = 0;
+  while (out.size() < n && attempts < max_attempts) {
+    ++attempts;
+    const ConfigIndex idx = rng.next_below(cardinality_);
+    if (seen.count(idx)) continue;
+    decode_into(idx, scratch);
+    if (!satisfied(scratch)) continue;
+    seen.insert(idx);
+    out.push_back(idx);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bat::core

@@ -3,6 +3,12 @@
 // These correspond to the "Constrained" column of Table VIII: conditions
 // like CLBlast's tiling divisibility rules that make a configuration
 // meaningful at all, regardless of which GPU runs it.
+//
+// A constraint may declare the parameter names it reads. The declaration
+// is what lets CompiledSpace build its evaluation plan: a Hamming-1 move
+// on parameter p only re-checks the constraints whose read set contains
+// p. Constraints without a declaration are treated conservatively as
+// reading every parameter (always re-checked).
 #pragma once
 
 #include <functional>
@@ -21,13 +27,26 @@ class Constraint {
   Constraint(std::string name, Predicate predicate)
       : name_(std::move(name)), predicate_(std::move(predicate)) {}
 
+  Constraint(std::string name, std::vector<std::string> reads,
+             Predicate predicate)
+      : name_(std::move(name)),
+        reads_(std::move(reads)),
+        predicate_(std::move(predicate)) {}
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] bool check(const Config& config) const {
     return predicate_(config);
   }
 
+  /// Parameter names this constraint reads; empty means "unknown" (the
+  /// compiled plan then assumes it reads everything).
+  [[nodiscard]] const std::vector<std::string>& reads() const noexcept {
+    return reads_;
+  }
+
  private:
   std::string name_;
+  std::vector<std::string> reads_;
   Predicate predicate_;
 };
 
@@ -37,6 +56,16 @@ class ConstraintSet {
 
   ConstraintSet& add(std::string name, Constraint::Predicate predicate) {
     constraints_.emplace_back(std::move(name), std::move(predicate));
+    return *this;
+  }
+
+  /// Adds a constraint with an explicit read set (parameter names). The
+  /// declaration is verified against the space structure only when a
+  /// CompiledSpace is built; test coverage keeps declarations honest.
+  ConstraintSet& add(std::string name, std::vector<std::string> reads,
+                     Constraint::Predicate predicate) {
+    constraints_.emplace_back(std::move(name), std::move(reads),
+                              std::move(predicate));
     return *this;
   }
 

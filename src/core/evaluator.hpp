@@ -38,6 +38,13 @@ class CachingEvaluator {
   /// when a cache miss would exceed the budget.
   double operator()(const Config& config);
 
+  /// Index-native single evaluation: no Config round-trip. This is what
+  /// the neighbor-driven tuners call from
+  /// CompiledSpace::for_each_valid_neighbor_index loops.
+  double evaluate_index(ConfigIndex index) {
+    return counting_.evaluate(index).objective();
+  }
+
   /// Evaluates a batch of configurations; results align with `configs`.
   /// Distinct cache misses are evaluated through one backend batch (in
   /// parallel for LiveBackend) and charged in first-occurrence order;

@@ -40,7 +40,10 @@ class ParamSpace {
   /// Names in order, handy for Dataset headers and ML feature names.
   [[nodiscard]] std::vector<std::string> param_names() const;
 
-  /// |P1| * |P2| * ... (throws on uint64 overflow).
+  /// |P1| * |P2| * ... — a plain noexcept accessor. The uint64 overflow
+  /// check runs at construction time: the constructor and add() throw
+  /// std::overflow_error if the product would exceed ConfigIndex, so a
+  /// fully-constructed space always has a representable cardinality.
   [[nodiscard]] ConfigIndex cardinality() const noexcept { return cardinality_; }
 
   /// Decodes a mixed-radix index into a configuration.

@@ -2,18 +2,32 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "common/contracts.hpp"
 #include "common/thread_pool.hpp"
+#include "core/compiled_space.hpp"
 
 namespace bat::core {
 
+const CompiledSpace& SearchSpace::compiled() const {
+  return *compiled_shared();
+}
+
+std::shared_ptr<const CompiledSpace> SearchSpace::compiled_shared() const {
+  std::lock_guard<std::mutex> lock(compiled_mutex_);
+  if (!compiled_) {
+    compiled_ = std::make_shared<const CompiledSpace>(space_, constraints_);
+  }
+  return compiled_;
+}
+
 std::uint64_t SearchSpace::count_constrained() const {
   if (constraints_.empty()) return space_.cardinality();
+  const auto& cs = compiled();
+  if (cs.has_valid_set()) return cs.num_valid();
+
   const ConfigIndex n = space_.cardinality();
   auto& pool = common::ThreadPool::global();
-
   std::vector<std::uint64_t> partial(pool.size(), 0);
   pool.parallel_for_chunked(
       0, static_cast<std::size_t>(n),
@@ -32,6 +46,9 @@ std::uint64_t SearchSpace::count_constrained() const {
 }
 
 std::vector<ConfigIndex> SearchSpace::enumerate_constrained() const {
+  const auto& cs = compiled();
+  if (cs.has_valid_set()) return cs.valid_indices();
+
   const ConfigIndex n = space_.cardinality();
   constexpr ConfigIndex kEnumerationLimit = 200'000'000;
   if (n > kEnumerationLimit) {
@@ -63,50 +80,28 @@ std::vector<ConfigIndex> SearchSpace::enumerate_constrained() const {
 
 std::vector<ConfigIndex> SearchSpace::sample_constrained(
     std::size_t n, common::Rng& rng) const {
-  std::vector<ConfigIndex> out;
-  out.reserve(n);
-  std::unordered_set<ConfigIndex> seen;
-  seen.reserve(n * 2);
-  const ConfigIndex card = space_.cardinality();
-  BAT_EXPECTS(card > 0);
-
-  Config scratch;
-  // Rejection sampling with a deterministic failure bound: if the space is
-  // so constrained that rejection stalls, fall back to enumeration.
-  const std::uint64_t max_attempts =
-      std::max<std::uint64_t>(1000, 400ULL * n);
-  std::uint64_t attempts = 0;
-  while (out.size() < n && attempts < max_attempts) {
-    ++attempts;
-    const ConfigIndex idx = rng.next_below(card);
-    if (seen.count(idx)) continue;
-    space_.decode_into(idx, scratch);
-    if (!constraints_.satisfied(scratch)) continue;
-    seen.insert(idx);
-    out.push_back(idx);
-  }
-  if (out.size() < n) {
-    // Deterministic fallback: enumerate and subsample.
+  const auto& cs = compiled();
+  auto out = cs.sample_valid(n, rng);
+  if (out.size() < n && !cs.has_valid_set()) {
+    // Streamed space whose rejection pass came up short: enumerate and
+    // subsample deterministically (the valid set is too sparse for
+    // rejection, so it is small enough to materialize once).
     const auto all = enumerate_constrained();
     if (all.size() <= n) return all;
-    auto picks = rng.sample_indices(all.size(), n);
+    const auto picks = rng.sample_indices(all.size(), n);
     out.clear();
     for (const auto p : picks) out.push_back(all[p]);
+    std::sort(out.begin(), out.end());
   }
-  std::sort(out.begin(), out.end());
   return out;
 }
 
+ConfigIndex SearchSpace::random_valid_index(common::Rng& rng) const {
+  return compiled().random_valid_index(rng);
+}
+
 Config SearchSpace::random_valid_config(common::Rng& rng) const {
-  Config scratch;
-  const ConfigIndex card = space_.cardinality();
-  BAT_EXPECTS(card > 0);
-  for (std::uint64_t attempts = 0; attempts < 10'000'000; ++attempts) {
-    space_.decode_into(rng.next_below(card), scratch);
-    if (constraints_.satisfied(scratch)) return scratch;
-  }
-  throw std::runtime_error(
-      "random_valid_config: rejection sampling failed; space over-constrained");
+  return space_.config_at(random_valid_index(rng));
 }
 
 std::vector<Config> SearchSpace::valid_neighbors(const Config& config) const {

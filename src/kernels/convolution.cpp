@@ -34,11 +34,12 @@ core::SearchSpace ConvolutionBenchmark::make_space() {
 
   core::ConstraintSet constraints;
   constraints
-      .add("at least one warp per block",
+      .add("at least one warp per block", {"block_size_x", "block_size_y"},
            [](const core::Config& c) { return c[kBx] * c[kBy] >= 32; })
-      .add("at most 1024 threads per block",
+      .add("at most 1024 threads per block", {"block_size_x", "block_size_y"},
            [](const core::Config& c) { return c[kBx] * c[kBy] <= 1024; })
       .add("padding only when block_size_x misaligns with banks",
+           {"use_padding", "block_size_x"},
            [](const core::Config& c) {
              // Padding is a no-op variant when block_size_x is already a
              // multiple of the 32 shared-memory banks; the generator only

@@ -48,10 +48,12 @@ core::SearchSpace DedispBenchmark::make_space() {
   core::ConstraintSet constraints;
   constraints
       .add("tile_stride_x needs tile_size_x > 1",
+           {"tile_stride_x", "tile_size_x"},
            [](const core::Config& c) {
              return c[kStrideX] == 0 || c[kTx] > 1;
            })
       .add("tile_stride_y needs tile_size_y > 1",
+           {"tile_stride_y", "tile_size_y"},
            [](const core::Config& c) {
              return c[kStrideY] == 0 || c[kTy] > 1;
            });

@@ -45,10 +45,13 @@ core::SearchSpace ExpdistBenchmark::make_space() {
   core::ConstraintSet constraints;
   constraints
       .add("loop_unroll_factor_x divides tile_size_x",
+           {"tile_size_x", "loop_unroll_factor_x"},
            [](const core::Config& c) { return c[kTx] % c[kUnrollX] == 0; })
       .add("loop_unroll_factor_y divides tile_size_y",
+           {"tile_size_y", "loop_unroll_factor_y"},
            [](const core::Config& c) { return c[kTy] % c[kUnrollY] == 0; })
       .add("n_y_blocks only meaningful in the column variant",
+           {"use_column", "n_y_blocks"},
            [](const core::Config& c) {
              return c[kUseColumn] == 1 || c[kNyBlocks] == 1;
            });

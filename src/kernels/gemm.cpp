@@ -31,29 +31,29 @@ core::SearchSpace GemmBenchmark::make_space() {
 
   core::ConstraintSet constraints;
   constraints
-      .add("MWG % (MDIMC*VWM) == 0",
+      .add("MWG % (MDIMC*VWM) == 0", {"MWG", "MDIMC", "VWM"},
            [](const core::Config& c) {
              return c[kMwg] % (c[kMdimc] * c[kVwm]) == 0;
            })
-      .add("NWG % (NDIMC*VWN) == 0",
+      .add("NWG % (NDIMC*VWN) == 0", {"NWG", "NDIMC", "VWN"},
            [](const core::Config& c) {
              return c[kNwg] % (c[kNdimc] * c[kVwn]) == 0;
            })
-      .add("MWG % (MDIMA*VWM) == 0",
+      .add("MWG % (MDIMA*VWM) == 0", {"MWG", "MDIMA", "VWM"},
            [](const core::Config& c) {
              return c[kMwg] % (c[kMdima] * c[kVwm]) == 0;
            })
-      .add("NWG % (NDIMB*VWN) == 0",
+      .add("NWG % (NDIMB*VWN) == 0", {"NWG", "NDIMB", "VWN"},
            [](const core::Config& c) {
              return c[kNwg] % (c[kNdimb] * c[kVwn]) == 0;
            })
-      .add("KWG % ((MDIMC*NDIMC)/MDIMA) == 0",
+      .add("KWG % ((MDIMC*NDIMC)/MDIMA) == 0", {"MDIMC", "NDIMC", "MDIMA"},
            [](const core::Config& c) {
              const auto threads = c[kMdimc] * c[kNdimc];
              return threads % c[kMdima] == 0 &&
                     GemmBenchmark::kKwg % (threads / c[kMdima]) == 0;
            })
-      .add("KWG % ((MDIMC*NDIMC)/NDIMB) == 0",
+      .add("KWG % ((MDIMC*NDIMC)/NDIMB) == 0", {"MDIMC", "NDIMC", "NDIMB"},
            [](const core::Config& c) {
              const auto threads = c[kMdimc] * c[kNdimc];
              return threads % c[kNdimb] == 0 &&

@@ -34,6 +34,7 @@ core::SearchSpace HotspotBenchmark::make_space() {
 
   core::ConstraintSet constraints;
   constraints.add("loop_unroll_factor_t divides temporal_tiling_factor",
+                  {"temporal_tiling_factor", "loop_unroll_factor_t"},
                   [](const core::Config& c) {
                     return c[kTf] % c[kUnrollT] == 0;
                   });

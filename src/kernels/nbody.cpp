@@ -39,12 +39,13 @@ core::SearchSpace NbodyBenchmark::make_space() {
   core::ConstraintSet constraints;
   constraints
       .add("inner_unroll_factor2 used only with local_mem",
+           {"local_mem", "inner_unroll_factor2"},
            [](const core::Config& c) {
              // The second inner loop exists only in the shared-memory
              // variant of the kernel.
              return c[kLocalMem] == 1 || c[kInnerUnroll2] == 0;
            })
-      .add("vector loads require AoS layout",
+      .add("vector loads require AoS layout", {"use_soa", "vector_type"},
            [](const core::Config& c) {
              // float2/float4 loads fetch whole body records; with SoA the
              // components live in separate arrays and only scalar loads

@@ -2,25 +2,39 @@
 
 #include <algorithm>
 
+#include "core/compiled_space.hpp"
+
 namespace bat::tuners {
 
 namespace {
 
+/// Shared per-run buffers so descents allocate nothing per step.
+struct IlsScratch {
+  core::NeighborScratch neighbor;
+  std::vector<core::ConfigIndex> neighbors;
+  std::vector<std::uint32_t> digits;
+};
+
 /// Greedy first-improvement descent from `start`; returns the local
-/// minimum and its objective.
-std::pair<core::Config, double> descend(core::CachingEvaluator& evaluator,
-                                        common::Rng& rng, core::Config start,
-                                        double start_obj) {
-  const auto& space = evaluator.space();
-  core::Config current = std::move(start);
+/// minimum and its objective. Index-native: candidates stay ConfigIndex.
+std::pair<core::ConfigIndex, double> descend(core::CachingEvaluator& evaluator,
+                                             const core::CompiledSpace& compiled,
+                                             common::Rng& rng,
+                                             IlsScratch& scratch,
+                                             core::ConfigIndex start,
+                                             double start_obj) {
+  core::ConfigIndex current = start;
   double current_obj = start_obj;
   bool improved = true;
   while (improved) {
     improved = false;
-    auto neighbors = space.valid_neighbors(current);
-    rng.shuffle(neighbors);
-    for (const auto& candidate : neighbors) {
-      const double obj = evaluator(candidate);
+    scratch.neighbors.clear();
+    compiled.for_each_valid_neighbor_index(
+        current, scratch.neighbor,
+        [&](core::ConfigIndex n) { scratch.neighbors.push_back(n); });
+    rng.shuffle(scratch.neighbors);
+    for (const auto candidate : scratch.neighbors) {
+      const double obj = evaluator.evaluate_index(candidate);
       if (obj < current_obj) {
         current = candidate;
         current_obj = obj;
@@ -29,7 +43,7 @@ std::pair<core::Config, double> descend(core::CachingEvaluator& evaluator,
       }
     }
   }
-  return {std::move(current), current_obj};
+  return {current, current_obj};
 }
 
 }  // namespace
@@ -37,29 +51,35 @@ std::pair<core::Config, double> descend(core::CachingEvaluator& evaluator,
 void IteratedLocalSearch::optimize(core::CachingEvaluator& evaluator,
                                    common::Rng& rng) {
   const auto& space = evaluator.space();
-  const auto& params = space.params();
+  const auto& compiled = space.compiled();
+  IlsScratch scratch;
 
   while (true) {  // restart loop
-    core::Config start = space.random_valid_config(rng);
-    auto [incumbent, incumbent_obj] =
-        descend(evaluator, rng, start, evaluator(start));
+    const core::ConfigIndex start = space.random_valid_index(rng);
+    auto [incumbent, incumbent_obj] = descend(
+        evaluator, compiled, rng, scratch, start,
+        evaluator.evaluate_index(start));
 
     std::size_t no_improve = 0;
     while (no_improve < options_.max_no_improve) {
-      // Perturb: re-randomize a few parameters of the incumbent.
-      core::Config perturbed = incumbent;
+      // Perturb: re-randomize a few digits of the incumbent.
+      compiled.decode_digits(incumbent, scratch.digits);
       const std::size_t k =
-          std::min(options_.perturbation_strength, perturbed.size());
-      const auto picks = rng.sample_indices(perturbed.size(), k);
+          std::min(options_.perturbation_strength, scratch.digits.size());
+      const auto picks = rng.sample_indices(scratch.digits.size(), k);
       for (const auto p : picks) {
-        perturbed[p] = rng.pick(params.param(p).values());
+        scratch.digits[p] =
+            static_cast<std::uint32_t>(rng.next_below(compiled.radix(p)));
       }
-      if (!space.constraints().satisfied(perturbed)) continue;
+      const core::ConfigIndex perturbed =
+          compiled.index_of_digits(scratch.digits);
+      if (!compiled.is_valid_index(perturbed)) continue;
 
-      auto [candidate, candidate_obj] =
-          descend(evaluator, rng, perturbed, evaluator(perturbed));
+      auto [candidate, candidate_obj] = descend(
+          evaluator, compiled, rng, scratch, perturbed,
+          evaluator.evaluate_index(perturbed));
       if (candidate_obj < incumbent_obj) {
-        incumbent = std::move(candidate);
+        incumbent = candidate;
         incumbent_obj = candidate_obj;
         no_improve = 0;
       } else {

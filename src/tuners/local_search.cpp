@@ -1,21 +1,29 @@
 #include "tuners/local_search.hpp"
 
+#include "core/compiled_space.hpp"
+
 namespace bat::tuners {
 
 void LocalSearch::optimize(core::CachingEvaluator& evaluator,
                            common::Rng& rng) {
   const auto& space = evaluator.space();
+  const auto& compiled = space.compiled();
+  core::NeighborScratch scratch;
+  std::vector<core::ConfigIndex> neighbors;  // reused across steps
   while (true) {  // restart loop; budget exhaustion exits via exception
-    core::Config current = space.random_valid_config(rng);
-    double current_obj = evaluator(current);
+    core::ConfigIndex current = space.random_valid_index(rng);
+    double current_obj = evaluator.evaluate_index(current);
 
     bool improved = true;
     while (improved) {
       improved = false;
-      auto neighbors = space.valid_neighbors(current);
+      neighbors.clear();
+      compiled.for_each_valid_neighbor_index(
+          current, scratch,
+          [&](core::ConfigIndex n) { neighbors.push_back(n); });
       rng.shuffle(neighbors);
-      for (const auto& candidate : neighbors) {
-        const double obj = evaluator(candidate);
+      for (const auto candidate : neighbors) {
+        const double obj = evaluator.evaluate_index(candidate);
         if (obj < current_obj) {  // first improvement
           current = candidate;
           current_obj = obj;

@@ -2,14 +2,19 @@
 
 #include <cmath>
 
+#include "core/compiled_space.hpp"
+
 namespace bat::tuners {
 
 void SimulatedAnnealing::optimize(core::CachingEvaluator& evaluator,
                                   common::Rng& rng) {
   const auto& space = evaluator.space();
+  const auto& compiled = space.compiled();
+  core::NeighborScratch scratch;
+  std::vector<core::ConfigIndex> neighbors;  // reused across steps
   while (true) {  // reheat loop
-    core::Config current = space.random_valid_config(rng);
-    double current_obj = evaluator(current);
+    core::ConfigIndex current = space.random_valid_index(rng);
+    double current_obj = evaluator.evaluate_index(current);
     // Normalize temperature by the first observed objective so the same
     // schedule works across benchmarks with very different time scales.
     double scale = std::isfinite(current_obj) && current_obj > 0.0
@@ -18,10 +23,14 @@ void SimulatedAnnealing::optimize(core::CachingEvaluator& evaluator,
     double temperature = options_.initial_temperature;
 
     while (temperature > options_.restart_temperature) {
-      const auto neighbors = space.valid_neighbors(current);
+      neighbors.clear();
+      compiled.for_each_valid_neighbor_index(
+          current, scratch,
+          [&](core::ConfigIndex n) { neighbors.push_back(n); });
       if (neighbors.empty()) break;
-      const auto& candidate = rng.pick(neighbors);
-      const double obj = evaluator(candidate);
+      const auto candidate =
+          neighbors[static_cast<std::size_t>(rng.next_below(neighbors.size()))];
+      const double obj = evaluator.evaluate_index(candidate);
       const double delta = (obj - current_obj) / scale;
       if (delta <= 0.0 ||
           rng.uniform() < std::exp(-delta / temperature)) {

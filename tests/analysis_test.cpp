@@ -59,7 +59,7 @@ TEST(Ffg, EdgesPointStrictlyDownhill) {
   const FitnessFlowGraph graph(bench->space(), pnpoly_ds(0));
   EXPECT_EQ(graph.num_nodes(), pnpoly_ds(0).num_valid());
   for (std::size_t u = 0; u < graph.num_nodes(); ++u) {
-    for (const auto v : graph.out_edges()[u]) {
+    for (const auto v : graph.out_edges_of(u)) {
       EXPECT_LT(graph.time_of(v), graph.time_of(u));
     }
   }

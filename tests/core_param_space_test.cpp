@@ -30,6 +30,29 @@ TEST(Parameter, Builders) {
   EXPECT_EQ(p2.values(), (std::vector<Value>{1, 2, 4, 8}));
 }
 
+TEST(ParamSpace, CardinalityOverflowThrowsAtConstruction) {
+  // cardinality() itself is noexcept; the uint64 overflow check runs
+  // when parameters are added. Five 2^13-value parameters overflow the
+  // 64-bit product (2^65) on the last add().
+  std::vector<Value> wide(1 << 13);
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    wide[i] = static_cast<Value>(i);
+  }
+  ParamSpace space;
+  for (int p = 0; p < 4; ++p) {
+    space.add(Parameter::list("p" + std::to_string(p), wide));
+  }
+  EXPECT_EQ(space.cardinality(), ConfigIndex{1} << 52);
+  EXPECT_THROW(space.add(Parameter::list("p4", wide)), std::overflow_error);
+
+  // The vector constructor performs the same check.
+  std::vector<Parameter> params;
+  for (int p = 0; p < 5; ++p) {
+    params.emplace_back(Parameter::list("q" + std::to_string(p), wide));
+  }
+  EXPECT_THROW((void)ParamSpace(std::move(params)), std::overflow_error);
+}
+
 TEST(Parameter, IndexOfAndContains) {
   const auto p = Parameter::list("x", {5, 7, 9});
   EXPECT_EQ(p.index_of(7), 1u);

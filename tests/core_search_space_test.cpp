@@ -110,6 +110,44 @@ TEST(SearchSpace, IsValidChecksMembershipToo) {
   EXPECT_FALSE(space.is_valid(Config{16, 8, 0, 1}));  // wrong arity
 }
 
+TEST(SearchSpace, ContradictionConstraintTerminatesGracefully) {
+  // Regression: rejection sampling must not spin when constraints kill
+  // (almost) everything. A contradictory space yields an empty sample
+  // and a clear exception from random_valid_config, both promptly.
+  ParamSpace params;
+  params.add(Parameter::list("m", {8, 16, 32, 64}))
+      .add(Parameter::list("t", {2, 4, 8}));
+  ConstraintSet constraints;
+  constraints.add("contradiction",
+                  [](const Config&) { return false; });
+  const SearchSpace space(std::move(params), std::move(constraints));
+
+  EXPECT_EQ(space.count_constrained(), 0u);
+  EXPECT_TRUE(space.enumerate_constrained().empty());
+  common::Rng rng(3);
+  EXPECT_TRUE(space.sample_constrained(25, rng).empty());
+  EXPECT_THROW((void)space.random_valid_config(rng), std::runtime_error);
+  EXPECT_THROW((void)space.random_valid_index(rng), std::runtime_error);
+}
+
+TEST(SearchSpace, NearEmptyValidSetStillSamplesExactly) {
+  // One surviving configuration out of 12: the density-aware path must
+  // find it without rejection noise.
+  ParamSpace params;
+  params.add(Parameter::list("m", {8, 16, 32, 64}))
+      .add(Parameter::list("t", {2, 4, 8}));
+  ConstraintSet constraints;
+  constraints.add("only m=32 t=8",
+                  [](const Config& c) { return c[0] == 32 && c[1] == 8; });
+  const SearchSpace space(std::move(params), std::move(constraints));
+
+  common::Rng rng(11);
+  const auto sample = space.sample_constrained(5, rng);
+  ASSERT_EQ(sample.size(), 1u);
+  EXPECT_EQ(space.params().config_at(sample[0]), (Config{32, 8}));
+  EXPECT_EQ(space.random_valid_config(rng), (Config{32, 8}));
+}
+
 class RejectionSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(RejectionSweep, SampleSizesAreExact) {

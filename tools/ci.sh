@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI pipeline: configure + build + ctest, then an ASan/UBSan build of the
-# concurrency-critical tests (evaluator/backend batching and the thread
-# pool) so the batched evaluation path stays sanitizer-clean.
+# concurrency-critical tests (evaluator/backend batching, the thread pool
+# and the compiled index-space core) so the batched evaluation and
+# index-space paths stay sanitizer-clean, finished by a bench smoke stage
+# that exercises the compiled-space paths end to end on reduced sizes.
 #
 #   $ tools/ci.sh [build_dir]
 set -euo pipefail
@@ -18,14 +20,34 @@ echo "=== ctest ==="
 # (cd instead of --test-dir: the latter needs CTest >= 3.20, we support 3.16)
 (cd "${BUILD_DIR}" && ctest --output-on-failure -j "${JOBS}")
 
-echo "=== ASan/UBSan build of evaluator + thread-pool tests ==="
+echo "=== ASan/UBSan build of evaluator + thread-pool + compiled-space tests ==="
 SAN_DIR="${BUILD_DIR}-asan"
+SAN_TESTS=(core_backend_test core_dataset_evaluator_test
+           common_thread_pool_test core_compiled_space_test)
 cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DBAT_SANITIZE=ON
-cmake --build "${SAN_DIR}" -j "${JOBS}" --target \
-    core_backend_test core_dataset_evaluator_test common_thread_pool_test
-for t in core_backend_test core_dataset_evaluator_test common_thread_pool_test; do
+cmake --build "${SAN_DIR}" -j "${JOBS}" --target "${SAN_TESTS[@]}"
+for t in "${SAN_TESTS[@]}"; do
   echo "--- ${t} (sanitized) ---"
   "${SAN_DIR}/${t}"
 done
+
+echo "=== bench smoke (sanitized, reduced sizes) ==="
+# table8 on the two smallest spaces with a light GBDT drives the whole
+# compiled pipeline (materialization, rank/select, counting) under ASan.
+cmake --build "${SAN_DIR}" -j "${JOBS}" --target table8_search_spaces
+"${SAN_DIR}/table8_search_spaces" --trees 20 pnpoly nbody
+
+# micro_framework is only configured when google-benchmark is installed.
+# Probe the generator's target list so a *build failure* still fails CI
+# (only a genuinely absent target is skipped).
+if cmake --build "${SAN_DIR}" --target help 2>/dev/null \
+    | grep -q '^\.\.\. micro_framework\|^micro_framework'; then
+  cmake --build "${SAN_DIR}" -j "${JOBS}" --target micro_framework
+  "${SAN_DIR}/micro_framework" \
+      --benchmark_filter='Neighbors|FfgBuild|BatchEvaluateReplay' \
+      --benchmark_min_time=0.05
+else
+  echo "google-benchmark not available - skipping micro_framework smoke"
+fi
 
 echo "CI OK"
