@@ -9,27 +9,31 @@
 // landed, when the space is small enough to know the optimum).
 //
 // backend = auto | live | replay:
-//   * live   — every evaluation goes through the gpusim model (batched
-//              tuners fan generations out over the thread pool);
+//   * live   — every evaluation goes through the gpusim model;
 //   * replay — one Runner sweep per device builds a tabular dataset and
 //              all tuner evaluations become free lookups (only sound
 //              when the sweep is exhaustive);
 //   * auto   — replay when the space is exhaustively enumerable,
 //              live otherwise (default).
+//
+// The whole grid runs as concurrent sessions of one
+// service::TuningService: every (tuner, device, repeat) is a session,
+// sessions on the same device share one workload (benchmark + backend +
+// sharded measurement cache), so tuners revisiting each other's
+// configurations dedupe evaluations — the cache footer shows how often.
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "bench/bench_util.hpp"
 #include "common/statistics.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
-#include "common/thread_pool.hpp"
-#include "core/backend.hpp"
 #include "core/runner.hpp"
 #include "kernels/all_kernels.hpp"
-#include "tuners/tuner.hpp"
+#include "service/tuning_service.hpp"
 
 int main(int argc, char** argv) {
   using namespace bat;
@@ -59,55 +63,50 @@ int main(int argc, char** argv) {
 
   const auto t0 = std::chrono::steady_clock::now();
 
+  service::TuningService svc;
+
   // One sweep per device: gives the true optimum where exhaustive, and
-  // doubles as the replay table so tuner evaluations are free lookups.
-  std::vector<core::Dataset> datasets;
+  // registered with the service it doubles as the shared replay table
+  // so tuner evaluations are free lookups.
   std::vector<double> optimum(benchmark->device_count(), 0.0);
   if (exhaustive) {
     for (core::DeviceIndex d = 0; d < benchmark->device_count(); ++d) {
-      datasets.push_back(core::Runner::run_exhaustive(*benchmark, d));
-      optimum[d] = datasets.back().best_time();
+      auto ds = core::Runner::run_exhaustive(*benchmark, d);
+      optimum[d] = ds.best_time();
+      if (replay) svc.register_dataset(benchmark_name, d, std::move(ds));
     }
   }
 
-  // One backend per device, shared by every run on that device: both
-  // LiveBackend and ReplayBackend are stateless under evaluate_batch, and
-  // per-run bookkeeping lives in each run's own CountingBackend.
-  std::vector<std::unique_ptr<core::EvaluationBackend>> backends;
-  for (core::DeviceIndex d = 0; d < benchmark->device_count(); ++d) {
-    if (replay) {
-      backends.push_back(std::make_unique<core::ReplayBackend>(
-          benchmark->space(), datasets[d]));
-    } else {
-      backends.push_back(std::make_unique<core::LiveBackend>(*benchmark, d));
-    }
-  }
-
-  // Every (tuner, device, repeat) run is independent, so the whole grid
-  // fans out over the thread pool; nested parallelism inside a run (GBDT
-  // fits, batched generations) degrades to inline execution.
+  // Every (tuner, device, repeat) run is an independent session; the
+  // service's worker pool executes them concurrently and sessions on
+  // the same device share one measurement cache.
   const auto names = tuners::tuner_names();
   const std::size_t devices = benchmark->device_count();
-  struct Job {
-    std::size_t tuner;
-    core::DeviceIndex device;
-    std::size_t repeat;
-  };
-  std::vector<Job> jobs;
+  std::vector<service::SessionSpec> specs;
+  specs.reserve(names.size() * devices * repeats);
   for (std::size_t t = 0; t < names.size(); ++t) {
     for (core::DeviceIndex d = 0; d < devices; ++d) {
-      for (std::size_t r = 0; r < repeats; ++r) jobs.push_back({t, d, r});
+      for (std::size_t r = 0; r < repeats; ++r) {
+        service::SessionSpec spec;
+        spec.kernel = benchmark_name;
+        spec.tuner = names[t];
+        spec.device = d;
+        spec.budget = budget;
+        spec.seed = 1000 + r;
+        spec.backend = replay ? "replay" : "live";
+        specs.push_back(std::move(spec));
+      }
     }
   }
-  constexpr double kNoBest = -1.0;
-  std::vector<double> best_of(jobs.size(), kNoBest);
-  common::parallel_for(0, jobs.size(), [&](std::size_t j) {
-    const Job& job = jobs[j];
-    auto tuner = tuners::make_tuner(names[job.tuner]);
-    const auto run = tuners::run_tuner(*tuner, *backends[job.device], budget,
-                                       1000 + job.repeat);
-    if (run.best) best_of[j] = run.best->objective;
-  });
+  const auto results = svc.run_all(specs);
+  for (const auto& r : results) {
+    // Fail loudly instead of rendering a failed session as "-".
+    if (r.status != service::SessionStatus::kCompleted) {
+      throw std::runtime_error("compare_tuners: session " + r.spec.kernel +
+                               "/" + r.spec.tuner + " " + to_string(r.status) +
+                               (r.error.empty() ? "" : ": " + r.error));
+    }
+  }
 
   std::vector<std::string> header{"tuner"};
   for (core::DeviceIndex d = 0; d < devices; ++d) {
@@ -120,8 +119,8 @@ int main(int argc, char** argv) {
     for (core::DeviceIndex d = 0; d < devices; ++d) {
       std::vector<double> bests;
       for (std::size_t r = 0; r < repeats; ++r) {
-        const double b = best_of[(t * devices + d) * repeats + r];
-        if (b != kNoBest) bests.push_back(b);
+        const auto& result = results[(t * devices + d) * repeats + r];
+        if (result.run.best) bests.push_back(result.run.best->objective);
       }
       if (bests.empty()) {
         row.push_back("-");
@@ -142,6 +141,12 @@ int main(int argc, char** argv) {
   if (exhaustive) {
     std::printf("(%% = achieved fraction of the true optimum)\n");
   }
+  const auto stats = svc.cache_stats();
+  std::printf("shared cache: %llu evaluations served %llu lookups "
+              "(%llu cross-session hits)\n",
+              static_cast<unsigned long long>(stats.evaluations),
+              static_cast<unsigned long long>(stats.lookups),
+              static_cast<unsigned long long>(stats.cross_session_hits()));
   const auto elapsed = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - t0)
                            .count();

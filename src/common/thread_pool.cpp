@@ -31,6 +31,15 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    BAT_EXPECTS(!stop_);
+    queue_.push(Task{std::move(task)});
+  }
+  cv_.notify_one();
+}
+
 namespace {
 // Set while a pool worker runs a task: nested parallel_for calls from
 // inside a task execute inline instead of re-entering the queue, which

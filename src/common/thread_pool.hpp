@@ -5,6 +5,15 @@
 // User code never spawns raw threads (CP.1/CP.25): it calls parallel_for /
 // parallel_reduce on the shared pool, which chunk the index range
 // statically like `#pragma omp parallel for schedule(static)`.
+//
+// The inline-nesting rule (easy to trip over): a parallel_for issued
+// from *inside* a pool task runs its body inline on the calling worker
+// instead of fanning out — the outer level owns the parallelism, which
+// is what makes composed parallel code deadlock-free. Consequence for
+// the service layer: a tuning session running on a pool worker gets no
+// batch-level parallelism; session-level concurrency replaces it.
+// Blocking a pool task on work that needs another pool task (rather
+// than on an external signal) would deadlock a full pool — don't.
 #pragma once
 
 #include <condition_variable>
@@ -32,6 +41,14 @@ class ThreadPool {
 
   /// Process-wide pool, created lazily, sized to the hardware.
   static ThreadPool& global();
+
+  /// Enqueues one independent fire-and-forget task. Unlike parallel_for
+  /// this returns immediately; completion tracking (futures, counters)
+  /// is the caller's business — service::TuningService builds its
+  /// bounded session queue on top of this. Tasks still queued at
+  /// destruction are drained before the workers join. Must not be
+  /// called on a pool that is being destroyed.
+  void submit(std::function<void()> task);
 
   /// Runs body(begin..end) split into one contiguous chunk per worker.
   /// body receives (chunk_begin, chunk_end, worker_index). Blocks until all

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "common/log.hpp"
 #include "common/thread_pool.hpp"
 
 namespace bat::core {
@@ -65,6 +66,17 @@ ReplayBackend::ReplayBackend(const SearchSpace& space, const Dataset& dataset)
     for (std::size_t row = 0; row < dataset.size(); ++row) {
       const auto ordinal = compiled_->rank(dataset.config_index(row));
       if (!ordinal) {
+        // One-time (per construction) warning: foreign datasets whose
+        // rows fall outside this space's valid set silently lose the
+        // O(1) rank lookup, so tell the user where the rows came from
+        // and why replay just got slower.
+        common::log_warn(
+            name_, ": dataset",
+            dataset.source().empty() ? "" : " '" + dataset.source() + "'",
+            " row ", row, " (config index ", dataset.config_index(row),
+            ") is outside this search space's valid set - falling back "
+            "from O(1) valid-ordinal lookup to hashed lookup (is this "
+            "dataset from a different space or constraint set?)");
         ordinal_mode_ = false;
         by_ordinal_.clear();
         covered_.clear();
@@ -121,14 +133,26 @@ std::vector<Measurement> ReplayBackend::evaluate_batch(
 
 // -------------------------------------------------------- CountingBackend --
 
-CountingBackend::CountingBackend(EvaluationBackend& inner, std::size_t budget)
-    : inner_(&inner), budget_(budget), name_("counting:" + inner.name()) {
+CountingBackend::CountingBackend(EvaluationBackend& inner, std::size_t budget,
+                                 EvaluationHooks hooks)
+    : inner_(&inner),
+      budget_(budget),
+      hooks_(hooks),
+      name_("counting:" + inner.name()) {
   BAT_EXPECTS(budget > 0);
   cache_.reserve(std::min<std::size_t>(budget, 1 << 16));
 }
 
 std::vector<Measurement> CountingBackend::evaluate_batch(
     std::span<const ConfigIndex> indices) {
+  // Batch-boundary cancellation point: both tuner driving styles funnel
+  // every measurement through here, so a set token stops the session
+  // before it spends anything else.
+  if (hooks_.cancel && hooks_.cancel->load(std::memory_order_relaxed)) {
+    cancelled_ = true;
+    throw EvaluationCancelled();
+  }
+
   // First-occurrence misses, in batch order, truncated to the remaining
   // budget. `truncated` means at least one miss was refused.
   std::vector<ConfigIndex> misses;
@@ -149,7 +173,9 @@ std::vector<Measurement> CountingBackend::evaluate_batch(
   }
 
   if (!misses.empty()) {
-    const auto measured = inner_->evaluate_batch(misses);
+    const auto measured = hooks_.shared_cache
+                              ? resolve_through_shared_cache(misses)
+                              : inner_->evaluate_batch(misses);
     for (std::size_t i = 0; i < misses.size(); ++i) {
       cache_.emplace(misses[i], measured[i]);
       trace_.push_back(TraceEntry{misses[i], measured[i].objective()});
@@ -163,6 +189,81 @@ std::vector<Measurement> CountingBackend::evaluate_batch(
     results.push_back(cache_.at(index));
   }
   return results;
+}
+
+std::vector<Measurement> CountingBackend::resolve_through_shared_cache(
+    const std::vector<ConfigIndex>& misses) {
+  // Deadlock-free three-phase dance (see core/shared_cache.hpp): claim
+  // everything without blocking, evaluate + publish what we own, wait
+  // for what others own. A claim owner never blocks on another session,
+  // so every pending entry resolves in finite time.
+  auto& shared = *hooks_.shared_cache;
+  std::vector<Measurement> measured(misses.size());
+  std::vector<std::size_t> owned;    // positions we must evaluate
+  std::vector<std::size_t> pending;  // positions another session owns
+  for (std::size_t i = 0; i < misses.size(); ++i) {
+    const auto claim = shared.claim(misses[i]);
+    switch (claim.state) {
+      case SharedMeasurementCache::ClaimState::kHit:
+        measured[i] = claim.measurement;
+        break;
+      case SharedMeasurementCache::ClaimState::kClaimed:
+        owned.push_back(i);
+        break;
+      case SharedMeasurementCache::ClaimState::kPending:
+        pending.push_back(i);
+        break;
+    }
+  }
+
+  if (!owned.empty()) {
+    std::vector<ConfigIndex> batch;
+    batch.reserve(owned.size());
+    for (const auto i : owned) batch.push_back(misses[i]);
+    std::vector<Measurement> results;
+    try {
+      results = inner_->evaluate_batch(batch);
+    } catch (...) {
+      // Release the claims so waiters in other sessions re-claim instead
+      // of blocking on a measurement that will never arrive.
+      for (const auto i : owned) shared.abandon(misses[i]);
+      throw;
+    }
+    for (std::size_t k = 0; k < owned.size(); ++k) {
+      shared.publish(batch[k], results[k]);
+      measured[owned[k]] = results[k];
+    }
+  }
+
+  for (const auto i : pending) {
+    for (;;) {
+      if (const auto m = shared.wait(misses[i])) {
+        measured[i] = *m;
+        break;
+      }
+      // The owner abandoned (its evaluation threw): try to take over.
+      const auto claim = shared.claim(misses[i]);
+      if (claim.state == SharedMeasurementCache::ClaimState::kHit) {
+        measured[i] = claim.measurement;
+        break;
+      }
+      if (claim.state == SharedMeasurementCache::ClaimState::kPending) {
+        continue;  // someone else took over; wait again
+      }
+      const ConfigIndex one[1] = {misses[i]};
+      std::vector<Measurement> result;
+      try {
+        result = inner_->evaluate_batch(one);
+      } catch (...) {
+        shared.abandon(misses[i]);
+        throw;
+      }
+      shared.publish(misses[i], result.front());
+      measured[i] = result.front();
+      break;
+    }
+  }
+  return measured;
 }
 
 }  // namespace bat::core

@@ -16,6 +16,15 @@
 //
 // All backends are deterministic: identical index batches always yield
 // identical measurements, so live and replay paths are interchangeable.
+//
+// Ownership / thread-safety: backends borrow the Benchmark / SearchSpace
+// / Dataset they are built over (the caller keeps those alive).
+// LiveBackend and ReplayBackend are stateless under evaluate_batch and
+// may be shared by concurrent sessions; CountingBackend is per-session
+// state (budget, cache, trace) and must only be driven by one thread at
+// a time. Cross-session sharing and cancellation are opt-in via
+// EvaluationHooks (core/shared_cache.hpp), threaded in by the service
+// layer.
 #pragma once
 
 #include <memory>
@@ -29,6 +38,7 @@
 #include "core/dataset.hpp"
 #include "core/measurement.hpp"
 #include "core/search_space.hpp"
+#include "core/shared_cache.hpp"
 #include "core/trace.hpp"
 
 namespace bat::core {
@@ -125,9 +135,16 @@ class ReplayBackend final : public EvaluationBackend {
 /// still fit are evaluated and recorded, then BudgetExhausted is thrown —
 /// so the trace always ends exactly at the budget boundary, identical to
 /// charging one evaluation at a time.
+///
+/// With EvaluationHooks: a set cancellation token makes every
+/// evaluate_batch throw EvaluationCancelled up front, and a shared
+/// cross-session cache is consulted for each budget-charged miss before
+/// falling through to the inner backend (exactly-once evaluation across
+/// sessions; this session's budget/trace accounting is unchanged).
 class CountingBackend final : public EvaluationBackend {
  public:
-  CountingBackend(EvaluationBackend& inner, std::size_t budget);
+  CountingBackend(EvaluationBackend& inner, std::size_t budget,
+                  EvaluationHooks hooks = {});
 
   [[nodiscard]] const std::string& name() const override { return name_; }
   [[nodiscard]] const SearchSpace& space() const override {
@@ -143,6 +160,10 @@ class CountingBackend final : public EvaluationBackend {
   [[nodiscard]] bool exhausted() const noexcept {
     return trace_.size() >= budget_;
   }
+  /// True once a set cancellation hook aborted an evaluate_batch (i.e.
+  /// EvaluationCancelled was thrown): the run stopped *because* of the
+  /// token, as opposed to ending naturally below budget.
+  [[nodiscard]] bool cancelled() const noexcept { return cancelled_; }
 
   /// Chronological distinct-evaluation trace.
   [[nodiscard]] const std::vector<TraceEntry>& trace() const noexcept {
@@ -152,8 +173,17 @@ class CountingBackend final : public EvaluationBackend {
   [[nodiscard]] EvaluationBackend& inner() noexcept { return *inner_; }
 
  private:
+  /// Resolves `misses` through the shared cross-session cache: claims
+  /// every miss first (non-blocking), evaluates + publishes the claimed
+  /// ones through the inner backend, then waits for the pending ones.
+  /// Results align with `misses`.
+  [[nodiscard]] std::vector<Measurement> resolve_through_shared_cache(
+      const std::vector<ConfigIndex>& misses);
+
   EvaluationBackend* inner_;
   std::size_t budget_;
+  EvaluationHooks hooks_;
+  bool cancelled_ = false;
   std::unordered_map<ConfigIndex, Measurement> cache_;
   std::vector<TraceEntry> trace_;
   std::string name_;

@@ -5,6 +5,15 @@
 // Measurement per (configuration, device). Devices are exposed as an
 // ordered list of names so the analysis layer can iterate architectures
 // without depending on the simulator types.
+//
+// Ownership / thread-safety: kernels::make returns a uniquely-owned
+// Benchmark; implementations are immutable after construction and
+// evaluate() is const and deterministic, so one instance may serve
+// concurrent callers (LiveBackend batches fan out over the thread pool,
+// and service::TuningService shares one Benchmark per workload across
+// sessions). space() returns a reference the Benchmark owns — keep the
+// Benchmark alive as long as anything holds its space or a backend over
+// it.
 #pragma once
 
 #include <cstddef>

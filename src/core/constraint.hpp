@@ -9,6 +9,12 @@
 // on parameter p only re-checks the constraints whose read set contains
 // p. Constraints without a declaration are treated conservatively as
 // reading every parameter (always re-checked).
+//
+// Ownership / thread-safety: a ConstraintSet is a value (predicates are
+// copied with it; CompiledSpace keeps its own copy). Predicates must be
+// pure functions of the configuration — stateless and re-entrant —
+// because constraint checks run concurrently from parallel enumeration
+// and counting sweeps.
 #pragma once
 
 #include <functional>

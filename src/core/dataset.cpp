@@ -220,7 +220,9 @@ void Dataset::save_csv(const std::string& path) const {
 }
 
 Dataset Dataset::load_csv(const std::string& path) {
-  return from_csv(common::read_file(path));
+  auto ds = from_csv(common::read_file(path));
+  ds.source_ = path;
+  return ds;
 }
 
 }  // namespace bat::core

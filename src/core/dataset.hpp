@@ -4,6 +4,12 @@
 // exhaustive enumerations for the four small benchmarks and 10 000-sample
 // datasets for the three large ones. Datasets round-trip through CSV so
 // harnesses can cache expensive sweeps.
+//
+// Ownership / thread-safety: Dataset is a self-contained value type;
+// copies are independent and an instance is immutable once built, so
+// concurrent reads need no synchronization (ReplayBackend and the
+// service's replay workloads read one dataset from many sessions).
+// Builders (add_row) are single-threaded.
 #pragma once
 
 #include <string>
@@ -36,6 +42,10 @@ class Dataset {
   [[nodiscard]] const std::vector<std::string>& param_names() const noexcept {
     return param_names_;
   }
+  /// Where this dataset came from on disk: the path passed to load_csv
+  /// (diagnostics only — e.g. ReplayBackend's foreign-dataset warning
+  /// names it). Empty for in-memory datasets.
+  [[nodiscard]] const std::string& source() const noexcept { return source_; }
   [[nodiscard]] std::size_t num_params() const noexcept {
     return param_names_.size();
   }
@@ -75,6 +85,7 @@ class Dataset {
  private:
   std::string benchmark_name_;
   std::string device_name_;
+  std::string source_;  // disk path when loaded via load_csv
   std::vector<std::string> param_names_;
   std::vector<ConfigIndex> indices_;
   std::vector<Value> values_;  // row-major, size = rows * num_params

@@ -17,6 +17,12 @@
 //
 // Swapping the backend (live vs replay) never changes what a tuner
 // observes, only where the measurements come from.
+//
+// Ownership / thread-safety: a CachingEvaluator is per-session state
+// (budget, memo cache, trace) driven by exactly one thread at a time; it
+// borrows the backend and anything the optional EvaluationHooks point at
+// (shared cache, cancellation token), all of which must outlive it.
+// Concurrency across sessions lives behind those hooks, not here.
 #pragma once
 
 #include <optional>
@@ -30,9 +36,12 @@ namespace bat::core {
 class CachingEvaluator {
  public:
   /// budget = maximum number of *distinct* configurations evaluated.
-  /// The backend must outlive the evaluator.
-  CachingEvaluator(EvaluationBackend& backend, std::size_t budget)
-      : counting_(backend, budget) {}
+  /// The backend must outlive the evaluator, as must anything the hooks
+  /// point at (shared cross-session cache, cancellation token — see
+  /// core/shared_cache.hpp; default hooks mean standalone behavior).
+  CachingEvaluator(EvaluationBackend& backend, std::size_t budget,
+                   EvaluationHooks hooks = {})
+      : counting_(backend, budget, hooks) {}
 
   /// Evaluates (or recalls) one configuration. Throws BudgetExhausted
   /// when a cache miss would exceed the budget.
@@ -61,6 +70,9 @@ class CachingEvaluator {
   }
   [[nodiscard]] std::size_t budget() const noexcept {
     return counting_.budget();
+  }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return counting_.cancelled();
   }
   [[nodiscard]] bool exhausted() const noexcept {
     return counting_.exhausted();

@@ -1,5 +1,8 @@
 // The result of evaluating one configuration on one device — what a real
 // tuner gets back from a compile+launch+time cycle.
+//
+// Plain value type; freely copied across threads (it is what the
+// service's shared cache hands between sessions).
 #pragma once
 
 #include <limits>

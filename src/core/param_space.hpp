@@ -4,6 +4,10 @@
 // the last parameter varies fastest, like row-major array order. This
 // gives O(1)-ish random access into spaces of up to ~10^8 configurations
 // (Dedispersion: 123 863 040) without materializing them.
+//
+// Ownership / thread-safety: a ParamSpace is an immutable value after
+// construction (cardinality overflow is checked then, see
+// cardinality()); all queries are const and safe from any thread.
 #pragma once
 
 #include <optional>

@@ -1,4 +1,6 @@
 // A tunable parameter: a name plus its ordered, discrete value set.
+//
+// Immutable value type: safe to copy and to read from any thread.
 #pragma once
 
 #include <string>

@@ -1,6 +1,12 @@
 // Parallel dataset builders reproducing the paper's experimental design
 // (§V): exhaustive search for Pnpoly/Nbody/GEMM/Convolution, 10 000 random
 // configurations for Hotspot/Dedisp/Expdist.
+//
+// Ownership / thread-safety: stateless static builders returning Dataset
+// values. Sweeps parallelize over the global common::ThreadPool; called
+// from inside a pool task (e.g. a service worker building a replay
+// workload) the parallel loops degrade to inline execution per the
+// pool's nesting rule — correct, just serial.
 #pragma once
 
 #include "core/benchmark.hpp"

@@ -14,7 +14,13 @@
 // compiled() exposes the index-space core (core/compiled_space.hpp): the
 // space compiled once into value tables + strides, a per-parameter
 // constraint plan and (for enumerable spaces) the CSR valid-index set.
-// The compilation is lazy, thread-safe and shared across copies.
+//
+// Ownership / thread-safety: SearchSpace is a copyable value, but all
+// copies share one lazily-compiled CompiledSpace — compiled() /
+// compiled_shared() are thread-safe and compile exactly once; always
+// obtain the compiled core through them (see the sharing rule in
+// core/compiled_space.hpp). The space itself is immutable after
+// construction and safe for concurrent reads.
 #pragma once
 
 #include <memory>

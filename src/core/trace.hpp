@@ -5,6 +5,10 @@
 // far vs number of distinct function evaluations". trace_best /
 // trace_best_so_far are the single source of those statistics, shared by
 // CountingBackend, run_tuner and analysis/convergence.
+//
+// Traces are plain values owned by the session that produced them; the
+// exception types below are the cross-layer stop signals (tuners treat
+// both as "the run is over").
 #pragma once
 
 #include <optional>
@@ -27,6 +31,19 @@ struct TraceEntry {
 class BudgetExhausted : public std::runtime_error {
  public:
   BudgetExhausted() : std::runtime_error("evaluation budget exhausted") {}
+
+ protected:
+  explicit BudgetExhausted(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown at a batch boundary when the session's cancellation token is
+/// set (service shutdown). Derives from BudgetExhausted so every tuner
+/// treats it as a normal stop signal and ends with its partial trace;
+/// the service layer distinguishes the two via its own token.
+class EvaluationCancelled : public BudgetExhausted {
+ public:
+  EvaluationCancelled() : BudgetExhausted("evaluation cancelled") {}
 };
 
 /// Best (lowest-objective) entry, if any finite one exists.

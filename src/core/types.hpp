@@ -3,6 +3,8 @@
 // Every tunable parameter in BAT (Tables I-VII of the paper) takes integer
 // values, so a configuration is a fixed-length vector of int64 aligned with
 // the parameter order of its ParamSpace.
+//
+// Everything here is a plain value with no shared state.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,254 @@
+#include "service/tuning_service.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "core/backend.hpp"
+#include "core/runner.hpp"
+#include "kernels/all_kernels.hpp"
+
+namespace bat::service {
+
+namespace {
+/// Replay sessions that have to sweep the space themselves are only
+/// sound (and affordable) on exhaustively enumerable spaces; matches
+/// bench::kExhaustiveLimit.
+constexpr std::uint64_t kReplaySweepLimit = 100'000;
+}  // namespace
+
+TuningService::TuningService(ServiceOptions options)
+    : options_(options), pool_(options.workers) {
+  // queue_capacity = 0 would make every submit() block forever on the
+  // backlog predicate; treat it as "minimal backlog", not a deadlock.
+  options_.queue_capacity = std::max<std::size_t>(1, options_.queue_capacity);
+}
+
+TuningService::~TuningService() { shutdown(); }
+
+std::future<SessionResult> TuningService::submit(SessionSpec spec) {
+  auto task = std::make_shared<std::packaged_task<SessionResult()>>(
+      [this, spec = std::move(spec)] { return run_session(spec); });
+  auto future = task->get_future();
+  {
+    std::unique_lock lock(mutex_);
+    backlog_cv_.wait(lock, [&] {
+      return !accepting_ || queued_ < options_.queue_capacity;
+    });
+    if (!accepting_) {
+      throw std::runtime_error("TuningService: submit after shutdown");
+    }
+    ++queued_;
+    ++outstanding_;
+    ++submitted_;
+  }
+  pool_.submit([this, task] {
+    {
+      std::lock_guard lock(mutex_);
+      --queued_;
+    }
+    backlog_cv_.notify_one();
+    (*task)();  // never throws: run_session reports failures in-band
+    {
+      std::lock_guard lock(mutex_);
+      --outstanding_;
+    }
+    idle_cv_.notify_all();
+  });
+  return future;
+}
+
+std::vector<SessionResult> TuningService::run_all(
+    const std::vector<SessionSpec>& specs) {
+  std::vector<std::future<SessionResult>> futures;
+  futures.reserve(specs.size());
+  for (const auto& spec : specs) futures.push_back(submit(spec));
+  std::vector<SessionResult> results;
+  results.reserve(specs.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+SessionResult TuningService::run_inline(const SessionSpec& spec) {
+  {
+    std::lock_guard lock(mutex_);
+    if (!accepting_) {
+      throw std::runtime_error("TuningService: run_inline after shutdown");
+    }
+    ++outstanding_;
+    ++submitted_;
+  }
+  auto result = run_session(spec);  // noexcept in practice: in-band errors
+  {
+    std::lock_guard lock(mutex_);
+    --outstanding_;
+  }
+  idle_cv_.notify_all();
+  return result;
+}
+
+void TuningService::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void TuningService::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    accepting_ = false;
+  }
+  cancel_.store(true, std::memory_order_relaxed);
+  backlog_cv_.notify_all();  // blocked submitters wake up and throw
+  wait_idle();
+}
+
+void TuningService::register_dataset(const std::string& kernel,
+                                     core::DeviceIndex device,
+                                     core::Dataset dataset) {
+  std::lock_guard lock(mutex_);
+  registered_datasets_.insert_or_assign(std::make_pair(kernel, device),
+                                        std::move(dataset));
+}
+
+ShardedMeasurementCache::Stats TuningService::cache_stats() const {
+  // Collect the caches (not the slots) under the service mutex:
+  // build_workload publishes slot->workload under the same mutex, so
+  // this never races a concurrent first-session build.
+  std::vector<std::shared_ptr<ShardedMeasurementCache>> caches;
+  {
+    std::lock_guard lock(mutex_);
+    caches.reserve(workloads_.size());
+    for (const auto& [key, slot] : workloads_) {
+      if (slot->workload && slot->workload->cache) {
+        caches.push_back(slot->workload->cache);
+      }
+    }
+  }
+  ShardedMeasurementCache::Stats total;
+  for (const auto& cache : caches) {
+    const auto s = cache->stats();
+    total.lookups += s.lookups;
+    total.hits += s.hits;
+    total.waited += s.waited;
+    total.evaluations += s.evaluations;
+    total.abandoned += s.abandoned;
+  }
+  return total;
+}
+
+std::size_t TuningService::sessions_submitted() const {
+  std::lock_guard lock(mutex_);
+  return submitted_;
+}
+
+std::size_t TuningService::sessions_active() const {
+  std::lock_guard lock(mutex_);
+  return outstanding_;
+}
+
+SessionResult TuningService::run_session(const SessionSpec& spec) {
+  SessionResult result;
+  result.spec = spec;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    if (cancel_.load(std::memory_order_relaxed)) {
+      result.status = SessionStatus::kCancelled;
+    } else {
+      auto& workload = workload_for(spec);
+      const auto tuner = tuners::make_tuner(spec.tuner);
+      core::EvaluationHooks hooks;
+      if (options_.share_cache) hooks.shared_cache = workload.cache.get();
+      hooks.cancel = &cancel_;
+      result.run = tuners::run_tuner(*tuner, *workload.backend, spec.budget,
+                                     spec.seed, hooks);
+      // run.cancelled records whether the token actually aborted an
+      // evaluation — a session that converged below budget in the same
+      // instant shutdown() flipped the token still counts as completed.
+      result.status = result.run.cancelled ? SessionStatus::kCancelled
+                                           : SessionStatus::kCompleted;
+    }
+  } catch (const std::exception& e) {
+    result.status = SessionStatus::kFailed;
+    result.error = e.what();
+  }
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+TuningService::Workload& TuningService::workload_for(const SessionSpec& spec) {
+  if (spec.backend != "live" && spec.backend != "replay") {
+    throw std::invalid_argument("unknown session backend: " + spec.backend);
+  }
+  std::shared_ptr<WorkloadSlot> slot;
+  {
+    std::lock_guard lock(mutex_);
+    auto& entry = workloads_[WorkloadKey{spec.kernel, spec.device,
+                                         spec.backend}];
+    if (!entry) entry = std::make_shared<WorkloadSlot>();
+    slot = entry;
+  }
+  // The build itself (benchmark construction, replay sweeps) runs
+  // outside the service mutex; concurrent sessions on the same workload
+  // rendezvous on the slot's once-flag. A throwing build leaves the
+  // flag unset, so the next session retries instead of inheriting a
+  // half-built workload.
+  std::call_once(slot->once, [&] { build_workload(spec, *slot); });
+  if (!slot->workload) {
+    throw std::runtime_error("workload construction failed earlier for " +
+                             spec.kernel);
+  }
+  return *slot->workload;
+}
+
+void TuningService::build_workload(const SessionSpec& spec,
+                                   WorkloadSlot& slot) {
+  auto workload = std::make_unique<Workload>();
+  workload->benchmark = kernels::make(spec.kernel);
+  if (spec.device >= workload->benchmark->device_count()) {
+    throw std::out_of_range(
+        spec.kernel + ": device index " + std::to_string(spec.device) +
+        " out of range (device_count = " +
+        std::to_string(workload->benchmark->device_count()) + ")");
+  }
+  if (spec.backend == "replay") {
+    bool registered = false;
+    {
+      std::lock_guard lock(mutex_);
+      const auto it = registered_datasets_.find(
+          std::make_pair(spec.kernel, spec.device));
+      if (it != registered_datasets_.end()) {
+        workload->dataset = it->second;
+        registered = true;
+      }
+    }
+    if (!registered) {
+      if (workload->benchmark->space().cardinality() > kReplaySweepLimit) {
+        throw std::invalid_argument(
+            spec.kernel +
+            ": replay sessions need a registered dataset (space too large "
+            "to sweep exhaustively)");
+      }
+      common::log_info("service: sweeping ", spec.kernel, " device ",
+                       spec.device, " for the shared replay dataset");
+      workload->dataset =
+          core::Runner::run_exhaustive(*workload->benchmark, spec.device);
+    }
+    workload->backend = std::make_unique<core::ReplayBackend>(
+        workload->benchmark->space(), workload->dataset);
+  } else {
+    workload->backend =
+        std::make_unique<core::LiveBackend>(*workload->benchmark, spec.device);
+  }
+  workload->cache = std::make_shared<ShardedMeasurementCache>(
+      workload->benchmark->space().compiled_shared(), options_.cache_shards);
+  // Publish under the service mutex: cache_stats() reads slot->workload
+  // concurrently (sessions rendezvousing on the slot synchronize via
+  // the once-flag instead and never need the lock).
+  std::lock_guard lock(mutex_);
+  slot.workload = std::move(workload);
+}
+
+}  // namespace bat::service

@@ -1,0 +1,153 @@
+// TuningService: many concurrent tuning sessions, one shared cache.
+//
+// The paper's experiments are a fixed grid of (kernel x tuner x budget)
+// runs executed one at a time; the service turns that into an
+// orchestration layer fit for serving many workloads at once:
+//
+//   * a bounded async job queue — submit() returns a future and blocks
+//     (backpressure) while `queue_capacity` sessions are already
+//     waiting for a worker;
+//   * a worker pool (a dedicated common::ThreadPool) running whole
+//     sessions concurrently — note the pool's inline-nesting rule:
+//     batch fan-out *inside* a session runs inline on that session's
+//     worker, so session-level parallelism replaces batch-level;
+//   * per-(kernel, device, backend) "workloads" created lazily and
+//     shared by every session that matches: one Benchmark instance, one
+//     stateless evaluation backend, and one ShardedMeasurementCache so
+//     concurrent sessions on the same space dedupe evaluations and hit
+//     each other's results (exactly once per distinct valid-ordinal);
+//   * cooperative cancellation: shutdown() flips one token that every
+//     session checks at its next batch boundary, so no worker is ever
+//     stuck mid-run.
+//
+// Determinism is preserved: backends are deterministic, so a session
+// produces the identical trace whether its measurements were computed
+// locally, recalled from the shared cache, or awaited from a concurrent
+// session (tests/service_test.cpp enforces this).
+//
+// Ownership / thread-safety: the service owns benchmarks, backends,
+// caches and the worker pool; sessions borrow them and must not outlive
+// it (futures returned by submit() are safe to resolve after shutdown,
+// not after destruction). All public methods are thread-safe.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/dataset.hpp"
+#include "service/session.hpp"
+#include "service/sharded_cache.hpp"
+
+namespace bat::service {
+
+struct ServiceOptions {
+  /// Worker threads running sessions; 0 = hardware_concurrency().
+  std::size_t workers = 0;
+  /// Max sessions admitted but not yet started; submit() blocks beyond.
+  std::size_t queue_capacity = 64;
+  /// Shards per workload cache (rounded up to a power of two).
+  std::size_t cache_shards = 16;
+  /// Route sessions through the shared per-workload cache. Off = every
+  /// session evaluates everything itself (for A/B comparisons).
+  bool share_cache = true;
+};
+
+class TuningService {
+ public:
+  explicit TuningService(ServiceOptions options = {});
+  ~TuningService();  // shutdown() + joins the pool
+
+  TuningService(const TuningService&) = delete;
+  TuningService& operator=(const TuningService&) = delete;
+
+  /// Enqueues one session. Blocks while the backlog is at capacity;
+  /// throws std::runtime_error after shutdown(). The future always
+  /// resolves to a SessionResult (failures are reported in-band as
+  /// kFailed, never as a broken promise).
+  [[nodiscard]] std::future<SessionResult> submit(SessionSpec spec);
+
+  /// Convenience: submit every spec, wait for all, results in order.
+  [[nodiscard]] std::vector<SessionResult> run_all(
+      const std::vector<SessionSpec>& specs);
+
+  /// Runs one session synchronously on the *calling* thread instead of
+  /// a pool worker, still sharing workloads/cache/cancellation with any
+  /// concurrently submitted sessions. Because the caller is outside the
+  /// worker pool, batch fan-out inside the session parallelizes over
+  /// the global pool — the right call for one-off sessions (tune run),
+  /// where routing through a worker would serialize every generation.
+  [[nodiscard]] SessionResult run_inline(const SessionSpec& spec);
+
+  /// Blocks until every submitted session has finished.
+  void wait_idle();
+
+  /// Stops accepting, cancels in-flight sessions (they stop at their
+  /// next batch boundary with partial traces) and waits for the workers
+  /// to drain. Idempotent.
+  void shutdown();
+
+  /// Provides the dataset a "replay" session on (kernel, device) will
+  /// serve, instead of the service sweeping the space itself on first
+  /// use. Must be called before the first such session starts.
+  void register_dataset(const std::string& kernel, core::DeviceIndex device,
+                        core::Dataset dataset);
+
+  /// Cache counters aggregated over every workload built so far.
+  /// stats().cross_session_hits() > 0 is the service's raison d'être.
+  [[nodiscard]] ShardedMeasurementCache::Stats cache_stats() const;
+
+  [[nodiscard]] std::size_t workers() const noexcept { return pool_.size(); }
+  [[nodiscard]] std::size_t sessions_submitted() const;
+  [[nodiscard]] std::size_t sessions_active() const;
+
+ private:
+  /// Everything sessions on one (kernel, device, backend) triple share.
+  struct Workload {
+    std::unique_ptr<core::Benchmark> benchmark;
+    core::Dataset dataset;  // backing rows for replay backends
+    std::unique_ptr<core::EvaluationBackend> backend;
+    std::shared_ptr<ShardedMeasurementCache> cache;
+  };
+  /// Lazily-built workload slot: the map entry is created cheaply under
+  /// the service mutex, the (possibly slow: replay sweeps) build runs
+  /// under the slot's own once-flag so it never blocks submit/shutdown.
+  struct WorkloadSlot {
+    std::once_flag once;
+    std::unique_ptr<Workload> workload;
+  };
+  using WorkloadKey =
+      std::tuple<std::string, core::DeviceIndex, std::string>;
+
+  [[nodiscard]] SessionResult run_session(const SessionSpec& spec);
+  [[nodiscard]] Workload& workload_for(const SessionSpec& spec);
+  void build_workload(const SessionSpec& spec, WorkloadSlot& slot);
+
+  ServiceOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable backlog_cv_;  // queued_ dropped below capacity
+  std::condition_variable idle_cv_;     // outstanding_ reached zero
+  bool accepting_ = true;
+  std::size_t queued_ = 0;       // submitted, no worker picked it up yet
+  std::size_t outstanding_ = 0;  // submitted, not finished
+  std::size_t submitted_ = 0;    // lifetime counter
+  std::map<WorkloadKey, std::shared_ptr<WorkloadSlot>> workloads_;
+  std::map<std::pair<std::string, core::DeviceIndex>, core::Dataset>
+      registered_datasets_;
+
+  std::atomic<bool> cancel_{false};
+
+  // Last member: destroyed first, so no worker can touch service state
+  // after the maps above are gone (shutdown() has already drained it).
+  common::ThreadPool pool_;
+};
+
+}  // namespace bat::service

@@ -3,6 +3,9 @@
 // member from the previous generation's vectors, the whole trial set is
 // evaluated through the backend in one parallel batch, and selection
 // happens in tell().
+//
+// Single-run mutable state: one instance per session, driven by one
+// thread (see the ownership notes in tuners/tuner.hpp).
 #pragma once
 
 #include "tuners/tuner.hpp"

@@ -3,6 +3,9 @@
 // breeds a full generation of children whose genomes depend only on the
 // previous (already-evaluated) population, so the whole generation is
 // evaluated through the backend in one parallel batch.
+//
+// Single-run mutable state: one instance per session, driven by one
+// thread (see the ownership notes in tuners/tuner.hpp).
 #pragma once
 
 #include "tuners/tuner.hpp"

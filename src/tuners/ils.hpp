@@ -2,6 +2,9 @@
 // perturb a few parameters of the incumbent, climb again; accept the new
 // local minimum if it improves. Matches the GreedyILS family evaluated by
 // Schoonhoven et al.
+//
+// Single-run mutable state: one instance per session, driven by one
+// thread (see the ownership notes in tuners/tuner.hpp).
 #pragma once
 
 #include "tuners/tuner.hpp"

@@ -4,6 +4,9 @@
 // (paper §II-B2): from a random valid start, visit Hamming-1 neighbors in
 // random order and move to the first strictly better one; restart when a
 // local minimum is reached. Also serves as BAT's "basic reference tuner".
+//
+// Single-run mutable state: one instance per session, driven by one
+// thread (see the ownership notes in tuners/tuner.hpp).
 #pragma once
 
 #include "tuners/tuner.hpp"

@@ -4,6 +4,9 @@
 // ask() moves the whole swarm and the generation is evaluated through
 // the backend in one parallel batch; personal/global bests update in
 // tell().
+//
+// Single-run mutable state: one instance per session, driven by one
+// thread (see the ownership notes in tuners/tuner.hpp).
 #pragma once
 
 #include "tuners/tuner.hpp"

@@ -3,6 +3,9 @@
 // of samples are evaluated through the backend in parallel. The trace is
 // identical to sampling one configuration at a time (same rng stream,
 // first-occurrence charging).
+//
+// Single-run mutable state: one instance per session, driven by one
+// thread (see the ownership notes in tuners/tuner.hpp).
 #pragma once
 
 #include "tuners/tuner.hpp"

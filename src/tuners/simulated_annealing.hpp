@@ -1,5 +1,8 @@
 // Simulated annealing over the Hamming-1 neighborhood with geometric
 // cooling (a standard optimizer in Kernel Tuner and KTT).
+//
+// Single-run mutable state: one instance per session, driven by one
+// thread (see the ownership notes in tuners/tuner.hpp).
 #pragma once
 
 #include "tuners/tuner.hpp"

@@ -2,6 +2,9 @@
 // evaluations so far, screen a pool of random candidates through it, and
 // spend real evaluations only on the most promising ones (with
 // epsilon-greedy exploration).
+//
+// Single-run mutable state: one instance per session, driven by one
+// thread (see the ownership notes in tuners/tuner.hpp).
 #pragma once
 
 #include "tuners/tuner.hpp"

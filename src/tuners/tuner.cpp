@@ -52,7 +52,13 @@ void Tuner::tell(const std::vector<core::Config>&, const std::vector<double>&,
 
 TuningRun run_tuner(Tuner& tuner, core::EvaluationBackend& backend,
                     std::size_t budget, std::uint64_t seed) {
-  core::CachingEvaluator evaluator(backend, budget);
+  return run_tuner(tuner, backend, budget, seed, core::EvaluationHooks{});
+}
+
+TuningRun run_tuner(Tuner& tuner, core::EvaluationBackend& backend,
+                    std::size_t budget, std::uint64_t seed,
+                    const core::EvaluationHooks& hooks) {
+  core::CachingEvaluator evaluator(backend, budget, hooks);
   common::Rng rng(seed);
   tuner.run(evaluator, rng);
   TuningRun result;
@@ -60,6 +66,7 @@ TuningRun run_tuner(Tuner& tuner, core::EvaluationBackend& backend,
   result.trace = evaluator.trace();
   result.best = evaluator.best();
   result.best_so_far = evaluator.best_so_far();
+  result.cancelled = evaluator.cancelled();
   return result;
 }
 

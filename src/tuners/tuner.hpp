@@ -19,6 +19,14 @@
 // Both styles stop exactly at the evaluation budget, and neither knows
 // (or cares) whether measurements are computed live or replayed from a
 // dataset — that is the EvaluationBackend's business.
+//
+// Ownership / thread-safety: a Tuner instance is single-run mutable
+// state — make one per run (tuners::make_tuner) and never share it
+// across threads. run_tuner itself is safe to call concurrently with
+// distinct tuner instances over a shared stateless backend; that is
+// exactly how service::TuningService executes sessions in parallel,
+// threading per-session EvaluationHooks (shared measurement cache,
+// cancellation token) through the overload below.
 #pragma once
 
 #include <memory>
@@ -75,6 +83,10 @@ struct TuningRun {
   std::vector<core::TraceEntry> trace;
   std::optional<core::TraceEntry> best;
   std::vector<double> best_so_far;
+  /// True when a cancellation hook cut the run short (the trace is the
+  /// partial prefix), false for natural termination — budget exhausted
+  /// *or* converged below budget.
+  bool cancelled = false;
 };
 
 /// Runs the tuner against an arbitrary evaluation backend (live, replay,
@@ -82,6 +94,15 @@ struct TuningRun {
 [[nodiscard]] TuningRun run_tuner(Tuner& tuner,
                                   core::EvaluationBackend& backend,
                                   std::size_t budget, std::uint64_t seed);
+
+/// Same, with per-session hooks (cross-session measurement sharing and
+/// cooperative cancellation — what service::TuningService threads in).
+/// Hooks never change the produced trace, only where measurements come
+/// from and whether the run may stop early at a batch boundary.
+[[nodiscard]] TuningRun run_tuner(Tuner& tuner,
+                                  core::EvaluationBackend& backend,
+                                  std::size_t budget, std::uint64_t seed,
+                                  const core::EvaluationHooks& hooks);
 
 /// Convenience: live evaluation over (benchmark, device).
 [[nodiscard]] TuningRun run_tuner(Tuner& tuner, const core::Benchmark& bench,

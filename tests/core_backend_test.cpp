@@ -224,5 +224,36 @@ TEST(TraceStats, BestAndBestSoFarHelpers) {
   EXPECT_FALSE(trace_best({}).has_value());
 }
 
+// A dataset with rows outside this space's valid set (foreign space or
+// constraint set) must degrade to hashed lookup — with a one-time
+// warning naming the dataset — and still serve every row faithfully.
+TEST(ReplayBackend, ForeignDatasetFallsBackToHashedLookup) {
+  const auto bench = kernels::make("gemm");  // constrained + materialized
+  const auto& space = bench->space();
+  const auto& params = space.params();
+  common::Rng rng(11);
+
+  Dataset ds("gemm", "RTX_3090", params.param_names());
+  std::vector<ConfigIndex> rows;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto config = space.random_valid_config(rng);
+    const auto index = params.index_of_config(config);
+    rows.push_back(index);
+    ds.add(index, config, Measurement::valid(1.0 + static_cast<double>(i)));
+  }
+  ConfigIndex foreign = 0;
+  while (space.compiled().is_valid_index(foreign)) ++foreign;
+  ds.add(foreign, params.config_at(foreign),
+         Measurement::invalid(MeasureStatus::kInvalidConstraint));
+
+  ReplayBackend backend(space, ds);  // logs the fallback warning once
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ConfigIndex one[1] = {rows[i]};
+    EXPECT_DOUBLE_EQ(backend.evaluate_batch(one).front().objective(),
+                     1.0 + static_cast<double>(i));
+  }
+  EXPECT_TRUE(backend.contains(foreign));
+}
+
 }  // namespace
 }  // namespace bat::core

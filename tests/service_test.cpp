@@ -1,0 +1,286 @@
+// The service layer's two correctness pillars:
+//  * exactly-once — N threads x M sessions sharing one
+//    ShardedMeasurementCache evaluate every distinct valid-ordinal once
+//    (the rest are cross-session hits), and traces are identical with
+//    and without the cache (determinism);
+//  * cancellation — shutdown() mid-run stops every session at its next
+//    batch boundary with a partial trace and leaves no stuck workers.
+// tools/ci.sh runs this binary under TSan in addition to ASan/UBSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "kernels/all_kernels.hpp"
+#include "service/sharded_cache.hpp"
+#include "service/tuning_service.hpp"
+#include "tuners/tuner.hpp"
+
+namespace bat::service {
+namespace {
+
+using core::SharedMeasurementCache;
+
+// ------------------------------------------------ cache protocol, raw use --
+
+TEST(ShardedMeasurementCache, ClaimPublishHitRoundTrip) {
+  ShardedMeasurementCache cache(nullptr, 4);
+  auto first = cache.claim(7);
+  ASSERT_EQ(first.state, SharedMeasurementCache::ClaimState::kClaimed);
+  EXPECT_EQ(cache.claim(7).state, SharedMeasurementCache::ClaimState::kPending);
+  cache.publish(7, core::Measurement::valid(3.5));
+  const auto hit = cache.claim(7);
+  ASSERT_EQ(hit.state, SharedMeasurementCache::ClaimState::kHit);
+  EXPECT_DOUBLE_EQ(hit.measurement.time_ms, 3.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedMeasurementCache, AbandonLetsTheNextClaimerTakeOver) {
+  ShardedMeasurementCache cache(nullptr, 1);
+  ASSERT_EQ(cache.claim(3).state, SharedMeasurementCache::ClaimState::kClaimed);
+  cache.abandon(3);
+  // wait() on an unclaimed key must not block.
+  EXPECT_FALSE(cache.wait(3).has_value());
+  EXPECT_EQ(cache.claim(3).state, SharedMeasurementCache::ClaimState::kClaimed);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.abandoned, 1u);
+}
+
+// The exactly-once core: T threads race through the same K keys in
+// different orders; whoever wins a claim "evaluates" (bumps the per-key
+// counter) and publishes, everyone else hits or waits. Every key must be
+// evaluated exactly once and every thread must observe its measurement.
+TEST(ShardedMeasurementCache, ExactlyOnceUnderContention) {
+  constexpr std::size_t kKeys = 512;
+  constexpr std::size_t kThreads = 8;
+  ShardedMeasurementCache cache(nullptr, 16);
+  std::vector<std::atomic<int>> evaluated(kKeys);
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kKeys; ++i) {
+        // Per-thread traversal order: thread t starts at key t * 61.
+        const auto key =
+            static_cast<core::ConfigIndex>((i * 61 + t * 67) % kKeys);
+        const auto claim = cache.claim(key);
+        switch (claim.state) {
+          case SharedMeasurementCache::ClaimState::kClaimed:
+            evaluated[key].fetch_add(1);
+            cache.publish(key,
+                          core::Measurement::valid(static_cast<double>(key)));
+            break;
+          case SharedMeasurementCache::ClaimState::kHit:
+            if (claim.measurement.time_ms != static_cast<double>(key)) {
+              failed = true;
+            }
+            break;
+          case SharedMeasurementCache::ClaimState::kPending: {
+            const auto m = cache.wait(key);
+            if (!m || m->time_ms != static_cast<double>(key)) failed = true;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_FALSE(failed.load());
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(evaluated[k].load(), 1) << "key " << k;
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evaluations, kKeys);
+  EXPECT_EQ(stats.lookups, kKeys * kThreads);
+  EXPECT_EQ(cache.size(), kKeys);
+}
+
+// ------------------------------------------------------- service sessions --
+
+std::vector<SessionSpec> overlapping_specs(std::size_t sessions) {
+  // Same kernel + tuner + budget, rotating seeds: concurrent sessions
+  // probe heavily overlapping configurations (every third one repeats a
+  // seed, so overlap is guaranteed even for short runs).
+  std::vector<SessionSpec> specs;
+  specs.reserve(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    SessionSpec spec;
+    spec.kernel = "pnpoly";
+    spec.tuner = s % 2 == 0 ? "local" : "annealing";
+    spec.budget = 40;
+    spec.seed = 7 + s % 3;
+    spec.backend = "live";
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+// The tentpole invariant: across M concurrent sessions on one space, the
+// shared cache performs exactly one backend evaluation per *distinct*
+// config the sessions collectively traced; every other resolution is a
+// cross-session hit.
+TEST(TuningService, SharedCacheEvaluatesEachDistinctConfigOnce) {
+  ServiceOptions options;
+  options.workers = 4;  // force real concurrency even on 1-core CI
+  TuningService svc(options);
+  const auto specs = overlapping_specs(12);
+  const auto results = svc.run_all(specs);
+
+  std::set<core::ConfigIndex> distinct;
+  std::size_t traced = 0;
+  for (const auto& r : results) {
+    ASSERT_EQ(r.status, SessionStatus::kCompleted) << r.error;
+    for (const auto& entry : r.run.trace) distinct.insert(entry.index);
+    traced += r.run.trace.size();
+  }
+
+  const auto stats = svc.cache_stats();
+  EXPECT_EQ(stats.evaluations, distinct.size());
+  EXPECT_EQ(stats.cross_session_hits(), traced - distinct.size());
+  EXPECT_GT(stats.cross_session_hits(), 0u);
+  EXPECT_EQ(stats.abandoned, 0u);
+}
+
+// Determinism: routing a session through the service (pooled worker +
+// shared cache) must reproduce the standalone run_tuner trace bit for
+// bit — the cache only changes who computed a measurement, never its
+// value, because backends are deterministic.
+TEST(TuningService, SessionTraceMatchesStandaloneRun) {
+  const auto specs = overlapping_specs(6);
+
+  ServiceOptions options;
+  options.workers = 3;
+  TuningService svc(options);
+  const auto results = svc.run_all(specs);
+
+  const auto bench = kernels::make("pnpoly");
+  core::LiveBackend backend(*bench, 0);
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const auto tuner = tuners::make_tuner(specs[s].tuner);
+    const auto solo =
+        tuners::run_tuner(*tuner, backend, specs[s].budget, specs[s].seed);
+    ASSERT_EQ(results[s].run.trace.size(), solo.trace.size());
+    for (std::size_t i = 0; i < solo.trace.size(); ++i) {
+      EXPECT_EQ(results[s].run.trace[i].index, solo.trace[i].index);
+      EXPECT_DOUBLE_EQ(results[s].run.trace[i].objective,
+                       solo.trace[i].objective);
+    }
+  }
+}
+
+TEST(TuningService, CacheSharingCanBeDisabled) {
+  ServiceOptions options;
+  options.workers = 2;
+  options.share_cache = false;
+  TuningService svc(options);
+  const auto results = svc.run_all(overlapping_specs(4));
+  for (const auto& r : results) {
+    EXPECT_EQ(r.status, SessionStatus::kCompleted) << r.error;
+  }
+  // Workload caches exist but nothing routed through them.
+  const auto stats = svc.cache_stats();
+  EXPECT_EQ(stats.lookups, 0u);
+  EXPECT_EQ(stats.evaluations, 0u);
+}
+
+// run_inline executes on the calling thread but shares the workload
+// cache with pooled sessions — an identical spec must come back all
+// cross-session hits, and the result must match the pooled run exactly.
+TEST(TuningService, RunInlineSharesTheWorkloadCache) {
+  TuningService svc;
+  SessionSpec spec;
+  spec.kernel = "pnpoly";
+  spec.tuner = "local";
+  spec.budget = 30;
+  spec.seed = 3;
+  const auto pooled = svc.submit(spec).get();
+  const auto before = svc.cache_stats();
+  const auto inline_result = svc.run_inline(spec);
+  const auto after = svc.cache_stats();
+
+  ASSERT_EQ(pooled.status, SessionStatus::kCompleted) << pooled.error;
+  ASSERT_EQ(inline_result.status, SessionStatus::kCompleted)
+      << inline_result.error;
+  ASSERT_EQ(inline_result.run.trace.size(), pooled.run.trace.size());
+  for (std::size_t i = 0; i < pooled.run.trace.size(); ++i) {
+    EXPECT_EQ(inline_result.run.trace[i].index, pooled.run.trace[i].index);
+  }
+  // Every inline miss resolved from the pooled session's measurements.
+  EXPECT_EQ(after.evaluations, before.evaluations);
+  EXPECT_EQ(after.cross_session_hits() - before.cross_session_hits(),
+            inline_result.run.trace.size());
+  EXPECT_EQ(svc.sessions_submitted(), 2u);
+
+  svc.shutdown();
+  EXPECT_THROW((void)svc.run_inline(spec), std::runtime_error);
+}
+
+TEST(TuningService, FailuresAreReportedInBandNotThrown) {
+  TuningService svc;
+  SessionSpec bad;
+  bad.kernel = "no-such-kernel";
+  const auto result = svc.submit(bad).get();
+  EXPECT_EQ(result.status, SessionStatus::kFailed);
+  EXPECT_FALSE(result.error.empty());
+}
+
+// ---------------------------------------------------------- cancellation --
+
+// shutdown() mid-generation: every in-flight session stops at its next
+// batch boundary (partial trace, status kCancelled), queued sessions are
+// cancelled before starting, no worker is left stuck — the test itself
+// hanging is the failure mode, bounded by the ctest timeout.
+TEST(TuningService, ShutdownCancelsInFlightSessionsAndDrains) {
+  ServiceOptions options;
+  options.workers = 2;
+  TuningService svc(options);
+
+  std::vector<std::future<SessionResult>> futures;
+  for (std::size_t s = 0; s < 8; ++s) {
+    SessionSpec spec;
+    spec.kernel = "gemm";  // large space: plenty of work per session
+    spec.tuner = "random";
+    spec.budget = 200'000;  // far beyond what can finish before shutdown
+    spec.seed = 100 + s;
+    futures.push_back(svc.submit(std::move(spec)));
+  }
+  svc.shutdown();
+
+  std::size_t cancelled = 0;
+  for (auto& f : futures) {
+    const auto r = f.get();  // must resolve: no broken promises
+    EXPECT_NE(r.status, SessionStatus::kFailed) << r.error;
+    if (r.status == SessionStatus::kCancelled) ++cancelled;
+    EXPECT_LT(r.run.trace.size(), 200'000u);
+  }
+  // With a 200k budget nothing can have completed in time.
+  EXPECT_EQ(cancelled, futures.size());
+  EXPECT_EQ(svc.sessions_active(), 0u);
+
+  // The service refuses new work after shutdown, idempotently.
+  EXPECT_THROW((void)svc.submit(SessionSpec{}), std::runtime_error);
+  svc.shutdown();
+}
+
+// A pre-set cancellation token stops a tuner before it spends anything:
+// the hook path the service relies on, exercised without the service.
+TEST(EvaluationHooks, PreSetTokenYieldsEmptyTrace) {
+  const auto bench = kernels::make("pnpoly");
+  core::LiveBackend backend(*bench, 0);
+  const std::atomic<bool> cancel{true};
+  core::EvaluationHooks hooks;
+  hooks.cancel = &cancel;
+  const auto tuner = tuners::make_tuner("random");
+  const auto run = tuners::run_tuner(*tuner, backend, 50, 1, hooks);
+  EXPECT_TRUE(run.trace.empty());
+  EXPECT_FALSE(run.best.has_value());
+}
+
+}  // namespace
+}  // namespace bat::service

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# CI pipeline: configure + build + ctest, then an ASan/UBSan build of the
-# concurrency-critical tests (evaluator/backend batching, the thread pool
-# and the compiled index-space core) so the batched evaluation and
-# index-space paths stay sanitizer-clean, finished by a bench smoke stage
-# that exercises the compiled-space paths end to end on reduced sizes.
+# CI pipeline: docs link check, configure + build + ctest, an ASan/UBSan
+# build of the concurrency-critical tests (evaluator/backend batching,
+# the thread pool and the compiled index-space core), a TSan build of
+# the service layer (concurrent sessions + sharded cache), finished by a
+# bench smoke stage that exercises the compiled-space paths end to end
+# on reduced sizes.
 #
 #   $ tools/ci.sh [build_dir]
 set -euo pipefail
@@ -11,6 +12,30 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-ci}"
 JOBS="$(nproc)"
+
+echo "=== docs link check ==="
+# Every relative markdown link in README.md and docs/*.md must resolve
+# (external http(s) links and pure #anchors are out of scope).
+broken=0
+for doc in README.md docs/*.md; do
+  dir="$(dirname "${doc}")"
+  # inline links: [text](target), excluding images' optional titles
+  while IFS= read -r target; do
+    case "${target}" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"                  # strip in-page anchors
+    [ -z "${path}" ] && continue
+    if [ ! -e "${dir}/${path}" ]; then
+      echo "BROKEN LINK in ${doc}: ${target}"
+      broken=1
+    fi
+  done < <(awk '/^```/{code=!code; next} !code' "${doc}" \
+             | grep -oE '\]\([^)]+\)' \
+             | sed -E 's/^\]\(//; s/\)$//; s/ .*//')
+done
+[ "${broken}" -eq 0 ] || { echo "docs link check failed"; exit 1; }
+echo "all relative links resolve"
 
 echo "=== configure + build (${BUILD_DIR}) ==="
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
@@ -29,6 +54,19 @@ cmake --build "${SAN_DIR}" -j "${JOBS}" --target "${SAN_TESTS[@]}"
 for t in "${SAN_TESTS[@]}"; do
   echo "--- ${t} (sanitized) ---"
   "${SAN_DIR}/${t}"
+done
+
+echo "=== TSan build of service + thread-pool + backend tests ==="
+# The service layer is the one place real cross-thread sharing happens
+# (worker pool, sharded cache, cancellation token); run it under
+# ThreadSanitizer in addition to the ASan/UBSan pass above.
+TSAN_DIR="${BUILD_DIR}-tsan"
+TSAN_TESTS=(service_test common_thread_pool_test core_backend_test)
+cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DBAT_SANITIZE_THREAD=ON
+cmake --build "${TSAN_DIR}" -j "${JOBS}" --target "${TSAN_TESTS[@]}"
+for t in "${TSAN_TESTS[@]}"; do
+  echo "--- ${t} (tsan) ---"
+  "${TSAN_DIR}/${t}"
 done
 
 echo "=== bench smoke (sanitized, reduced sizes) ==="

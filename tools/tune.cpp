@@ -1,0 +1,395 @@
+// tune: the unified command-line driver over the tuning-service layer.
+//
+// One binary reproduces every figure/table scenario from config flags
+// instead of hand-edited bench mains (docs/reproducing-the-paper.md maps
+// each paper artifact to an invocation):
+//
+//   tune run    --kernel gemm --tuner local --budget 150 --seed 42
+//               [--device 0|RTX_3090] [--backend live|replay]
+//               [--dataset path.csv]
+//       One session; prints the trace summary and best configuration.
+//
+//   tune grid   --kernels gemm,hotspot --tuners local,annealing,ils
+//               --sessions 16 [--budget 150] [--seed 1000] [--device 0]
+//               [--backend live|replay] [--workers N] [--shards 16]
+//               [--no-shared-cache]
+//       Round-robins the kernel x tuner combinations into --sessions
+//       concurrent sessions (seeds increment per session) through one
+//       TuningService; reports per-session results plus the sharded
+//       cache's cross-session hit counters.
+//
+//   tune replay --kernel pnpoly --tuner genetic --dataset ds.csv
+//               [--budget 150] [--seed 42] [--repeats 5]
+//       Tabular-benchmark mode over an archived dataset (export one
+//       with examples/export_datasets or register a sweep via grid).
+//
+//   tune spaces [--kernels gemm,hotspot,...]
+//       Search-space statistics per kernel (Table VIII's shape).
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/statistics.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/compiled_space.hpp"
+#include "core/dataset.hpp"
+#include "core/runner.hpp"
+#include "kernels/all_kernels.hpp"
+#include "service/tuning_service.hpp"
+
+namespace {
+
+using namespace bat;
+
+// ------------------------------------------------------------ flag parsing --
+
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t fallback) const {
+    const auto it = flags.find(key);
+    if (it == flags.end()) return fallback;
+    // Strict parse: stoul alone would wrap negatives to huge values and
+    // silently ignore trailing junk ("10abc" -> 10).
+    const std::string& value = it->second;
+    std::size_t consumed = 0;
+    unsigned long long parsed = 0;
+    try {
+      parsed = std::stoull(value, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (value.empty() || value[0] == '-' || consumed != value.size()) {
+      throw std::invalid_argument("--" + key +
+                                  " expects a non-negative integer, got '" +
+                                  value + "'");
+    }
+    return static_cast<std::size_t>(parsed);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return flags.find(key) != flags.end();
+  }
+
+  /// Rejects flags outside `known`: a typo (--budjet) must not silently
+  /// run a different experiment than the user asked for.
+  void require_known(std::initializer_list<const char*> known) const {
+    for (const auto& [key, value] : flags) {
+      bool ok = false;
+      for (const char* k : known) ok = ok || key == k;
+      if (!ok) {
+        throw std::invalid_argument("unknown flag --" + key);
+      }
+    }
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  // Flags are --key value; --key alone is a boolean switch ("1").
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (common::starts_with(arg, "--")) {
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc && !common::starts_with(argv[i + 1], "--")) {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "1";
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+core::DeviceIndex resolve_device(const core::Benchmark& bench,
+                                 const std::string& device) {
+  core::DeviceIndex index;
+  if (!device.empty() && device.find_first_not_of("0123456789") ==
+                             std::string::npos) {
+    index = std::stoul(device);
+  } else {
+    index = bench.device_index(device);  // throws on unknown name
+  }
+  if (index >= bench.device_count()) {
+    throw std::out_of_range(
+        bench.name() + ": device index " + device + " out of range (" +
+        std::to_string(bench.device_count()) + " devices)");
+  }
+  return index;
+}
+
+std::string best_cell(const service::SessionResult& r) {
+  if (!r.run.best) return "-";
+  return common::format_double(r.run.best->objective, 3) + "ms";
+}
+
+void print_cache_stats(const service::TuningService& svc) {
+  const auto s = svc.cache_stats();
+  std::printf(
+      "sharded cache: %llu lookups, %llu evaluations, %llu cross-session "
+      "hits (%llu instant + %llu awaited), %llu abandoned\n",
+      static_cast<unsigned long long>(s.lookups),
+      static_cast<unsigned long long>(s.evaluations),
+      static_cast<unsigned long long>(s.cross_session_hits()),
+      static_cast<unsigned long long>(s.hits),
+      static_cast<unsigned long long>(s.waited),
+      static_cast<unsigned long long>(s.abandoned));
+}
+
+// ------------------------------------------------------------- subcommands --
+
+int cmd_run(const Args& args) {
+  args.require_known(
+      {"kernel", "tuner", "device", "budget", "seed", "backend", "dataset"});
+  // With --dataset the kernel defaults to the dataset's own benchmark
+  // (mirroring cmd_replay) so the archive is registered against the
+  // space it was swept from.
+  std::optional<core::Dataset> dataset;
+  if (args.has("dataset")) {
+    if (args.has("backend") && args.get("backend", "") != "replay") {
+      throw std::invalid_argument(
+          "--dataset implies --backend replay; drop --backend " +
+          args.get("backend", "") + " or pass replay");
+    }
+    dataset = core::Dataset::load_csv(args.get("dataset", ""));
+  }
+
+  service::SessionSpec spec;
+  spec.kernel =
+      args.get("kernel", dataset ? dataset->benchmark_name() : "gemm");
+  spec.tuner = args.get("tuner", "local");
+  spec.budget = args.get_size("budget", 150);
+  spec.seed = args.get_size("seed", 42);
+  spec.backend = args.get("backend", "live");
+
+  const auto bench = kernels::make(spec.kernel);
+  spec.device = resolve_device(
+      *bench, args.get("device", dataset ? dataset->device_name() : "0"));
+
+  service::TuningService svc;
+  if (dataset) {
+    svc.register_dataset(spec.kernel, spec.device, std::move(*dataset));
+    spec.backend = "replay";
+  }
+  const auto result = svc.run_inline(spec);
+
+  std::printf("session %s/%s device=%s budget=%zu seed=%llu backend=%s\n",
+              spec.kernel.c_str(), spec.tuner.c_str(),
+              bench->device_name(spec.device).c_str(), spec.budget,
+              static_cast<unsigned long long>(spec.seed),
+              spec.backend.c_str());
+  std::printf("status: %s%s%s\n", to_string(result.status),
+              result.error.empty() ? "" : " - ", result.error.c_str());
+  if (result.status == service::SessionStatus::kFailed) return 1;
+  std::printf("distinct evaluations: %zu, wall: %.1fms\n",
+              result.run.trace.size(), result.wall_ms);
+  if (result.run.best) {
+    std::printf("best: %.4fms at config index %llu\n",
+                result.run.best->objective,
+                static_cast<unsigned long long>(result.run.best->index));
+    core::Config best_config;
+    bench->space().compiled().decode_into(result.run.best->index,
+                                          best_config);
+    const auto& names = bench->space().params().param_names();
+    std::printf("best config:");
+    for (std::size_t p = 0; p < names.size(); ++p) {
+      std::printf(" %s=%lld", names[p].c_str(),
+                  static_cast<long long>(best_config[p]));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_grid(const Args& args) {
+  args.require_known({"kernels", "tuners", "sessions", "budget", "seed",
+                      "device", "backend", "workers", "shards",
+                      "no-shared-cache"});
+  const auto kernel_names =
+      common::split(args.get("kernels", "gemm,hotspot"), ',');
+  const auto tuner_names =
+      common::split(args.get("tuners", "local,annealing,ils"), ',');
+  const std::size_t sessions =
+      args.get_size("sessions", kernel_names.size() * tuner_names.size());
+  const std::size_t budget = args.get_size("budget", 150);
+  const std::uint64_t base_seed = args.get_size("seed", 1000);
+  const std::string backend = args.get("backend", "live");
+  const std::string device = args.get("device", "0");
+
+  service::ServiceOptions options;
+  options.workers = args.get_size("workers", 0);
+  options.cache_shards = args.get_size("shards", 16);
+  options.share_cache = !args.has("no-shared-cache");
+  service::TuningService svc(options);
+
+  // One device resolution per kernel, not per session.
+  std::map<std::string, core::DeviceIndex> device_of;
+  for (const auto& kernel : kernel_names) {
+    device_of[kernel] = resolve_device(*kernels::make(kernel), device);
+  }
+
+  // Round-robin the kernel x tuner grid into `sessions` sessions; each
+  // wrap-around of the grid bumps the seed, so repeated combinations
+  // are distinct runs that still share the workload cache.
+  std::vector<service::SessionSpec> specs;
+  specs.reserve(sessions);
+  const std::size_t combos = kernel_names.size() * tuner_names.size();
+  for (std::size_t s = 0; s < sessions; ++s) {
+    const std::size_t combo = s % combos;
+    service::SessionSpec spec;
+    spec.kernel = kernel_names[combo % kernel_names.size()];
+    spec.tuner = tuner_names[combo / kernel_names.size()];
+    spec.budget = budget;
+    spec.seed = base_seed + s;
+    spec.backend = backend;
+    spec.device = device_of[spec.kernel];
+    specs.push_back(std::move(spec));
+  }
+
+  std::printf("grid: %zu sessions over %zu kernel(s) x %zu tuner(s), "
+              "%zu workers, %s cache\n",
+              specs.size(), kernel_names.size(), tuner_names.size(),
+              svc.workers(), options.share_cache ? "shared" : "per-session");
+  const auto results = svc.run_all(specs);
+
+  common::AsciiTable table(
+      {"kernel", "tuner", "seed", "status", "evals", "best", "wall"});
+  bool failed = false;
+  for (const auto& r : results) {
+    failed = failed || r.status == service::SessionStatus::kFailed;
+    table.add_row({r.spec.kernel, r.spec.tuner, std::to_string(r.spec.seed),
+                   r.error.empty() ? to_string(r.status) : r.error,
+                   std::to_string(r.run.trace.size()), best_cell(r),
+                   common::format_double(r.wall_ms, 1) + "ms"});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  print_cache_stats(svc);
+  return failed ? 1 : 0;
+}
+
+int cmd_replay(const Args& args) {
+  args.require_known(
+      {"dataset", "kernel", "tuner", "device", "budget", "seed", "repeats"});
+  if (!args.has("dataset")) {
+    std::fprintf(stderr, "tune replay requires --dataset <path.csv>\n");
+    return 2;
+  }
+  auto dataset = core::Dataset::load_csv(args.get("dataset", ""));
+  const std::string kernel = args.get("kernel", dataset.benchmark_name());
+  const std::size_t repeats = args.get_size("repeats", 1);
+  const std::uint64_t base_seed = args.get_size("seed", 42);
+
+  const auto bench = kernels::make(kernel);
+  const auto device =
+      resolve_device(*bench, args.get("device", dataset.device_name()));
+
+  service::TuningService svc;
+  svc.register_dataset(kernel, device, std::move(dataset));
+
+  std::vector<service::SessionSpec> specs;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    service::SessionSpec spec;
+    spec.kernel = kernel;
+    spec.tuner = args.get("tuner", "local");
+    spec.device = device;
+    spec.budget = args.get_size("budget", 150);
+    spec.seed = base_seed + r;
+    spec.backend = "replay";
+    specs.push_back(std::move(spec));
+  }
+  const auto results = svc.run_all(specs);
+
+  common::AsciiTable table({"seed", "status", "evals", "best"});
+  std::vector<double> bests;
+  bool failed = false;
+  for (const auto& r : results) {
+    failed = failed || r.status == service::SessionStatus::kFailed;
+    if (r.run.best) bests.push_back(r.run.best->objective);
+    table.add_row({std::to_string(r.spec.seed),
+                   r.error.empty() ? to_string(r.status) : r.error,
+                   std::to_string(r.run.trace.size()), best_cell(r)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  if (!bests.empty()) {
+    std::printf("mean best over %zu repeats: %.4fms\n", bests.size(),
+                common::mean(bests));
+  }
+  return failed ? 1 : 0;
+}
+
+int cmd_spaces(const Args& args) {
+  args.require_known({"kernels"});
+  const auto names = args.has("kernels")
+                         ? common::split(args.get("kernels", ""), ',')
+                         : kernels::paper_benchmark_names();
+  common::AsciiTable table({"kernel", "params", "cardinality", "valid",
+                            "density", "mode"});
+  for (const auto& name : names) {
+    const auto bench = kernels::make(name);
+    const auto& compiled = bench->space().compiled();
+    std::string valid = "-";
+    std::string density = "-";
+    if (compiled.has_valid_set()) {
+      valid = common::format_grouped(compiled.num_valid());
+      density = common::format_double(
+                    100.0 * static_cast<double>(compiled.num_valid()) /
+                        static_cast<double>(compiled.cardinality()),
+                    1) +
+                "%";
+    }
+    table.add_row({name, std::to_string(compiled.num_params()),
+                   common::format_grouped(compiled.cardinality()), valid,
+                   density,
+                   compiled.has_valid_set() ? "materialized" : "streamed"});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}
+
+void print_usage() {
+  std::fputs(
+      "usage: tune <run|grid|replay|spaces> [--flags...]\n"
+      "  run    --kernel K --tuner T [--device D] [--budget N] [--seed S]\n"
+      "         [--backend live|replay] [--dataset path.csv]\n"
+      "  grid   --kernels a,b --tuners x,y --sessions N [--budget N]\n"
+      "         [--seed S] [--device D] [--backend live|replay]\n"
+      "         [--workers W] [--shards P] [--no-shared-cache]\n"
+      "  replay --dataset path.csv [--kernel K] [--tuner T] [--repeats R]\n"
+      "  spaces [--kernels a,b,...]\n"
+      "see docs/reproducing-the-paper.md for figure/table recipes\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (command == "run") return cmd_run(args);
+    if (command == "grid") return cmd_grid(args);
+    if (command == "replay") return cmd_replay(args);
+    if (command == "spaces") return cmd_spaces(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tune %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  print_usage();
+  return 2;
+}
