@@ -8,10 +8,12 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/runner.hpp"
+#include "io/dataset_repository.hpp"
 #include "kernels/all_kernels.hpp"
 
 namespace bat::bench {
@@ -20,20 +22,25 @@ inline constexpr std::uint64_t kDatasetSeed = 0xBA7BA7ULL;
 inline constexpr std::size_t kSampleCount = 10'000;
 inline constexpr std::uint64_t kExhaustiveLimit = 100'000;
 
-/// Per-process dataset cache: figure harnesses reuse sweeps across
-/// devices/benchmarks without re-simulating.
+/// Figure harnesses resolve every dataset through the process-wide
+/// io::DatasetRepository — one sweep (or one archive parse) per
+/// (benchmark, device), shared across harness sections; exporting
+/// BAT_DATASET_DIR caches the sweeps on disk as binary archives so
+/// re-running a harness opens them in microseconds instead of
+/// re-simulating. The local map only skips repeated kernel registry
+/// lookups on the hit path.
 inline const core::Dataset& dataset(const std::string& benchmark,
                                     core::DeviceIndex device,
                                     std::size_t samples = kSampleCount) {
-  static std::map<std::pair<std::string, core::DeviceIndex>, core::Dataset>
+  static std::map<std::pair<std::string, core::DeviceIndex>,
+                  std::shared_ptr<const core::Dataset>>
       cache;
   const auto key = std::make_pair(benchmark, device);
   const auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
+  if (it != cache.end()) return *it->second;
   const auto bench = kernels::make(benchmark);
-  auto ds = core::Runner::run_default(*bench, device, kDatasetSeed, samples,
-                                      kExhaustiveLimit);
-  return cache.emplace(key, std::move(ds)).first->second;
+  auto ds = io::DatasetRepository::global().get(*bench, device, samples);
+  return *cache.emplace(key, std::move(ds)).first->second;
 }
 
 inline void print_header(const std::string& title) {

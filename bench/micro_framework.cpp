@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,6 +24,9 @@
 #include "core/compiled_space.hpp"
 #include "core/evaluator.hpp"
 #include "core/runner.hpp"
+#include "io/dataset_file.hpp"
+#include "io/dataset_view.hpp"
+#include "io/replay_view.hpp"
 #include "kernels/all_kernels.hpp"
 #include "ml/gbdt.hpp"
 #include "service/sharded_cache.hpp"
@@ -250,6 +254,92 @@ void BM_BatchEvaluateReplay(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BatchEvaluateReplay)->Arg(64)->Arg(1024);
+
+// ------------------------------------------------------------- dataset io --
+// The persistence before/after pairs (tools/ci.sh exports them as
+// BENCH_io.json): cold-open cost of a 10k-row archive — full CSV parse
+// vs mmap + O(1) header/footer decode — and replay lookup cost — the
+// owned in-memory Measurement table built from a CSV-loaded Dataset vs
+// zero-copy reads straight off the mmap'ed binary columns.
+
+struct DatasetIoFixture {
+  std::unique_ptr<core::Benchmark> bench;
+  std::string csv_path;
+  std::string bin_path;
+  std::vector<core::ConfigIndex> lookups;  // indices covered by the rows
+};
+
+const DatasetIoFixture& dataset_io_fixture() {
+  static const DatasetIoFixture fixture = [] {
+    DatasetIoFixture f;
+    f.bench = kernels::make("hotspot");
+    const auto ds = core::Runner::run_sampled(*f.bench, 0, 10'000, 42);
+    const auto dir =
+        std::filesystem::temp_directory_path() / "bat_micro_datasets";
+    std::filesystem::create_directories(dir);
+    f.csv_path = (dir / "hotspot_10k.csv").string();
+    f.bin_path = (dir / "hotspot_10k.bin").string();
+    io::save_dataset(f.csv_path, ds, io::DatasetFormat::kCsv);
+    io::save_dataset(f.bin_path, ds, io::DatasetFormat::kBinary);
+    common::Rng rng(10);
+    f.lookups.reserve(1024);
+    for (std::size_t i = 0; i < 1024; ++i) {
+      f.lookups.push_back(ds.config_index(rng.next_below(ds.size())));
+    }
+    return f;
+  }();
+  return fixture;
+}
+
+// Cold open + first lookup, CSV: the full text parse is the price of
+// admission before the first row can be read.
+void BM_DatasetLoadCsv(benchmark::State& state) {
+  const auto& fixture = dataset_io_fixture();
+  for (auto _ : state) {
+    const auto ds = io::load_dataset(fixture.csv_path);
+    benchmark::DoNotOptimize(ds.time_ms(ds.size() - 1));
+  }
+}
+BENCHMARK(BM_DatasetLoadCsv);
+
+// Cold open + first lookup, binary: mmap + header/footer decode,
+// independent of row count.
+void BM_DatasetOpenBinary(benchmark::State& state) {
+  const auto& fixture = dataset_io_fixture();
+  for (auto _ : state) {
+    const auto view = io::DatasetView::open(fixture.bin_path);
+    benchmark::DoNotOptimize(view->time_ms(view->size() - 1));
+  }
+}
+BENCHMARK(BM_DatasetOpenBinary);
+
+// Replay lookups over a CSV-loaded Dataset (owned Measurement table).
+void BM_ReplayLookupCsvLoaded(benchmark::State& state) {
+  const auto& fixture = dataset_io_fixture();
+  const auto ds = io::load_dataset(fixture.csv_path);
+  core::ReplayBackend backend(fixture.bench->space(), ds);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend.evaluate_batch(fixture.lookups).front().time_ms);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fixture.lookups.size()));
+}
+BENCHMARK(BM_ReplayLookupCsvLoaded);
+
+// Replay lookups served zero-copy from the mmap'ed binary columns.
+void BM_ReplayLookupMmap(benchmark::State& state) {
+  const auto& fixture = dataset_io_fixture();
+  io::MmapReplayBackend backend(fixture.bench->space(),
+                                io::DatasetView::open(fixture.bin_path));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend.evaluate_batch(fixture.lookups).front().time_ms);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fixture.lookups.size()));
+}
+BENCHMARK(BM_ReplayLookupMmap);
 
 // ---------------------------------------------- sharded measurement cache --
 // service::ShardedMeasurementCache under the access pattern of a long

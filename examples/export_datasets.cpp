@@ -1,33 +1,52 @@
-// Exports the paper's evaluation datasets to CSV for external plotting
-// (the actual Fig 1-6 figures are drawn from exactly these files).
+// Exports the paper's evaluation datasets for external plotting and
+// replay (the actual Fig 1-6 figures are drawn from exactly these
+// rows).
 //
 //   $ ./export_datasets [output_dir] [samples]
 //
-// Writes one CSV per (benchmark, device) with the paper's §V design:
-// exhaustive for the four small spaces, `samples` random configurations
-// for the three large ones. Files round-trip through
-// core::Dataset::load_csv for downstream C++ analysis too.
+// Writes one CSV (interchange) and one binary columnar archive
+// (performance: `tune replay --dataset x.bin` opens it zero-copy) per
+// (benchmark, device) with the paper's §V design: exhaustive for the
+// four small spaces, `samples` random configurations for the three
+// large ones. Datasets resolve through the shared io::DatasetRepository
+// — the same sweep the figure harnesses use — and both files read back
+// through io::load_dataset for downstream C++ analysis.
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "bench/bench_util.hpp"
+#include "io/dataset_file.hpp"
 
 int main(int argc, char** argv) {
   using namespace bat;
   const std::string out_dir = argc > 1 ? argv[1] : ".";
   const std::size_t samples = argc > 2 ? std::stoul(argv[2]) : 10'000;
+  std::filesystem::create_directories(out_dir);
 
   for (const auto& name : kernels::paper_benchmark_names()) {
     const auto benchmark = kernels::make(name);
     for (core::DeviceIndex d = 0; d < benchmark->device_count(); ++d) {
-      const auto ds = core::Runner::run_default(
-          *benchmark, d, bench::kDatasetSeed, samples,
-          bench::kExhaustiveLimit);
-      const std::string path =
-          out_dir + "/" + name + "_" + benchmark->device_name(d) + ".csv";
-      ds.save_csv(path);
-      std::printf("wrote %-45s (%zu rows, %zu valid, best %.4f ms)\n",
-                  path.c_str(), ds.size(), ds.num_valid(), ds.best_time());
+      const auto& ds = bench::dataset(name, d, samples);
+      // Repository resolution can return a cached archive swept with a
+      // different sample count — say so rather than silently exporting
+      // rows the user didn't ask for.
+      if (benchmark->space().cardinality() > bench::kExhaustiveLimit &&
+          ds.size() != samples) {
+        std::fprintf(stderr,
+                     "note: %s@%s resolved from the dataset cache with %zu "
+                     "rows (requested %zu samples); clear BAT_DATASET_DIR's "
+                     "archive to re-sweep\n",
+                     name.c_str(), benchmark->device_name(d).c_str(),
+                     ds.size(), samples);
+      }
+      const std::string stem =
+          out_dir + "/" + name + "_" + benchmark->device_name(d);
+      io::save_dataset(stem + ".csv", ds, io::DatasetFormat::kCsv);
+      io::save_dataset(stem + ".bin", ds, io::DatasetFormat::kBinary);
+      std::printf("wrote %-45s (.csv + .bin, %zu rows, %zu valid, "
+                  "best %.4f ms)\n",
+                  stem.c_str(), ds.size(), ds.num_valid(), ds.best_time());
     }
   }
   return 0;

@@ -32,11 +32,21 @@ void CsvWriter::save(const std::string& path) const {
 
 std::vector<std::vector<std::string>> CsvReader::parse(
     const std::string& text) {
+  auto parsed = parse_rows(text);
   std::vector<std::vector<std::string>> rows;
+  rows.reserve(parsed.size());
+  for (auto& row : parsed) rows.push_back(std::move(row.cells));
+  return rows;
+}
+
+std::vector<CsvRow> CsvReader::parse_rows(const std::string& text) {
+  std::vector<CsvRow> rows;
   std::vector<std::string> row;
   std::string cell;
   bool in_quotes = false;
   bool row_has_content = false;
+  std::size_t line = 1;        // current source line (1-based)
+  std::size_t row_line = 1;    // line the current row started on
 
   const auto end_cell = [&] {
     row.push_back(std::move(cell));
@@ -46,7 +56,7 @@ std::vector<std::vector<std::string>> CsvReader::parse(
   const auto end_row = [&] {
     if (row_has_content || !row.empty()) {
       end_cell();
-      rows.push_back(std::move(row));
+      rows.push_back(CsvRow{row_line, std::move(row)});
       row.clear();
       row_has_content = false;
     }
@@ -63,6 +73,7 @@ std::vector<std::vector<std::string>> CsvReader::parse(
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++line;
         cell += c;
       }
     } else {
@@ -78,6 +89,8 @@ std::vector<std::vector<std::string>> CsvReader::parse(
           break;  // tolerate CRLF
         case '\n':
           end_row();
+          ++line;
+          row_line = line;
           break;
         default:
           cell += c;

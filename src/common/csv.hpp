@@ -28,11 +28,22 @@ class CsvWriter {
   std::string buffer_;
 };
 
+/// One parsed CSV row plus the 1-based line it started on in the source
+/// text (blank lines are skipped, so row position and line number can
+/// diverge — error messages must report the line, not the row).
+struct CsvRow {
+  std::size_t line = 0;
+  std::vector<std::string> cells;
+};
+
 class CsvReader {
  public:
   /// Parses full CSV text into rows of cells.
   [[nodiscard]] static std::vector<std::vector<std::string>> parse(
       const std::string& text);
+
+  /// Like parse(), but each row carries its source line number.
+  [[nodiscard]] static std::vector<CsvRow> parse_rows(const std::string& text);
 
   /// Loads and parses a file; throws std::runtime_error if unreadable.
   [[nodiscard]] static std::vector<std::vector<std::string>> load(

@@ -45,9 +45,22 @@ void set_log_level(LogLevel level) {
   level_storage().store(level, std::memory_order_relaxed);
 }
 
+namespace {
+LogSink& sink_storage() {
+  static LogSink sink;
+  return sink;
+}
+}  // namespace
+
+void set_log_sink(LogSink sink) { sink_storage() = std::move(sink); }
+
 void log_message(LogLevel level, const std::string& message) {
   static std::mutex mutex;
   std::lock_guard lock(mutex);
+  if (const auto& sink = sink_storage()) {
+    sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[bat:%s] %s\n", level_name(level), message.c_str());
 }
 

@@ -1,6 +1,7 @@
 // Tiny leveled logger. Harnesses set the level from BAT_LOG_LEVEL or flags.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -14,6 +15,12 @@ void set_log_level(LogLevel level);
 
 /// Emits `message` to stderr with a level prefix if level >= global level.
 void log_message(LogLevel level, const std::string& message);
+
+/// Redirects emitted messages to `sink` instead of stderr (tests assert
+/// on diagnostics this way); nullptr restores stderr. Not thread-safe
+/// against concurrent log_message calls — install before spawning work.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
 
 namespace detail {
 template <typename... Args>

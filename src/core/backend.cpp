@@ -8,6 +8,30 @@
 
 namespace bat::core {
 
+std::string replay_schema_hint(const std::vector<std::string>& space_params,
+                               const std::vector<std::string>& dataset_params) {
+  if (space_params == dataset_params) return "";
+  if (dataset_params.empty()) return "";  // schema unknown: no verdict
+  std::string hint =
+      "; the dataset's parameter schema is stale for this space (";
+  if (space_params.size() != dataset_params.size()) {
+    hint += "it has " + std::to_string(dataset_params.size()) +
+            " parameters, the space has " +
+            std::to_string(space_params.size());
+  } else {
+    for (std::size_t p = 0; p < space_params.size(); ++p) {
+      if (space_params[p] == dataset_params[p]) continue;
+      hint += "parameter " + std::to_string(p) + " is '" + dataset_params[p] +
+              "' in the dataset but '" + space_params[p] +
+              "' in the space - a param-name order mismatch makes every "
+              "stored config index decode differently";
+      break;
+    }
+  }
+  hint += ")";
+  return hint;
+}
+
 Measurement EvaluationBackend::evaluate(ConfigIndex index) {
   const ConfigIndex indices[1] = {index};
   return evaluate_batch(indices).front();
@@ -69,14 +93,19 @@ ReplayBackend::ReplayBackend(const SearchSpace& space, const Dataset& dataset)
         // One-time (per construction) warning: foreign datasets whose
         // rows fall outside this space's valid set silently lose the
         // O(1) rank lookup, so tell the user where the rows came from
-        // and why replay just got slower.
+        // and why replay just got slower. When the dataset's parameter
+        // schema disagrees with the space, say so explicitly — a stale
+        // (reordered/renamed) schema is the common cause of ordinal
+        // misses and looks exactly like a foreign path otherwise.
         common::log_warn(
             name_, ": dataset",
             dataset.source().empty() ? "" : " '" + dataset.source() + "'",
             " row ", row, " (config index ", dataset.config_index(row),
             ") is outside this search space's valid set - falling back "
             "from O(1) valid-ordinal lookup to hashed lookup (is this "
-            "dataset from a different space or constraint set?)");
+            "dataset from a different space or constraint set?)",
+            replay_schema_hint(space.params().param_names(),
+                               dataset.param_names()));
         ordinal_mode_ = false;
         by_ordinal_.clear();
         covered_.clear();

@@ -43,6 +43,17 @@
 
 namespace bat::core {
 
+/// Diagnostic for replay backends falling out of valid-ordinal mode:
+/// distinguishes a *stale schema* — the dataset's parameter names/order
+/// disagree with the space it is replayed against, so its config indices
+/// decode differently and ranks collide or miss — from a genuinely
+/// foreign dataset (rows outside the valid set with a matching schema).
+/// Returns "" when the schemas agree, otherwise a human-readable hint
+/// naming the first disagreement.
+[[nodiscard]] std::string replay_schema_hint(
+    const std::vector<std::string>& space_params,
+    const std::vector<std::string>& dataset_params);
+
 class EvaluationBackend {
  public:
   virtual ~EvaluationBackend() = default;

@@ -15,14 +15,30 @@ namespace bat::core {
 
 namespace {
 
+/// Location context for CSV parse errors: every failure names the file
+/// (or "<memory>"), the 1-based source line, the offending cell text and
+/// the column it sits in.
+struct CellContext {
+  const std::string* source;
+  std::size_t line;
+  const std::string* column;
+};
+
+[[noreturn]] void fail_cell(const CellContext& at, const std::string& cell,
+                            const std::string& reason) {
+  throw std::invalid_argument(*at.source + ":" + std::to_string(at.line) +
+                              ": " + reason + " '" + cell + "' in column '" +
+                              *at.column + "'");
+}
+
 template <typename T>
-T parse_number(const std::string& cell) {
+T parse_number(const std::string& cell, const CellContext& at) {
   T out{};
   const auto* begin = cell.data();
   const auto* end = cell.data() + cell.size();
   const auto [ptr, ec] = std::from_chars(begin, end, out);
   if (ec != std::errc() || ptr != end) {
-    throw std::invalid_argument("bad numeric cell: '" + cell + "'");
+    fail_cell(at, cell, "bad numeric cell");
   }
   return out;
 }
@@ -178,37 +194,66 @@ std::string Dataset::to_csv() const {
   return writer.str();
 }
 
-Dataset Dataset::from_csv(const std::string& csv_text) {
-  const auto rows = common::CsvReader::parse(csv_text);
-  if (rows.size() < 3 || rows[0].size() < 2 || rows[1].size() < 2 ||
-      rows[0][0] != "#benchmark" || rows[1][0] != "#device") {
-    throw std::invalid_argument("not a BAT dataset CSV");
+Dataset Dataset::from_csv(const std::string& csv_text,
+                          const std::string& source_name) {
+  const auto rows = common::CsvReader::parse_rows(csv_text);
+  if (rows.size() < 3 || rows[0].cells.size() < 2 ||
+      rows[1].cells.size() < 2 || rows[0].cells[0] != "#benchmark" ||
+      rows[1].cells[0] != "#device") {
+    throw std::invalid_argument(source_name + ": not a BAT dataset CSV");
   }
-  const auto& header = rows[2];
+  const auto& header = rows[2].cells;
   if (header.size() < 4 || header.front() != "config_index" ||
       header[header.size() - 2] != "time_ms" || header.back() != "status") {
-    throw std::invalid_argument("bad dataset CSV header");
+    throw std::invalid_argument(source_name + ":" +
+                                std::to_string(rows[2].line) +
+                                ": bad dataset CSV header");
   }
   std::vector<std::string> param_names(header.begin() + 1, header.end() - 2);
-  Dataset ds(rows[0][1], rows[1][1], param_names);
+  Dataset ds(rows[0].cells[1], rows[1].cells[1], param_names);
   ds.reserve(rows.size() - 3);
   const std::size_t p = param_names.size();
+  static const std::string kIndexCol = "config_index";
+  static const std::string kTimeCol = "time_ms";
+  static const std::string kStatusCol = "status";
   for (std::size_t r = 3; r < rows.size(); ++r) {
-    const auto& cells = rows[r];
+    const auto& cells = rows[r].cells;
+    const std::size_t line = rows[r].line;
     if (cells.size() != p + 3) {
-      throw std::invalid_argument("dataset CSV row has wrong cell count");
+      throw std::invalid_argument(
+          source_name + ":" + std::to_string(line) + ": dataset CSV row has " +
+          std::to_string(cells.size()) + " cells, expected " +
+          std::to_string(p + 3));
     }
-    const auto index = parse_number<ConfigIndex>(cells[0]);
+    const auto index = parse_number<ConfigIndex>(
+        cells[0], {&source_name, line, &kIndexCol});
     Config config(p);
     for (std::size_t c = 0; c < p; ++c) {
-      config[c] = parse_number<Value>(cells[c + 1]);
+      config[c] = parse_number<Value>(cells[c + 1],
+                                      {&source_name, line, &param_names[c]});
     }
     Measurement m;
-    m.status = static_cast<MeasureStatus>(parse_number<int>(cells[p + 2]));
+    const CellContext status_at{&source_name, line, &kStatusCol};
+    const int status = parse_number<int>(cells[p + 2], status_at);
+    if (status < 0 || status > static_cast<int>(MeasureStatus::kInvalidDevice)) {
+      fail_cell(status_at, cells[p + 2], "out-of-range status cell");
+    }
+    m.status = static_cast<MeasureStatus>(status);
     if (cells[p + 1] == "inf") {
       m.time_ms = std::numeric_limits<double>::infinity();
     } else {
-      m.time_ms = std::stod(cells[p + 1]);
+      const CellContext at{&source_name, line, &kTimeCol};
+      std::size_t consumed = 0;
+      try {
+        m.time_ms = std::stod(cells[p + 1], &consumed);
+      } catch (const std::invalid_argument&) {
+        fail_cell(at, cells[p + 1], "bad time cell");
+      } catch (const std::out_of_range&) {
+        fail_cell(at, cells[p + 1], "out-of-range time cell");
+      }
+      if (consumed != cells[p + 1].size()) {
+        fail_cell(at, cells[p + 1], "bad time cell");
+      }
     }
     ds.add(index, config, m);
   }
@@ -220,7 +265,7 @@ void Dataset::save_csv(const std::string& path) const {
 }
 
 Dataset Dataset::load_csv(const std::string& path) {
-  auto ds = from_csv(common::read_file(path));
+  auto ds = from_csv(common::read_file(path), path);
   ds.source_ = path;
   return ds;
 }

@@ -42,10 +42,12 @@ class Dataset {
   [[nodiscard]] const std::vector<std::string>& param_names() const noexcept {
     return param_names_;
   }
-  /// Where this dataset came from on disk: the path passed to load_csv
+  /// Where this dataset came from on disk: the path passed to load_csv,
+  /// or stamped by io loaders materializing a binary archive
   /// (diagnostics only — e.g. ReplayBackend's foreign-dataset warning
   /// names it). Empty for in-memory datasets.
   [[nodiscard]] const std::string& source() const noexcept { return source_; }
+  void set_source(std::string source) { source_ = std::move(source); }
   [[nodiscard]] std::size_t num_params() const noexcept {
     return param_names_.size();
   }
@@ -77,8 +79,13 @@ class Dataset {
   [[nodiscard]] std::vector<double> target_vector() const;
 
   /// CSV round-trip. Columns: config_index, <param...>, time_ms, status.
+  /// Parse failures throw std::invalid_argument pinpointing the source:
+  /// "<source>:<line>: <reason>" with the offending cell and column name
+  /// (`source_name` defaults to "<memory>"; load_csv passes the path).
   [[nodiscard]] std::string to_csv() const;
-  [[nodiscard]] static Dataset from_csv(const std::string& csv_text);
+  [[nodiscard]] static Dataset from_csv(const std::string& csv_text,
+                                        const std::string& source_name =
+                                            "<memory>");
   void save_csv(const std::string& path) const;
   [[nodiscard]] static Dataset load_csv(const std::string& path);
 

@@ -2,12 +2,22 @@
 // (§V): exhaustive search for Pnpoly/Nbody/GEMM/Convolution, 10 000 random
 // configurations for Hotspot/Dedisp/Expdist.
 //
-// Ownership / thread-safety: stateless static builders returning Dataset
-// values. Sweeps parallelize over the global common::ThreadPool; called
-// from inside a pool task (e.g. a service worker building a replay
-// workload) the parallel loops degrade to inline execution per the
-// pool's nesting rule — correct, just serial.
+// Two shapes: the run_* builders materialize a Dataset value; the
+// stream_* builders push rows through a RowSink in evaluation batches,
+// never holding more than one batch of measurements in memory — the
+// out-of-core path io::DatasetWriter plugs into (a sweep's footprint is
+// then one evaluation batch + one writer chunk, independent of the
+// space size).
+//
+// Ownership / thread-safety: stateless static builders. Sweeps
+// parallelize over the global common::ThreadPool; called from inside a
+// pool task (e.g. a service worker building a replay workload) the
+// parallel loops degrade to inline execution per the pool's nesting
+// rule — correct, just serial. The RowSink is invoked sequentially, in
+// deterministic row order, from the calling thread.
 #pragma once
+
+#include <functional>
 
 #include "core/benchmark.hpp"
 #include "core/dataset.hpp"
@@ -16,6 +26,14 @@ namespace bat::core {
 
 class Runner {
  public:
+  /// Receives one evaluated row at a time, in deterministic order.
+  using RowSink =
+      std::function<void(ConfigIndex, const Config&, const Measurement&)>;
+
+  /// Rows per evaluation batch for the stream_* builders: each batch
+  /// fans out over the thread pool, then drains into the sink.
+  static constexpr std::size_t kStreamBatchRows = 4096;
+
   /// Evaluates every constraint-valid configuration on `device`.
   [[nodiscard]] static Dataset run_exhaustive(const Benchmark& benchmark,
                                               DeviceIndex device);
@@ -37,10 +55,35 @@ class Runner {
                                            std::uint64_t exhaustive_limit =
                                                100'000);
 
+  /// Streaming forms of the builders above: identical rows in identical
+  /// order, but pushed through `sink` batch by batch with bounded
+  /// memory. stream_exhaustive never materializes the valid-index list
+  /// for streamed (non-enumerable) spaces — it walks the full product
+  /// in blocks and filters through the compiled constraint plan.
+  /// All three return the number of rows emitted.
+  static std::size_t stream_exhaustive(const Benchmark& benchmark,
+                                       DeviceIndex device, const RowSink& sink,
+                                       std::size_t batch_rows =
+                                           kStreamBatchRows);
+  static std::size_t stream_sampled(const Benchmark& benchmark,
+                                    DeviceIndex device, std::size_t samples,
+                                    std::uint64_t seed, const RowSink& sink,
+                                    std::size_t batch_rows = kStreamBatchRows);
+  static std::size_t stream_default(const Benchmark& benchmark,
+                                    DeviceIndex device, const RowSink& sink,
+                                    std::uint64_t seed = 0xBA7BA7ULL,
+                                    std::size_t samples = 10'000,
+                                    std::uint64_t exhaustive_limit = 100'000,
+                                    std::size_t batch_rows = kStreamBatchRows);
+
  private:
   [[nodiscard]] static Dataset evaluate_indices(
       const Benchmark& benchmark, DeviceIndex device,
       const std::vector<ConfigIndex>& indices);
+  static std::size_t stream_batch(const Benchmark& benchmark,
+                                  DeviceIndex device,
+                                  const std::vector<ConfigIndex>& indices,
+                                  const RowSink& sink);
 };
 
 }  // namespace bat::core

@@ -1,0 +1,177 @@
+#include "io/binary_format.hpp"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace bat::io {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void put_string(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked little-endian reads over the header region.
+class Cursor {
+ public:
+  Cursor(const char* data, std::size_t size, const std::string& source)
+      : data_(data), size_(size), source_(&source) {}
+
+  std::uint32_t u32() {
+    std::uint32_t v;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (n > size_ - pos_) fail("truncated string");
+    std::string s(data_ + pos_, n);
+    pos_ += n;
+    return s;
+  }
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument(*source_ +
+                                ": malformed BAT binary dataset header (" +
+                                what + ")");
+  }
+
+ private:
+  void take(void* out, std::size_t n) {
+    if (n > size_ - pos_) fail("truncated header");
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  const std::string* source_;
+};
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const auto table = make_crc_table();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string FileHeader::encode() {
+  std::string out(kDatasetMagic, sizeof kDatasetMagic);
+  put_u32(out, 0);  // header_bytes backpatched below
+  put_u32(out, kFormatVersion);
+  put_u32(out, num_params);
+  put_u32(out, chunk_rows);
+  put_u64(out, 0);  // reserved
+  put_string(out, benchmark);
+  put_string(out, device);
+  for (const auto& name : param_names) put_string(out, name);
+  out.resize(align8(out.size()), '\0');
+  header_bytes = static_cast<std::uint32_t>(out.size());
+  std::memcpy(out.data() + sizeof kDatasetMagic, &header_bytes,
+              sizeof header_bytes);
+  return out;
+}
+
+FileHeader FileHeader::decode(const char* data, std::size_t size,
+                              const std::string& source) {
+  Cursor cursor(data, size, source);
+  if (size < sizeof kDatasetMagic ||
+      std::memcmp(data, kDatasetMagic, sizeof kDatasetMagic) != 0) {
+    cursor.fail("bad magic - not a BAT binary dataset");
+  }
+  Cursor body(data + sizeof kDatasetMagic, size - sizeof kDatasetMagic,
+              source);
+  FileHeader header;
+  header.header_bytes = body.u32();
+  const std::uint32_t version = body.u32();
+  if (version != kFormatVersion) {
+    body.fail("unsupported format version " + std::to_string(version) +
+              " (this build reads version " + std::to_string(kFormatVersion) +
+              ")");
+  }
+  header.num_params = body.u32();
+  header.chunk_rows = body.u32();
+  (void)body.u64();  // reserved
+  if (header.num_params == 0) body.fail("zero parameters");
+  if (header.chunk_rows == 0) body.fail("zero chunk capacity");
+  if (header.header_bytes > size || header.header_bytes % 8 != 0 ||
+      header.header_bytes < sizeof kDatasetMagic) {
+    body.fail("implausible header size");
+  }
+  header.benchmark = body.str();
+  header.device = body.str();
+  header.param_names.reserve(header.num_params);
+  for (std::uint32_t p = 0; p < header.num_params; ++p) {
+    header.param_names.push_back(body.str());
+  }
+  if (sizeof kDatasetMagic + body.pos() > header.header_bytes) {
+    body.fail("string table overruns declared header size");
+  }
+  return header;
+}
+
+std::string FileFooter::encode() const {
+  std::string out;
+  out.reserve(kFooterBytes);
+  put_u64(out, num_rows);
+  put_u64(out, full_rows);
+  put_u32(out, crc_full);
+  put_u32(out, crc_all);
+  put_u64(out, 0);  // reserved
+  out.append(kFooterMagic, sizeof kFooterMagic);
+  return out;
+}
+
+FileFooter FileFooter::decode(const char* data, const std::string& source) {
+  if (std::memcmp(data + kFooterBytes - sizeof kFooterMagic, kFooterMagic,
+                  sizeof kFooterMagic) != 0) {
+    throw std::invalid_argument(
+        source +
+        ": missing BAT dataset footer (file truncated or the writer was "
+        "never finalized; only finalized archives can be opened or "
+        "resumed)");
+  }
+  Cursor body(data, kFooterBytes, source);
+  FileFooter footer;
+  footer.num_rows = body.u64();
+  footer.full_rows = body.u64();
+  footer.crc_full = body.u32();
+  footer.crc_all = body.u32();
+  return footer;
+}
+
+}  // namespace bat::io

@@ -1,0 +1,107 @@
+// On-disk layout of the BAT columnar binary dataset format ("BATDSB01").
+//
+// A file is  [header][chunk 0][chunk 1]...[chunk k][footer] :
+//
+//   * header — magic, version, parameter count, chunk capacity and a
+//     string table (benchmark, device, parameter names), zero-padded to
+//     an 8-byte boundary so every column in the payload is naturally
+//     aligned for mmap access;
+//   * chunks — each chunk holds up to `chunk_rows` rows in columnar
+//     form: config_index (u64), one contiguous i64 column per
+//     parameter, time_ms (f64, IEEE-754 bits preserved), status (u8,
+//     zero-padded to 8 bytes). Every chunk except the last is full, so
+//     row -> (chunk, offset) is one divmod and O(1) random access needs
+//     no directory;
+//   * footer — row count, CRC-32s and a trailing magic. The footer is
+//     what makes streaming writes resumable: `crc_full` covers the
+//     header plus all *full* chunks, so a writer can truncate a partial
+//     tail chunk, restore its running CRC from the footer and keep
+//     appending (io::DatasetWriter::resume).
+//
+// All integers are little-endian; the implementation requires a
+// little-endian host (statically asserted) — see docs/dataset-format.md
+// for the normative byte-level description and versioning rules.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bat::io {
+
+static_assert(std::endian::native == std::endian::little,
+              "BAT binary datasets are little-endian on disk and read "
+              "zero-copy; big-endian hosts need byte-swapping accessors");
+
+inline constexpr char kDatasetMagic[8] = {'B', 'A', 'T', 'D',
+                                          'S', 'B', '0', '1'};
+inline constexpr char kFooterMagic[8] = {'B', 'A', 'T', 'D',
+                                         'S', 'E', 'N', 'D'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kFooterBytes = 40;
+inline constexpr std::size_t kDefaultChunkRows = 16'384;
+
+/// CRC-32 (reflected polynomial 0xEDB88320, the zlib/PNG convention).
+/// Chainable: crc32(b, nb, crc32(a, na)) == crc32 of a||b.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+[[nodiscard]] constexpr std::size_t align8(std::size_t n) {
+  return (n + 7) & ~std::size_t{7};
+}
+
+/// Byte size of one chunk holding `rows` rows of `params` parameters:
+/// u64 indices + i64 value columns + f64 times + padded u8 statuses.
+[[nodiscard]] constexpr std::size_t chunk_bytes(std::size_t rows,
+                                                std::size_t params) {
+  return 8 * rows * (params + 2) + align8(rows);
+}
+
+/// Total payload bytes for `rows` rows split into chunks of
+/// `chunk_rows` (all full except a final partial one).
+[[nodiscard]] constexpr std::size_t payload_bytes(std::uint64_t rows,
+                                                  std::size_t params,
+                                                  std::size_t chunk_rows) {
+  const std::uint64_t full = rows / chunk_rows;
+  const std::size_t tail = static_cast<std::size_t>(rows % chunk_rows);
+  return static_cast<std::size_t>(full) * chunk_bytes(chunk_rows, params) +
+         (tail != 0 ? chunk_bytes(tail, params) : 0);
+}
+
+/// Decoded file header. `header_bytes` is the offset of chunk 0.
+struct FileHeader {
+  std::uint32_t header_bytes = 0;
+  std::uint32_t num_params = 0;
+  std::uint32_t chunk_rows = 0;
+  std::string benchmark;
+  std::string device;
+  std::vector<std::string> param_names;
+
+  /// Serializes to the on-disk byte layout (sets header_bytes).
+  [[nodiscard]] std::string encode();
+  /// Parses and validates a header prefix; throws std::invalid_argument
+  /// naming `source` on any malformation (bad magic, version, sizes).
+  [[nodiscard]] static FileHeader decode(const char* data, std::size_t size,
+                                         const std::string& source);
+};
+
+/// Decoded 40-byte file footer.
+struct FileFooter {
+  std::uint64_t num_rows = 0;
+  /// Rows covered by crc_full — always a multiple of the chunk
+  /// capacity: the rows living in full (non-tail) chunks.
+  std::uint64_t full_rows = 0;
+  /// CRC-32 of header + all full chunks (the resume anchor).
+  std::uint32_t crc_full = 0;
+  /// CRC-32 of header + entire payload (integrity check).
+  std::uint32_t crc_all = 0;
+
+  [[nodiscard]] std::string encode() const;
+  /// Parses exactly kFooterBytes; throws std::invalid_argument naming
+  /// `source` on a bad trailing magic (truncated / unfinalized file).
+  [[nodiscard]] static FileFooter decode(const char* data,
+                                         const std::string& source);
+};
+
+}  // namespace bat::io

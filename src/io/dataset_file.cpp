@@ -1,0 +1,52 @@
+#include "io/dataset_file.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/string_util.hpp"
+#include "io/dataset_view.hpp"
+#include "io/dataset_writer.hpp"
+
+namespace bat::io {
+
+DatasetFormat sniff_format(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open dataset file: " + path);
+  char magic[sizeof kDatasetMagic] = {};
+  in.read(magic, sizeof magic);
+  if (in.gcount() == static_cast<std::streamsize>(sizeof magic) &&
+      std::memcmp(magic, kDatasetMagic, sizeof magic) == 0) {
+    return DatasetFormat::kBinary;
+  }
+  return DatasetFormat::kCsv;
+}
+
+DatasetFormat format_for_path(const std::string& path) {
+  const auto dot = path.rfind('.');
+  const std::string ext =
+      dot == std::string::npos ? "" : common::to_lower(path.substr(dot));
+  return (ext == ".bin" || ext == ".batds") ? DatasetFormat::kBinary
+                                            : DatasetFormat::kCsv;
+}
+
+core::Dataset load_dataset(const std::string& path) {
+  if (sniff_format(path) == DatasetFormat::kBinary) {
+    return DatasetView::open(path)->materialize();
+  }
+  return core::Dataset::load_csv(path);
+}
+
+void save_dataset(const std::string& path, const core::Dataset& dataset,
+                  DatasetFormat format, std::size_t chunk_rows) {
+  if (format == DatasetFormat::kCsv) {
+    dataset.save_csv(path);
+    return;
+  }
+  DatasetWriter writer(path, dataset.benchmark_name(), dataset.device_name(),
+                       dataset.param_names(),
+                       DatasetWriter::Options{chunk_rows});
+  writer.append(dataset);
+  writer.finalize();
+}
+
+}  // namespace bat::io

@@ -1,0 +1,36 @@
+// Format-agnostic dataset file I/O: the one place the rest of the tree
+// goes through to read or write a dataset path. Everything above io/
+// (tools, bench, examples, service) is format-blind — CSV stays the
+// interchange format, the binary columnar format the performance one,
+// and these helpers convert transparently in both directions.
+#pragma once
+
+#include <string>
+
+#include "core/dataset.hpp"
+#include "io/binary_format.hpp"
+
+namespace bat::io {
+
+enum class DatasetFormat { kCsv, kBinary };
+
+/// Format by content: reads the first bytes of `path` and checks the
+/// binary magic; anything else is treated as CSV. Throws
+/// std::runtime_error when the file cannot be read.
+[[nodiscard]] DatasetFormat sniff_format(const std::string& path);
+
+/// Format by extension, for choosing an *output* format: ".bin" /
+/// ".batds" mean binary, everything else CSV.
+[[nodiscard]] DatasetFormat format_for_path(const std::string& path);
+
+/// Loads a dataset from either format (sniffed, not guessed from the
+/// name); the result's source() is the path.
+[[nodiscard]] core::Dataset load_dataset(const std::string& path);
+
+/// Writes `dataset` to `path` in `format` (binary goes through
+/// DatasetWriter with `chunk_rows`).
+void save_dataset(const std::string& path, const core::Dataset& dataset,
+                  DatasetFormat format,
+                  std::size_t chunk_rows = kDefaultChunkRows);
+
+}  // namespace bat::io

@@ -1,0 +1,156 @@
+#include "io/dataset_repository.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#else
+namespace {
+int getpid() { return 0; }  // serial suffix alone disambiguates in-process
+}  // namespace
+#endif
+
+#include "common/log.hpp"
+#include "core/runner.hpp"
+#include "io/dataset_file.hpp"
+#include "io/dataset_writer.hpp"
+
+namespace bat::io {
+
+DatasetRepository::DatasetRepository(Options options)
+    : options_(std::move(options)) {}
+
+DatasetRepository& DatasetRepository::global() {
+  static DatasetRepository repository = [] {
+    Options options;
+    if (const char* dir = std::getenv("BAT_DATASET_DIR")) {
+      options.cache_dir = dir;
+    }
+    return DatasetRepository(options);
+  }();
+  return repository;
+}
+
+std::string DatasetRepository::archive_path(const Key& key,
+                                            const char* extension) const {
+  return options_.cache_dir + "/" + key.first + "_" + key.second + extension;
+}
+
+std::shared_ptr<const core::Dataset> DatasetRepository::find_locked(
+    const Key& key, std::unique_lock<std::mutex>& lock) {
+  const auto it = datasets_.find(key);
+  if (it != datasets_.end()) return it->second;
+  if (options_.cache_dir.empty()) return nullptr;
+
+  // Disk probes and parsing run unlocked; first insert wins. A
+  // malformed archive (e.g. a sweep killed before finalize under an
+  // old layout, or plain corruption) must degrade to the next source,
+  // not poison the cache dir: warn and fall through.
+  lock.unlock();
+  std::shared_ptr<const core::Dataset> loaded;
+  for (const char* ext : {".bin", ".csv"}) {
+    const auto path = archive_path(key, ext);
+    if (!std::filesystem::exists(path)) continue;
+    try {
+      loaded = std::make_shared<const core::Dataset>(load_dataset(path));
+    } catch (const std::exception& e) {
+      common::log_warn("dataset repository: ignoring unreadable archive ",
+                       path, " (", e.what(), ")");
+      continue;
+    }
+    common::log_debug("dataset repository: ", key.first, "@", key.second,
+                      " resolved from ", path);
+    break;
+  }
+  lock.lock();
+  if (!loaded) return nullptr;
+  return datasets_.emplace(key, std::move(loaded)).first->second;
+}
+
+std::shared_ptr<const core::Dataset> DatasetRepository::find(
+    const std::string& benchmark, const std::string& device) {
+  std::unique_lock lock(mutex_);
+  return find_locked(Key{benchmark, device}, lock);
+}
+
+std::shared_ptr<const core::Dataset> DatasetRepository::get(
+    const core::Benchmark& bench, core::DeviceIndex device,
+    std::size_t samples) {
+  const Key key{bench.name(), bench.device_name(device)};
+  {
+    std::unique_lock lock(mutex_);
+    if (auto found = find_locked(key, lock)) return found;
+  }
+
+  // Sweep outside the lock (slow); persist, then publish first-wins.
+  const std::size_t n = samples != 0 ? samples : options_.samples;
+  auto swept = std::make_shared<core::Dataset>(core::Runner::run_default(
+      bench, device, options_.seed, n, options_.exhaustive_limit));
+  if (!options_.cache_dir.empty() && options_.persist_computed) {
+    const auto path = archive_path(key, ".bin");
+    try {
+      std::filesystem::create_directories(options_.cache_dir);
+      // Write-then-rename so a killed process never leaves a partial
+      // archive under the final name, and concurrent sweeps of the
+      // same key (both deterministic, so either result is right)
+      // don't interleave writes into one file.
+      static std::atomic<unsigned> temp_serial{0};
+      const auto temp = path + ".tmp" +
+                        std::to_string(temp_serial.fetch_add(1)) + "-" +
+                        std::to_string(::getpid());
+      save_dataset(temp, *swept, DatasetFormat::kBinary,
+                   options_.writer_chunk_rows);
+      std::filesystem::rename(temp, path);
+      swept->set_source(path);
+      common::log_info("dataset repository: persisted ", key.first, "@",
+                       key.second, " to ", path, " (", swept->size(),
+                       " rows)");
+    } catch (const std::exception& e) {
+      common::log_warn("dataset repository: could not persist ", path, ": ",
+                       e.what());
+    }
+  }
+  std::unique_lock lock(mutex_);
+  return datasets_.emplace(key, std::move(swept)).first->second;
+}
+
+std::shared_ptr<const DatasetView> DatasetRepository::view(
+    const std::string& benchmark, const std::string& device) {
+  const Key key{benchmark, device};
+  std::unique_lock lock(mutex_);
+  if (datasets_.count(key) != 0) return nullptr;  // memory is authoritative
+  const auto it = views_.find(key);
+  if (it != views_.end()) return it->second;
+  if (options_.cache_dir.empty()) return nullptr;
+  const auto path = archive_path(key, ".bin");
+  lock.unlock();
+  if (!std::filesystem::exists(path)) return nullptr;
+  auto view = DatasetView::open(path);
+  lock.lock();
+  return views_.emplace(key, std::move(view)).first->second;
+}
+
+void DatasetRepository::put(const std::string& benchmark,
+                            const std::string& device, core::Dataset dataset) {
+  auto shared = std::make_shared<const core::Dataset>(std::move(dataset));
+  std::lock_guard lock(mutex_);
+  datasets_.insert_or_assign(Key{benchmark, device}, std::move(shared));
+}
+
+std::shared_ptr<const core::Dataset> DatasetRepository::load_file(
+    const std::string& path) {
+  auto loaded = std::make_shared<const core::Dataset>(load_dataset(path));
+  const Key key{loaded->benchmark_name(), loaded->device_name()};
+  std::lock_guard lock(mutex_);
+  return datasets_.insert_or_assign(key, std::move(loaded)).first->second;
+}
+
+void DatasetRepository::clear() {
+  std::lock_guard lock(mutex_);
+  datasets_.clear();
+  views_.clear();
+}
+
+}  // namespace bat::io

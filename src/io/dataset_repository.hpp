@@ -1,0 +1,104 @@
+// DatasetRepository: one place every layer resolves (benchmark, device)
+// datasets through — one parse/sweep per key, shared everywhere.
+//
+// Resolution order for get():
+//   1. in-memory entries (registered via put() or previously resolved);
+//   2. the disk cache directory: <benchmark>_<device>.bin, then .csv;
+//   3. a Runner sweep under the paper's §V policy (exhaustive for small
+//      spaces, sampled otherwise), persisted back to the cache dir as a
+//      binary archive when one is configured.
+//
+// find() stops after (2) — callers with their own sweep policy (the
+// TuningService refuses to sweep non-enumerable spaces for replay) use
+// it to decide before paying for (3). view() exposes the zero-copy
+// mmap path to a key's binary archive for consumers that do not want a
+// materialized Dataset at all (io::MmapReplayBackend).
+//
+// Ownership / thread-safety: all methods are thread-safe (one mutex;
+// sweeps run outside it, first insert wins — backends are
+// deterministic, so a duplicate sweep is wasted work, never a wrong
+// answer). Returned shared_ptrs stay valid independently of the
+// repository's lifetime.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/benchmark.hpp"
+#include "core/dataset.hpp"
+#include "io/dataset_view.hpp"
+
+namespace bat::io {
+
+struct RepositoryOptions {
+  /// Directory scanned for <benchmark>_<device>.{bin,csv} archives
+  /// and receiving persisted sweeps; "" disables disk entirely.
+  std::string cache_dir;
+  /// Persist computed sweeps to cache_dir as binary archives.
+  bool persist_computed = true;
+  /// Paper §V sweep policy used when a dataset must be computed.
+  std::uint64_t seed = 0xBA7BA7ULL;
+  std::size_t samples = 10'000;
+  std::uint64_t exhaustive_limit = 100'000;
+  std::size_t writer_chunk_rows = kDefaultChunkRows;
+};
+
+class DatasetRepository {
+ public:
+  using Options = RepositoryOptions;
+
+  explicit DatasetRepository(Options options = {});
+
+  /// Process-wide repository: cache_dir comes from the BAT_DATASET_DIR
+  /// environment variable (unset/empty = memory-only). The figure
+  /// harnesses resolve through this instance.
+  [[nodiscard]] static DatasetRepository& global();
+
+  /// Memory or disk only — never computes. nullptr when absent.
+  [[nodiscard]] std::shared_ptr<const core::Dataset> find(
+      const std::string& benchmark, const std::string& device);
+
+  /// find(), falling back to a Runner sweep of `bench` on `device`
+  /// under this repository's policy (`samples` overrides the
+  /// configured sample count when nonzero).
+  [[nodiscard]] std::shared_ptr<const core::Dataset> get(
+      const core::Benchmark& bench, core::DeviceIndex device,
+      std::size_t samples = 0);
+
+  /// The mmap view of the key's binary archive, or nullptr when the
+  /// key is served from memory (registered datasets are authoritative)
+  /// or no .bin archive exists. Views are opened once and shared.
+  [[nodiscard]] std::shared_ptr<const DatasetView> view(
+      const std::string& benchmark, const std::string& device);
+
+  /// Registers an in-memory dataset for (benchmark, device),
+  /// overriding disk and future sweeps for that key.
+  void put(const std::string& benchmark, const std::string& device,
+           core::Dataset dataset);
+
+  /// Loads `path` (either format) and registers it under its own
+  /// (benchmark, device) identity; returns the shared entry.
+  std::shared_ptr<const core::Dataset> load_file(const std::string& path);
+
+  /// Drops every cached entry/view (disk archives are untouched).
+  void clear();
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  using Key = std::pair<std::string, std::string>;
+
+  [[nodiscard]] std::string archive_path(const Key& key,
+                                         const char* extension) const;
+  [[nodiscard]] std::shared_ptr<const core::Dataset> find_locked(
+      const Key& key, std::unique_lock<std::mutex>& lock);
+
+  Options options_;
+  std::mutex mutex_;
+  std::map<Key, std::shared_ptr<const core::Dataset>> datasets_;
+  std::map<Key, std::shared_ptr<const DatasetView>> views_;
+};
+
+}  // namespace bat::io

@@ -1,0 +1,233 @@
+#include "io/dataset_writer.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace bat::io {
+
+namespace {
+
+[[noreturn]] void fail_io(const std::string& path, const std::string& what) {
+  throw std::runtime_error("BAT dataset writer: " + what + ": " + path);
+}
+
+}  // namespace
+
+DatasetWriter::DatasetWriter(std::string path, std::string benchmark,
+                             std::string device,
+                             std::vector<std::string> param_names,
+                             Options options)
+    : path_(std::move(path)),
+      chunk_rows_(std::max<std::size_t>(1, options.chunk_rows)),
+      num_params_(param_names.size()) {
+  BAT_EXPECTS(!param_names.empty());
+  FileHeader header;
+  header.num_params = static_cast<std::uint32_t>(num_params_);
+  header.chunk_rows = static_cast<std::uint32_t>(chunk_rows_);
+  header.benchmark = std::move(benchmark);
+  header.device = std::move(device);
+  header.param_names = std::move(param_names);
+  const std::string bytes = header.encode();
+
+  out_.open(path_, std::ios::binary | std::ios::in | std::ios::out |
+                       std::ios::trunc);
+  if (!out_) fail_io(path_, "cannot open for writing");
+  write_bytes(bytes.data(), bytes.size());
+
+  buf_indices_.reserve(chunk_rows_);
+  buf_values_.resize(num_params_);
+  for (auto& column : buf_values_) column.reserve(chunk_rows_);
+  buf_times_.reserve(chunk_rows_);
+  buf_statuses_.reserve(chunk_rows_);
+}
+
+DatasetWriter DatasetWriter::resume(const std::string& path) {
+  DatasetWriter writer;
+  writer.path_ = path;
+
+  // Validate header + footer and load the partial tail chunk.
+  std::string head;
+  FileFooter footer;
+  std::uint64_t file_size = 0;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) fail_io(path, "cannot open for resume");
+    file_size = static_cast<std::uint64_t>(in.tellg());
+    if (file_size < 16 + kFooterBytes) {
+      throw std::invalid_argument(path + ": too small to be a BAT dataset");
+    }
+    std::uint32_t header_bytes = 0;
+    in.seekg(8);  // header_bytes sits right after the 8-byte magic
+    in.read(reinterpret_cast<char*>(&header_bytes), sizeof header_bytes);
+    if (!in || header_bytes == 0 ||
+        header_bytes > file_size - kFooterBytes) {
+      throw std::invalid_argument(path + ": implausible header size");
+    }
+    head.resize(header_bytes);
+    in.seekg(0);
+    in.read(head.data(), static_cast<std::streamsize>(head.size()));
+    if (!in) fail_io(path, "short read of header");
+
+    std::string tail(kFooterBytes, '\0');
+    in.seekg(static_cast<std::streamoff>(file_size - kFooterBytes));
+    in.read(tail.data(), static_cast<std::streamsize>(tail.size()));
+    if (!in) fail_io(path, "short read of footer");
+    footer = FileFooter::decode(tail.data(), path);
+  }
+  const FileHeader header = FileHeader::decode(head.data(), head.size(), path);
+  writer.chunk_rows_ = header.chunk_rows;
+  writer.num_params_ = header.num_params;
+
+  const std::size_t P = header.num_params;
+  const std::size_t C = header.chunk_rows;
+  if (footer.full_rows % C != 0 || footer.full_rows > footer.num_rows ||
+      footer.num_rows - footer.full_rows >= C ||
+      file_size != header.header_bytes +
+                       payload_bytes(footer.num_rows, P, C) + kFooterBytes) {
+    throw std::invalid_argument(path +
+                                ": footer geometry disagrees with file size");
+  }
+
+  // Reload the partial tail chunk into the buffer; verify it against
+  // the footer CRC chain (crc_all == crc32(tail, crc_full)).
+  const std::size_t tail_rows =
+      static_cast<std::size_t>(footer.num_rows - footer.full_rows);
+  const std::uint64_t payload_end_of_full =
+      header.header_bytes +
+      (footer.full_rows / C) * chunk_bytes(C, P);
+  writer.buf_values_.resize(P);
+  if (tail_rows != 0) {
+    std::string chunk(chunk_bytes(tail_rows, P), '\0');
+    std::ifstream in(path, std::ios::binary);
+    in.seekg(static_cast<std::streamoff>(payload_end_of_full));
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    if (!in) fail_io(path, "short read of tail chunk");
+    if (crc32(chunk.data(), chunk.size(), footer.crc_full) !=
+        footer.crc_all) {
+      throw std::invalid_argument(
+          path + ": tail chunk fails its CRC - archive is corrupt");
+    }
+    const char* p = chunk.data();
+    const auto column = [&](void* dst, std::size_t bytes) {
+      std::memcpy(dst, p, bytes);
+      p += bytes;
+    };
+    writer.buf_indices_.resize(tail_rows);
+    column(writer.buf_indices_.data(), 8 * tail_rows);
+    for (std::size_t c = 0; c < P; ++c) {
+      writer.buf_values_[c].resize(tail_rows);
+      column(writer.buf_values_[c].data(), 8 * tail_rows);
+    }
+    writer.buf_times_.resize(tail_rows);
+    column(writer.buf_times_.data(), 8 * tail_rows);
+    writer.buf_statuses_.resize(tail_rows);
+    column(writer.buf_statuses_.data(), tail_rows);
+  }
+
+  // Truncate footer + tail chunk; appends regrow them.
+  std::filesystem::resize_file(path, payload_end_of_full);
+  writer.out_.open(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!writer.out_) fail_io(path, "cannot reopen for appending");
+  writer.out_.seekp(static_cast<std::streamoff>(payload_end_of_full));
+
+  writer.crc_running_ = footer.crc_full;
+  writer.flushed_rows_ = footer.full_rows;
+  writer.total_rows_ = footer.num_rows;
+  writer.peak_buffered_ = tail_rows;
+  return writer;
+}
+
+DatasetWriter::~DatasetWriter() {
+  try {
+    if (out_.is_open()) finalize();
+  } catch (...) {
+    // Destructor best-effort only; call finalize() to observe errors.
+  }
+}
+
+void DatasetWriter::write_bytes(const void* data, std::size_t size) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(size));
+  if (!out_) fail_io(path_, "write failed");
+  crc_running_ = crc32(data, size, crc_running_);
+}
+
+void DatasetWriter::append(core::ConfigIndex index, const core::Config& config,
+                           const core::Measurement& m) {
+  if (finalized_) {
+    throw std::logic_error("DatasetWriter: append after finalize: " + path_);
+  }
+  BAT_EXPECTS(config.size() == num_params_);
+  buf_indices_.push_back(index);
+  for (std::size_t p = 0; p < num_params_; ++p) {
+    buf_values_[p].push_back(config[p]);
+  }
+  buf_times_.push_back(m.time_ms);
+  buf_statuses_.push_back(static_cast<std::uint8_t>(m.status));
+  peak_buffered_ = std::max(peak_buffered_, buf_times_.size());
+  ++total_rows_;
+  if (buf_times_.size() == chunk_rows_) flush_chunk();
+}
+
+void DatasetWriter::append(const core::Dataset& dataset) {
+  BAT_EXPECTS(dataset.num_params() == num_params_);
+  for (std::size_t r = 0; r < dataset.size(); ++r) {
+    if (finalized_) {
+      throw std::logic_error("DatasetWriter: append after finalize: " + path_);
+    }
+    buf_indices_.push_back(dataset.config_index(r));
+    for (std::size_t p = 0; p < num_params_; ++p) {
+      buf_values_[p].push_back(dataset.param_value(r, p));
+    }
+    buf_times_.push_back(dataset.time_ms(r));
+    buf_statuses_.push_back(static_cast<std::uint8_t>(dataset.status(r)));
+    peak_buffered_ = std::max(peak_buffered_, buf_times_.size());
+    ++total_rows_;
+    if (buf_times_.size() == chunk_rows_) flush_chunk();
+  }
+}
+
+core::Runner::RowSink DatasetWriter::sink() {
+  return [this](core::ConfigIndex index, const core::Config& config,
+                const core::Measurement& m) { append(index, config, m); };
+}
+
+void DatasetWriter::flush_chunk() {
+  const std::size_t rows = buf_times_.size();
+  if (rows == 0) return;
+  write_bytes(buf_indices_.data(), 8 * rows);
+  for (const auto& column : buf_values_) {
+    write_bytes(column.data(), 8 * rows);
+  }
+  write_bytes(buf_times_.data(), 8 * rows);
+  buf_statuses_.resize(align8(rows), 0);  // zero padding travels to disk
+  write_bytes(buf_statuses_.data(), align8(rows));
+  if (rows == chunk_rows_) flushed_rows_ += rows;
+  buf_indices_.clear();
+  for (auto& column : buf_values_) column.clear();
+  buf_times_.clear();
+  buf_statuses_.clear();
+}
+
+void DatasetWriter::finalize() {
+  if (finalized_) return;
+  FileFooter footer;
+  footer.full_rows = flushed_rows_;
+  footer.crc_full = crc_running_;
+  flush_chunk();  // partial tail, if any
+  footer.num_rows = total_rows_;
+  footer.crc_all = crc_running_;
+  const std::string bytes = footer.encode();
+  // The footer is excluded from the CRC it carries; bypass write_bytes.
+  out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out_.flush();
+  if (!out_) fail_io(path_, "footer write failed");
+  out_.close();
+  finalized_ = true;
+}
+
+}  // namespace bat::io

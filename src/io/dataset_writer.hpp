@@ -1,0 +1,111 @@
+// DatasetWriter: streaming, bounded-memory writer of the binary
+// columnar dataset format (io/binary_format.hpp).
+//
+// Rows are buffered column-wise and flushed to disk as one chunk every
+// `chunk_rows` appends, so a sweep's resident footprint is one chunk —
+// independent of how many rows the sweep produces. This is the
+// out-of-core path: core::Runner::stream_* feeds a writer through
+// sink() and spaces far larger than RAM archive in O(chunk) memory.
+//
+// A finalized file carries a CRC-checked footer; resume() reopens such
+// a file, truncates the partial tail chunk back into the buffer,
+// restores the running CRC from the footer and keeps appending — an
+// interrupted multi-hour sweep continues from its last finalize
+// instead of restarting.
+//
+// Ownership / thread-safety: single-threaded; one writer owns its file
+// exclusively until finalize(). The destructor finalizes best-effort
+// (errors swallowed) — call finalize() explicitly to observe failures.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/runner.hpp"
+#include "io/binary_format.hpp"
+
+namespace bat::io {
+
+struct WriterOptions {
+  /// Rows buffered in memory before a chunk is flushed — the writer's
+  /// whole memory budget (peak_buffered_rows() never exceeds it).
+  std::size_t chunk_rows = kDefaultChunkRows;
+};
+
+class DatasetWriter {
+ public:
+  using Options = WriterOptions;
+
+  /// Creates/overwrites `path` and writes the header immediately.
+  DatasetWriter(std::string path, std::string benchmark, std::string device,
+                std::vector<std::string> param_names, Options options = {});
+
+  /// Reopens a finalized archive for appending: validates header and
+  /// footer, reloads the partial tail chunk into the buffer and
+  /// truncates it from disk (chunk geometry comes from the file, not
+  /// from Options). Throws std::invalid_argument on a malformed or
+  /// unfinalized file.
+  [[nodiscard]] static DatasetWriter resume(const std::string& path);
+
+  DatasetWriter(DatasetWriter&&) = default;
+  DatasetWriter(const DatasetWriter&) = delete;
+  DatasetWriter& operator=(const DatasetWriter&) = delete;
+
+  ~DatasetWriter();  // finalizes best-effort if still open
+
+  void append(core::ConfigIndex index, const core::Config& config,
+              const core::Measurement& m);
+  void append(const core::Dataset& dataset);
+
+  /// Adapter for core::Runner::stream_* — the sink appends every row
+  /// to this writer (which must outlive the returned callable).
+  [[nodiscard]] core::Runner::RowSink sink();
+
+  /// Flushes the tail chunk, writes the footer and closes the file.
+  /// Idempotent; append() after finalize() throws std::logic_error.
+  void finalize();
+
+  [[nodiscard]] std::uint64_t rows_written() const noexcept {
+    return total_rows_;
+  }
+  [[nodiscard]] std::size_t buffered_rows() const noexcept {
+    return buf_times_.size();
+  }
+  /// High-water mark of buffered rows — the bounded-memory guarantee
+  /// (asserted by tests/io_dataset_test.cpp's out-of-core sweep).
+  [[nodiscard]] std::size_t peak_buffered_rows() const noexcept {
+    return peak_buffered_;
+  }
+  [[nodiscard]] std::size_t chunk_rows() const noexcept {
+    return chunk_rows_;
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  DatasetWriter() = default;  // for resume()
+
+  void flush_chunk();  // writes buffered rows as one chunk, advances CRC
+  void write_bytes(const void* data, std::size_t size);
+
+  std::string path_;
+  std::fstream out_;
+  std::size_t chunk_rows_ = kDefaultChunkRows;
+  std::size_t num_params_ = 0;
+
+  // Columnar append buffers (one chunk's worth at most).
+  std::vector<std::uint64_t> buf_indices_;
+  std::vector<std::vector<std::int64_t>> buf_values_;  // per parameter
+  std::vector<double> buf_times_;
+  std::vector<std::uint8_t> buf_statuses_;
+
+  std::uint32_t crc_running_ = 0;   // header + every flushed chunk
+  std::uint64_t flushed_rows_ = 0;  // rows living in flushed full chunks
+  std::uint64_t total_rows_ = 0;
+  std::size_t peak_buffered_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace bat::io

@@ -1,0 +1,94 @@
+#include "io/replay_view.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace bat::io {
+
+MmapReplayBackend::MmapReplayBackend(const core::SearchSpace& space,
+                                     std::shared_ptr<const DatasetView> view)
+    : space_(&space),
+      compiled_(space.compiled_shared()),
+      view_(std::move(view)),
+      chunk_rows_(view_->chunk_capacity()),
+      name_("replay+mmap:" + view_->benchmark_name() + "@" +
+            view_->device_name()) {
+  columns_.reserve(view_->num_chunks());
+  for (std::size_t c = 0; c < view_->num_chunks(); ++c) {
+    columns_.push_back(ChunkColumns{view_->times_column(c).data(),
+                                    view_->status_column(c).data()});
+  }
+  if (compiled_->has_valid_set()) {
+    row_of_ordinal_.assign(static_cast<std::size_t>(compiled_->num_valid()),
+                           kNoRow);
+    ordinal_mode_ = true;
+    std::uint64_t row = 0;
+    for (std::size_t c = 0; c < view_->num_chunks() && ordinal_mode_; ++c) {
+      for (const auto index : view_->indices_column(c)) {
+        const auto ordinal = compiled_->rank(index);
+        if (!ordinal) {
+          // Same diagnosis as ReplayBackend: name the archive, and when
+          // its parameter schema disagrees with this space, say that a
+          // stale schema (not a foreign path) explains the miss.
+          common::log_warn(
+              name_, ": archive '", view_->source(), "' row ", row,
+              " (config index ", index,
+              ") is outside this search space's valid set - falling back "
+              "from O(1) valid-ordinal lookup to hashed lookup (is this "
+              "dataset from a different space or constraint set?)",
+              core::replay_schema_hint(space.params().param_names(),
+                                       view_->param_names()));
+          ordinal_mode_ = false;
+          row_of_ordinal_.clear();
+          break;
+        }
+        // First row wins on duplicates, matching ReplayBackend.
+        auto& slot = row_of_ordinal_[static_cast<std::size_t>(*ordinal)];
+        if (slot == kNoRow) slot = row;
+        ++row;
+      }
+    }
+    if (ordinal_mode_) return;
+  }
+  row_of_index_.reserve(view_->size());
+  std::uint64_t row = 0;
+  for (std::size_t c = 0; c < view_->num_chunks(); ++c) {
+    for (const auto index : view_->indices_column(c)) {
+      row_of_index_.emplace(index, row);  // first row wins
+      ++row;
+    }
+  }
+}
+
+std::uint64_t MmapReplayBackend::row_for(core::ConfigIndex index) const {
+  if (ordinal_mode_) {
+    const auto ordinal = compiled_->rank(index);
+    if (!ordinal) return kNoRow;
+    return row_of_ordinal_[static_cast<std::size_t>(*ordinal)];
+  }
+  const auto it = row_of_index_.find(index);
+  return it == row_of_index_.end() ? kNoRow : it->second;
+}
+
+bool MmapReplayBackend::contains(core::ConfigIndex index) const noexcept {
+  return row_for(index) != kNoRow;
+}
+
+std::vector<core::Measurement> MmapReplayBackend::evaluate_batch(
+    std::span<const core::ConfigIndex> indices) {
+  std::vector<core::Measurement> results;
+  results.reserve(indices.size());
+  for (const auto index : indices) {
+    const auto row = row_for(index);
+    if (row == kNoRow) {
+      throw std::out_of_range(name_ + ": config index " +
+                              std::to_string(index) +
+                              " is not covered by the archive");
+    }
+    results.push_back(measurement_at(row));
+  }
+  return results;
+}
+
+}  // namespace bat::io

@@ -1,0 +1,80 @@
+// MmapReplayBackend: core::ReplayBackend's zero-copy sibling.
+//
+// Where ReplayBackend copies every dataset row into an owned
+// vector<Measurement>, this backend keeps only a valid-ordinal -> row
+// mapping and serves each lookup straight from the mmap'ed columns of
+// a DatasetView — no per-row Measurement rebuild, no duplicate of the
+// archive in memory. Construction is one pass over the index column
+// (ranking rows); lookups are a rank probe plus two column loads.
+//
+// Semantics match ReplayBackend exactly: first-row-wins on duplicate
+// indices, hash fallback (with the foreign/stale-schema warning) when
+// any row falls outside the space's valid set, std::out_of_range on
+// uncovered lookups — tests/io_dataset_test.cpp holds the two backends
+// to identical answers.
+//
+// Ownership / thread-safety: shares the DatasetView and CompiledSpace
+// via shared_ptr (the borrowed SearchSpace must outlive the backend).
+// Stateless under evaluate_batch; safe to share across sessions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "io/dataset_view.hpp"
+
+namespace bat::io {
+
+class MmapReplayBackend final : public core::EvaluationBackend {
+ public:
+  /// `space` must be the search space the archive was swept from (and
+  /// must outlive this backend).
+  MmapReplayBackend(const core::SearchSpace& space,
+                    std::shared_ptr<const DatasetView> view);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const core::SearchSpace& space() const override {
+    return *space_;
+  }
+  [[nodiscard]] std::vector<core::Measurement> evaluate_batch(
+      std::span<const core::ConfigIndex> indices) override;
+
+  [[nodiscard]] bool contains(core::ConfigIndex index) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return view_->size(); }
+  [[nodiscard]] const DatasetView& view() const noexcept { return *view_; }
+
+ private:
+  static constexpr std::uint64_t kNoRow = ~std::uint64_t{0};
+
+  /// Raw per-chunk column pointers into the mapping, hoisted out of
+  /// DatasetView's checked accessors so a lookup is one divmod and two
+  /// loads (the pointers stay valid for the view's lifetime).
+  struct ChunkColumns {
+    const double* times;
+    const std::uint8_t* statuses;
+  };
+
+  /// Row serving `index`, or kNoRow when uncovered.
+  [[nodiscard]] std::uint64_t row_for(core::ConfigIndex index) const;
+  [[nodiscard]] core::Measurement measurement_at(std::uint64_t row) const {
+    const auto& chunk = columns_[static_cast<std::size_t>(row / chunk_rows_)];
+    const auto at = static_cast<std::size_t>(row % chunk_rows_);
+    return core::Measurement{
+        chunk.times[at], static_cast<core::MeasureStatus>(chunk.statuses[at])};
+  }
+
+  const core::SearchSpace* space_;
+  std::shared_ptr<const core::CompiledSpace> compiled_;
+  std::shared_ptr<const DatasetView> view_;
+  std::vector<ChunkColumns> columns_;
+  std::size_t chunk_rows_ = 1;
+  bool ordinal_mode_ = false;
+  std::vector<std::uint64_t> row_of_ordinal_;  // valid-ordinal -> row
+  std::unordered_map<core::ConfigIndex, std::uint64_t> row_of_index_;
+  std::string name_;
+};
+
+}  // namespace bat::io

@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "core/backend.hpp"
 #include "core/runner.hpp"
+#include "io/replay_view.hpp"
 #include "kernels/all_kernels.hpp"
 
 namespace bat::service {
@@ -15,10 +16,19 @@ namespace {
 /// sound (and affordable) on exhaustively enumerable spaces; matches
 /// bench::kExhaustiveLimit.
 constexpr std::uint64_t kReplaySweepLimit = 100'000;
+
+io::RepositoryOptions repository_options(const ServiceOptions& options) {
+  io::RepositoryOptions repo;
+  repo.cache_dir = options.dataset_dir;
+  repo.exhaustive_limit = kReplaySweepLimit;
+  return repo;
+}
 }  // namespace
 
 TuningService::TuningService(ServiceOptions options)
-    : options_(options), pool_(options.workers) {
+    : options_(options),
+      repo_(repository_options(options)),
+      pool_(options.workers) {
   // queue_capacity = 0 would make every submit() block forever on the
   // backlog predicate; treat it as "minimal backlog", not a deadlock.
   options_.queue_capacity = std::max<std::size_t>(1, options_.queue_capacity);
@@ -105,9 +115,11 @@ void TuningService::shutdown() {
 void TuningService::register_dataset(const std::string& kernel,
                                      core::DeviceIndex device,
                                      core::Dataset dataset) {
-  std::lock_guard lock(mutex_);
-  registered_datasets_.insert_or_assign(std::make_pair(kernel, device),
-                                        std::move(dataset));
+  // Repository keys are (benchmark, device *name*): resolve the index
+  // through the kernel registry so disk archives and registrations
+  // agree on the key.
+  const auto bench = kernels::make(kernel);
+  repo_.put(kernel, bench->device_name(device), std::move(dataset));
 }
 
 ShardedMeasurementCache::Stats TuningService::cache_stats() const {
@@ -214,30 +226,34 @@ void TuningService::build_workload(const SessionSpec& spec,
         std::to_string(workload->benchmark->device_count()) + ")");
   }
   if (spec.backend == "replay") {
-    bool registered = false;
-    {
-      std::lock_guard lock(mutex_);
-      const auto it = registered_datasets_.find(
-          std::make_pair(spec.kernel, spec.device));
-      if (it != registered_datasets_.end()) {
-        workload->dataset = it->second;
-        registered = true;
+    const std::string device_name =
+        workload->benchmark->device_name(spec.device);
+    // Zero-copy first: a binary archive in dataset_dir (and no
+    // registered in-memory dataset shadowing it) replays straight off
+    // the mmap'ed columns.
+    if (auto view = repo_.view(spec.kernel, device_name)) {
+      common::log_info("service: replaying ", spec.kernel, "@", device_name,
+                       " zero-copy from ", view->source());
+      workload->backend = std::make_unique<io::MmapReplayBackend>(
+          workload->benchmark->space(), view);
+      workload->view = std::move(view);
+    } else {
+      auto dataset = repo_.find(spec.kernel, device_name);
+      if (!dataset) {
+        if (workload->benchmark->space().cardinality() > kReplaySweepLimit) {
+          throw std::invalid_argument(
+              spec.kernel +
+              ": replay sessions need a registered dataset (space too large "
+              "to sweep exhaustively)");
+        }
+        common::log_info("service: sweeping ", spec.kernel, " device ",
+                         spec.device, " for the shared replay dataset");
+        dataset = repo_.get(*workload->benchmark, spec.device);
       }
+      workload->backend = std::make_unique<core::ReplayBackend>(
+          workload->benchmark->space(), *dataset);
+      workload->dataset = std::move(dataset);
     }
-    if (!registered) {
-      if (workload->benchmark->space().cardinality() > kReplaySweepLimit) {
-        throw std::invalid_argument(
-            spec.kernel +
-            ": replay sessions need a registered dataset (space too large "
-            "to sweep exhaustively)");
-      }
-      common::log_info("service: sweeping ", spec.kernel, " device ",
-                       spec.device, " for the shared replay dataset");
-      workload->dataset =
-          core::Runner::run_exhaustive(*workload->benchmark, spec.device);
-    }
-    workload->backend = std::make_unique<core::ReplayBackend>(
-        workload->benchmark->space(), workload->dataset);
   } else {
     workload->backend =
         std::make_unique<core::LiveBackend>(*workload->benchmark, spec.device);

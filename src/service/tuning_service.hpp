@@ -43,6 +43,8 @@
 
 #include "common/thread_pool.hpp"
 #include "core/dataset.hpp"
+#include "io/dataset_repository.hpp"
+#include "io/dataset_view.hpp"
 #include "service/session.hpp"
 #include "service/sharded_cache.hpp"
 
@@ -58,6 +60,11 @@ struct ServiceOptions {
   /// Route sessions through the shared per-workload cache. Off = every
   /// session evaluates everything itself (for A/B comparisons).
   bool share_cache = true;
+  /// Disk cache for replay datasets, handed to the service's
+  /// DatasetRepository: binary archives found there replay zero-copy
+  /// (mmap), and service-swept datasets persist back into it. "" keeps
+  /// the repository memory-only (the pre-io behavior).
+  std::string dataset_dir;
 };
 
 class TuningService {
@@ -95,10 +102,15 @@ class TuningService {
   void shutdown();
 
   /// Provides the dataset a "replay" session on (kernel, device) will
-  /// serve, instead of the service sweeping the space itself on first
-  /// use. Must be called before the first such session starts.
+  /// serve, instead of the service sweeping the space itself (or
+  /// resolving an archive from `dataset_dir`) on first use. Must be
+  /// called before the first such session starts. Registered datasets
+  /// are authoritative: they shadow on-disk archives for their key.
   void register_dataset(const std::string& kernel, core::DeviceIndex device,
                         core::Dataset dataset);
+
+  /// The repository replay workloads resolve their datasets through.
+  [[nodiscard]] io::DatasetRepository& datasets() noexcept { return repo_; }
 
   /// Cache counters aggregated over every workload built so far.
   /// stats().cross_session_hits() > 0 is the service's raison d'être.
@@ -110,9 +122,13 @@ class TuningService {
 
  private:
   /// Everything sessions on one (kernel, device, backend) triple share.
+  /// Replay workloads hold exactly one of dataset/view: an in-memory
+  /// (repository-resolved) dataset behind a ReplayBackend, or a mmap'ed
+  /// binary archive behind a zero-copy io::MmapReplayBackend.
   struct Workload {
     std::unique_ptr<core::Benchmark> benchmark;
-    core::Dataset dataset;  // backing rows for replay backends
+    std::shared_ptr<const core::Dataset> dataset;
+    std::shared_ptr<const io::DatasetView> view;
     std::unique_ptr<core::EvaluationBackend> backend;
     std::shared_ptr<ShardedMeasurementCache> cache;
   };
@@ -140,8 +156,7 @@ class TuningService {
   std::size_t outstanding_ = 0;  // submitted, not finished
   std::size_t submitted_ = 0;    // lifetime counter
   std::map<WorkloadKey, std::shared_ptr<WorkloadSlot>> workloads_;
-  std::map<std::pair<std::string, core::DeviceIndex>, core::Dataset>
-      registered_datasets_;
+  io::DatasetRepository repo_;
 
   std::atomic<bool> cancel_{false};
 

@@ -9,11 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "core/backend.hpp"
+#include "core/runner.hpp"
+#include "io/dataset_file.hpp"
 #include "kernels/all_kernels.hpp"
 #include "service/sharded_cache.hpp"
 #include "service/tuning_service.hpp"
@@ -171,6 +174,52 @@ TEST(TuningService, SessionTraceMatchesStandaloneRun) {
       EXPECT_DOUBLE_EQ(results[s].run.trace[i].objective,
                        solo.trace[i].objective);
     }
+  }
+}
+
+// A binary archive in dataset_dir serves replay sessions zero-copy
+// (io::MmapReplayBackend over the mmap'ed columns) — and the traces it
+// yields are identical to replaying the same rows from an in-memory
+// registered dataset: where measurements live must never change what
+// a session observes.
+TEST(TuningService, ZeroCopyReplayFromDatasetDirMatchesInMemory) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::path(::testing::TempDir()) / "svc_dataset_dir";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const auto bench = kernels::make("pnpoly");
+  auto dataset = core::Runner::run_exhaustive(*bench, 0);
+  io::save_dataset((dir / ("pnpoly_" + bench->device_name(0) + ".bin"))
+                       .string(),
+                   dataset, io::DatasetFormat::kBinary);
+
+  SessionSpec spec;
+  spec.kernel = "pnpoly";
+  spec.tuner = "genetic";
+  spec.budget = 120;
+  spec.seed = 9;
+  spec.backend = "replay";
+
+  ServiceOptions from_disk;
+  from_disk.dataset_dir = dir.string();
+  TuningService disk_svc(from_disk);
+  const auto disk_result = disk_svc.run_inline(spec);
+  ASSERT_EQ(disk_result.status, SessionStatus::kCompleted)
+      << disk_result.error;
+
+  TuningService memory_svc;
+  memory_svc.register_dataset("pnpoly", 0, std::move(dataset));
+  const auto memory_result = memory_svc.run_inline(spec);
+  ASSERT_EQ(memory_result.status, SessionStatus::kCompleted)
+      << memory_result.error;
+
+  ASSERT_EQ(disk_result.run.trace.size(), memory_result.run.trace.size());
+  for (std::size_t i = 0; i < disk_result.run.trace.size(); ++i) {
+    EXPECT_EQ(disk_result.run.trace[i].index,
+              memory_result.run.trace[i].index);
+    EXPECT_DOUBLE_EQ(disk_result.run.trace[i].objective,
+                     memory_result.run.trace[i].objective);
   }
 }
 

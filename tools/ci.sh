@@ -45,10 +45,11 @@ echo "=== ctest ==="
 # (cd instead of --test-dir: the latter needs CTest >= 3.20, we support 3.16)
 (cd "${BUILD_DIR}" && ctest --output-on-failure -j "${JOBS}")
 
-echo "=== ASan/UBSan build of evaluator + thread-pool + compiled-space tests ==="
+echo "=== ASan/UBSan build of evaluator + thread-pool + compiled-space + io tests ==="
 SAN_DIR="${BUILD_DIR}-asan"
 SAN_TESTS=(core_backend_test core_dataset_evaluator_test
-           common_thread_pool_test core_compiled_space_test)
+           common_thread_pool_test core_compiled_space_test
+           io_dataset_test)
 cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DBAT_SANITIZE=ON
 cmake --build "${SAN_DIR}" -j "${JOBS}" --target "${SAN_TESTS[@]}"
 for t in "${SAN_TESTS[@]}"; do
@@ -69,6 +70,23 @@ for t in "${TSAN_TESTS[@]}"; do
   "${TSAN_DIR}/${t}"
 done
 
+echo "=== io stage: dataset convert round-trip smoke ==="
+# csv -> binary -> csv through the release tune binary must be
+# bit-identical on a freshly swept archive (docs/dataset-format.md),
+# and the archive must pass its CRC.
+IO_TMP="$(mktemp -d)"
+trap 'rm -rf "${IO_TMP}"' EXIT
+"${BUILD_DIR}/tune" sweep --kernel pnpoly --exhaustive \
+    --out "${IO_TMP}/pnpoly.bin" --chunk 1024
+"${BUILD_DIR}/tune" info --dataset "${IO_TMP}/pnpoly.bin" --verify
+"${BUILD_DIR}/tune" convert --in "${IO_TMP}/pnpoly.bin" \
+    --out "${IO_TMP}/a.csv" --verify
+"${BUILD_DIR}/tune" convert --in "${IO_TMP}/a.csv" \
+    --out "${IO_TMP}/b.bin" --verify
+"${BUILD_DIR}/tune" convert --in "${IO_TMP}/b.bin" --out "${IO_TMP}/b.csv"
+cmp "${IO_TMP}/a.csv" "${IO_TMP}/b.csv"
+echo "csv -> binary -> csv round-trip is bit-identical"
+
 echo "=== bench smoke (sanitized, reduced sizes) ==="
 # table8 on the two smallest spaces with a light GBDT drives the whole
 # compiled pipeline (materialization, rank/select, counting) under ASan.
@@ -77,13 +95,33 @@ cmake --build "${SAN_DIR}" -j "${JOBS}" --target table8_search_spaces
 
 # micro_framework is only configured when google-benchmark is installed.
 # Probe the generator's target list so a *build failure* still fails CI
-# (only a genuinely absent target is skipped).
-if cmake --build "${SAN_DIR}" --target help 2>/dev/null \
+# (only a genuinely absent target is skipped). Capture the list before
+# grepping: `... | grep -q` exits on first match and can SIGPIPE cmake,
+# which pipefail then (flakily) reports as a probe failure.
+SAN_TARGETS="$(cmake --build "${SAN_DIR}" --target help 2>/dev/null || true)"
+if echo "${SAN_TARGETS}" \
     | grep -q '^\.\.\. micro_framework\|^micro_framework'; then
   cmake --build "${SAN_DIR}" -j "${JOBS}" --target micro_framework
   "${SAN_DIR}/micro_framework" \
       --benchmark_filter='Neighbors|FfgBuild|BatchEvaluateReplay' \
       --benchmark_min_time=0.05
+
+  echo "=== io perf data points (BENCH_io.json) ==="
+  # The persistence trajectory, from the *release* build: CSV parse vs
+  # mmap open, owned-table vs zero-copy replay lookups. The json lands
+  # next to the build dir so successive CI runs are comparable.
+  "${BUILD_DIR}/micro_framework" \
+      --benchmark_filter='Dataset|ReplayLookup' \
+      --benchmark_format=json --benchmark_min_time=0.1 > BENCH_io.json
+  python3 - <<'EOF' 2>/dev/null || true
+import json
+with open("BENCH_io.json") as f:
+    data = json.load(f)
+times = {b["name"]: b["real_time"] for b in data["benchmarks"]}
+csv, bin = times.get("BM_DatasetLoadCsv"), times.get("BM_DatasetOpenBinary")
+if csv and bin:
+    print(f"binary open+first-lookup is {csv / bin:.0f}x faster than CSV load")
+EOF
 else
   echo "google-benchmark not available - skipping micro_framework smoke"
 fi

@@ -25,7 +25,28 @@
 //
 //   tune spaces [--kernels gemm,hotspot,...]
 //       Search-space statistics per kernel (Table VIII's shape).
+//
+//   tune sweep  --kernel hotspot [--device 0] [--out path.bin]
+//               [--samples N] [--seed S] [--exhaustive] [--chunk N]
+//               [--batch N]
+//       Streams a Runner sweep straight into a binary columnar archive
+//       with bounded memory (one writer chunk of --chunk rows plus one
+//       evaluation batch of --batch rows) — the out-of-core path for
+//       spaces larger than RAM. Default policy is the paper's §V
+//       (exhaustive for small spaces, --samples random configs
+//       otherwise); --exhaustive forces a full sweep.
+//
+//   tune convert --in ds.csv --out ds.bin [--chunk N] [--verify]
+//       Converts between CSV and binary (direction from the output
+//       extension; input format sniffed). --verify reloads the output
+//       and compares every row.
+//
+//   tune info   --dataset path [--verify]
+//       Archive metadata: format, benchmark/device/params, rows, valid
+//       rows, best time, chunk geometry; --verify checks the CRC.
+#include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <stdexcept>
@@ -38,6 +59,9 @@
 #include "core/compiled_space.hpp"
 #include "core/dataset.hpp"
 #include "core/runner.hpp"
+#include "io/dataset_file.hpp"
+#include "io/dataset_view.hpp"
+#include "io/dataset_writer.hpp"
 #include "kernels/all_kernels.hpp"
 #include "service/tuning_service.hpp"
 
@@ -163,7 +187,7 @@ int cmd_run(const Args& args) {
           "--dataset implies --backend replay; drop --backend " +
           args.get("backend", "") + " or pass replay");
     }
-    dataset = core::Dataset::load_csv(args.get("dataset", ""));
+    dataset = io::load_dataset(args.get("dataset", ""));
   }
 
   service::SessionSpec spec;
@@ -216,7 +240,7 @@ int cmd_run(const Args& args) {
 int cmd_grid(const Args& args) {
   args.require_known({"kernels", "tuners", "sessions", "budget", "seed",
                       "device", "backend", "workers", "shards",
-                      "no-shared-cache"});
+                      "no-shared-cache", "dataset-dir"});
   const auto kernel_names =
       common::split(args.get("kernels", "gemm,hotspot"), ',');
   const auto tuner_names =
@@ -232,6 +256,10 @@ int cmd_grid(const Args& args) {
   options.workers = args.get_size("workers", 0);
   options.cache_shards = args.get_size("shards", 16);
   options.share_cache = !args.has("no-shared-cache");
+  // Replay sessions resolve <kernel>_<device>.{bin,csv} archives from
+  // this directory (binary ones zero-copy via mmap) and persist swept
+  // datasets back into it.
+  options.dataset_dir = args.get("dataset-dir", "");
   service::TuningService svc(options);
 
   // One device resolution per kernel, not per session.
@@ -283,10 +311,10 @@ int cmd_replay(const Args& args) {
   args.require_known(
       {"dataset", "kernel", "tuner", "device", "budget", "seed", "repeats"});
   if (!args.has("dataset")) {
-    std::fprintf(stderr, "tune replay requires --dataset <path.csv>\n");
+    std::fprintf(stderr, "tune replay requires --dataset <path.{csv,bin}>\n");
     return 2;
   }
-  auto dataset = core::Dataset::load_csv(args.get("dataset", ""));
+  auto dataset = io::load_dataset(args.get("dataset", ""));
   const std::string kernel = args.get("kernel", dataset.benchmark_name());
   const std::size_t repeats = args.get_size("repeats", 1);
   const std::uint64_t base_seed = args.get_size("seed", 42);
@@ -358,17 +386,170 @@ int cmd_spaces(const Args& args) {
   return 0;
 }
 
+int cmd_sweep(const Args& args) {
+  args.require_known({"kernel", "device", "out", "samples", "seed",
+                      "exhaustive", "chunk", "batch"});
+  const std::string kernel = args.get("kernel", "gemm");
+  const auto bench = kernels::make(kernel);
+  const auto device = resolve_device(*bench, args.get("device", "0"));
+  const std::string device_name = bench->device_name(device);
+  const std::string out =
+      args.get("out", kernel + "_" + device_name + ".bin");
+  const std::size_t batch =
+      args.get_size("batch", core::Runner::kStreamBatchRows);
+
+  io::WriterOptions options;
+  options.chunk_rows = args.get_size("chunk", io::kDefaultChunkRows);
+  io::DatasetWriter writer(out, kernel, device_name,
+                           bench->space().params().param_names(), options);
+
+  // Bounded memory end to end: Runner streams evaluation batches, the
+  // writer flushes a chunk at a time — the sweep never holds the
+  // dataset.
+  std::size_t rows = 0;
+  if (args.has("exhaustive")) {
+    rows = core::Runner::stream_exhaustive(*bench, device, writer.sink(),
+                                           batch);
+  } else {
+    rows = core::Runner::stream_default(
+        *bench, device, writer.sink(), args.get_size("seed", 0xBA7BA7ULL),
+        args.get_size("samples", 10'000), 100'000, batch);
+  }
+  writer.finalize();
+
+  const auto bytes = std::filesystem::file_size(out);
+  std::printf("swept %s@%s: %zu rows -> %s (%.1f MiB, chunk=%zu rows, "
+              "peak buffered %zu rows)\n",
+              kernel.c_str(), device_name.c_str(), rows, out.c_str(),
+              static_cast<double>(bytes) / (1024.0 * 1024.0),
+              writer.chunk_rows(), writer.peak_buffered_rows());
+  return 0;
+}
+
+int cmd_convert(const Args& args) {
+  args.require_known({"in", "out", "chunk", "verify"});
+  if (!args.has("in") || !args.has("out")) {
+    std::fprintf(stderr, "tune convert requires --in and --out paths\n");
+    return 2;
+  }
+  const std::string in = args.get("in", "");
+  const std::string out = args.get("out", "");
+  const auto dataset = io::load_dataset(in);
+  const auto format = io::format_for_path(out);
+  io::save_dataset(out, dataset, format,
+                   args.get_size("chunk", io::kDefaultChunkRows));
+  std::printf("converted %s -> %s (%s, %zu rows)\n", in.c_str(), out.c_str(),
+              format == io::DatasetFormat::kBinary ? "binary" : "csv",
+              dataset.size());
+  if (args.has("verify")) {
+    const auto reloaded = io::load_dataset(out);
+    if (reloaded.size() != dataset.size() ||
+        reloaded.benchmark_name() != dataset.benchmark_name() ||
+        reloaded.device_name() != dataset.device_name() ||
+        reloaded.param_names() != dataset.param_names()) {
+      std::fprintf(stderr, "verify FAILED: identity mismatch\n");
+      return 1;
+    }
+    // Times compare at the *output* format's fidelity: binary archives
+    // preserve the double bits, CSV quantizes to its cell format (so a
+    // binary -> csv conversion verifies against the printed cells).
+    const auto time_cell = [](double t) {
+      return std::isfinite(t) ? common::format_double(t, 9)
+                              : std::string("inf");
+    };
+    for (std::size_t r = 0; r < dataset.size(); ++r) {
+      const bool time_ok =
+          format == io::DatasetFormat::kBinary
+              ? (reloaded.time_ms(r) == dataset.time_ms(r) ||
+                 (std::isnan(reloaded.time_ms(r)) &&
+                  std::isnan(dataset.time_ms(r))))
+              : time_cell(reloaded.time_ms(r)) == time_cell(dataset.time_ms(r));
+      if (reloaded.config_index(r) != dataset.config_index(r) ||
+          reloaded.config(r) != dataset.config(r) ||
+          reloaded.status(r) != dataset.status(r) || !time_ok) {
+        std::fprintf(stderr, "verify FAILED at row %zu\n", r);
+        return 1;
+      }
+    }
+    std::printf("verified: %zu rows identical\n", dataset.size());
+  }
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  args.require_known({"dataset", "verify"});
+  if (!args.has("dataset")) {
+    std::fprintf(stderr, "tune info requires --dataset <path>\n");
+    return 2;
+  }
+  const std::string path = args.get("dataset", "");
+  if (io::sniff_format(path) == io::DatasetFormat::kBinary) {
+    const auto view = io::DatasetView::open(path);
+    std::printf("format:    binary columnar (BATDSB01)\n");
+    std::printf("benchmark: %s\n", view->benchmark_name().c_str());
+    std::printf("device:    %s\n", view->device_name().c_str());
+    std::printf("params:    %zu (", view->num_params());
+    for (std::size_t p = 0; p < view->param_names().size(); ++p) {
+      std::printf("%s%s", p == 0 ? "" : ", ",
+                  view->param_names()[p].c_str());
+    }
+    std::printf(")\n");
+    std::printf("rows:      %zu in %zu chunk(s) of %zu\n", view->size(),
+                view->num_chunks(), view->chunk_capacity());
+    std::printf("valid:     %zu\n", view->num_valid());
+    if (view->num_valid() != 0) {
+      std::printf("best:      %.6f ms\n", view->best_time());
+    }
+    std::printf("bytes:     %ju\n",
+                static_cast<std::uintmax_t>(std::filesystem::file_size(path)));
+    if (args.has("verify")) {
+      const bool crc_ok = view->verify_crc();
+      const bool statuses_ok = view->statuses_valid();
+      std::printf("crc:       %s\n", crc_ok ? "ok" : "MISMATCH");
+      std::printf("statuses:  %s\n",
+                  statuses_ok ? "ok" : "OUT-OF-RANGE VALUES");
+      return crc_ok && statuses_ok ? 0 : 1;
+    }
+    return 0;
+  }
+  const auto dataset = io::load_dataset(path);
+  std::printf("format:    csv\n");
+  std::printf("benchmark: %s\n", dataset.benchmark_name().c_str());
+  std::printf("device:    %s\n", dataset.device_name().c_str());
+  std::printf("params:    %zu\n", dataset.num_params());
+  std::printf("rows:      %zu\n", dataset.size());
+  std::printf("valid:     %zu\n", dataset.num_valid());
+  if (dataset.num_valid() != 0) {
+    std::printf("best:      %.6f ms\n", dataset.best_time());
+  }
+  if (args.has("verify")) {
+    // CSV carries no checksum; the cell-level parse that just ran is
+    // the whole integrity check. Say so instead of silently ignoring
+    // the flag.
+    std::printf("verify:    parse ok (csv carries no checksum; every "
+                "cell was validated while loading)\n");
+  }
+  return 0;
+}
+
 void print_usage() {
   std::fputs(
-      "usage: tune <run|grid|replay|spaces> [--flags...]\n"
-      "  run    --kernel K --tuner T [--device D] [--budget N] [--seed S]\n"
-      "         [--backend live|replay] [--dataset path.csv]\n"
-      "  grid   --kernels a,b --tuners x,y --sessions N [--budget N]\n"
-      "         [--seed S] [--device D] [--backend live|replay]\n"
-      "         [--workers W] [--shards P] [--no-shared-cache]\n"
-      "  replay --dataset path.csv [--kernel K] [--tuner T] [--repeats R]\n"
-      "  spaces [--kernels a,b,...]\n"
-      "see docs/reproducing-the-paper.md for figure/table recipes\n",
+      "usage: tune <run|grid|replay|spaces|sweep|convert|info> [--flags...]\n"
+      "  run     --kernel K --tuner T [--device D] [--budget N] [--seed S]\n"
+      "          [--backend live|replay] [--dataset path.{csv,bin}]\n"
+      "  grid    --kernels a,b --tuners x,y --sessions N [--budget N]\n"
+      "          [--seed S] [--device D] [--backend live|replay]\n"
+      "          [--workers W] [--shards P] [--no-shared-cache]\n"
+      "          [--dataset-dir DIR]\n"
+      "  replay  --dataset path.{csv,bin} [--kernel K] [--tuner T]\n"
+      "          [--repeats R]\n"
+      "  spaces  [--kernels a,b,...]\n"
+      "  sweep   --kernel K [--device D] [--out path.bin] [--samples N]\n"
+      "          [--seed S] [--exhaustive] [--chunk ROWS] [--batch ROWS]\n"
+      "  convert --in path --out path [--chunk ROWS] [--verify]\n"
+      "  info    --dataset path [--verify]\n"
+      "see docs/reproducing-the-paper.md for figure/table recipes and\n"
+      "docs/dataset-format.md for the binary archive layout\n",
       stderr);
 }
 
@@ -386,6 +567,9 @@ int main(int argc, char** argv) {
     if (command == "grid") return cmd_grid(args);
     if (command == "replay") return cmd_replay(args);
     if (command == "spaces") return cmd_spaces(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "convert") return cmd_convert(args);
+    if (command == "info") return cmd_info(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tune %s: %s\n", command.c_str(), e.what());
     return 1;
