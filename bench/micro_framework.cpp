@@ -29,6 +29,8 @@
 #include "io/replay_view.hpp"
 #include "kernels/all_kernels.hpp"
 #include "ml/gbdt.hpp"
+#include "net/http.hpp"
+#include "service/session_json.hpp"
 #include "service/sharded_cache.hpp"
 
 namespace {
@@ -340,6 +342,52 @@ void BM_ReplayLookupMmap(benchmark::State& state) {
                           static_cast<std::int64_t>(fixture.lookups.size()));
 }
 BENCHMARK(BM_ReplayLookupMmap);
+
+// ------------------------------------------------------- http wire layer --
+// The per-request fixed costs of the network front-end: framing one
+// POST /v1/sessions request out of raw bytes, and serializing a full
+// SessionResult (150-entry trace, the default budget) back to JSON.
+// Together they bound what the API adds on top of the service layer.
+
+void BM_HttpParseRequest(benchmark::State& state) {
+  const std::string body =
+      R"({"kernel":"gemm","tuner":"local","budget":150,"seed":42})";
+  const std::string raw =
+      "POST /v1/sessions HTTP/1.1\r\n"
+      "host: 127.0.0.1:8080\r\n"
+      "content-type: application/json\r\n"
+      "content-length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
+  net::HttpRequest request;
+  for (auto _ : state) {
+    const auto result = net::parse_request(raw, request);
+    benchmark::DoNotOptimize(result.consumed);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(raw.size()));
+}
+BENCHMARK(BM_HttpParseRequest);
+
+void BM_SessionResultToJson(benchmark::State& state) {
+  service::SessionResult result;
+  result.status = service::SessionStatus::kCompleted;
+  result.wall_ms = 12.5;
+  result.run.trace.reserve(150);
+  for (std::size_t i = 0; i < 150; ++i) {
+    result.run.trace.push_back(
+        {static_cast<core::ConfigIndex>(i * 977),
+         10.0 + 0.001 * static_cast<double>(i)});
+  }
+  result.run.best = result.run.trace.front();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string body = service::to_json(result).dump();
+    bytes = body.size();
+    benchmark::DoNotOptimize(body.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SessionResultToJson);
 
 // ---------------------------------------------- sharded measurement cache --
 // service::ShardedMeasurementCache under the access pattern of a long

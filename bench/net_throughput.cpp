@@ -1,0 +1,167 @@
+// net_throughput: loopback request throughput of the HTTP/1.1 API.
+//
+// N concurrent keep-alive clients hammer one endpoint (default
+// GET /v1/stats — the cheap status probe a fleet of tuner clients
+// polls between sessions) against an in-process `tune serve` stack:
+// real sockets, real HTTP framing, the real ApiServer handler over a
+// TuningService. Reports aggregate and per-client requests/sec and
+// writes the numbers to a JSON file (tools/ci.sh publishes it as
+// BENCH_net.json), with the acceptance bar being >= 1k req/s sustained
+// with keep-alive on a single core.
+//
+//   net_throughput [--clients 4] [--seconds 2] [--endpoint /v1/stats]
+//                  [--http-workers N (default: clients)]
+//                  [--out BENCH_net.json]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api_server.hpp"
+#include "common/json.hpp"
+#include "common/string_util.hpp"
+#include "net/http_client.hpp"
+#include "service/tuning_service.hpp"
+
+namespace {
+
+using namespace bat;
+
+struct Options {
+  std::size_t clients = 4;
+  double seconds = 2.0;
+  std::string endpoint = "/v1/stats";
+  std::size_t http_workers = 0;  // 0 = clients
+  std::string out = "BENCH_net.json";
+};
+
+Options parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(arg + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--clients") {
+      options.clients = std::stoul(value());
+    } else if (arg == "--seconds") {
+      options.seconds = std::stod(value());
+    } else if (arg == "--endpoint") {
+      options.endpoint = value();
+    } else if (arg == "--http-workers") {
+      options.http_workers = std::stoul(value());
+    } else if (arg == "--out") {
+      options.out = value();
+    } else {
+      throw std::invalid_argument("unknown flag " + arg);
+    }
+  }
+  if (options.clients == 0) options.clients = 1;
+  if (options.http_workers == 0) options.http_workers = options.clients;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  try {
+    options = parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "net_throughput: %s\n", e.what());
+    return 2;
+  }
+
+  service::TuningService svc;
+  api::ApiOptions api_options;
+  api_options.http.port = 0;
+  api_options.http.workers = options.http_workers;
+  api::ApiServer api(svc, api_options);
+  api.start();
+
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double>(options.seconds));
+
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::uint64_t> counts(options.clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(options.clients);
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::uint64_t done = 0;
+      try {
+        net::HttpClient client("127.0.0.1", api.port());
+        while (clock::now() < deadline) {
+          const auto response = client.get(options.endpoint);
+          if (response.status != 200) {
+            failures.fetch_add(1);
+            break;
+          }
+          ++done;
+        }
+      } catch (const std::exception& e) {
+        // A transport throw is a failed measurement, not a crash: the
+        // report (and CI) must still see the failure count.
+        std::fprintf(stderr, "net_throughput client %zu: %s\n", c,
+                     e.what());
+        failures.fetch_add(1);
+      }
+      counts[c] = done;
+    });
+  }
+  const auto start = clock::now();
+  for (auto& thread : threads) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start).count();
+  api.stop();
+
+  std::uint64_t total = 0;
+  for (const auto count : counts) total += count;
+  const double wall = elapsed > options.seconds ? elapsed : options.seconds;
+  const double rps = static_cast<double>(total) / wall;
+
+  std::printf("net_throughput: %zu keep-alive client(s) x %s for %.1fs\n",
+              options.clients, options.endpoint.c_str(), wall);
+  std::printf("  %llu requests, %llu failures -> %.0f req/s aggregate "
+              "(%.0f req/s per client)\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(failures.load()), rps,
+              rps / static_cast<double>(options.clients));
+
+  common::JsonObject report;
+  report.emplace("endpoint", options.endpoint);
+  report.emplace("clients", static_cast<std::uint64_t>(options.clients));
+  report.emplace("http_workers",
+                 static_cast<std::uint64_t>(options.http_workers));
+  report.emplace("seconds", wall);
+  report.emplace("requests", total);
+  report.emplace("failures", failures.load());
+  report.emplace("requests_per_second", rps);
+  {
+    std::vector<double> per_client;
+    per_client.reserve(counts.size());
+    for (const auto count : counts) {
+      per_client.push_back(static_cast<double>(count));
+    }
+    report.emplace("per_client_requests", common::Json::array(per_client));
+  }
+  std::ofstream out(options.out);
+  out << common::Json(std::move(report)).dump(2) << "\n";
+  if (!out) {
+    std::fprintf(stderr, "net_throughput: failed writing %s\n",
+                 options.out.c_str());
+    return 1;
+  }
+  std::printf("  wrote %s\n", options.out.c_str());
+
+  return failures.load() == 0 && total > 0 ? 0 : 1;
+}

@@ -1,0 +1,246 @@
+#include "api/api_server.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "common/json.hpp"
+#include "kernels/all_kernels.hpp"
+#include "service/session_json.hpp"
+
+namespace bat::api {
+
+using common::Json;
+using common::JsonArray;
+using common::JsonObject;
+
+namespace {
+
+net::HttpResponse json_response(int status, const Json& body) {
+  net::HttpResponse response;
+  response.status = status;
+  response.headers.emplace_back("content-type", "application/json");
+  response.body = body.dump();
+  return response;
+}
+
+net::HttpResponse error_json(int status, std::string message) {
+  JsonObject object;
+  object.emplace("error", std::move(message));
+  return json_response(status, Json(std::move(object)));
+}
+
+/// "123" -> 123; nullopt for anything that is not a pure decimal.
+std::optional<std::uint64_t> parse_job_id(std::string_view text) {
+  std::uint64_t id = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), id);
+  if (text.empty() || ec != std::errc() ||
+      ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return id;
+}
+
+}  // namespace
+
+ApiServer::ApiServer(service::TuningService& service, ApiOptions options)
+    : service_(service),
+      http_(std::move(options.http),
+            [this](const net::HttpRequest& request) {
+              return handle(request);
+            }) {}
+
+ApiServer::~ApiServer() { stop(); }
+
+void ApiServer::start() { http_.start(); }
+
+void ApiServer::stop() { http_.stop(); }
+
+net::HttpResponse ApiServer::handle(const net::HttpRequest& request) {
+  // The API takes no query parameters; tolerate (and ignore) them.
+  std::string path = request.target.substr(0, request.target.find('?'));
+
+  if (path == "/v1/sessions") {
+    if (request.method == "POST") return post_session(request);
+    if (request.method == "GET") return list_sessions();
+    return error_json(405, "use GET or POST on /v1/sessions");
+  }
+  if (path == "/v1/sessions:run") {
+    if (request.method != "POST") {
+      return error_json(405, "use POST on /v1/sessions:run");
+    }
+    return run_session(request);
+  }
+  constexpr std::string_view kSessionPrefix = "/v1/sessions/";
+  if (path.size() > kSessionPrefix.size() &&
+      path.compare(0, kSessionPrefix.size(), kSessionPrefix) == 0) {
+    if (request.method != "GET") {
+      return error_json(405, "use GET on /v1/sessions/<id>");
+    }
+    return get_session(path.substr(kSessionPrefix.size()));
+  }
+  if (path == "/v1/stats") {
+    if (request.method != "GET") {
+      return error_json(405, "use GET on /v1/stats");
+    }
+    return get_stats();
+  }
+  if (path == "/v1/spaces") {
+    if (request.method != "GET") {
+      return error_json(405, "use GET on /v1/spaces");
+    }
+    return get_spaces();
+  }
+  return error_json(404, "no such endpoint: " + path);
+}
+
+net::HttpResponse ApiServer::post_session(const net::HttpRequest& request) {
+  service::SessionSpec spec;
+  try {
+    spec = service::spec_from_json(Json::parse(request.body));
+  } catch (const std::exception& e) {
+    return error_json(400, e.what());
+  }
+
+  std::shared_future<service::SessionResult> future;
+  try {
+    // May block while the service backlog is at capacity — that *is*
+    // the backpressure: this HTTP worker (and therefore this client)
+    // waits its turn.
+    future = service_.submit(spec).share();
+  } catch (const std::exception& e) {
+    return error_json(503, e.what());
+  }
+
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lock(jobs_mutex_);
+    id = next_job_id_++;
+    jobs_.emplace(id, Job{spec, future});
+  }
+
+  JsonObject object;
+  object.emplace("id", std::to_string(id));
+  object.emplace("state", "pending");
+  object.emplace("href", "/v1/sessions/" + std::to_string(id));
+  return json_response(202, Json(std::move(object)));
+}
+
+net::HttpResponse ApiServer::run_session(const net::HttpRequest& request) {
+  service::SessionSpec spec;
+  try {
+    spec = service::spec_from_json(Json::parse(request.body));
+  } catch (const std::exception& e) {
+    return error_json(400, e.what());
+  }
+  try {
+    return json_response(200, service::to_json(service_.run_inline(spec)));
+  } catch (const std::exception& e) {
+    return error_json(503, e.what());  // service shut down
+  }
+}
+
+net::HttpResponse ApiServer::get_session(const std::string& id_text) const {
+  const auto id = parse_job_id(id_text);
+  if (!id) return error_json(400, "job id must be decimal digits");
+  Job job;
+  {
+    std::lock_guard lock(jobs_mutex_);
+    const auto it = jobs_.find(*id);
+    if (it == jobs_.end()) {
+      return error_json(404, "no such session: " + id_text);
+    }
+    job = it->second;
+  }
+  JsonObject object;
+  object.emplace("id", id_text);
+  if (job.future.wait_for(std::chrono::seconds(0)) ==
+      std::future_status::ready) {
+    object.emplace("state", "done");
+    object.emplace("result", service::to_json(job.future.get()));
+  } else {
+    object.emplace("state", "pending");
+    object.emplace("spec", service::to_json(job.spec));
+  }
+  return json_response(200, Json(std::move(object)));
+}
+
+net::HttpResponse ApiServer::list_sessions() const {
+  JsonArray sessions;
+  {
+    std::lock_guard lock(jobs_mutex_);
+    for (const auto& [id, job] : jobs_) {
+      JsonObject entry;
+      entry.emplace("id", std::to_string(id));
+      entry.emplace("state",
+                    job.future.wait_for(std::chrono::seconds(0)) ==
+                            std::future_status::ready
+                        ? "done"
+                        : "pending");
+      sessions.emplace_back(std::move(entry));
+    }
+  }
+  JsonObject object;
+  object.emplace("sessions", Json(std::move(sessions)));
+  return json_response(200, Json(std::move(object)));
+}
+
+net::HttpResponse ApiServer::get_stats() const {
+  const auto cache = service_.cache_stats();
+  JsonObject cache_json;
+  cache_json.emplace("lookups", cache.lookups);
+  cache_json.emplace("hits", cache.hits);
+  cache_json.emplace("waited", cache.waited);
+  cache_json.emplace("evaluations", cache.evaluations);
+  cache_json.emplace("abandoned", cache.abandoned);
+  cache_json.emplace("cross_session_hits", cache.cross_session_hits());
+
+  JsonObject http_json;
+  http_json.emplace("connections_accepted", http_.connections_accepted());
+  http_json.emplace("requests_served", http_.requests_served());
+
+  JsonObject object;
+  object.emplace("workers", static_cast<std::uint64_t>(service_.workers()));
+  object.emplace("sessions_submitted",
+                 static_cast<std::uint64_t>(service_.sessions_submitted()));
+  object.emplace("sessions_active",
+                 static_cast<std::uint64_t>(service_.sessions_active()));
+  object.emplace("cache", Json(std::move(cache_json)));
+  object.emplace("http", Json(std::move(http_json)));
+  return json_response(200, Json(std::move(object)));
+}
+
+net::HttpResponse ApiServer::get_spaces() {
+  // Compile-once: the statistics are process-lifetime constants, and
+  // recompiling seven spaces (constraint sweeps up to 2^20 configs)
+  // per GET would hand a hostile poller free CPU burn.
+  static const net::HttpResponse cached = [] {
+    JsonArray spaces;
+    for (const auto& name : kernels::paper_benchmark_names()) {
+      const auto bench = kernels::make(name);
+      const auto& compiled = bench->space().compiled();
+      JsonObject entry;
+      entry.emplace("kernel", name);
+      entry.emplace("params",
+                    static_cast<std::uint64_t>(compiled.num_params()));
+      entry.emplace("cardinality", compiled.cardinality());
+      if (compiled.has_valid_set()) {
+        entry.emplace("valid", compiled.num_valid());
+        entry.emplace("mode", "materialized");
+      } else {
+        entry.emplace("valid", nullptr);
+        entry.emplace("mode", "streamed");
+      }
+      spaces.emplace_back(std::move(entry));
+    }
+    JsonObject object;
+    object.emplace("spaces", Json(std::move(spaces)));
+    return json_response(200, Json(std::move(object)));
+  }();
+  return cached;
+}
+
+}  // namespace bat::api

@@ -1,0 +1,91 @@
+// ApiServer: the JSON API that turns a TuningService into a service.
+//
+// Routes (documented with transcripts in docs/http-api.md):
+//
+//   POST /v1/sessions        SessionSpec JSON -> 202 {"id",...}; the
+//                            spec is submitted to the TuningService and
+//                            tracked in an id-keyed job registry over
+//                            the submit() future (asynchronous path).
+//   GET  /v1/sessions        registry listing: [{"id","state"},...]
+//   GET  /v1/sessions/<id>   job status; when the future is ready the
+//                            full SessionResult (trace included).
+//   POST /v1/sessions:run    synchronous: run_inline on the handling
+//                            connection's worker, full result back.
+//   GET  /v1/stats           cache counters + session/HTTP counters.
+//   GET  /v1/spaces          per-kernel search-space statistics.
+//
+// Error mapping: malformed JSON / bad spec -> 400, unknown path or job
+// id -> 404, wrong method on a known path -> 405, submit after service
+// shutdown -> 503; the transport adds 413/431 for oversize and 500 for
+// handler escapes (net/http_server.hpp).
+//
+// The registry keeps completed jobs until the server dies — results
+// must outlive their session so a client can poll after completion.
+// Bound: jobs are one shared_future + spec each; a long-lived server
+// with millions of jobs wants eviction, which is admission control's
+// business (a future PR), not the wire layer's.
+//
+// Thread-safety: handle() runs concurrently on HTTP workers; the
+// registry has its own mutex, TuningService is thread-safe, and
+// handle() is public precisely so tests can drive routes without
+// sockets.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "net/http_server.hpp"
+#include "service/tuning_service.hpp"
+
+namespace bat::api {
+
+struct ApiOptions {
+  net::ServerOptions http;
+};
+
+class ApiServer {
+ public:
+  /// Borrows the service; it must outlive the ApiServer and is shared
+  /// with any in-process users (tune serve builds both).
+  explicit ApiServer(service::TuningService& service, ApiOptions options = {});
+  ~ApiServer();  // stop()
+
+  ApiServer(const ApiServer&) = delete;
+  ApiServer& operator=(const ApiServer&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] std::uint16_t port() const noexcept { return http_.port(); }
+
+  /// The route dispatcher (also the HttpServer handler). Public for
+  /// socket-free tests and benchmarks.
+  [[nodiscard]] net::HttpResponse handle(const net::HttpRequest& request);
+
+  [[nodiscard]] const net::HttpServer& http() const noexcept { return http_; }
+
+ private:
+  struct Job {
+    service::SessionSpec spec;
+    std::shared_future<service::SessionResult> future;
+  };
+
+  [[nodiscard]] net::HttpResponse post_session(const net::HttpRequest& req);
+  [[nodiscard]] net::HttpResponse run_session(const net::HttpRequest& req);
+  [[nodiscard]] net::HttpResponse get_session(const std::string& id) const;
+  [[nodiscard]] net::HttpResponse list_sessions() const;
+  [[nodiscard]] net::HttpResponse get_stats() const;
+  [[nodiscard]] static net::HttpResponse get_spaces();
+
+  service::TuningService& service_;
+
+  mutable std::mutex jobs_mutex_;
+  std::map<std::uint64_t, Job> jobs_;
+  std::uint64_t next_job_id_ = 1;
+
+  net::HttpServer http_;  // last member: its workers call handle()
+};
+
+}  // namespace bat::api

@@ -1,6 +1,9 @@
 #include "common/json.hpp"
 
+#include <cerrno>
+#include <charconv>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/string_util.hpp"
 
@@ -19,6 +22,8 @@ Json Json::array(const std::vector<std::string>& values) {
   for (const auto& v : values) arr.emplace_back(v);
   return Json(std::move(arr));
 }
+
+// ----------------------------------------------------------------- dump ---
 
 void Json::escape_into(std::string& out, const std::string& s) {
   out += '"';
@@ -105,6 +110,370 @@ void Json::dump_impl(std::string& out, int indent, int depth) const {
     }
     out += '}';
   }
+}
+
+// ------------------------------------------------------------- accessors ---
+
+const char* Json::type_name() const noexcept {
+  if (is_null()) return "null";
+  if (is_bool()) return "bool";
+  if (is_int()) return "int";
+  if (is_number()) return "double";
+  if (is_string()) return "string";
+  if (is_array()) return "array";
+  return "object";
+}
+
+namespace {
+[[noreturn]] void type_fail(const char* wanted, const char* got) {
+  throw JsonTypeError(std::string("json: expected ") + wanted + ", got " +
+                      got);
+}
+}  // namespace
+
+bool Json::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&value_)) return *b;
+  type_fail("bool", type_name());
+}
+
+double Json::as_double() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  type_fail("number", type_name());
+}
+
+std::int64_t Json::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return *i;
+  if (const auto* d = std::get_if<double>(&value_)) {
+    // Exactly representable integers only: 2^63 is the first double at
+    // or beyond INT64_MAX, so `< 2^63 && >= -2^63` is the right bound.
+    if (std::isfinite(*d) && std::trunc(*d) == *d &&
+        *d >= -9223372036854775808.0 && *d < 9223372036854775808.0) {
+      return static_cast<std::int64_t>(*d);
+    }
+    throw JsonTypeError("json: double " + format_double(*d, 9) +
+                        " is not an in-range integer");
+  }
+  type_fail("integer", type_name());
+}
+
+std::uint64_t Json::as_uint() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    if (*i < 0) {
+      throw JsonTypeError("json: expected non-negative integer, got " +
+                          std::to_string(*i));
+    }
+    return static_cast<std::uint64_t>(*i);
+  }
+  if (const auto* d = std::get_if<double>(&value_)) {
+    if (std::isfinite(*d) && std::trunc(*d) == *d && *d >= 0.0 &&
+        *d < 18446744073709551616.0) {
+      return static_cast<std::uint64_t>(*d);
+    }
+    throw JsonTypeError("json: double " + format_double(*d, 9) +
+                        " is not an in-range unsigned integer");
+  }
+  type_fail("unsigned integer", type_name());
+}
+
+const std::string& Json::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  type_fail("string", type_name());
+}
+
+const JsonArray& Json::as_array() const {
+  if (const auto* a = std::get_if<JsonArray>(&value_)) return *a;
+  type_fail("array", type_name());
+}
+
+const JsonObject& Json::as_object() const {
+  if (const auto* o = std::get_if<JsonObject>(&value_)) return *o;
+  type_fail("object", type_name());
+}
+
+const Json* Json::find(const std::string& key) const {
+  const auto* o = std::get_if<JsonObject>(&value_);
+  if (o == nullptr) return nullptr;
+  const auto it = o->find(key);
+  return it == o->end() ? nullptr : &it->second;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* found = find(key);
+  if (found == nullptr) {
+    throw JsonTypeError("json: missing key \"" + key + "\" in " +
+                        type_name());
+  }
+  return *found;
+}
+
+// ----------------------------------------------------------------- parse ---
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : begin_(text.data()),
+        p_(text.data()),
+        end_(text.data() + text.size()),
+        max_depth_(max_depth) {}
+
+  Json run() {
+    skip_ws();
+    Json value = parse_value(0);
+    skip_ws();
+    if (p_ != end_) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonParseError("json parse error at byte " +
+                         std::to_string(p_ - begin_) + ": " + message);
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return p_ == end_; }
+  [[nodiscard]] char peek() const noexcept { return *p_; }
+
+  void skip_ws() noexcept {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  void expect(char c) {
+    if (eof() || *p_ != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++p_;
+  }
+
+  void expect_literal(const char* literal) {
+    for (const char* q = literal; *q != '\0'; ++q) {
+      if (eof() || *p_ != *q) {
+        fail(std::string("invalid literal (expected \"") + literal + "\")");
+      }
+      ++p_;
+    }
+  }
+
+  Json parse_value(std::size_t depth) {
+    if (depth > max_depth_) fail("nesting deeper than the allowed maximum");
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't': expect_literal("true"); return Json(true);
+      case 'f': expect_literal("false"); return Json(false);
+      case 'n': expect_literal("null"); return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(std::size_t depth) {
+    expect('{');
+    JsonObject object;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++p_;
+      return Json(std::move(object));
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      if (object.find(key) != object.end()) {
+        fail("duplicate object key \"" + key + "\"");
+      }
+      skip_ws();
+      expect(':');
+      skip_ws();
+      object.emplace(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated object");
+      if (peek() == ',') {
+        ++p_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(object));
+    }
+  }
+
+  Json parse_array(std::size_t depth) {
+    expect('[');
+    JsonArray array;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++p_;
+      return Json(std::move(array));
+    }
+    while (true) {
+      skip_ws();
+      array.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated array");
+      if (peek() == ',') {
+        ++p_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(array));
+    }
+  }
+
+  [[nodiscard]] unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) fail("truncated \\u escape");
+      const char c = *p_++;
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char c = *p_++;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string (escape it)");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) fail("truncated escape sequence");
+      const char esc = *p_++;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = parse_hex4();
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("lone low surrogate in \\u escape");
+          }
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (end_ - p_ < 2 || p_[0] != '\\' || p_[1] != 'u') {
+              fail("high surrogate not followed by \\u low surrogate");
+            }
+            p_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("invalid low surrogate in \\u pair");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const char* start = p_;
+    if (!eof() && peek() == '-') ++p_;
+    // int part: '0' or [1-9][0-9]* — leading zeros are not JSON.
+    if (eof() || peek() < '0' || peek() > '9') fail("invalid number");
+    if (peek() == '0') {
+      ++p_;
+      if (!eof() && peek() >= '0' && peek() <= '9') {
+        fail("leading zero in number");
+      }
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9') ++p_;
+    }
+    bool integral = true;
+    if (!eof() && peek() == '.') {
+      integral = false;
+      ++p_;
+      if (eof() || peek() < '0' || peek() > '9') {
+        fail("digit required after decimal point");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') ++p_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++p_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++p_;
+      if (eof() || peek() < '0' || peek() > '9') {
+        fail("digit required in exponent");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') ++p_;
+    }
+    const std::string_view token(start, static_cast<std::size_t>(p_ - start));
+    if (integral) {
+      std::int64_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        return Json(value);
+      }
+      // Out of int64 range: widen to double below (same policy as the
+      // uint64 constructor), rejecting values that overflow doubles.
+    }
+    const std::string copy(token);  // strtod needs a terminator
+    errno = 0;
+    char* parse_end = nullptr;
+    const double value = std::strtod(copy.c_str(), &parse_end);
+    if (parse_end != copy.c_str() + copy.size()) fail("invalid number");
+    if (!std::isfinite(value)) fail("number out of range");
+    return Json(value);
+  }
+
+  const char* begin_;
+  const char* p_;
+  const char* end_;
+  std::size_t max_depth_;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).run();
 }
 
 }  // namespace bat::common

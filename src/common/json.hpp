@@ -1,11 +1,32 @@
-// Minimal JSON value + serializer for harness exports (write-only: BAT
-// emits results for external plotting; it never needs to parse JSON).
+// JSON value type: writer for harness exports, strict parser for the
+// network API.
+//
+// The value model is deliberately small (null / bool / int64 / double /
+// string / array / object). parse() is a strict recursive-descent
+// RFC 8259 parser grown for the HTTP front-end, where the input is a
+// network peer's and must not be trusted:
+//   * whole-input: trailing non-whitespace after the value is an error;
+//   * bounded nesting (`max_depth`, default 64) so hostile deeply
+//     nested input cannot overflow the stack;
+//   * duplicate object keys are an error (silently keeping either value
+//     would let two layers disagree about what a request said);
+//   * numbers must be finite: integral tokens that fit int64 parse as
+//     int64, everything else as double, and overflow to infinity
+//     ("1e999") is an error;
+//   * strings reject raw control characters, malformed \u escapes and
+//     lone surrogates (pairs decode to UTF-8).
+// All parse failures throw JsonParseError with a byte offset; accessor
+// misuse (as_int() on a string, ...) throws JsonTypeError.
+//
+// Plain value type, no shared state: safe to move across threads.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -15,6 +36,18 @@ class Json;
 using JsonArray = std::vector<Json>;
 using JsonObject = std::map<std::string, Json>;
 
+class JsonParseError : public std::runtime_error {
+ public:
+  explicit JsonParseError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class JsonTypeError : public std::runtime_error {
+ public:
+  explicit JsonTypeError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 class Json {
  public:
   Json() : value_(nullptr) {}
@@ -23,7 +56,15 @@ class Json {
   Json(double d) : value_(d) {}
   Json(int i) : value_(static_cast<std::int64_t>(i)) {}
   Json(std::int64_t i) : value_(i) {}
-  Json(std::uint64_t u) : value_(static_cast<std::int64_t>(u)) {}
+  /// Values above int64 max widen (lossily, like any double) instead of
+  /// wrapping negative through a blind static_cast.
+  Json(std::uint64_t u) {
+    if (u <= static_cast<std::uint64_t>(INT64_MAX)) {
+      value_ = static_cast<std::int64_t>(u);
+    } else {
+      value_ = static_cast<double>(u);
+    }
+  }
   Json(const char* s) : value_(std::string(s)) {}
   Json(std::string s) : value_(std::move(s)) {}
   Json(JsonArray a) : value_(std::move(a)) {}
@@ -33,11 +74,57 @@ class Json {
   static Json array(const std::vector<double>& values);
   static Json array(const std::vector<std::string>& values);
 
+  /// Strict parse of exactly one JSON document (see header comment).
+  /// Throws JsonParseError.
+  [[nodiscard]] static Json parse(std::string_view text,
+                                  std::size_t max_depth = 64);
+
   [[nodiscard]] std::string dump(int indent = 0) const;
+
+  // --- type queries -------------------------------------------------------
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_int() const noexcept {
+    return std::holds_alternative<std::int64_t>(value_);
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return is_int() || std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return std::holds_alternative<JsonArray>(value_);
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return std::holds_alternative<JsonObject>(value_);
+  }
+
+  // --- strict accessors (throw JsonTypeError on mismatch) -----------------
+  [[nodiscard]] bool as_bool() const;
+  /// Any number; int64 widens to double.
+  [[nodiscard]] double as_double() const;
+  /// int64, or a double that is exactly an in-range integer.
+  [[nodiscard]] std::int64_t as_int() const;
+  /// Non-negative as_int() semantics extended to the full uint64 range.
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Object member lookup: nullptr when not an object or key missing.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Object member lookup; throws JsonTypeError when absent.
+  [[nodiscard]] const Json& at(const std::string& key) const;
 
  private:
   void dump_impl(std::string& out, int indent, int depth) const;
   static void escape_into(std::string& out, const std::string& s);
+  [[nodiscard]] const char* type_name() const noexcept;
 
   std::variant<std::nullptr_t, bool, double, std::int64_t, std::string,
                JsonArray, JsonObject>

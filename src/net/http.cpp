@@ -1,0 +1,331 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <optional>
+
+#include "common/string_util.hpp"
+
+namespace bat::net {
+
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+constexpr std::string_view kHeadEnd = "\r\n\r\n";
+
+/// RFC 9110 token characters (header names, methods).
+bool is_token_char(char c) {
+  if (c >= 'a' && c <= 'z') return true;
+  if (c >= 'A' && c <= 'Z') return true;
+  if (c >= '0' && c <= '9') return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_token(std::string_view s) {
+  return !s.empty() && std::all_of(s.begin(), s.end(), is_token_char);
+}
+
+ParseResult bad(std::string error) {
+  return {ParseStatus::kBadRequest, 0, std::move(error)};
+}
+
+std::string_view trim_ows(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parses the header lines between the start line and the blank line.
+/// Returns an error message or nullopt on success.
+std::optional<std::string> parse_headers(std::string_view head,
+                                         const ParseLimits& limits,
+                                         HeaderList& out) {
+  out.clear();
+  while (!head.empty()) {
+    const std::size_t eol = head.find(kCrlf);
+    if (eol == std::string_view::npos) {
+      return "header line without CRLF terminator";
+    }
+    const std::string_view line = head.substr(0, eol);
+    head.remove_prefix(eol + kCrlf.size());
+    if (line.empty()) return "empty header line inside header block";
+    if (line.front() == ' ' || line.front() == '\t') {
+      return "obsolete line folding is not supported";
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return "header line without ':'";
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (!is_token(name)) return "invalid header field name";
+    if (out.size() >= limits.max_headers) return "too many header fields";
+    out.emplace_back(common::to_lower(name),
+                     std::string(trim_ows(line.substr(colon + 1))));
+  }
+  return std::nullopt;
+}
+
+const std::string* find_header(const HeaderList& headers,
+                               std::string_view lower_name) {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+/// Body framing from the parsed headers: Content-Length only.
+/// On success sets `length`; otherwise returns the error ParseResult.
+std::optional<ParseResult> body_length(const HeaderList& headers,
+                                       const ParseLimits& limits,
+                                       std::size_t& length) {
+  length = 0;
+  if (find_header(headers, "transfer-encoding") != nullptr) {
+    return bad("transfer-encoding is not supported (use content-length)");
+  }
+  bool seen = false;
+  for (const auto& [name, value] : headers) {
+    if (name != "content-length") continue;
+    std::uint64_t parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (value.empty() || ec != std::errc() ||
+        ptr != value.data() + value.size()) {
+      return bad("malformed content-length");
+    }
+    if (seen && parsed != length) {
+      return bad("conflicting content-length headers");
+    }
+    seen = true;
+    length = static_cast<std::size_t>(parsed);
+  }
+  if (length > limits.max_body_bytes) {
+    return ParseResult{ParseStatus::kBodyTooLarge, 0,
+                       "content-length " + std::to_string(length) +
+                           " exceeds limit " +
+                           std::to_string(limits.max_body_bytes)};
+  }
+  return std::nullopt;
+}
+
+/// Splits the head block off `buffer`: everything up to and including
+/// the blank line. kIncomplete/kHeadTooLarge are reported through the
+/// optional result.
+std::optional<ParseResult> split_head(std::string_view buffer,
+                                      const ParseLimits& limits,
+                                      std::string_view& head,
+                                      std::size_t& head_size) {
+  const std::size_t head_end = buffer.find(kHeadEnd);
+  if (head_end == std::string_view::npos) {
+    if (buffer.size() > limits.max_head_bytes) {
+      return ParseResult{ParseStatus::kHeadTooLarge, 0,
+                         "header block exceeds " +
+                             std::to_string(limits.max_head_bytes) +
+                             " bytes"};
+    }
+    return ParseResult{ParseStatus::kIncomplete, 0, {}};
+  }
+  head_size = head_end + kHeadEnd.size();
+  if (head_size > limits.max_head_bytes) {
+    return ParseResult{ParseStatus::kHeadTooLarge, 0,
+                       "header block exceeds " +
+                           std::to_string(limits.max_head_bytes) + " bytes"};
+  }
+  // Head without the start line terminator handling: keep the first
+  // CRLF so parse_headers sees uniform "line CRLF" records.
+  head = buffer.substr(0, head_end + kCrlf.size());
+  return std::nullopt;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+const std::string* HttpResponse::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+bool HttpRequest::keep_alive() const {
+  if (const std::string* connection = header("connection")) {
+    const std::string lowered = common::to_lower(*connection);
+    for (const auto& token : common::split(lowered, ',')) {
+      const auto t = common::trim(token);
+      if (t == "close") return false;
+      if (t == "keep-alive") return true;
+    }
+  }
+  return version_minor >= 1;
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+ParseResult parse_request(std::string_view buffer, HttpRequest& out,
+                          const ParseLimits& limits) {
+  std::string_view head;
+  std::size_t head_size = 0;
+  if (auto early = split_head(buffer, limits, head, head_size)) return *early;
+
+  // Request line: METHOD SP target SP HTTP/1.x CRLF
+  const std::size_t line_end = head.find(kCrlf);
+  const std::string_view line = head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return bad("malformed request line");
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!is_token(method)) return bad("invalid method token");
+  if (target.empty() || target.front() != '/') {
+    return bad("target must be in origin-form (start with '/')");
+  }
+  for (const char c : target) {
+    if (static_cast<unsigned char>(c) <= 0x20 || c == 0x7F) {
+      return bad("control character or space in request target");
+    }
+  }
+  int version_minor = 0;
+  if (version == "HTTP/1.1") {
+    version_minor = 1;
+  } else if (version != "HTTP/1.0") {
+    return bad("unsupported protocol version (HTTP/1.0 or HTTP/1.1)");
+  }
+
+  HeaderList headers;
+  if (auto err =
+          parse_headers(head.substr(line_end + kCrlf.size()), limits,
+                        headers)) {
+    return bad(std::move(*err));
+  }
+  std::size_t length = 0;
+  if (auto early = body_length(headers, limits, length)) return *early;
+  if (buffer.size() < head_size + length) {
+    return {ParseStatus::kIncomplete, 0, {}};
+  }
+
+  out.method = std::string(method);
+  out.target = std::string(target);
+  out.version_minor = version_minor;
+  out.headers = std::move(headers);
+  out.body = std::string(buffer.substr(head_size, length));
+  return {ParseStatus::kOk, head_size + length, {}};
+}
+
+ParseResult parse_response(std::string_view buffer, HttpResponse& out,
+                           const ParseLimits& limits) {
+  std::string_view head;
+  std::size_t head_size = 0;
+  if (auto early = split_head(buffer, limits, head, head_size)) return *early;
+
+  // Status line: HTTP/1.x SP 3DIGIT [SP reason] CRLF
+  const std::size_t line_end = head.find(kCrlf);
+  const std::string_view line = head.substr(0, line_end);
+  if (!common::starts_with(line, "HTTP/1.0 ") &&
+      !common::starts_with(line, "HTTP/1.1 ")) {
+    return bad("malformed status line");
+  }
+  const std::string_view code = line.substr(9, 3);
+  if (code.size() != 3 ||
+      !std::all_of(code.begin(), code.end(),
+                   [](char c) { return c >= '0' && c <= '9'; }) ||
+      (line.size() > 12 && line[12] != ' ')) {
+    return bad("malformed status code");
+  }
+  const int status = (code[0] - '0') * 100 + (code[1] - '0') * 10 +
+                     (code[2] - '0');
+
+  HeaderList headers;
+  if (auto err =
+          parse_headers(head.substr(line_end + kCrlf.size()), limits,
+                        headers)) {
+    return bad(std::move(*err));
+  }
+  if (find_header(headers, "content-length") == nullptr) {
+    return bad("response without content-length framing");
+  }
+  std::size_t length = 0;
+  if (auto early = body_length(headers, limits, length)) return *early;
+  if (buffer.size() < head_size + length) {
+    return {ParseStatus::kIncomplete, 0, {}};
+  }
+
+  out.status = status;
+  out.headers = std::move(headers);
+  out.body = std::string(buffer.substr(head_size, length));
+  return {ParseStatus::kOk, head_size + length, {}};
+}
+
+namespace {
+
+void append_common(std::string& out, const HeaderList& headers,
+                   std::size_t body_size, bool keep_alive) {
+  for (const auto& [name, value] : headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "content-length: ";
+  out += std::to_string(body_size);
+  out += "\r\nconnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+}
+
+}  // namespace
+
+std::string serialize_response(const HttpResponse& response,
+                               bool keep_alive) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += status_reason(response.status);
+  out += "\r\n";
+  append_common(out, response.headers, response.body.size(), keep_alive);
+  out += response.body;
+  return out;
+}
+
+std::string serialize_request(const HttpRequest& request, bool keep_alive) {
+  std::string out;
+  out.reserve(128 + request.body.size());
+  out += request.method;
+  out += ' ';
+  out += request.target;
+  out += request.version_minor >= 1 ? " HTTP/1.1\r\n" : " HTTP/1.0\r\n";
+  append_common(out, request.headers, request.body.size(), keep_alive);
+  out += request.body;
+  return out;
+}
+
+}  // namespace bat::net

@@ -1,0 +1,102 @@
+// HTTP/1.1 subset: message value types + strict incremental parsers.
+//
+// The wire layer for the tuning API is deliberately a small,
+// dependency-free subset of RFC 9112 — exactly what a JSON API behind a
+// trusted load balancer needs and nothing more:
+//   * request-line / status-line + headers, CRLF line endings only;
+//   * bodies are framed by Content-Length exclusively (a request with
+//     Transfer-Encoding is rejected: chunked framing is where request
+//     smuggling lives);
+//   * keep-alive per HTTP/1.1 defaults (1.1: persistent unless
+//     "Connection: close"; 1.0: close unless "Connection: keep-alive");
+//   * hard limits on header-block and body size so a hostile peer can
+//     not balloon memory — oversize maps onto 431/413.
+//
+// parse_request/parse_response are *incremental*: feed the bytes
+// received so far, get kIncomplete until one full message is present,
+// then `consumed` says how many bytes the message took (pipelined
+// keep-alive leaves the next request in the buffer). Parsers never
+// throw; malformed input is a status + error string, because on a
+// server a bad request is a response, not an exception.
+//
+// Everything here is a plain value / pure function: no sockets, no
+// threads (src/net/http_server.hpp owns those), trivially benchable
+// (bench BM_HttpParseRequest) and fuzzable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bat::net {
+
+/// Header names are lower-cased at parse time (field names are
+/// case-insensitive on the wire); values keep their bytes, OWS-trimmed.
+using HeaderList = std::vector<std::pair<std::string, std::string>>;
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ... (token, upper-case expected)
+  std::string target;   // origin-form, e.g. "/v1/sessions:run"
+  int version_minor = 1;  // HTTP/1.<minor>; parser accepts 0 and 1
+  HeaderList headers;
+  std::string body;
+
+  /// First header with this (lower-case) name, nullptr when absent.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+  /// Persistent-connection semantics for this request's version.
+  [[nodiscard]] bool keep_alive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  HeaderList headers;  // content-length/connection are added on serialize
+  std::string body;
+
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+};
+
+/// Canonical reason phrase ("OK", "Bad Request", ...).
+[[nodiscard]] const char* status_reason(int status);
+
+struct ParseLimits {
+  std::size_t max_head_bytes = 16 * 1024;        // request/status line + headers
+  std::size_t max_body_bytes = 1 * 1024 * 1024;  // Content-Length cap
+  std::size_t max_headers = 100;
+};
+
+enum class ParseStatus {
+  kIncomplete,    // need more bytes
+  kOk,            // one full message parsed; `consumed` bytes eaten
+  kBadRequest,    // malformed -> 400
+  kBodyTooLarge,  // Content-Length over the limit -> 413
+  kHeadTooLarge,  // header block over the limit -> 431
+};
+
+struct ParseResult {
+  ParseStatus status = ParseStatus::kIncomplete;
+  std::size_t consumed = 0;  // valid when status == kOk
+  std::string error;         // human-readable when malformed/oversize
+};
+
+/// Parses one complete request from the front of `buffer`.
+[[nodiscard]] ParseResult parse_request(std::string_view buffer,
+                                        HttpRequest& out,
+                                        const ParseLimits& limits = {});
+
+/// Parses one complete response from the front of `buffer`. Strict
+/// about framing: a response without Content-Length is an error (this
+/// subset never sends one).
+[[nodiscard]] ParseResult parse_response(std::string_view buffer,
+                                         HttpResponse& out,
+                                         const ParseLimits& limits = {});
+
+/// Serializes with content-length and "connection: keep-alive|close"
+/// added; headers already present in the message are passed through.
+[[nodiscard]] std::string serialize_response(const HttpResponse& response,
+                                             bool keep_alive);
+[[nodiscard]] std::string serialize_request(const HttpRequest& request,
+                                            bool keep_alive);
+
+}  // namespace bat::net

@@ -1,0 +1,236 @@
+#include "net/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "common/json.hpp"
+
+namespace bat::net {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error("http server: " + what + ": " +
+                           std::strerror(errno));
+}
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a peer that closed mid-response must surface as an
+    // error return, not a process-wide SIGPIPE.
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void set_nodelay(int fd) {
+  // Request/response over loopback without TCP_NODELAY hits the
+  // Nagle + delayed-ACK interaction: ~40ms per round trip.
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+HttpResponse error_response(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.headers.emplace_back("content-type", "application/json");
+  common::JsonObject body;
+  body.emplace("error", message);
+  response.body = common::Json(std::move(body)).dump();
+  return response;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(ServerOptions options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {
+  if (!handler_) {
+    throw std::invalid_argument("http server: handler must be callable");
+  }
+  if (options_.workers == 0) options_.workers = 1;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  std::lock_guard lifecycle(lifecycle_mutex_);
+  if (started_) {
+    throw std::runtime_error("http server: start() called twice");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) sys_fail("socket");
+
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("http server: invalid IPv4 host '" +
+                             options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    sys_fail("bind " + options_.host + ":" + std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    sys_fail("listen");
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    sys_fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  pool_ = std::make_unique<common::ThreadPool>(options_.workers);
+  running_.store(true);
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  std::lock_guard lifecycle(lifecycle_mutex_);
+  if (!started_) return;
+  if (running_.exchange(false)) {
+    // Unblock accept(2); close comes after the thread joined.
+    (void)::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Unblock every worker parked in recv(2); the worker closes its fd.
+    std::lock_guard lock(connections_mutex_);
+    for (const int fd : connections_) (void)::shutdown(fd, SHUT_RDWR);
+  }
+  pool_.reset();  // drains queued connections, joins workers
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  started_ = false;
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS) {
+        // Resource exhaustion is transient (connections close, fds
+        // free up): a deaf-but-alive server would be worse. Back off
+        // briefly instead of spinning.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // stop() shut the listener down (or it genuinely died)
+    }
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    set_nodelay(fd);
+    {
+      std::lock_guard lock(connections_mutex_);
+      if (connections_.size() >= options_.max_connections) {
+        (void)send_all(fd, serialize_response(
+                               error_response(503, "connection limit reached"),
+                               /*keep_alive=*/false));
+        ::close(fd);
+        continue;
+      }
+      connections_.insert(fd);
+    }
+    accepted_.fetch_add(1);
+    pool_->submit([this, fd] { handle_connection(fd); });
+  }
+}
+
+HttpResponse HttpServer::dispatch(const HttpRequest& request) {
+  try {
+    return handler_(request);
+  } catch (const std::exception& e) {
+    return error_response(500, e.what());
+  } catch (...) {
+    return error_response(500, "unknown handler failure");
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[16 * 1024];
+  bool open = true;
+  while (open && running_.load()) {
+    HttpRequest request;
+    const ParseResult parsed =
+        parse_request(buffer, request, options_.limits);
+    if (parsed.status == ParseStatus::kIncomplete) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;  // peer closed / stop() shut us down
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+
+    HttpResponse response;
+    bool keep = false;
+    if (parsed.status == ParseStatus::kOk) {
+      buffer.erase(0, parsed.consumed);
+      keep = request.keep_alive();
+      response = dispatch(request);
+      served_.fetch_add(1);
+    } else {
+      // Malformed or oversize: answer, then close — the framing of
+      // anything that follows in the stream cannot be trusted.
+      const int status =
+          parsed.status == ParseStatus::kBodyTooLarge ? 413
+          : parsed.status == ParseStatus::kHeadTooLarge ? 431
+                                                        : 400;
+      response = error_response(status, parsed.error);
+    }
+    keep = keep && running_.load();
+    if (!send_all(fd, serialize_response(response, keep))) break;
+    open = keep;
+  }
+  {
+    // Untrack before close: once the fd number is released it may be
+    // reused by any thread in the process, and a late stop() shutdown
+    // on the stale number would hit the wrong file.
+    std::lock_guard lock(connections_mutex_);
+    connections_.erase(fd);
+  }
+  (void)::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+}  // namespace bat::net

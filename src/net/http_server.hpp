@@ -1,0 +1,117 @@
+// HttpServer: blocking accept thread + per-connection worker pool.
+//
+// The service front-end the tuning API sits behind. Design:
+//
+//   * one dedicated accept thread blocks in accept(2) on the listening
+//     socket; every accepted connection is handed to a private
+//     common::ThreadPool task that owns the connection until it closes
+//     (keep-alive: one worker services a connection's whole request
+//     stream — with C concurrent persistent clients you want
+//     workers >= C, which is why the pool size is an explicit option
+//     and not hardware_concurrency);
+//   * per-connection loop: recv into a growing buffer, net::parse_request
+//     until one full message is framed, dispatch to the handler, send
+//     the serialized response, repeat while keep-alive (pipelined
+//     requests already in the buffer are served without another recv);
+//   * strictness maps onto wire errors, never exceptions: malformed
+//     input -> 400 + close, oversize header block -> 431 + close,
+//     oversize body -> 413 + close, handler throw -> 500 (connection
+//     survives: the request was well-formed), connection cap -> 503;
+//   * stop(): shutdown(2) on the listening socket unblocks the accept
+//     thread, shutdown(2) on every open connection unblocks workers
+//     mid-recv, then the pool drains and joins. Idempotent, and the
+//     destructor calls it.
+//
+// Bounds: the parse limits bound per-connection memory; max_connections
+// bounds fd/worker-queue usage. An idle keep-alive connection pins a
+// pool worker until the peer or stop() closes it — acceptable for the
+// trusted-LAN deployments this subset targets, documented so nobody
+// points it at the open internet.
+//
+// Thread-safety: start/stop/port/stats are safe from any thread; the
+// handler runs concurrently on pool workers and must be thread-safe
+// itself (api::ApiServer is).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "common/thread_pool.hpp"
+#include "net/http.hpp"
+
+namespace bat::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral, read back via port()
+  /// Connection-handling workers. Each keep-alive connection occupies
+  /// one worker for its lifetime; size to the expected client count.
+  std::size_t workers = 8;
+  /// Accepted-but-not-closed cap; beyond it new connections get 503.
+  std::size_t max_connections = 256;
+  ParseLimits limits;
+};
+
+class HttpServer {
+ public:
+  /// Handler: request in, response out. Runs on pool workers; throwing
+  /// yields a 500 with the exception message in a JSON body.
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(ServerOptions options, Handler handler);
+  ~HttpServer();  // stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and spawns the accept thread. Throws
+  /// std::runtime_error on bind/listen failure. Call once.
+  void start();
+
+  /// Stops accepting, unblocks and drains every connection worker.
+  /// Idempotent; safe to call without start().
+  void stop();
+
+  /// The bound port (resolves option port 0 to the ephemeral choice).
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return port_.load();
+  }
+  [[nodiscard]] bool running() const noexcept { return running_.load(); }
+
+  [[nodiscard]] std::uint64_t connections_accepted() const noexcept {
+    return accepted_.load();
+  }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return served_.load();
+  }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  [[nodiscard]] HttpResponse dispatch(const HttpRequest& request);
+
+  ServerOptions options_;
+  Handler handler_;
+
+  int listen_fd_ = -1;
+  std::atomic<std::uint16_t> port_{0};
+  std::atomic<bool> running_{false};
+  std::mutex lifecycle_mutex_;  // serializes start()/stop() (join, pool)
+  bool started_ = false;        // guarded by lifecycle_mutex_
+  std::thread accept_thread_;
+  std::unique_ptr<common::ThreadPool> pool_;
+
+  std::mutex connections_mutex_;
+  std::unordered_set<int> connections_;  // open fds, for stop() shutdown
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> served_{0};
+};
+
+}  // namespace bat::net

@@ -1,0 +1,232 @@
+// api/: the JSON API over TuningService — route dispatch without
+// sockets, then full loopback round trips:
+//   * end-to-end determinism: a session submitted over HTTP serializes
+//     to a trace byte-identical to run_inline of the same spec on a
+//     fresh service (the acceptance bar for the wire layer: transport
+//     must not perturb results);
+//   * two concurrent remote clients on one workload register
+//     cross_session_hits > 0 (the service's raison d'être survives the
+//     network hop);
+//   * spec (de)serialization strictness and the async job registry.
+// tools/ci.sh runs this binary under TSan: HTTP workers, service
+// workers and the sharded cache all interleave here.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api_server.hpp"
+#include "common/json.hpp"
+#include "net/http_client.hpp"
+#include "service/session_json.hpp"
+#include "service/tuning_service.hpp"
+
+namespace bat::api {
+namespace {
+
+using common::Json;
+
+service::SessionSpec small_spec(std::uint64_t seed = 42) {
+  service::SessionSpec spec;
+  spec.kernel = "pnpoly";  // smallest space: fast live evaluations
+  spec.tuner = "local";
+  spec.budget = 40;
+  spec.seed = seed;
+  spec.backend = "live";
+  return spec;
+}
+
+// ------------------------------------------------- spec json round trips --
+
+TEST(SessionJson, SpecRoundTripsAndAppliesDefaults) {
+  const auto spec = small_spec(7);
+  const auto round =
+      service::spec_from_json(Json::parse(service::to_json(spec).dump()));
+  EXPECT_EQ(round.kernel, spec.kernel);
+  EXPECT_EQ(round.tuner, spec.tuner);
+  EXPECT_EQ(round.device, spec.device);
+  EXPECT_EQ(round.budget, spec.budget);
+  EXPECT_EQ(round.seed, spec.seed);
+  EXPECT_EQ(round.backend, spec.backend);
+
+  const auto defaults = service::spec_from_json(Json::parse("{}"));
+  EXPECT_EQ(defaults.kernel, "gemm");
+  EXPECT_EQ(defaults.budget, 150u);
+}
+
+TEST(SessionJson, SpecRejectsUnknownKeysAndWrongTypes) {
+  EXPECT_THROW((void)service::spec_from_json(Json::parse(
+                   R"({"budjet": 10})")),
+               std::invalid_argument);
+  EXPECT_THROW((void)service::spec_from_json(Json::parse(
+                   R"({"budget": "ten"})")),
+               common::JsonTypeError);
+  EXPECT_THROW((void)service::spec_from_json(Json::parse(
+                   R"({"seed": -1})")),
+               common::JsonTypeError);
+  EXPECT_THROW((void)service::spec_from_json(Json::parse("[1,2]")),
+               common::JsonTypeError);
+}
+
+// ---------------------------------------------------- socket-free routes --
+
+TEST(ApiServer, RoutesWithoutSockets) {
+  service::TuningService svc;
+  ApiServer api(svc);  // never started: handle() directly
+
+  net::HttpRequest req;
+  req.method = "GET";
+  req.target = "/v1/spaces";
+  const auto spaces = api.handle(req);
+  EXPECT_EQ(spaces.status, 200);
+  const auto parsed = Json::parse(spaces.body);
+  EXPECT_EQ(parsed.at("spaces").as_array().size(), 7u);  // paper kernels
+
+  req.target = "/v1/nope";
+  EXPECT_EQ(api.handle(req).status, 404);
+  req.target = "/v1/sessions/99";
+  EXPECT_EQ(api.handle(req).status, 404);
+  req.target = "/v1/sessions/xyz";
+  EXPECT_EQ(api.handle(req).status, 400);
+  req.target = "/v1/stats";
+  req.method = "POST";
+  EXPECT_EQ(api.handle(req).status, 405);
+
+  req.method = "POST";
+  req.target = "/v1/sessions:run";
+  req.body = "{not json";
+  EXPECT_EQ(api.handle(req).status, 400);
+  req.body = R"({"kernell": "gemm"})";
+  EXPECT_EQ(api.handle(req).status, 400);
+
+  // A well-formed spec naming an unknown kernel is a *session* failure,
+  // reported in-band like everywhere else in the service layer.
+  req.body = R"({"kernel": "warpdrive", "budget": 5})";
+  const auto failed = api.handle(req);
+  EXPECT_EQ(failed.status, 200);
+  EXPECT_EQ(Json::parse(failed.body).at("status").as_string(), "failed");
+}
+
+// -------------------------------------------------------- loopback e2e ----
+
+TEST(ApiServer, SynchronousRunMatchesRunInlineByteForByte) {
+  const auto spec = small_spec(123);
+
+  // Local reference: a fresh service, run_inline, serialized here.
+  std::string local_trace;
+  {
+    service::TuningService svc;
+    const auto result = svc.run_inline(spec);
+    ASSERT_EQ(result.status, service::SessionStatus::kCompleted);
+    local_trace = service::to_json(result).at("trace").dump();
+  }
+
+  // Remote: same spec JSON over loopback HTTP into another service.
+  service::TuningService svc;
+  ApiServer api(svc);
+  api.start();
+  net::HttpClient client("127.0.0.1", api.port());
+  const auto response =
+      client.post("/v1/sessions:run", service::to_json(spec).dump());
+  ASSERT_EQ(response.status, 200);
+  const auto remote = Json::parse(response.body);
+  EXPECT_EQ(remote.at("status").as_string(), "completed");
+
+  // Byte-identical trace: same serializer, same measurements, same
+  // order — the transport added nothing and lost nothing.
+  EXPECT_EQ(remote.at("trace").dump(), local_trace);
+  ASSERT_FALSE(remote.at("best").is_null());
+  EXPECT_GT(remote.at("evaluations").as_uint(), 0u);
+  api.stop();
+}
+
+TEST(ApiServer, AsyncSubmitPollCompletes) {
+  service::TuningService svc;
+  ApiServer api(svc);
+  api.start();
+  net::HttpClient client("127.0.0.1", api.port());
+
+  const auto submitted =
+      client.post("/v1/sessions", service::to_json(small_spec(9)).dump());
+  ASSERT_EQ(submitted.status, 202);
+  const auto ticket = Json::parse(submitted.body);
+  const std::string id = ticket.at("id").as_string();
+  EXPECT_EQ(ticket.at("href").as_string(), "/v1/sessions/" + id);
+
+  // Poll until done (seconds of headroom; the session is tiny).
+  Json job;
+  for (int i = 0; i < 2000; ++i) {
+    const auto got = client.get("/v1/sessions/" + id);
+    ASSERT_EQ(got.status, 200);
+    job = Json::parse(got.body);
+    if (job.at("state").as_string() == "done") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(job.at("state").as_string(), "done");
+  EXPECT_EQ(job.at("result").at("status").as_string(), "completed");
+  EXPECT_EQ(job.at("result").at("evaluations").as_uint(), 40u);
+
+  const auto listing = Json::parse(client.get("/v1/sessions").body);
+  ASSERT_EQ(listing.at("sessions").as_array().size(), 1u);
+  EXPECT_EQ(listing.at("sessions").as_array()[0].at("state").as_string(),
+            "done");
+  api.stop();
+}
+
+TEST(ApiServer, TwoConcurrentRemoteClientsShareTheWorkloadCache) {
+  service::TuningService svc;
+  ApiServer api(svc);
+  api.start();
+
+  // Two clients, same workload, same seed: identical probe sequences
+  // guarantee overlap, so whoever evaluates first seeds the other's
+  // cross-session hits — while both sessions flow through real
+  // sockets and concurrent HTTP workers.
+  const std::string body = service::to_json(small_spec(77)).dump();
+  std::vector<std::thread> clients;
+  std::array<std::uint64_t, 2> evaluations{0, 0};
+  std::atomic<int> completed{0};
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      net::HttpClient client("127.0.0.1", api.port());
+      const auto response = client.post("/v1/sessions:run", body);
+      if (response.status != 200) return;
+      const auto result = Json::parse(response.body);
+      if (result.at("status").as_string() == "completed") {
+        completed.fetch_add(1);
+        evaluations[static_cast<std::size_t>(c)] =
+            result.at("evaluations").as_uint();
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(completed.load(), 2);
+  EXPECT_EQ(evaluations[0], evaluations[1]);  // identical specs, same run
+
+  net::HttpClient client("127.0.0.1", api.port());
+  const auto stats = Json::parse(client.get("/v1/stats").body);
+  EXPECT_GT(stats.at("cache").at("cross_session_hits").as_uint(), 0u);
+  EXPECT_EQ(stats.at("cache").at("evaluations").as_uint(), evaluations[0])
+      << "identical sessions must dedupe to one evaluation set";
+  EXPECT_GE(stats.at("http").at("connections_accepted").as_uint(), 3u);
+  api.stop();
+}
+
+TEST(ApiServer, SubmitAfterShutdownIs503) {
+  service::TuningService svc;
+  ApiServer api(svc);
+  api.start();
+  svc.shutdown();
+  net::HttpClient client("127.0.0.1", api.port());
+  const auto response =
+      client.post("/v1/sessions", service::to_json(small_spec()).dump());
+  EXPECT_EQ(response.status, 503);
+  api.stop();
+}
+
+}  // namespace
+}  // namespace bat::api

@@ -1,0 +1,208 @@
+// common::Json: the strict parser against hostile input, the writer's
+// invariants, and the uint64 widening regression.
+//
+// The parser fronts the network API, so everything a malicious or
+// buggy peer can send must map onto JsonParseError — never a crash,
+// hang, or silently wrong value (tools/ci.sh runs this binary under
+// ASan/UBSan, where the deep-nesting and truncation cases would light
+// up a recursion or read overflow).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace bat::common {
+namespace {
+
+// ------------------------------------------------------------- accessors --
+
+TEST(Json, AccessorsRoundTripEveryAlternative) {
+  JsonObject object;
+  object.emplace("b", true);
+  object.emplace("i", std::int64_t{-7});
+  object.emplace("d", 2.5);
+  object.emplace("s", "hi");
+  object.emplace("n", nullptr);
+  object.emplace("a", JsonArray{Json(1), Json(2)});
+  const Json json(std::move(object));
+
+  EXPECT_TRUE(json.is_object());
+  EXPECT_TRUE(json.at("b").as_bool());
+  EXPECT_EQ(json.at("i").as_int(), -7);
+  EXPECT_DOUBLE_EQ(json.at("d").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(json.at("i").as_double(), -7.0);  // int widens
+  EXPECT_EQ(json.at("s").as_string(), "hi");
+  EXPECT_TRUE(json.at("n").is_null());
+  EXPECT_EQ(json.at("a").as_array().size(), 2u);
+  EXPECT_EQ(json.find("missing"), nullptr);
+  EXPECT_THROW((void)json.at("missing"), JsonTypeError);
+  EXPECT_THROW((void)json.at("s").as_int(), JsonTypeError);
+  EXPECT_THROW((void)json.at("d").as_int(), JsonTypeError);  // 2.5 not int
+  EXPECT_THROW((void)json.at("i").as_bool(), JsonTypeError);
+}
+
+TEST(Json, AsUintRejectsNegatives) {
+  EXPECT_EQ(Json(std::int64_t{42}).as_uint(), 42u);
+  EXPECT_THROW((void)Json(std::int64_t{-1}).as_uint(), JsonTypeError);
+  EXPECT_THROW((void)Json(-0.5).as_uint(), JsonTypeError);
+}
+
+// Regression: Json(std::uint64_t) used to static_cast straight to
+// int64, so anything above INT64_MAX wrapped negative on the wire.
+TEST(Json, Uint64AboveInt64MaxWidensToDoubleInsteadOfWrapping) {
+  const std::uint64_t half = std::uint64_t{1} << 63;
+  EXPECT_EQ(Json(half).dump(), "9223372036854775808");
+  EXPECT_EQ(Json(std::numeric_limits<std::uint64_t>::max()).dump(),
+            "18446744073709551616");
+  // In-range values still serialize exactly as integers.
+  EXPECT_EQ(Json(std::uint64_t{std::numeric_limits<std::int64_t>::max()})
+                .dump(),
+            "9223372036854775807");
+  EXPECT_EQ(Json(std::uint64_t{0}).dump(), "0");
+}
+
+// --------------------------------------------------------- parse: honest --
+
+TEST(JsonParse, ScalarsAndWhitespace) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("  true ").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_EQ(Json::parse("-123").as_int(), -123);
+  EXPECT_EQ(Json::parse("0").as_int(), 0);
+  EXPECT_DOUBLE_EQ(Json::parse("0.25").as_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Json::parse("-1e3").as_double(), -1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("2E+2").as_double(), 200.0);
+  EXPECT_EQ(Json::parse("\"\"").as_string(), "");
+}
+
+TEST(JsonParse, Int64BoundariesStayIntegers) {
+  EXPECT_EQ(Json::parse("9223372036854775807").as_int(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(Json::parse("-9223372036854775808").as_int(),
+            std::numeric_limits<std::int64_t>::min());
+  // One past the boundary widens to double (same policy as the uint64
+  // constructor) instead of failing or wrapping.
+  const Json wide = Json::parse("9223372036854775808");
+  EXPECT_TRUE(wide.is_number());
+  EXPECT_FALSE(wide.is_int());
+  EXPECT_EQ(wide.as_uint(), std::uint64_t{1} << 63);
+}
+
+TEST(JsonParse, StringsDecodeEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\/d\n\t\r\b\f")").as_string(),
+            "a\"b\\c/d\n\t\r\b\f");
+  // \u escapes re-encode as UTF-8: BMP, and a surrogate pair (U+1F600).
+  EXPECT_EQ(Json::parse(R"("\u0041\u00e9\u20ac")").as_string(),
+            "A\xC3\xA9\xE2\x82\xAC");
+  EXPECT_EQ(Json::parse(R"("\ud83d\ude00")").as_string(),
+            "\xF0\x9F\x98\x80");
+  // Raw UTF-8 bytes >= 0x20 pass through untouched.
+  EXPECT_EQ(Json::parse("\"A\xC3\xA9\"").as_string(), "A\xC3\xA9");
+}
+
+TEST(JsonParse, CompositeRoundTripsThroughDump) {
+  const std::string text =
+      R"({"a":[1,2.5,"x",null,true],"b":{"nested":[[]]},"c":-9})";
+  const Json parsed = Json::parse(text);
+  EXPECT_EQ(parsed.dump(), text);  // JsonObject sorts keys; input sorted
+  EXPECT_EQ(Json::parse(parsed.dump(2)).dump(), text);  // pretty survives
+}
+
+TEST(JsonParse, ObjectAndArrayShapes) {
+  EXPECT_TRUE(Json::parse("{}").as_object().empty());
+  EXPECT_TRUE(Json::parse("[]").as_array().empty());
+  EXPECT_EQ(Json::parse("[[[[1]]]]").dump(), "[[[[1]]]]");
+}
+
+// -------------------------------------------------------- parse: hostile --
+
+void expect_rejected(const std::string& text) {
+  EXPECT_THROW((void)Json::parse(text), JsonParseError)
+      << "accepted: " << text;
+}
+
+TEST(JsonParse, TruncatedInputs) {
+  for (const char* text :
+       {"", "  ", "{", "[", "[1,", "{\"a\"", "{\"a\":", "{\"a\":1",
+        "\"abc", "\"abc\\", "\"ab\\u00", "tru", "-", "1.", "1e", "1e+",
+        "[1,2", "{\"a\":1,"}) {
+    expect_rejected(text);
+  }
+}
+
+TEST(JsonParse, TrailingGarbage) {
+  for (const char* text : {"1 x", "{} {}", "[1]]", "null,", "12 34"}) {
+    expect_rejected(text);
+  }
+}
+
+TEST(JsonParse, MalformedNumbers) {
+  for (const char* text :
+       {"01", "-01", "+1", ".5", "1.e3", "0x10", "NaN", "Infinity",
+        "-Infinity", "--1", "1e"}) {
+    expect_rejected(text);
+  }
+}
+
+TEST(JsonParse, NumbersOutOfRangeAreErrorsNotInfinities) {
+  expect_rejected("1e999");
+  expect_rejected("-1e999");
+  expect_rejected("[1e309]");
+}
+
+TEST(JsonParse, BadEscapesAndRawControls) {
+  expect_rejected(R"("\x41")");
+  expect_rejected(R"("\u12g4")");
+  expect_rejected(R"("\ud83d")");          // lone high surrogate
+  expect_rejected(R"("\ud83dA")");    // high + non-surrogate
+  expect_rejected(R"("\ude00")");          // lone low surrogate
+  expect_rejected("\"a\nb\"");             // raw newline inside string
+  expect_rejected(std::string("\"a\x01")
+                      .append("b\""));     // raw control char
+}
+
+TEST(JsonParse, DuplicateKeysAreRejected) {
+  expect_rejected(R"({"a":1,"a":2})");
+  expect_rejected(R"({"k":{},"x":1,"k":{}})");
+  // ...but the same key in sibling objects is fine.
+  EXPECT_NO_THROW((void)Json::parse(R"({"a":{"k":1},"b":{"k":2}})"));
+}
+
+TEST(JsonParse, DeepNestingIsBoundedNotACrash) {
+  // 100k opening brackets: a recursive parser without a depth bound
+  // would blow the stack long before reading the closers.
+  const std::string bomb(100'000, '[');
+  expect_rejected(bomb);
+  const std::string object_bomb = []() {
+    std::string s;
+    for (int i = 0; i < 100'000; ++i) s += "{\"a\":";
+    return s;
+  }();
+  expect_rejected(object_bomb);
+  // The bound is configurable: depth 3 fits in max_depth 3...
+  EXPECT_NO_THROW((void)Json::parse("[[[1]]]", 3));
+  // ...depth 4 does not.
+  EXPECT_THROW((void)Json::parse("[[[[1]]]]", 3), JsonParseError);
+}
+
+TEST(JsonParse, ObjectKeysMustBeStrings) {
+  expect_rejected("{1:2}");
+  expect_rejected("{true:1}");
+  expect_rejected("{:1}");
+}
+
+TEST(JsonParse, ErrorsCarryByteOffsets) {
+  try {
+    (void)Json::parse("[1, 2, oops]");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("byte 7"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace bat::common

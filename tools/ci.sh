@@ -45,11 +45,14 @@ echo "=== ctest ==="
 # (cd instead of --test-dir: the latter needs CTest >= 3.20, we support 3.16)
 (cd "${BUILD_DIR}" && ctest --output-on-failure -j "${JOBS}")
 
-echo "=== ASan/UBSan build of evaluator + thread-pool + compiled-space + io tests ==="
+echo "=== ASan/UBSan build of evaluator + thread-pool + compiled-space + io + json/net tests ==="
+# common_json_test feeds the parser hostile input (truncations, nesting
+# bombs, bad escapes) and net_http_test malformed wire bytes — exactly
+# the binaries where ASan/UBSan have teeth.
 SAN_DIR="${BUILD_DIR}-asan"
 SAN_TESTS=(core_backend_test core_dataset_evaluator_test
            common_thread_pool_test core_compiled_space_test
-           io_dataset_test)
+           io_dataset_test common_json_test net_http_test)
 cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DBAT_SANITIZE=ON
 cmake --build "${SAN_DIR}" -j "${JOBS}" --target "${SAN_TESTS[@]}"
 for t in "${SAN_TESTS[@]}"; do
@@ -62,7 +65,10 @@ echo "=== TSan build of service + thread-pool + backend tests ==="
 # (worker pool, sharded cache, cancellation token); run it under
 # ThreadSanitizer in addition to the ASan/UBSan pass above.
 TSAN_DIR="${BUILD_DIR}-tsan"
-TSAN_TESTS=(service_test common_thread_pool_test core_backend_test)
+# net_http_test/api_http_test add the HTTP worker pool + accept thread
+# + job registry interleavings on top of the service-layer sharing.
+TSAN_TESTS=(service_test common_thread_pool_test core_backend_test
+            net_http_test api_http_test)
 cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DBAT_SANITIZE_THREAD=ON
 cmake --build "${TSAN_DIR}" -j "${JOBS}" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
@@ -75,7 +81,13 @@ echo "=== io stage: dataset convert round-trip smoke ==="
 # bit-identical on a freshly swept archive (docs/dataset-format.md),
 # and the archive must pass its CRC.
 IO_TMP="$(mktemp -d)"
-trap 'rm -rf "${IO_TMP}"' EXIT
+NET_TMP="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [ -n "${SERVE_PID}" ] && kill -9 "${SERVE_PID}" 2>/dev/null || true
+  rm -rf "${IO_TMP}" "${NET_TMP}"
+}
+trap cleanup EXIT
 "${BUILD_DIR}/tune" sweep --kernel pnpoly --exhaustive \
     --out "${IO_TMP}/pnpoly.bin" --chunk 1024
 "${BUILD_DIR}/tune" info --dataset "${IO_TMP}/pnpoly.bin" --verify
@@ -86,6 +98,51 @@ trap 'rm -rf "${IO_TMP}"' EXIT
 "${BUILD_DIR}/tune" convert --in "${IO_TMP}/b.bin" --out "${IO_TMP}/b.csv"
 cmp "${IO_TMP}/a.csv" "${IO_TMP}/b.csv"
 echo "csv -> binary -> csv round-trip is bit-identical"
+
+echo "=== net stage: serve + remote round trip over loopback ==="
+# Start the release server on an ephemeral port, drive it with the
+# remote client (sync gemm replay run, async submit/poll, stats), stop
+# it with SIGINT and require a clean exit — the end-to-end path a
+# remote tuner client takes, against the same binary users run.
+"${BUILD_DIR}/tune" serve --port 0 > "${NET_TMP}/serve.log" 2>&1 &
+SERVE_PID=$!
+NET_PORT=""
+for _ in $(seq 1 100); do
+  NET_PORT="$(grep -oE 'http://[0-9.]+:[0-9]+' "${NET_TMP}/serve.log" \
+                | grep -oE '[0-9]+$' || true)"
+  [ -n "${NET_PORT}" ] && break
+  sleep 0.1
+done
+[ -n "${NET_PORT}" ] || { echo "tune serve never came up"; exit 1; }
+SERVER="127.0.0.1:${NET_PORT}"
+"${BUILD_DIR}/tune" remote run --server "${SERVER}" --kernel gemm \
+    --tuner local --budget 50 --backend replay
+"${BUILD_DIR}/tune" remote run --server "${SERVER}" --kernel gemm \
+    --tuner local --budget 50 --backend replay --async
+"${BUILD_DIR}/tune" remote get --server "${SERVER}" --id 1 > /dev/null
+"${BUILD_DIR}/tune" remote stats --server "${SERVER}" \
+    | grep -q '"cross_session_hits": [1-9]' \
+    || { echo "expected cross-session hits across remote clients"; exit 1; }
+"${BUILD_DIR}/tune" remote spaces --server "${SERVER}" > /dev/null
+kill -INT "${SERVE_PID}"
+wait "${SERVE_PID}" || { echo "tune serve exited non-zero"; exit 1; }
+SERVE_PID=""
+echo "serve/remote round trip ok (port ${NET_PORT})"
+
+echo "=== net throughput (BENCH_net.json) ==="
+# Loopback keep-alive throughput from the release build; the floor is
+# deliberately far below what a laptop core does (~100x headroom) so
+# the gate catches structural regressions, not machine noise.
+"${BUILD_DIR}/net_throughput" --clients 4 --seconds 2 --out BENCH_net.json
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_net.json") as f:
+    report = json.load(f)
+rps = report["requests_per_second"]
+print(f"sustained {rps:.0f} req/s on {report['endpoint']} "
+      f"with {report['clients']} keep-alive clients")
+sys.exit(0 if rps >= 1000 and report["failures"] == 0 else 1)
+EOF
 
 echo "=== bench smoke (sanitized, reduced sizes) ==="
 # table8 on the two smallest spaces with a light GBDT drives the whole
@@ -103,7 +160,7 @@ if echo "${SAN_TARGETS}" \
     | grep -q '^\.\.\. micro_framework\|^micro_framework'; then
   cmake --build "${SAN_DIR}" -j "${JOBS}" --target micro_framework
   "${SAN_DIR}/micro_framework" \
-      --benchmark_filter='Neighbors|FfgBuild|BatchEvaluateReplay' \
+      --benchmark_filter='Neighbors|FfgBuild|BatchEvaluateReplay|HttpParseRequest|SessionResultToJson' \
       --benchmark_min_time=0.05
 
   echo "=== io perf data points (BENCH_io.json) ==="

@@ -44,15 +44,38 @@
 //   tune info   --dataset path [--verify]
 //       Archive metadata: format, benchmark/device/params, rows, valid
 //       rows, best time, chunk geometry; --verify checks the CRC.
+//
+//   tune serve  [--port 8080] [--host 127.0.0.1] [--http-workers 8]
+//               [--max-connections N] [--max-body BYTES] [--workers N]
+//               [--shards 16] [--dataset-dir DIR]
+//       Runs the HTTP/1.1 JSON API (docs/http-api.md) over one
+//       TuningService until SIGINT/SIGTERM. --port 0 picks an
+//       ephemeral port; the chosen one is printed on the "listening"
+//       line (and parsed by tools/ci.sh).
+//
+//   tune remote <run|get|stats|spaces> --server host:port [...]
+//       Client for a running `tune serve`:
+//         run    same spec flags as `tune run`; synchronous via
+//                POST /v1/sessions:run, or --async to submit and poll
+//                the job id ([--poll-ms 100]).
+//         get    --id N: one job from the registry.
+//         stats  cache/session/HTTP counters.
+//         spaces search-space statistics from the server.
+#include <charconv>
+#include <csignal>
 #include <cmath>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <map>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "api/api_server.hpp"
+#include "common/json.hpp"
 #include "common/statistics.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
@@ -63,6 +86,8 @@
 #include "io/dataset_view.hpp"
 #include "io/dataset_writer.hpp"
 #include "kernels/all_kernels.hpp"
+#include "net/http_client.hpp"
+#include "service/session_json.hpp"
 #include "service/tuning_service.hpp"
 
 namespace {
@@ -532,9 +557,216 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  args.require_known({"port", "host", "http-workers", "max-connections",
+                      "max-body", "workers", "shards", "dataset-dir"});
+  // Block the shutdown signals *before* any thread exists so every
+  // worker inherits the mask and sigwait below is the only consumer.
+  // The disposition must not be SIG_IGN (non-interactive shells start
+  // background jobs that way): an ignored signal is discarded even
+  // while blocked and would never reach sigwait.
+  std::signal(SIGINT, [](int) {});
+  std::signal(SIGTERM, [](int) {});
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  service::ServiceOptions service_options;
+  service_options.workers = args.get_size("workers", 0);
+  service_options.cache_shards = args.get_size("shards", 16);
+  service_options.dataset_dir = args.get("dataset-dir", "");
+  service::TuningService svc(service_options);
+
+  api::ApiOptions api_options;
+  api_options.http.host = args.get("host", "127.0.0.1");
+  const std::size_t port = args.get_size("port", 8080);
+  if (port > 65535) {
+    throw std::invalid_argument("--port must be <= 65535, got " +
+                                std::to_string(port));
+  }
+  api_options.http.port = static_cast<std::uint16_t>(port);
+  api_options.http.workers = args.get_size("http-workers", 8);
+  api_options.http.max_connections = args.get_size("max-connections", 256);
+  api_options.http.limits.max_body_bytes =
+      args.get_size("max-body", 1024 * 1024);
+  api::ApiServer server(svc, api_options);
+  server.start();
+
+  std::printf("tune serve: listening on http://%s:%u "
+              "(http workers=%zu, service workers=%zu)\n",
+              api_options.http.host.c_str(), server.port(),
+              api_options.http.workers, svc.workers());
+  std::fflush(stdout);  // scripts parse this line for the ephemeral port
+
+  int signal_number = 0;
+  sigwait(&signals, &signal_number);
+  std::printf("tune serve: caught %s, draining\n",
+              signal_number == SIGINT ? "SIGINT" : "SIGTERM");
+
+  // Cancel first, then drain: shutdown() flips the cooperative token
+  // so in-flight sessions (HTTP workers blocked in run_inline) stop at
+  // their next batch boundary — stopping the server first would join
+  // those workers only after their sessions ran to natural completion.
+  svc.shutdown();
+  server.stop();
+  std::printf("http: %llu connections, %llu requests\n",
+              static_cast<unsigned long long>(
+                  server.http().connections_accepted()),
+              static_cast<unsigned long long>(
+                  server.http().requests_served()));
+  print_cache_stats(svc);
+  return 0;
+}
+
+// --------------------------------------------------------- remote client --
+
+/// "--server host:port" -> a connected-on-demand client.
+net::HttpClient remote_client(const Args& args) {
+  const std::string server = args.get("server", "");
+  const std::size_t colon = server.rfind(':');
+  if (server.empty() || colon == std::string::npos) {
+    throw std::invalid_argument(
+        "tune remote requires --server <host:port>");
+  }
+  const std::string host = server.substr(0, colon);
+  const std::string port_text = server.substr(colon + 1);
+  unsigned port = 0;
+  const auto [ptr, ec] = std::from_chars(
+      port_text.data(), port_text.data() + port_text.size(), port);
+  if (port_text.empty() || ec != std::errc() ||
+      ptr != port_text.data() + port_text.size() || port == 0 ||
+      port > 65535) {
+    throw std::invalid_argument("invalid --server port '" + port_text + "'");
+  }
+  return net::HttpClient(host, static_cast<std::uint16_t>(port));
+}
+
+/// Non-2xx: print the server's error body and fail the command.
+bool remote_ok(const net::HttpResponse& response) {
+  if (response.status >= 200 && response.status < 300) return true;
+  std::fprintf(stderr, "server returned %d %s: %s\n", response.status,
+               net::status_reason(response.status), response.body.c_str());
+  return false;
+}
+
+/// Renders a SessionResult JSON like cmd_run renders the in-process
+/// struct (best config decoded through the locally compiled space).
+int print_remote_result(const common::Json& result) {
+  const auto& spec = result.at("spec");
+  std::printf("session %s/%s device=%llu budget=%llu seed=%llu backend=%s\n",
+              spec.at("kernel").as_string().c_str(),
+              spec.at("tuner").as_string().c_str(),
+              static_cast<unsigned long long>(spec.at("device").as_uint()),
+              static_cast<unsigned long long>(spec.at("budget").as_uint()),
+              static_cast<unsigned long long>(spec.at("seed").as_uint()),
+              spec.at("backend").as_string().c_str());
+  const std::string& status = result.at("status").as_string();
+  const std::string& error = result.at("error").as_string();
+  std::printf("status: %s%s%s\n", status.c_str(), error.empty() ? "" : " - ",
+              error.c_str());
+  if (status == "failed") return 1;
+  std::printf("distinct evaluations: %llu, server wall: %.1fms\n",
+              static_cast<unsigned long long>(
+                  result.at("evaluations").as_uint()),
+              result.at("wall_ms").as_double());
+  const auto& best = result.at("best");
+  if (!best.is_null()) {
+    const auto index = best.at("index").as_uint();
+    std::printf("best: %.4fms at config index %llu\n",
+                best.at("objective").as_double(),
+                static_cast<unsigned long long>(index));
+    const auto bench = kernels::make(spec.at("kernel").as_string());
+    core::Config best_config;
+    bench->space().compiled().decode_into(index, best_config);
+    const auto& names = bench->space().params().param_names();
+    std::printf("best config:");
+    for (std::size_t p = 0; p < names.size(); ++p) {
+      std::printf(" %s=%lld", names[p].c_str(),
+                  static_cast<long long>(best_config[p]));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_remote_run(const Args& args) {
+  args.require_known({"server", "kernel", "tuner", "device", "budget",
+                      "seed", "backend", "async", "poll-ms"});
+  service::SessionSpec spec;
+  spec.kernel = args.get("kernel", "gemm");
+  spec.tuner = args.get("tuner", "local");
+  spec.budget = args.get_size("budget", 150);
+  spec.seed = args.get_size("seed", 42);
+  spec.backend = args.get("backend", "live");
+  spec.device =
+      resolve_device(*kernels::make(spec.kernel), args.get("device", "0"));
+  const std::string body = service::to_json(spec).dump();
+
+  auto client = remote_client(args);
+  if (!args.has("async")) {
+    const auto response = client.post("/v1/sessions:run", body);
+    if (!remote_ok(response)) return 1;
+    return print_remote_result(common::Json::parse(response.body));
+  }
+
+  const auto submitted = client.post("/v1/sessions", body);
+  if (!remote_ok(submitted)) return 1;
+  const auto ticket = common::Json::parse(submitted.body);
+  const std::string& id = ticket.at("id").as_string();
+  std::printf("submitted as session %s\n", id.c_str());
+  const auto poll = std::chrono::milliseconds(args.get_size("poll-ms", 100));
+  while (true) {
+    const auto response = client.get("/v1/sessions/" + id);
+    if (!remote_ok(response)) return 1;
+    const auto job = common::Json::parse(response.body);
+    if (job.at("state").as_string() == "done") {
+      return print_remote_result(job.at("result"));
+    }
+    std::this_thread::sleep_for(poll);
+  }
+}
+
+int cmd_remote_get(const Args& args) {
+  args.require_known({"server", "id"});
+  if (!args.has("id")) {
+    std::fprintf(stderr, "tune remote get requires --id <n>\n");
+    return 2;
+  }
+  auto client = remote_client(args);
+  const auto response = client.get("/v1/sessions/" + args.get("id", ""));
+  if (!remote_ok(response)) return 1;
+  std::printf("%s\n", common::Json::parse(response.body).dump(2).c_str());
+  return 0;
+}
+
+int cmd_remote_simple(const Args& args, const std::string& target) {
+  args.require_known({"server"});
+  auto client = remote_client(args);
+  const auto response = client.get(target);
+  if (!remote_ok(response)) return 1;
+  std::printf("%s\n", common::Json::parse(response.body).dump(2).c_str());
+  return 0;
+}
+
+int cmd_remote(const Args& args) {
+  const std::string sub =
+      args.positional.empty() ? "" : args.positional.front();
+  if (sub == "run") return cmd_remote_run(args);
+  if (sub == "get") return cmd_remote_get(args);
+  if (sub == "stats") return cmd_remote_simple(args, "/v1/stats");
+  if (sub == "spaces") return cmd_remote_simple(args, "/v1/spaces");
+  std::fprintf(stderr,
+               "usage: tune remote <run|get|stats|spaces> --server "
+               "host:port [--flags...]\n");
+  return 2;
+}
+
 void print_usage() {
   std::fputs(
-      "usage: tune <run|grid|replay|spaces|sweep|convert|info> [--flags...]\n"
+      "usage: tune <run|grid|replay|spaces|sweep|convert|info|serve|remote>"
+      " [--flags...]\n"
       "  run     --kernel K --tuner T [--device D] [--budget N] [--seed S]\n"
       "          [--backend live|replay] [--dataset path.{csv,bin}]\n"
       "  grid    --kernels a,b --tuners x,y --sessions N [--budget N]\n"
@@ -548,8 +780,15 @@ void print_usage() {
       "          [--seed S] [--exhaustive] [--chunk ROWS] [--batch ROWS]\n"
       "  convert --in path --out path [--chunk ROWS] [--verify]\n"
       "  info    --dataset path [--verify]\n"
-      "see docs/reproducing-the-paper.md for figure/table recipes and\n"
-      "docs/dataset-format.md for the binary archive layout\n",
+      "  serve   [--port 8080] [--host H] [--http-workers N]\n"
+      "          [--max-connections N] [--max-body BYTES] [--workers N]\n"
+      "          [--shards P] [--dataset-dir DIR]\n"
+      "  remote  <run|get|stats|spaces> --server host:port\n"
+      "          run: spec flags like `tune run` [--async] [--poll-ms MS]\n"
+      "          get: --id N\n"
+      "see docs/reproducing-the-paper.md for figure/table recipes,\n"
+      "docs/dataset-format.md for the binary archive layout and\n"
+      "docs/http-api.md for the serve/remote wire protocol\n",
       stderr);
 }
 
@@ -570,6 +809,8 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(args);
     if (command == "convert") return cmd_convert(args);
     if (command == "info") return cmd_info(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "remote") return cmd_remote(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tune %s: %s\n", command.c_str(), e.what());
     return 1;
