@@ -1,17 +1,31 @@
-// net_throughput: loopback request throughput of the HTTP/1.1 API.
+// net_throughput: loopback throughput + latency of the HTTP/1.1 API.
 //
-// N concurrent keep-alive clients hammer one endpoint (default
-// GET /v1/stats — the cheap status probe a fleet of tuner clients
-// polls between sessions) against an in-process `tune serve` stack:
-// real sockets, real HTTP framing, the real ApiServer handler over a
-// TuningService. Reports aggregate and per-client requests/sec and
-// writes the numbers to a JSON file (tools/ci.sh publishes it as
-// BENCH_net.json), with the acceptance bar being >= 1k req/s sustained
-// with keep-alive on a single core.
+// Drives an in-process `tune serve` stack (real sockets, real HTTP
+// framing, the real ApiServer handler over a TuningService) through
+// three scenarios and writes one JSON report (tools/ci.sh publishes it
+// as BENCH_net.json):
 //
-//   net_throughput [--clients 4] [--seconds 2] [--endpoint /v1/stats]
-//                  [--http-workers N (default: clients)]
-//                  [--out BENCH_net.json]
+//   baseline          N keep-alive clients in a synchronous request
+//                     loop — the PR-5 bench, now also reporting p50/p99
+//                     request latency.
+//   high_concurrency  C connections (default 1024) multiplexed over a
+//                     few threads with pipelined send-all/read-all
+//                     rounds. The event-driven core's reason to exist:
+//                     per-connection-thread servers die here; the gate
+//                     is throughput within 0.8x of baseline.
+//   overload          offered load far above a configured per-client
+//                     token-bucket rate; well-behaved shedding means
+//                     goodput (200s) stays flat near the bucket rate
+//                     while 429s absorb the excess.
+//
+//   net_throughput [--scenario all|baseline|high_concurrency|overload]
+//                  [--clients 4] [--connections 1024] [--threads 4]
+//                  [--seconds 2] [--endpoint /v1/stats]
+//                  [--http-workers 4] [--overload-rps 2000]
+//                  [--overload-burst 200] [--out BENCH_net.json]
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -23,19 +37,25 @@
 
 #include "api/api_server.hpp"
 #include "common/json.hpp"
-#include "common/string_util.hpp"
+#include "common/statistics.hpp"
 #include "net/http_client.hpp"
 #include "service/tuning_service.hpp"
 
 namespace {
 
 using namespace bat;
+using clock_type = std::chrono::steady_clock;
 
 struct Options {
+  std::string scenario = "all";
   std::size_t clients = 4;
+  std::size_t connections = 1024;
+  std::size_t threads = 4;
   double seconds = 2.0;
   std::string endpoint = "/v1/stats";
-  std::size_t http_workers = 0;  // 0 = clients
+  std::size_t http_workers = 4;
+  double overload_rps = 2000.0;
+  double overload_burst = 200.0;
   std::string out = "BENCH_net.json";
 };
 
@@ -49,14 +69,24 @@ Options parse(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--clients") {
+    if (arg == "--scenario") {
+      options.scenario = value();
+    } else if (arg == "--clients") {
       options.clients = std::stoul(value());
+    } else if (arg == "--connections") {
+      options.connections = std::stoul(value());
+    } else if (arg == "--threads") {
+      options.threads = std::stoul(value());
     } else if (arg == "--seconds") {
       options.seconds = std::stod(value());
     } else if (arg == "--endpoint") {
       options.endpoint = value();
     } else if (arg == "--http-workers") {
       options.http_workers = std::stoul(value());
+    } else if (arg == "--overload-rps") {
+      options.overload_rps = std::stod(value());
+    } else if (arg == "--overload-burst") {
+      options.overload_burst = std::stod(value());
     } else if (arg == "--out") {
       options.out = value();
     } else {
@@ -64,8 +94,221 @@ Options parse(int argc, char** argv) {
     }
   }
   if (options.clients == 0) options.clients = 1;
-  if (options.http_workers == 0) options.http_workers = options.clients;
+  if (options.threads == 0) options.threads = 1;
+  if (options.connections < options.threads) {
+    options.connections = options.threads;
+  }
+  if (options.http_workers == 0) options.http_workers = 4;
+  if (options.scenario != "all" && options.scenario != "baseline" &&
+      options.scenario != "high_concurrency" &&
+      options.scenario != "overload") {
+    throw std::invalid_argument("unknown --scenario " + options.scenario);
+  }
   return options;
+}
+
+void raise_fd_limit(std::size_t needed) {
+  // A thousand client sockets + their server ends live in this one
+  // process; lift the soft RLIMIT_NOFILE toward the hard cap instead
+  // of failing with EMFILE on default-1024 configurations.
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  const rlim_t want = static_cast<rlim_t>(needed * 2 + 256);
+  if (limit.rlim_cur >= want) return;
+  limit.rlim_cur = limit.rlim_max == RLIM_INFINITY
+                       ? want
+                       : std::min<rlim_t>(want, limit.rlim_max);
+  (void)::setrlimit(RLIMIT_NOFILE, &limit);
+}
+
+struct ScenarioResult {
+  std::uint64_t requests = 0;   // responses received, any status
+  std::uint64_t failures = 0;   // transport errors + unexpected statuses
+  std::uint64_t admitted = 0;   // 200s
+  std::uint64_t rejected = 0;   // 429s (overload only)
+  std::uint64_t first_half_ok = 0;
+  std::uint64_t second_half_ok = 0;
+  double wall = 0.0;
+  std::vector<double> latencies_ms;
+
+  [[nodiscard]] double rps() const {
+    return wall > 0.0 ? static_cast<double>(requests) / wall : 0.0;
+  }
+  [[nodiscard]] double goodput() const {
+    return wall > 0.0 ? static_cast<double>(admitted) / wall : 0.0;
+  }
+};
+
+/// Merges per-thread partial results (latency vectors concatenate).
+void merge(ScenarioResult& into, ScenarioResult&& part) {
+  into.requests += part.requests;
+  into.failures += part.failures;
+  into.admitted += part.admitted;
+  into.rejected += part.rejected;
+  into.first_half_ok += part.first_half_ok;
+  into.second_half_ok += part.second_half_ok;
+  into.latencies_ms.insert(into.latencies_ms.end(),
+                           part.latencies_ms.begin(),
+                           part.latencies_ms.end());
+}
+
+double ms_between(clock_type::time_point begin, clock_type::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+/// baseline + overload: synchronous request loop per thread. `expect_429`
+/// tolerates rate-limit rejections (overload counts them as shed load,
+/// not failures).
+ScenarioResult sync_loop_scenario(const api::ApiServer& api,
+                                  const Options& options,
+                                  std::size_t thread_count,
+                                  bool expect_429) {
+  const auto start = clock_type::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<clock_type::duration>(
+                  std::chrono::duration<double>(options.seconds));
+  const auto midpoint =
+      start + std::chrono::duration_cast<clock_type::duration>(
+                  std::chrono::duration<double>(options.seconds / 2.0));
+
+  std::vector<ScenarioResult> parts(thread_count);
+  std::vector<std::thread> threads;
+  threads.reserve(thread_count);
+  for (std::size_t t = 0; t < thread_count; ++t) {
+    threads.emplace_back([&, t] {
+      ScenarioResult& part = parts[t];
+      try {
+        net::HttpClient client("127.0.0.1", api.port());
+        while (true) {
+          const auto sent = clock_type::now();
+          if (sent >= deadline) break;
+          const auto response = client.get(options.endpoint);
+          const auto got = clock_type::now();
+          ++part.requests;
+          part.latencies_ms.push_back(ms_between(sent, got));
+          if (response.status == 200) {
+            ++part.admitted;
+            ++(got < midpoint ? part.first_half_ok : part.second_half_ok);
+          } else if (response.status == 429 && expect_429) {
+            ++part.rejected;
+          } else {
+            ++part.failures;
+            break;
+          }
+        }
+      } catch (const std::exception& e) {
+        // A transport throw is a failed measurement, not a crash: the
+        // report (and CI) must still see the failure count.
+        std::fprintf(stderr, "net_throughput thread %zu: %s\n", t, e.what());
+        ++part.failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  ScenarioResult result;
+  result.wall = std::max(
+      options.seconds,
+      std::chrono::duration<double>(clock_type::now() - start).count());
+  for (auto& part : parts) merge(result, std::move(part));
+  return result;
+}
+
+/// high_concurrency: C connections multiplexed over a few threads with
+/// pipelined rounds — send one request on every connection, then read
+/// every response. Latency per request is send-to-read, so it includes
+/// the queueing a request experiences behind its round, which is the
+/// honest number under this load shape.
+ScenarioResult high_concurrency_scenario(const api::ApiServer& api,
+                                         const Options& options) {
+  const auto start = clock_type::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<clock_type::duration>(
+                  std::chrono::duration<double>(options.seconds));
+
+  std::vector<ScenarioResult> parts(options.threads);
+  std::vector<std::thread> threads;
+  threads.reserve(options.threads);
+  for (std::size_t t = 0; t < options.threads; ++t) {
+    // Spread the remainder so exactly `connections` sockets exist.
+    const std::size_t base = options.connections / options.threads;
+    const std::size_t mine =
+        base + (t < options.connections % options.threads ? 1 : 0);
+    threads.emplace_back([&, t, mine] {
+      ScenarioResult& part = parts[t];
+      try {
+        std::vector<std::unique_ptr<net::HttpClient>> clients;
+        clients.reserve(mine);
+        for (std::size_t c = 0; c < mine; ++c) {
+          clients.push_back(std::make_unique<net::HttpClient>(
+              "127.0.0.1", api.port()));
+        }
+        std::vector<clock_type::time_point> sent(mine);
+        while (clock_type::now() < deadline) {
+          for (std::size_t c = 0; c < mine; ++c) {
+            sent[c] = clock_type::now();
+            clients[c]->send_request("GET", options.endpoint);
+          }
+          for (std::size_t c = 0; c < mine; ++c) {
+            const auto response = clients[c]->read_response();
+            const auto got = clock_type::now();
+            ++part.requests;
+            part.latencies_ms.push_back(ms_between(sent[c], got));
+            if (response.status == 200) {
+              ++part.admitted;
+            } else {
+              ++part.failures;
+            }
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "net_throughput thread %zu: %s\n", t, e.what());
+        ++part.failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  ScenarioResult result;
+  result.wall = std::max(
+      options.seconds,
+      std::chrono::duration<double>(clock_type::now() - start).count());
+  for (auto& part : parts) merge(result, std::move(part));
+  return result;
+}
+
+common::JsonObject scenario_json(const ScenarioResult& result) {
+  common::JsonObject object;
+  object.emplace("requests", result.requests);
+  object.emplace("failures", result.failures);
+  object.emplace("seconds", result.wall);
+  object.emplace("requests_per_second", result.rps());
+  common::JsonObject latency;
+  if (result.latencies_ms.empty()) {
+    latency.emplace("p50", nullptr);
+    latency.emplace("p99", nullptr);
+  } else {
+    std::vector<double> sorted = result.latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    latency.emplace("p50", common::quantile_sorted(sorted, 0.5));
+    latency.emplace("p99", common::quantile_sorted(sorted, 0.99));
+  }
+  object.emplace("latency_ms", common::Json(std::move(latency)));
+  return object;
+}
+
+void print_scenario(const char* name, const ScenarioResult& result) {
+  std::vector<double> sorted = result.latencies_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const double p50 =
+      sorted.empty() ? 0.0 : common::quantile_sorted(sorted, 0.5);
+  const double p99 =
+      sorted.empty() ? 0.0 : common::quantile_sorted(sorted, 0.99);
+  std::printf("  %-17s %8llu requests, %llu failures -> %8.0f req/s, "
+              "p50 %.3fms, p99 %.3fms\n",
+              name, static_cast<unsigned long long>(result.requests),
+              static_cast<unsigned long long>(result.failures),
+              result.rps(), p50, p99);
 }
 
 }  // namespace
@@ -78,82 +321,112 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "net_throughput: %s\n", e.what());
     return 2;
   }
+  raise_fd_limit(options.connections);
 
-  service::TuningService svc;
-  api::ApiOptions api_options;
-  api_options.http.port = 0;
-  api_options.http.workers = options.http_workers;
-  api::ApiServer api(svc, api_options);
-  api.start();
+  const bool all = options.scenario == "all";
+  std::printf("net_throughput: endpoint %s, %.1fs per scenario\n",
+              options.endpoint.c_str(), options.seconds);
 
-  using clock = std::chrono::steady_clock;
-  const auto deadline =
-      clock::now() + std::chrono::duration_cast<clock::duration>(
-                         std::chrono::duration<double>(options.seconds));
+  common::JsonObject scenarios;
+  std::uint64_t total_failures = 0;
+  double baseline_rps = 0.0;
 
-  std::atomic<std::uint64_t> failures{0};
-  std::vector<std::uint64_t> counts(options.clients, 0);
-  std::vector<std::thread> threads;
-  threads.reserve(options.clients);
-  for (std::size_t c = 0; c < options.clients; ++c) {
-    threads.emplace_back([&, c] {
-      std::uint64_t done = 0;
-      try {
-        net::HttpClient client("127.0.0.1", api.port());
-        while (clock::now() < deadline) {
-          const auto response = client.get(options.endpoint);
-          if (response.status != 200) {
-            failures.fetch_add(1);
-            break;
-          }
-          ++done;
-        }
-      } catch (const std::exception& e) {
-        // A transport throw is a failed measurement, not a crash: the
-        // report (and CI) must still see the failure count.
-        std::fprintf(stderr, "net_throughput client %zu: %s\n", c,
-                     e.what());
-        failures.fetch_add(1);
-      }
-      counts[c] = done;
-    });
+  ScenarioResult baseline;
+  if (all || options.scenario == "baseline") {
+    service::TuningService svc;
+    api::ApiOptions api_options;
+    api_options.http.port = 0;
+    api_options.http.workers = options.http_workers;
+    api::ApiServer api(svc, api_options);
+    api.start();
+    baseline = sync_loop_scenario(api, options, options.clients,
+                                  /*expect_429=*/false);
+    api.stop();
+    baseline_rps = baseline.rps();
+    total_failures += baseline.failures;
+    print_scenario("baseline", baseline);
+    auto object = scenario_json(baseline);
+    object.emplace("clients", static_cast<std::uint64_t>(options.clients));
+    scenarios.emplace("baseline", common::Json(std::move(object)));
   }
-  const auto start = clock::now();
-  for (auto& thread : threads) thread.join();
-  const double elapsed =
-      std::chrono::duration<double>(clock::now() - start).count();
-  api.stop();
 
-  std::uint64_t total = 0;
-  for (const auto count : counts) total += count;
-  const double wall = elapsed > options.seconds ? elapsed : options.seconds;
-  const double rps = static_cast<double>(total) / wall;
+  if (all || options.scenario == "high_concurrency") {
+    service::TuningService svc;
+    api::ApiOptions api_options;
+    api_options.http.port = 0;
+    api_options.http.workers = options.http_workers;
+    api_options.http.max_connections = options.connections + 64;
+    api::ApiServer api(svc, api_options);
+    api.start();
+    const ScenarioResult result = high_concurrency_scenario(api, options);
+    const std::uint64_t accepted = api.http().connections_accepted();
+    api.stop();
+    total_failures += result.failures;
+    print_scenario("high_concurrency", result);
+    auto object = scenario_json(result);
+    object.emplace("connections",
+                   static_cast<std::uint64_t>(options.connections));
+    object.emplace("threads", static_cast<std::uint64_t>(options.threads));
+    object.emplace("connections_accepted", accepted);
+    // Relative floor the CI gate checks: a readiness-loop server keeps
+    // most of its low-connection throughput at 1k+ connections.
+    object.emplace("baseline_requests_per_second",
+                   baseline_rps > 0.0 ? common::Json(baseline_rps)
+                                      : common::Json(nullptr));
+    scenarios.emplace("high_concurrency", common::Json(std::move(object)));
+  }
 
-  std::printf("net_throughput: %zu keep-alive client(s) x %s for %.1fs\n",
-              options.clients, options.endpoint.c_str(), wall);
-  std::printf("  %llu requests, %llu failures -> %.0f req/s aggregate "
-              "(%.0f req/s per client)\n",
-              static_cast<unsigned long long>(total),
-              static_cast<unsigned long long>(failures.load()), rps,
-              rps / static_cast<double>(options.clients));
+  if (all || options.scenario == "overload") {
+    service::TuningService svc;
+    api::ApiOptions api_options;
+    api_options.http.port = 0;
+    api_options.http.workers = options.http_workers;
+    // Small burst relative to the sustained rate keeps the two halves
+    // of the run comparable (a large burst front-loads the goodput).
+    api_options.http.rate_limit.per_client_rps = options.overload_rps;
+    api_options.http.rate_limit.per_client_burst = options.overload_burst;
+    api::ApiServer api(svc, api_options);
+    api.start();
+    const ScenarioResult result = sync_loop_scenario(
+        api, options, options.threads, /*expect_429=*/true);
+    const std::uint64_t rate_limited = api.http().requests_rate_limited();
+    api.stop();
+    total_failures += result.failures;
+    print_scenario("overload", result);
+    const double half = result.wall / 2.0;
+    std::printf("    offered %.0f req/s, goodput %.0f req/s "
+                "(halves %.0f / %.0f), %llu x 429\n",
+                result.rps(), result.goodput(),
+                static_cast<double>(result.first_half_ok) / half,
+                static_cast<double>(result.second_half_ok) / half,
+                static_cast<unsigned long long>(result.rejected));
+    auto object = scenario_json(result);
+    object.emplace("configured_client_rps", options.overload_rps);
+    object.emplace("configured_client_burst", options.overload_burst);
+    object.emplace("admitted", result.admitted);
+    object.emplace("rejected_429", result.rejected);
+    object.emplace("server_rate_limited", rate_limited);
+    object.emplace("goodput_rps", result.goodput());
+    object.emplace("goodput_first_half_rps",
+                   static_cast<double>(result.first_half_ok) / half);
+    object.emplace("goodput_second_half_rps",
+                   static_cast<double>(result.second_half_ok) / half);
+    scenarios.emplace("overload", common::Json(std::move(object)));
+  }
 
   common::JsonObject report;
   report.emplace("endpoint", options.endpoint);
-  report.emplace("clients", static_cast<std::uint64_t>(options.clients));
   report.emplace("http_workers",
                  static_cast<std::uint64_t>(options.http_workers));
-  report.emplace("seconds", wall);
-  report.emplace("requests", total);
-  report.emplace("failures", failures.load());
-  report.emplace("requests_per_second", rps);
-  {
-    std::vector<double> per_client;
-    per_client.reserve(counts.size());
-    for (const auto count : counts) {
-      per_client.push_back(static_cast<double>(count));
-    }
-    report.emplace("per_client_requests", common::Json::array(per_client));
-  }
+  report.emplace("seconds", options.seconds);
+  // Legacy top-level keys mirror the baseline scenario so pre-existing
+  // consumers of BENCH_net.json keep reading the same numbers.
+  report.emplace("clients", static_cast<std::uint64_t>(options.clients));
+  report.emplace("requests", baseline.requests);
+  report.emplace("failures", total_failures);
+  report.emplace("requests_per_second", baseline_rps);
+  report.emplace("scenarios", common::Json(std::move(scenarios)));
+
   std::ofstream out(options.out);
   out << common::Json(std::move(report)).dump(2) << "\n";
   if (!out) {
@@ -163,5 +436,5 @@ int main(int argc, char** argv) {
   }
   std::printf("  wrote %s\n", options.out.c_str());
 
-  return failures.load() == 0 && total > 0 ? 0 : 1;
+  return total_failures == 0 ? 0 : 1;
 }

@@ -44,11 +44,30 @@ std::optional<std::uint64_t> parse_job_id(std::string_view text) {
   return id;
 }
 
+/// Default token cost per request for the rate-limit buckets: session
+/// submissions burn real tuning compute (up to 10^5 simulated launches
+/// each), status polls are a map lookup. Charging them equally would
+/// let a status-poll budget fund session spam; 4x is deliberately
+/// coarse — the point is an ordering, not a calibration. Installed
+/// only when the embedder did not set its own policy.
+net::ServerOptions with_api_policy(net::ServerOptions http) {
+  if (!http.request_cost) {
+    http.request_cost = [](const net::HttpRequest& request) {
+      if (request.method == "POST" &&
+          request.target.compare(0, 12, "/v1/sessions") == 0) {
+        return 4.0;
+      }
+      return 1.0;
+    };
+  }
+  return http;
+}
+
 }  // namespace
 
 ApiServer::ApiServer(service::TuningService& service, ApiOptions options)
     : service_(service),
-      http_(std::move(options.http),
+      http_(with_api_policy(std::move(options.http)),
             [this](const net::HttpRequest& request) {
               return handle(request);
             }) {}
@@ -201,6 +220,15 @@ net::HttpResponse ApiServer::get_stats() const {
   JsonObject http_json;
   http_json.emplace("connections_accepted", http_.connections_accepted());
   http_json.emplace("requests_served", http_.requests_served());
+  http_json.emplace("connections_open", http_.connections_open());
+  // Policing counters: how much load the admission layer turned away
+  // (429 rate limits, 503 admission sheds, 503-and-close at the
+  // connection cap). Flat goodput under a rising one of these is the
+  // overload behavior working as designed.
+  http_json.emplace("requests_rate_limited", http_.requests_rate_limited());
+  http_json.emplace("requests_shed", http_.requests_shed());
+  http_json.emplace("connections_over_capacity",
+                    http_.connections_over_capacity());
 
   JsonObject object;
   object.emplace("workers", static_cast<std::uint64_t>(service_.workers()));

@@ -11,7 +11,9 @@
 //                            full SessionResult (trace included).
 //   POST /v1/sessions:run    synchronous: run_inline on the handling
 //                            connection's worker, full result back.
-//   GET  /v1/stats           cache counters + session/HTTP counters.
+//   GET  /v1/stats           cache counters + session/HTTP counters,
+//                            including traffic-policing sheds (429s,
+//                            admission 503s, connection-cap refusals).
 //   GET  /v1/spaces          per-kernel search-space statistics.
 //
 // Error mapping: malformed JSON / bad spec -> 400, unknown path or job
@@ -21,9 +23,11 @@
 //
 // The registry keeps completed jobs until the server dies — results
 // must outlive their session so a client can poll after completion.
-// Bound: jobs are one shared_future + spec each; a long-lived server
-// with millions of jobs wants eviction, which is admission control's
-// business (a future PR), not the wire layer's.
+// Bound: jobs are one shared_future + spec each. The transport now
+// polices admission (per-client token buckets charge POST /v1/sessions*
+// at 4x a status poll — see with_api_policy in api_server.cpp), which
+// caps the registry's *growth rate*; eviction of old results is still
+// a future PR.
 //
 // Thread-safety: handle() runs concurrently on HTTP workers; the
 // registry has its own mutex, TuningService is thread-safe, and

@@ -177,6 +177,7 @@ const char* status_reason(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";

@@ -67,10 +67,10 @@ HttpResponse HttpClient::post(const std::string& target, std::string body,
   return request("POST", target, std::move(body), content_type);
 }
 
-HttpResponse HttpClient::request(const std::string& method,
-                                 const std::string& target,
-                                 std::string body,
-                                 const std::string& content_type) {
+std::string HttpClient::serialize(const std::string& method,
+                                  const std::string& target,
+                                  std::string body,
+                                  const std::string& content_type) const {
   HttpRequest req;
   req.method = method;
   req.target = target;
@@ -80,7 +80,61 @@ HttpResponse HttpClient::request(const std::string& method,
     req.headers.emplace_back("content-type", content_type);
   }
   req.body = std::move(body);
-  const std::string wire = serialize_request(req, /*keep_alive=*/true);
+  return serialize_request(req, /*keep_alive=*/true);
+}
+
+void HttpClient::send_request(const std::string& method,
+                              const std::string& target, std::string body,
+                              const std::string& content_type) {
+  const std::string wire =
+      serialize(method, target, std::move(body), content_type);
+  if (fd_ < 0) connect();
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      sys_fail("send (pipelined)");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+HttpResponse HttpClient::read_response() {
+  if (fd_ < 0) {
+    throw std::runtime_error("http client: read_response with no connection");
+  }
+  HttpResponse out;
+  char chunk[16 * 1024];
+  while (true) {
+    const ParseResult parsed = parse_response(buffer_, out, limits_);
+    if (parsed.status == ParseStatus::kOk) {
+      buffer_.erase(0, parsed.consumed);
+      if (const std::string* connection = out.header("connection")) {
+        if (*connection == "close") disconnect();
+      }
+      return out;
+    }
+    if (parsed.status != ParseStatus::kIncomplete) {
+      throw std::runtime_error("http client: bad response: " + parsed.error);
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      throw std::runtime_error(
+          "http client: connection closed mid-pipeline");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+HttpResponse HttpClient::request(const std::string& method,
+                                 const std::string& target,
+                                 std::string body,
+                                 const std::string& content_type) {
+  const std::string wire =
+      serialize(method, target, std::move(body), content_type);
 
   if (fd_ < 0) connect();
   HttpResponse response;

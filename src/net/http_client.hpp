@@ -43,6 +43,17 @@ class HttpClient {
                                   const std::string& content_type =
                                       "application/json");
 
+  /// Pipelined mode (benches, concurrency tests): send without waiting,
+  /// read later. HTTP/1.1 responses come back in request order, so N
+  /// send_request() calls pair with N read_response() calls in order.
+  /// No stale-connection retry here — pipelining callers own pacing.
+  void send_request(const std::string& method, const std::string& target,
+                    std::string body = {},
+                    const std::string& content_type = {});
+  /// Frames the next pipelined response; throws if the server closed
+  /// mid-stream.
+  [[nodiscard]] HttpResponse read_response();
+
   /// Closes the persistent connection (the next request reconnects).
   void disconnect() noexcept;
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
@@ -52,6 +63,10 @@ class HttpClient {
                                      const std::string& target,
                                      std::string body,
                                      const std::string& content_type);
+  [[nodiscard]] std::string serialize(const std::string& method,
+                                      const std::string& target,
+                                      std::string body,
+                                      const std::string& content_type) const;
   void connect();
   /// Sends the request and reads one response. Returns false when the
   /// reused connection turned out dead before any response byte (the

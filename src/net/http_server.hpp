@@ -1,36 +1,51 @@
-// HttpServer: blocking accept thread + per-connection worker pool.
+// HttpServer: event-driven readiness core + traffic policing.
 //
-// The service front-end the tuning API sits behind. Design:
+// The service front-end the tuning API sits behind. Architecture
+// (replacing the PR-5 blocking accept thread + one-worker-per-
+// connection model, which pinned a thread per keep-alive client):
 //
-//   * one dedicated accept thread blocks in accept(2) on the listening
-//     socket; every accepted connection is handed to a private
-//     common::ThreadPool task that owns the connection until it closes
-//     (keep-alive: one worker services a connection's whole request
-//     stream — with C concurrent persistent clients you want
-//     workers >= C, which is why the pool size is an explicit option
-//     and not hardware_concurrency);
-//   * per-connection loop: recv into a growing buffer, net::parse_request
-//     until one full message is framed, dispatch to the handler, send
-//     the serialized response, repeat while keep-alive (pipelined
-//     requests already in the buffer are served without another recv);
+//   * a small fixed pool of EventLoop threads (`event_loops`) drives
+//     nonblocking sockets by readiness — epoll on Linux, poll(2)
+//     fallback elsewhere (`force_poll` selects it explicitly for
+//     tests). The listening socket lives on loop 0; accepted
+//     connections are distributed round-robin and each ConnState is
+//     owned by exactly one loop thread (no per-connection locks);
+//   * per-connection state machines reuse the incremental parsers in
+//     net/http.hpp: bytes accumulate until one request frames, the
+//     request dispatches, the serialized response is queued and
+//     flushed with vectored writes; EAGAIN registers write interest
+//     (backpressure) instead of blocking a thread. One request is in
+//     flight per connection at a time — pipelined successors wait in
+//     the buffer, which keeps responses trivially ordered and memory
+//     O(parse limits) per connection;
+//   * handlers run on a *bounded* worker pool (`workers`), never on a
+//     loop thread, so a slow session (`/v1/sessions:run` can take
+//     seconds) cannot stall readiness for the other N thousand
+//     connections. While a connection waits on its handler its read
+//     interest is dropped: a flooding client backs up into its own
+//     kernel socket buffer, not into server memory;
+//   * traffic policing sheds load instead of queueing unboundedly
+//     (net/rate_limit.hpp): per-client token buckets and per-IP-group
+//     quotas answer 429 + Retry-After, `admission_capacity` bounds
+//     dispatched-but-unfinished requests with 503 + Retry-After, and
+//     over `max_connections` the accept path answers 503 +
+//     Retry-After and closes cleanly (shutdown then close, never an
+//     abandoned half-open socket). 429/503 sheds are cheap (no
+//     handler dispatch) and keep the connection alive — the request
+//     was well-formed;
 //   * strictness maps onto wire errors, never exceptions: malformed
 //     input -> 400 + close, oversize header block -> 431 + close,
 //     oversize body -> 413 + close, handler throw -> 500 (connection
-//     survives: the request was well-formed), connection cap -> 503;
-//   * stop(): shutdown(2) on the listening socket unblocks the accept
-//     thread, shutdown(2) on every open connection unblocks workers
-//     mid-recv, then the pool drains and joins. Idempotent, and the
-//     destructor calls it.
-//
-// Bounds: the parse limits bound per-connection memory; max_connections
-// bounds fd/worker-queue usage. An idle keep-alive connection pins a
-// pool worker until the peer or stop() closes it — acceptable for the
-// trusted-LAN deployments this subset targets, documented so nobody
-// points it at the open internet.
+//     survives: the request was well-formed);
+//   * stop(): closes every connection from its owning loop, drains the
+//     handler pool, joins the loops. Idempotent; the destructor calls
+//     it.
 //
 // Thread-safety: start/stop/port/stats are safe from any thread; the
 // handler runs concurrently on pool workers and must be thread-safe
-// itself (api::ApiServer is).
+// itself (api::ApiServer is). Connection state is single-threaded by
+// ownership: only its loop thread touches it; handler completions are
+// posted back to that loop.
 #pragma once
 
 #include <atomic>
@@ -39,22 +54,44 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <unordered_set>
+#include <unordered_map>
+#include <vector>
 
 #include "common/thread_pool.hpp"
+#include "net/conn_state.hpp"
+#include "net/event_loop.hpp"
 #include "net/http.hpp"
+#include "net/rate_limit.hpp"
 
 namespace bat::net {
 
 struct ServerOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;  // 0 = ephemeral, read back via port()
-  /// Connection-handling workers. Each keep-alive connection occupies
-  /// one worker for its lifetime; size to the expected client count.
+  /// Readiness loop threads. Connections distribute round-robin; a
+  /// couple of loops saturate loopback — this is not the handler pool.
+  std::size_t event_loops = 2;
+  /// Handler workers (bounded). Handlers, not connections, occupy
+  /// them: thousands of idle keep-alive connections cost no worker.
   std::size_t workers = 8;
-  /// Accepted-but-not-closed cap; beyond it new connections get 503.
-  std::size_t max_connections = 256;
+  /// Accepted-but-not-closed cap; beyond it new connections get
+  /// 503 + Retry-After and a clean close.
+  std::size_t max_connections = 1024;
+  /// Dispatched-but-unfinished request cap (the bounded admission
+  /// queue); at capacity well-formed requests get 503 + Retry-After
+  /// without dispatching. 0 = default (4096).
+  std::size_t admission_capacity = 0;
+  /// Retry-After hint (seconds) on 503 sheds and connection-cap 503s.
+  double retry_after_seconds = 1.0;
+  /// Token-bucket policing; disabled unless a rate is set.
+  RateLimitOptions rate_limit;
+  /// Time source for the rate limiter (tests inject a fake clock).
+  RateLimiter::Clock clock;
+  /// Tokens a request costs against the rate buckets (default 1.0);
+  /// lets the API charge heavy endpoints more than status probes.
+  std::function<double(const HttpRequest&)> request_cost;
+  /// Use the poll(2) backend even where epoll is available.
+  bool force_poll = false;
   ParseLimits limits;
 };
 
@@ -70,31 +107,67 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Binds, listens and spawns the accept thread. Throws
+  /// Binds, listens, spawns the event loops and handler pool. Throws
   /// std::runtime_error on bind/listen failure. Call once.
   void start();
 
-  /// Stops accepting, unblocks and drains every connection worker.
+  /// Closes every connection, drains handlers, joins the loops.
   /// Idempotent; safe to call without start().
   void stop();
 
   /// The bound port (resolves option port 0 to the ephemeral choice).
-  [[nodiscard]] std::uint16_t port() const noexcept {
-    return port_.load();
-  }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_.load(); }
   [[nodiscard]] bool running() const noexcept { return running_.load(); }
 
+  // ----------------------------------------------------------- stats --
   [[nodiscard]] std::uint64_t connections_accepted() const noexcept {
     return accepted_.load();
   }
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
     return served_.load();
   }
+  /// Requests answered 429 by the token-bucket/quota layer.
+  [[nodiscard]] std::uint64_t requests_rate_limited() const noexcept {
+    return rate_limited_.load();
+  }
+  /// Requests answered 503 by the bounded admission queue.
+  [[nodiscard]] std::uint64_t requests_shed() const noexcept {
+    return shed_.load();
+  }
+  /// Connections answered 503 + close at the max_connections cap.
+  [[nodiscard]] std::uint64_t connections_over_capacity() const noexcept {
+    return over_capacity_.load();
+  }
+  [[nodiscard]] std::uint64_t connections_open() const noexcept {
+    return open_connections_.load();
+  }
 
  private:
-  void accept_loop();
-  void handle_connection(int fd);
+  struct LoopShard {
+    std::unique_ptr<EventLoop> loop;
+    /// Owned by the loop's thread exclusively (id -> connection).
+    std::unordered_map<std::uint64_t, std::unique_ptr<ConnState>> conns;
+  };
+
+  void on_accept();
+  void pause_accept_for_fd_pressure();
+  void adopt_connection(std::size_t shard, int fd, std::uint32_t ipv4);
+  void on_conn_event(std::size_t shard, std::uint64_t id,
+                     std::uint32_t events);
+  /// Frames+dispatches buffered requests until busy/incomplete/error.
+  void process_input(std::size_t shard, ConnState& conn);
+  /// Handler-pool completion, posted back to the owning loop.
+  void complete(std::size_t shard, std::uint64_t id, std::string bytes,
+                bool keep_alive);
+  /// Flushes output, re-computes interest, destroys when done-for.
+  /// Returns false when the connection was destroyed.
+  bool flush_and_update(std::size_t shard, ConnState& conn);
+  void destroy(std::size_t shard, std::uint64_t id);
   [[nodiscard]] HttpResponse dispatch(const HttpRequest& request);
+  /// 429/503 + Retry-After, serialized. Seconds are ceiled to >= 1.
+  [[nodiscard]] static std::string policed_response(
+      int status, const std::string& message, double retry_after_seconds,
+      bool keep_alive);
 
   ServerOptions options_;
   Handler handler_;
@@ -102,16 +175,23 @@ class HttpServer {
   int listen_fd_ = -1;
   std::atomic<std::uint16_t> port_{0};
   std::atomic<bool> running_{false};
-  std::mutex lifecycle_mutex_;  // serializes start()/stop() (join, pool)
+  std::mutex lifecycle_mutex_;  // serializes start()/stop()
   bool started_ = false;        // guarded by lifecycle_mutex_
-  std::thread accept_thread_;
-  std::unique_ptr<common::ThreadPool> pool_;
 
-  std::mutex connections_mutex_;
-  std::unordered_set<int> connections_;  // open fds, for stop() shutdown
+  std::vector<LoopShard> shards_;
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::unique_ptr<RateLimiter> limiter_;
+
+  std::atomic<std::size_t> next_shard_{0};
+  std::atomic<std::uint64_t> next_conn_id_{1};
+  std::atomic<std::uint64_t> open_connections_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> rate_limited_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> over_capacity_{0};
 };
 
 }  // namespace bat::net

@@ -52,7 +52,8 @@ echo "=== ASan/UBSan build of evaluator + thread-pool + compiled-space + io + js
 SAN_DIR="${BUILD_DIR}-asan"
 SAN_TESTS=(core_backend_test core_dataset_evaluator_test
            common_thread_pool_test core_compiled_space_test
-           io_dataset_test common_json_test net_http_test)
+           io_dataset_test common_json_test net_http_test
+           net_rate_limit_test)
 cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DBAT_SANITIZE=ON
 cmake --build "${SAN_DIR}" -j "${JOBS}" --target "${SAN_TESTS[@]}"
 for t in "${SAN_TESTS[@]}"; do
@@ -65,10 +66,11 @@ echo "=== TSan build of service + thread-pool + backend tests ==="
 # (worker pool, sharded cache, cancellation token); run it under
 # ThreadSanitizer in addition to the ASan/UBSan pass above.
 TSAN_DIR="${BUILD_DIR}-tsan"
-# net_http_test/api_http_test add the HTTP worker pool + accept thread
-# + job registry interleavings on top of the service-layer sharing.
+# net_http_test/api_http_test add the event-loop threads + handler pool
+# + job registry interleavings on top of the service-layer sharing;
+# net_rate_limit_test hammers the limiter's single mutex.
 TSAN_TESTS=(service_test common_thread_pool_test core_backend_test
-            net_http_test api_http_test)
+            net_http_test net_rate_limit_test api_http_test)
 cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DBAT_SANITIZE_THREAD=ON
 cmake --build "${TSAN_DIR}" -j "${JOBS}" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
@@ -129,19 +131,47 @@ wait "${SERVE_PID}" || { echo "tune serve exited non-zero"; exit 1; }
 SERVE_PID=""
 echo "serve/remote round trip ok (port ${NET_PORT})"
 
-echo "=== net throughput (BENCH_net.json) ==="
-# Loopback keep-alive throughput from the release build; the floor is
-# deliberately far below what a laptop core does (~100x headroom) so
-# the gate catches structural regressions, not machine noise.
-"${BUILD_DIR}/net_throughput" --clients 4 --seconds 2 --out BENCH_net.json
+echo "=== net throughput (BENCH_net.json): baseline + 1k conns + overload ==="
+# All three scenarios from the release build. Floors are deliberately
+# far below what one core does (~100x headroom) so the gates catch
+# structural regressions, not machine noise:
+#   baseline          >= 1000 req/s, zero failures;
+#   high_concurrency  >= 1024 concurrent keep-alive connections served
+#                     within 0.8x of baseline throughput;
+#   overload          offered load far above the per-client bucket must
+#                     shed via 429 while admitted goodput stays flat
+#                     (second half >= 0.7x first half), not collapse.
+"${BUILD_DIR}/net_throughput" --scenario all --clients 4 --seconds 2 \
+    --connections 1024 --threads 4 --out BENCH_net.json
 python3 - <<'EOF'
 import json, sys
 with open("BENCH_net.json") as f:
     report = json.load(f)
-rps = report["requests_per_second"]
-print(f"sustained {rps:.0f} req/s on {report['endpoint']} "
-      f"with {report['clients']} keep-alive clients")
-sys.exit(0 if rps >= 1000 and report["failures"] == 0 else 1)
+scen = report["scenarios"]
+ok = True
+
+base = scen["baseline"]
+rps = base["requests_per_second"]
+print(f"baseline: {rps:.0f} req/s, {base['failures']} failures, "
+      f"p50 {base['latency_ms']['p50']:.3f}ms p99 {base['latency_ms']['p99']:.3f}ms")
+ok &= rps >= 1000 and base["failures"] == 0
+
+high = scen["high_concurrency"]
+ratio = high["requests_per_second"] / rps if rps else 0.0
+print(f"high_concurrency: {high['connections']} conns -> "
+      f"{high['requests_per_second']:.0f} req/s ({ratio:.2f}x baseline), "
+      f"{high['failures']} failures")
+ok &= high["connections"] >= 1024 and high["failures"] == 0
+ok &= ratio >= 0.8
+
+over = scen["overload"]
+flat = (over["goodput_second_half_rps"] / over["goodput_first_half_rps"]
+        if over["goodput_first_half_rps"] else 0.0)
+print(f"overload: {over['rejected_429']} x 429, goodput "
+      f"{over['goodput_rps']:.0f} req/s (halves ratio {flat:.2f})")
+ok &= over["rejected_429"] > 0 and over["failures"] == 0
+ok &= flat >= 0.7
+sys.exit(0 if ok else 1)
 EOF
 
 echo "=== bench smoke (sanitized, reduced sizes) ==="

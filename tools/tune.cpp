@@ -46,12 +46,18 @@
 //       rows, best time, chunk geometry; --verify checks the CRC.
 //
 //   tune serve  [--port 8080] [--host 127.0.0.1] [--http-workers 8]
-//               [--max-connections N] [--max-body BYTES] [--workers N]
-//               [--shards 16] [--dataset-dir DIR]
+//               [--event-loops 2] [--max-connections N] [--max-body BYTES]
+//               [--admission-capacity N] [--retry-after SECS]
+//               [--client-rps R [--client-burst B]]
+//               [--group-rps R [--group-burst B] [--group-prefix-bits 24]]
+//               [--force-poll] [--workers N] [--shards 16]
+//               [--dataset-dir DIR]
 //       Runs the HTTP/1.1 JSON API (docs/http-api.md) over one
 //       TuningService until SIGINT/SIGTERM. --port 0 picks an
 //       ephemeral port; the chosen one is printed on the "listening"
-//       line (and parsed by tools/ci.sh).
+//       line (and parsed by tools/ci.sh). --client-rps/--group-rps
+//       switch on token-bucket traffic policing (429 + Retry-After;
+//       docs/http-api.md#overload-semantics).
 //
 //   tune remote <run|get|stats|spaces> --server host:port [...]
 //       Client for a running `tune serve`:
@@ -125,6 +131,25 @@ struct Args {
                                   value + "'");
     }
     return static_cast<std::size_t>(parsed);
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = flags.find(key);
+    if (it == flags.end()) return fallback;
+    const std::string& value = it->second;
+    std::size_t consumed = 0;
+    double parsed = 0.0;
+    try {
+      parsed = std::stod(value, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (value.empty() || consumed != value.size() || parsed < 0.0) {
+      throw std::invalid_argument("--" + key +
+                                  " expects a non-negative number, got '" +
+                                  value + "'");
+    }
+    return parsed;
   }
   [[nodiscard]] bool has(const std::string& key) const {
     return flags.find(key) != flags.end();
@@ -559,7 +584,10 @@ int cmd_info(const Args& args) {
 
 int cmd_serve(const Args& args) {
   args.require_known({"port", "host", "http-workers", "max-connections",
-                      "max-body", "workers", "shards", "dataset-dir"});
+                      "max-body", "workers", "shards", "dataset-dir",
+                      "event-loops", "admission-capacity", "retry-after",
+                      "client-rps", "client-burst", "group-rps",
+                      "group-burst", "group-prefix-bits", "force-poll"});
   // Block the shutdown signals *before* any thread exists so every
   // worker inherits the mask and sigwait below is the only consumer.
   // The disposition must not be SIG_IGN (non-interactive shells start
@@ -588,16 +616,42 @@ int cmd_serve(const Args& args) {
   }
   api_options.http.port = static_cast<std::uint16_t>(port);
   api_options.http.workers = args.get_size("http-workers", 8);
-  api_options.http.max_connections = args.get_size("max-connections", 256);
+  api_options.http.max_connections = args.get_size("max-connections", 1024);
   api_options.http.limits.max_body_bytes =
       args.get_size("max-body", 1024 * 1024);
+  api_options.http.event_loops = args.get_size("event-loops", 2);
+  api_options.http.admission_capacity =
+      args.get_size("admission-capacity", 0);  // 0 = server default
+  api_options.http.retry_after_seconds = args.get_double("retry-after", 1.0);
+  api_options.http.force_poll = args.has("force-poll");
+  // Traffic policing is opt-in: no --client-rps / --group-rps means no
+  // limiter in the request path, matching pre-policing behavior.
+  api_options.http.rate_limit.per_client_rps =
+      args.get_double("client-rps", 0.0);
+  api_options.http.rate_limit.per_client_burst =
+      args.get_double("client-burst", 0.0);
+  api_options.http.rate_limit.per_group_rps =
+      args.get_double("group-rps", 0.0);
+  api_options.http.rate_limit.per_group_burst =
+      args.get_double("group-burst", 0.0);
+  api_options.http.rate_limit.group_prefix_bits =
+      static_cast<int>(args.get_size("group-prefix-bits", 24));
   api::ApiServer server(svc, api_options);
   server.start();
 
   std::printf("tune serve: listening on http://%s:%u "
-              "(http workers=%zu, service workers=%zu)\n",
+              "(http workers=%zu, event loops=%zu, service workers=%zu)\n",
               api_options.http.host.c_str(), server.port(),
-              api_options.http.workers, svc.workers());
+              api_options.http.workers, api_options.http.event_loops,
+              svc.workers());
+  if (api_options.http.rate_limit.enabled()) {
+    std::printf("tune serve: rate limit client=%.1f rps (burst %.1f), "
+                "group=%.1f rps (/%d)\n",
+                api_options.http.rate_limit.per_client_rps,
+                api_options.http.rate_limit.per_client_burst,
+                api_options.http.rate_limit.per_group_rps,
+                api_options.http.rate_limit.group_prefix_bits);
+  }
   std::fflush(stdout);  // scripts parse this line for the ephemeral port
 
   int signal_number = 0;
@@ -611,11 +665,17 @@ int cmd_serve(const Args& args) {
   // those workers only after their sessions ran to natural completion.
   svc.shutdown();
   server.stop();
-  std::printf("http: %llu connections, %llu requests\n",
+  std::printf("http: %llu connections, %llu requests, %llu rate-limited, "
+              "%llu shed, %llu over-capacity\n",
               static_cast<unsigned long long>(
                   server.http().connections_accepted()),
               static_cast<unsigned long long>(
-                  server.http().requests_served()));
+                  server.http().requests_served()),
+              static_cast<unsigned long long>(
+                  server.http().requests_rate_limited()),
+              static_cast<unsigned long long>(server.http().requests_shed()),
+              static_cast<unsigned long long>(
+                  server.http().connections_over_capacity()));
   print_cache_stats(svc);
   return 0;
 }
@@ -781,8 +841,11 @@ void print_usage() {
       "  convert --in path --out path [--chunk ROWS] [--verify]\n"
       "  info    --dataset path [--verify]\n"
       "  serve   [--port 8080] [--host H] [--http-workers N]\n"
-      "          [--max-connections N] [--max-body BYTES] [--workers N]\n"
-      "          [--shards P] [--dataset-dir DIR]\n"
+      "          [--event-loops N] [--max-connections N] [--max-body BYTES]\n"
+      "          [--admission-capacity N] [--retry-after SECS]\n"
+      "          [--client-rps R] [--client-burst B] [--group-rps R]\n"
+      "          [--group-burst B] [--group-prefix-bits N] [--force-poll]\n"
+      "          [--workers N] [--shards P] [--dataset-dir DIR]\n"
       "  remote  <run|get|stats|spaces> --server host:port\n"
       "          run: spec flags like `tune run` [--async] [--poll-ms MS]\n"
       "          get: --id N\n"
