@@ -1,0 +1,336 @@
+// cluster_throughput: single node vs 3-node loopback cluster.
+//
+// Runs the same overlapping session grid twice — once through one
+// TuningService, once spread over a real 3-node cluster (each node a
+// full ClusterNode + TuningService + ApiServer on 127.0.0.1, speaking
+// the actual /v1/peers/* HTTP protocol) — and writes one JSON report
+// (tools/ci.sh publishes it as BENCH_cluster.json) with the two claims
+// the cluster makes:
+//
+//   exactly-once   cluster-wide unique evaluations <= the single-node
+//                  count: the distributed cache dedupes across nodes
+//                  as well as one shard dedupes across sessions, and
+//                  traces are bit-identical either way;
+//   compact relay  bytes actually shipped by the BATDFR01 delta frames
+//                  are < 25% of naively re-POSTing every published
+//                  measurement to every peer as its own JSON RPC.
+//
+//   cluster_throughput [--sessions 12] [--budget 40] [--kernel pnpoly]
+//                      [--workers 2] [--out BENCH_cluster.json]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api_server.hpp"
+#include "cluster/cluster_node.hpp"
+#include "cluster/peer_client.hpp"
+#include "common/json.hpp"
+#include "service/tuning_service.hpp"
+
+namespace {
+
+using namespace bat;
+using clock_type = std::chrono::steady_clock;
+
+struct Options {
+  std::size_t sessions = 12;
+  std::size_t budget = 40;
+  std::string kernel = "pnpoly";
+  std::size_t workers = 2;  // per node
+  std::string out = "BENCH_cluster.json";
+};
+
+constexpr std::size_t kNodes = 3;
+
+Options parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(arg + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--sessions") {
+      options.sessions = std::stoul(value());
+    } else if (arg == "--budget") {
+      options.budget = std::stoul(value());
+    } else if (arg == "--kernel") {
+      options.kernel = value();
+    } else if (arg == "--workers") {
+      options.workers = std::stoul(value());
+    } else if (arg == "--out") {
+      options.out = value();
+    } else {
+      throw std::invalid_argument("unknown flag " + arg);
+    }
+  }
+  if (options.sessions < kNodes) options.sessions = kNodes;
+  if (options.workers == 0) options.workers = 1;
+  return options;
+}
+
+/// Binds `n` listeners on port 0, reads back the kernel-chosen ports,
+/// then releases them. The ports stay free long enough for the servers
+/// below to re-bind (this is a single-process loopback bench).
+std::vector<std::uint16_t> free_ports(std::size_t n) {
+  std::vector<int> fds;
+  std::vector<std::uint16_t> ports;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    socklen_t len = sizeof(addr);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      ::close(fd);
+      throw std::runtime_error("could not reserve a loopback port");
+    }
+    fds.push_back(fd);
+    ports.push_back(ntohs(addr.sin_port));
+  }
+  for (const int fd : fds) ::close(fd);
+  return ports;
+}
+
+/// The service_test overlap recipe: rotating tuners and repeating
+/// seeds, so sessions across *different nodes* probe the same
+/// configurations and cross-node hits are guaranteed.
+std::vector<service::SessionSpec> session_grid(const Options& options) {
+  std::vector<service::SessionSpec> specs;
+  specs.reserve(options.sessions);
+  for (std::size_t s = 0; s < options.sessions; ++s) {
+    service::SessionSpec spec;
+    spec.kernel = options.kernel;
+    spec.tuner = s % 2 == 0 ? "local" : "annealing";
+    spec.budget = options.budget;
+    spec.seed = 7 + s % 3;
+    spec.backend = "live";
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+struct RunOutcome {
+  std::vector<service::SessionResult> results;
+  std::uint64_t evaluations = 0;
+  double wall_ms = 0.0;
+};
+
+double ms_since(clock_type::time_point begin) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - begin)
+      .count();
+}
+
+RunOutcome run_single(const std::vector<service::SessionSpec>& specs,
+                      const Options& options) {
+  service::ServiceOptions service_options;
+  service_options.workers = options.workers * kNodes;  // same total fleet
+  service::TuningService svc(service_options);
+  const auto start = clock_type::now();
+  RunOutcome outcome;
+  outcome.results = svc.run_all(specs);
+  outcome.wall_ms = ms_since(start);
+  outcome.evaluations = svc.cache_stats().evaluations;
+  return outcome;
+}
+
+/// One cluster member: the same three objects `tune serve --peers`
+/// wires, minus the CLI.
+struct Node {
+  std::unique_ptr<cluster::ClusterNode> node;
+  std::unique_ptr<service::TuningService> service;
+  std::unique_ptr<api::ApiServer> api;
+};
+
+RunOutcome run_cluster(const std::vector<service::SessionSpec>& specs,
+                       const Options& options, common::JsonObject& report) {
+  const auto ports = free_ports(kNodes);
+  std::vector<cluster::PeerAddress> members;
+  for (const auto port : ports) members.push_back({"127.0.0.1", port});
+
+  std::vector<Node> nodes(kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    cluster::ClusterOptions cluster_options;
+    cluster_options.members = members;
+    cluster_options.self_index = i;
+    nodes[i].node =
+        std::make_unique<cluster::ClusterNode>(std::move(cluster_options));
+
+    service::ServiceOptions service_options;
+    service_options.workers = options.workers;
+    service_options.cluster = nodes[i].node.get();
+    nodes[i].service =
+        std::make_unique<service::TuningService>(service_options);
+
+    api::ApiOptions api_options;
+    api_options.cluster = nodes[i].node.get();
+    api_options.http.host = "127.0.0.1";
+    api_options.http.port = ports[i];
+    api_options.http.workers = 4;
+    nodes[i].api =
+        std::make_unique<api::ApiServer>(*nodes[i].service, api_options);
+    nodes[i].api->start();
+  }
+  for (auto& n : nodes) n.node->start();
+
+  // Contiguous blocks (not round-robin): round-robin would send every
+  // repeat of a seed to the same node and the "cross-node" hits would
+  // quietly all be local ones.
+  std::vector<std::vector<service::SessionSpec>> parts(kNodes);
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    parts[s * kNodes / specs.size()].push_back(specs[s]);
+  }
+
+  const auto start = clock_type::now();
+  std::vector<std::vector<service::SessionResult>> part_results(kNodes);
+  std::vector<std::thread> drivers;
+  drivers.reserve(kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    drivers.emplace_back(
+        [&, i] { part_results[i] = nodes[i].service->run_all(parts[i]); });
+  }
+  for (auto& d : drivers) d.join();
+  RunOutcome outcome;
+  outcome.wall_ms = ms_since(start);
+  for (auto& part : part_results) {
+    for (auto& r : part) outcome.results.push_back(std::move(r));
+  }
+
+  // Let the relay flush while every HTTP server is still accepting,
+  // then count. Teardown mirrors `tune serve`: services, servers, and
+  // the nodes last.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (auto& n : nodes) n.service->shutdown();
+  for (auto& n : nodes) n.node->stop();
+
+  std::uint64_t cluster_hits = 0, forwarded = 0, relayed = 0;
+  std::uint64_t relay_bytes_sent = 0, relay_records_sent = 0, fallback = 0;
+  for (auto& n : nodes) {
+    outcome.evaluations += n.service->cache_stats().evaluations;
+    const auto stats = n.node->stats_json();
+    cluster_hits += stats.at("cluster_cache_hits").as_uint();
+    forwarded += stats.at("peer_claims_forwarded").as_uint();
+    relayed += stats.at("peer_publishes_relayed").as_uint();
+    fallback += stats.at("fallback_local_claims").as_uint();
+    relay_bytes_sent += stats.at("relay").at("bytes_sent").as_uint();
+    relay_records_sent += stats.at("relay").at("records_sent").as_uint();
+  }
+  for (auto& n : nodes) n.api->stop();
+
+  // Naive re-shipping baseline: every relayed record POSTed to its
+  // destination as the JSON publish RPC body the peer protocol would
+  // otherwise use (headers excluded — charitable to naive).
+  common::JsonObject naive;
+  naive.emplace("workload", specs.front().kernel + "|0|live");
+  naive.emplace("index", cluster::u64_to_string(1u << 20));
+  cluster::measurement_to_json(core::Measurement::valid(1.234567), naive);
+  naive.emplace("from", std::uint64_t{2});
+  const std::uint64_t naive_per_record =
+      common::Json(std::move(naive)).dump().size();
+  const std::uint64_t naive_bytes = relay_records_sent * naive_per_record;
+
+  report.emplace("cluster_cache_hits", cluster_hits);
+  report.emplace("peer_claims_forwarded", forwarded);
+  report.emplace("peer_publishes_relayed", relayed);
+  report.emplace("fallback_local_claims", fallback);
+  report.emplace("relay_bytes_sent", relay_bytes_sent);
+  report.emplace("relay_records_sent", relay_records_sent);
+  report.emplace("naive_bytes", naive_bytes);
+  report.emplace("relay_ratio",
+                 naive_bytes == 0
+                     ? 1.0
+                     : static_cast<double>(relay_bytes_sent) /
+                           static_cast<double>(naive_bytes));
+  return outcome;
+}
+
+bool traces_identical(const RunOutcome& a, const RunOutcome& b) {
+  if (a.results.size() != b.results.size()) return false;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    const auto& ta = a.results[i].run.trace;
+    const auto& tb = b.results[i].run.trace;
+    if (ta.size() != tb.size()) return false;
+    for (std::size_t j = 0; j < ta.size(); ++j) {
+      if (ta[j].index != tb[j].index ||
+          std::bit_cast<std::uint64_t>(ta[j].objective) !=
+              std::bit_cast<std::uint64_t>(tb[j].objective)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse(argc, argv);
+  const auto specs = session_grid(options);
+
+  std::printf("cluster_throughput: %zu sessions of %s budget %zu, "
+              "1 node vs %zu nodes\n",
+              options.sessions, options.kernel.c_str(), options.budget,
+              kNodes);
+
+  const auto single = run_single(specs, options);
+  common::JsonObject cluster_detail;
+  const auto clustered = run_cluster(specs, options, cluster_detail);
+  for (const auto& r : single.results) {
+    if (r.status != service::SessionStatus::kCompleted) {
+      std::fprintf(stderr, "single-node session failed: %s\n",
+                   r.error.c_str());
+      return 1;
+    }
+  }
+  for (const auto& r : clustered.results) {
+    if (r.status != service::SessionStatus::kCompleted) {
+      std::fprintf(stderr, "cluster session failed: %s\n", r.error.c_str());
+      return 1;
+    }
+  }
+
+  const bool identical = traces_identical(single, clustered);
+  common::JsonObject single_json;
+  single_json.emplace("evaluations", single.evaluations);
+  single_json.emplace("wall_ms", single.wall_ms);
+  common::JsonObject cluster_json;
+  cluster_json.emplace("nodes", std::uint64_t{kNodes});
+  cluster_json.emplace("evaluations", clustered.evaluations);
+  cluster_json.emplace("wall_ms", clustered.wall_ms);
+  for (auto& [key, value] : cluster_detail) {
+    cluster_json.emplace(key, std::move(value));
+  }
+
+  common::JsonObject root;
+  root.emplace("sessions", static_cast<std::uint64_t>(options.sessions));
+  root.emplace("budget", static_cast<std::uint64_t>(options.budget));
+  root.emplace("kernel", options.kernel);
+  root.emplace("single", common::Json(std::move(single_json)));
+  root.emplace("cluster", common::Json(std::move(cluster_json)));
+  root.emplace("traces_identical", identical);
+  root.emplace("exactly_once",
+               clustered.evaluations <= single.evaluations);
+
+  const common::Json report(std::move(root));
+  std::ofstream out(options.out);
+  out << report.dump(2) << "\n";
+  out.close();
+  std::printf("%s\n", report.dump(2).c_str());
+  return identical ? 0 : 1;
+}

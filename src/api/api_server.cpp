@@ -6,6 +6,7 @@
 #include <string_view>
 #include <utility>
 
+#include "cluster/cluster_node.hpp"
 #include "common/json.hpp"
 #include "kernels/all_kernels.hpp"
 #include "service/session_json.hpp"
@@ -67,6 +68,7 @@ net::ServerOptions with_api_policy(net::ServerOptions http) {
 
 ApiServer::ApiServer(service::TuningService& service, ApiOptions options)
     : service_(service),
+      cluster_(options.cluster),
       http_(with_api_policy(std::move(options.http)),
             [this](const net::HttpRequest& request) {
               return handle(request);
@@ -112,6 +114,13 @@ net::HttpResponse ApiServer::handle(const net::HttpRequest& request) {
       return error_json(405, "use GET on /v1/spaces");
     }
     return get_spaces();
+  }
+  constexpr std::string_view kPeersPrefix = "/v1/peers/";
+  if (path.compare(0, kPeersPrefix.size(), kPeersPrefix) == 0) {
+    if (!cluster_) {
+      return error_json(404, "not clustered (start with --peers)");
+    }
+    return cluster_->handle_peers(request);
   }
   return error_json(404, "no such endpoint: " + path);
 }
@@ -238,6 +247,7 @@ net::HttpResponse ApiServer::get_stats() const {
                  static_cast<std::uint64_t>(service_.sessions_active()));
   object.emplace("cache", Json(std::move(cache_json)));
   object.emplace("http", Json(std::move(http_json)));
+  if (cluster_) object.emplace("cluster", cluster_->stats_json());
   return json_response(200, Json(std::move(object)));
 }
 

@@ -44,10 +44,18 @@
 #include "net/http_server.hpp"
 #include "service/tuning_service.hpp"
 
+namespace bat::cluster {
+class ClusterNode;
+}  // namespace bat::cluster
+
 namespace bat::api {
 
 struct ApiOptions {
   net::ServerOptions http;
+  /// Joined cluster node (borrowed; must outlive the server). When set,
+  /// /v1/peers/* delegates to ClusterNode::handle_peers and /v1/stats
+  /// grows a "cluster" section. Null = single-node: /v1/peers/* is 404.
+  cluster::ClusterNode* cluster = nullptr;
 };
 
 class ApiServer {
@@ -84,6 +92,7 @@ class ApiServer {
   [[nodiscard]] static net::HttpResponse get_spaces();
 
   service::TuningService& service_;
+  cluster::ClusterNode* cluster_;
 
   mutable std::mutex jobs_mutex_;
   std::map<std::uint64_t, Job> jobs_;

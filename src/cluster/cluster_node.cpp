@@ -1,0 +1,495 @@
+#include "cluster/cluster_node.hpp"
+
+#include <bit>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace bat::cluster {
+
+using common::Json;
+using common::JsonArray;
+using common::JsonObject;
+
+namespace {
+
+net::HttpResponse json_response(int status, const Json& body) {
+  net::HttpResponse response;
+  response.status = status;
+  response.headers.emplace_back("content-type", "application/json");
+  response.body = body.dump();
+  return response;
+}
+
+net::HttpResponse error_json(int status, std::string message) {
+  JsonObject object;
+  object.emplace("error", std::move(message));
+  return json_response(status, Json(std::move(object)));
+}
+
+const std::string& string_field(const Json& body, const std::string& key) {
+  const Json* field = body.find(key);
+  if (field == nullptr || !field->is_string()) {
+    throw std::runtime_error("peer rpc: missing or non-string '" + key +
+                             "'");
+  }
+  return field->as_string();
+}
+
+std::size_t from_field(const Json& body) {
+  const Json* field = body.find("from");
+  if (field == nullptr || !field->is_int() || field->as_int() < 0) {
+    throw std::runtime_error("peer rpc: missing or bad 'from'");
+  }
+  return static_cast<std::size_t>(field->as_int());
+}
+
+}  // namespace
+
+ClusterNode::ClusterNode(ClusterOptions options)
+    : options_(std::move(options)),
+      peers_(options_.members, options_.self_index, options_.fail_threshold),
+      relay_(options_.members.size(), options_.self_index,
+             [this](std::size_t peer, const std::string& bytes) {
+               send_frame(peer, bytes);
+             },
+             options_.relay) {
+  const net::ClientOptions client_options{
+      .connect_timeout_ms = options_.connect_timeout_ms,
+      .io_timeout_ms = options_.io_timeout_ms,
+  };
+  clients_.reserve(peers_.size());
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    clients_.push_back(
+        std::make_unique<PeerClient>(peers_.address(i), client_options));
+  }
+}
+
+ClusterNode::~ClusterNode() { stop(); }
+
+void ClusterNode::start() {
+  {
+    std::lock_guard lock(gossip_mutex_);
+    if (started_) return;
+    started_ = true;
+    stopping_.store(false, std::memory_order_relaxed);
+  }
+  relay_.start();
+  gossip_thread_ = std::thread([this] { gossip_main(); });
+  common::log_info("cluster: node ", peers_.self_index(), "/",
+                   peers_.size(), " up at ",
+                   peers_.address(peers_.self_index()).to_string());
+}
+
+void ClusterNode::stop() {
+  {
+    std::lock_guard lock(gossip_mutex_);
+    if (!started_) {
+      stopping_.store(true, std::memory_order_relaxed);
+      return;
+    }
+    started_ = false;
+    stopping_.store(true, std::memory_order_relaxed);
+  }
+  gossip_cv_.notify_all();
+  gossip_thread_.join();
+  relay_.stop();
+}
+
+std::string ClusterNode::workload_id(const std::string& kernel,
+                                     std::size_t device,
+                                     const std::string& backend) {
+  return kernel + "|" + std::to_string(device) + "|" + backend;
+}
+
+ClusterNode::Entry ClusterNode::snapshot_entry(const std::string& workload,
+                                               bool create) {
+  std::lock_guard lock(registry_mutex_);
+  auto it = registry_.find(workload);
+  if (it == registry_.end()) {
+    if (!create) return {};
+    // A peer touched this workload before any local session did: serve
+    // it from a bare (raw-keyed) shard. cache_for() later reuses this
+    // exact shard — swapping it would strand the peers' claims.
+    it = registry_.emplace(workload, Entry{}).first;
+    it->second.shard = std::make_shared<service::ShardedMeasurementCache>(
+        nullptr, options_.cache_shards);
+  }
+  return it->second;
+}
+
+std::shared_ptr<DistributedMeasurementCache> ClusterNode::cache_for(
+    const std::string& kernel, std::size_t device,
+    const std::string& backend,
+    std::shared_ptr<const core::CompiledSpace> compiled) {
+  const std::string workload = workload_id(kernel, device, backend);
+  std::lock_guard lock(registry_mutex_);
+  Entry& entry = registry_[workload];
+  if (entry.dist) return entry.dist;
+  if (!entry.shard) {
+    entry.shard = std::make_shared<service::ShardedMeasurementCache>(
+        compiled, options_.cache_shards);
+  }
+  entry.dist = std::make_shared<DistributedMeasurementCache>(
+      workload, entry.shard, std::move(compiled), *this, options_.cache);
+  return entry.dist;
+}
+
+// --- outbound (PeerLink) -------------------------------------------
+
+void ClusterNode::record_ok(std::size_t peer) { peers_.record_ok(peer); }
+
+void ClusterNode::record_failure(std::size_t peer) {
+  if (peers_.record_failure(peer)) {
+    common::log_info("cluster: peer ", peer, " (",
+                     peers_.address(peer).to_string(),
+                     ") marked down; sweeping its claims");
+    sweep_peer(peer);
+  }
+}
+
+void ClusterNode::sweep_peer(std::size_t peer) {
+  for (const auto& [workload, index] : inflight_.take_peer(peer)) {
+    const Entry entry = snapshot_entry(workload, /*create=*/false);
+    if (entry.shard) (void)entry.shard->try_abandon(index);
+  }
+}
+
+std::optional<ClaimReply> ClusterNode::forward_claim(
+    std::size_t peer, const std::string& workload, std::uint64_t index) {
+  try {
+    auto reply =
+        clients_[peer]->claim(workload, index, peers_.self_index());
+    record_ok(peer);
+    return reply;
+  } catch (const std::exception&) {
+    record_failure(peer);
+    return std::nullopt;
+  }
+}
+
+bool ClusterNode::forward_publish(std::size_t peer,
+                                  const std::string& workload,
+                                  std::uint64_t index,
+                                  const core::Measurement& m) {
+  try {
+    clients_[peer]->publish(workload, index, m, peers_.self_index());
+    record_ok(peer);
+    return true;
+  } catch (const std::exception&) {
+    record_failure(peer);
+    return false;
+  }
+}
+
+void ClusterNode::forward_abandon(std::size_t peer,
+                                  const std::string& workload,
+                                  std::uint64_t index) {
+  try {
+    clients_[peer]->abandon(workload, index, peers_.self_index());
+    record_ok(peer);
+  } catch (const std::exception&) {
+    record_failure(peer);
+    // Best effort only: if the owner is gone, its own down-detection
+    // of *us* is irrelevant — a pending entry at a dead owner matters
+    // to nobody until the owner restarts empty.
+  }
+}
+
+std::optional<LookupReply> ClusterNode::forward_lookup(
+    std::size_t peer, const std::string& workload, std::uint64_t index) {
+  try {
+    auto reply = clients_[peer]->lookup(workload, index);
+    record_ok(peer);
+    return reply;
+  } catch (const std::exception&) {
+    record_failure(peer);
+    return std::nullopt;
+  }
+}
+
+void ClusterNode::announce_publish(const std::string& workload,
+                                   std::uint64_t index,
+                                   const core::Measurement& m) {
+  relay_.enqueue(workload,
+                 DeltaRecord{index, std::bit_cast<std::uint64_t>(m.time_ms),
+                             static_cast<std::uint8_t>(m.status)},
+                 std::nullopt);
+}
+
+void ClusterNode::send_frame(std::size_t peer, const std::string& bytes) {
+  if (!peers_.up(peer)) {
+    // Don't burn a timeout per frame on a known-down peer; it re-warms
+    // via claim RPCs once gossip sees it again.
+    relay_frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  try {
+    clients_[peer]->relay(bytes);
+    record_ok(peer);
+  } catch (const std::exception&) {
+    relay_frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    record_failure(peer);
+  }
+}
+
+void ClusterNode::gossip_main() {
+  std::unique_lock lock(gossip_mutex_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    gossip_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.gossip_interval_ms),
+        [this] { return stopping_.load(std::memory_order_relaxed); });
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    lock.unlock();
+    gossip_once();
+    lock.lock();
+  }
+}
+
+void ClusterNode::gossip_once() {
+  for (std::size_t peer = 0; peer < peers_.size(); ++peer) {
+    if (peer == peers_.self_index()) continue;
+    try {
+      (void)clients_[peer]->gossip(peers_.self_index());
+      record_ok(peer);
+    } catch (const std::exception&) {
+      record_failure(peer);
+    }
+  }
+}
+
+// --- inbound (/v1/peers/*) -----------------------------------------
+
+net::HttpResponse ClusterNode::handle_peers(
+    const net::HttpRequest& request) {
+  const std::string path =
+      request.target.substr(0, request.target.find('?'));
+  try {
+    if (path == "/v1/peers/health") {
+      if (request.method != "GET") {
+        return error_json(405, "use GET on /v1/peers/health");
+      }
+      return json_response(200, health_json());
+    }
+    if (request.method != "POST") {
+      return error_json(405, "peer routes are POST (health is GET)");
+    }
+    if (path == "/v1/peers/relay") return handle_relay(request.body);
+    const Json body = Json::parse(request.body);
+    if (path == "/v1/peers/claim") return handle_claim(body);
+    if (path == "/v1/peers/publish") return handle_publish(body);
+    if (path == "/v1/peers/abandon") return handle_abandon(body);
+    if (path == "/v1/peers/lookup") return handle_lookup(body);
+    if (path == "/v1/peers/gossip") return handle_gossip(body);
+    return error_json(404, "no such peer endpoint: " + path);
+  } catch (const std::exception& e) {
+    return error_json(400, e.what());
+  }
+}
+
+net::HttpResponse ClusterNode::handle_claim(const Json& body) {
+  const std::string& workload = string_field(body, "workload");
+  const std::uint64_t index = parse_u64_field(body, "index");
+  const std::size_t from = from_field(body);
+  const Entry entry = snapshot_entry(workload, /*create=*/true);
+
+  const auto claim = entry.shard->claim(index);
+  JsonObject reply;
+  switch (claim.state) {
+    case service::ShardedMeasurementCache::ClaimState::kHit:
+      peer_claims_served_.fetch_add(1, std::memory_order_relaxed);
+      reply["state"] = "hit";
+      measurement_to_json(claim.measurement, reply);
+      break;
+    case service::ShardedMeasurementCache::ClaimState::kClaimed:
+      // The remote claimant now owes publish/abandon; remember who, so
+      // its death releases the entry instead of wedging every waiter.
+      inflight_.record(from, workload, index);
+      reply["state"] = "claimed";
+      break;
+    case service::ShardedMeasurementCache::ClaimState::kPending:
+      reply["state"] = "pending";
+      break;
+  }
+  return json_response(200, Json(std::move(reply)));
+}
+
+net::HttpResponse ClusterNode::handle_publish(const Json& body) {
+  const std::string& workload = string_field(body, "workload");
+  const std::uint64_t index = parse_u64_field(body, "index");
+  const std::size_t from = from_field(body);
+  const core::Measurement m = measurement_from_json(body);
+  const Entry entry = snapshot_entry(workload, /*create=*/true);
+
+  peer_publishes_received_.fetch_add(1, std::memory_order_relaxed);
+  (void)inflight_.erase(workload, index);
+  // force_publish: a late publish can race our dead-claimant sweep (the
+  // entry is gone) or a local fallback evaluation (already ready) —
+  // both are lost races to tolerate, not protocol bugs to assert on.
+  if (entry.shard->force_publish(index, m)) {
+    // Fan the fresh value out to everyone but its producer.
+    relay_.enqueue(workload,
+                   DeltaRecord{index,
+                               std::bit_cast<std::uint64_t>(m.time_ms),
+                               static_cast<std::uint8_t>(m.status)},
+                   from);
+  }
+  JsonObject reply;
+  reply["stored"] = true;
+  return json_response(200, Json(std::move(reply)));
+}
+
+net::HttpResponse ClusterNode::handle_abandon(const Json& body) {
+  const std::string& workload = string_field(body, "workload");
+  const std::uint64_t index = parse_u64_field(body, "index");
+  (void)from_field(body);  // validated for wire consistency
+  (void)inflight_.erase(workload, index);
+  const Entry entry = snapshot_entry(workload, /*create=*/false);
+  const bool released = entry.shard && entry.shard->try_abandon(index);
+  JsonObject reply;
+  reply["released"] = released;
+  return json_response(200, Json(std::move(reply)));
+}
+
+net::HttpResponse ClusterNode::handle_lookup(const Json& body) {
+  const std::string& workload = string_field(body, "workload");
+  const std::uint64_t index = parse_u64_field(body, "index");
+  const Entry entry = snapshot_entry(workload, /*create=*/false);
+
+  JsonObject reply;
+  if (!entry.shard) {
+    reply["state"] = "absent";
+    return json_response(200, Json(std::move(reply)));
+  }
+  const auto probe = entry.shard->probe(index);
+  switch (probe.state) {
+    case service::ShardedMeasurementCache::ProbeState::kReady:
+      reply["state"] = "ready";
+      measurement_to_json(probe.measurement, reply);
+      break;
+    case service::ShardedMeasurementCache::ProbeState::kPending:
+      reply["state"] = "pending";
+      break;
+    case service::ShardedMeasurementCache::ProbeState::kAbsent:
+      reply["state"] = "absent";
+      break;
+  }
+  return json_response(200, Json(std::move(reply)));
+}
+
+net::HttpResponse ClusterNode::handle_relay(const std::string& bytes) {
+  const DeltaFrame frame = decode_delta_frame(bytes);
+  relay_frames_received_.fetch_add(1, std::memory_order_relaxed);
+  relay_bytes_received_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  const Entry entry = snapshot_entry(frame.workload, /*create=*/false);
+  if (!entry.dist) {
+    // No local sessions on this workload (yet): nothing to warm. The
+    // claim RPC path still covers a workload that shows up later.
+    relay_frames_ignored_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    relay_records_received_.fetch_add(frame.records.size(),
+                                      std::memory_order_relaxed);
+    for (const DeltaRecord& rec : frame.records) {
+      core::Measurement m;
+      m.time_ms = std::bit_cast<double>(rec.time_bits);
+      m.status = static_cast<core::MeasureStatus>(rec.status);
+      entry.dist->store_remote(rec.key, m, /*from_relay=*/true);
+    }
+  }
+  JsonObject reply;
+  reply["accepted"] = true;
+  return json_response(200, Json(std::move(reply)));
+}
+
+net::HttpResponse ClusterNode::handle_gossip(const Json& body) {
+  // An inbound gossip is positive evidence about its sender, which is
+  // what re-discovers a peer that recovered while we had stopped
+  // trying it anywhere else.
+  const std::size_t from = from_field(body);
+  if (from < peers_.size() && from != peers_.self_index()) {
+    peers_.record_ok(from);
+  }
+  return json_response(200, health_json());
+}
+
+Json ClusterNode::health_json() const {
+  JsonObject object;
+  object.emplace("self",
+                 static_cast<std::uint64_t>(peers_.self_index()));
+  JsonArray peer_list;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    const auto health = peers_.health(i);
+    JsonObject peer;
+    peer.emplace("address", peers_.address(i).to_string());
+    peer.emplace("self", i == peers_.self_index());
+    peer.emplace("up", health.up);
+    peer.emplace("consecutive_failures",
+                 static_cast<std::uint64_t>(health.consecutive_failures));
+    peer.emplace("rpcs_ok", health.rpcs_ok);
+    peer.emplace("rpcs_failed", health.rpcs_failed);
+    peer.emplace("inflight_claims",
+                 static_cast<std::uint64_t>(inflight_.held_by(i)));
+    peer_list.push_back(Json(std::move(peer)));
+  }
+  object.emplace("peers", Json(std::move(peer_list)));
+  return Json(std::move(object));
+}
+
+Json ClusterNode::stats_json() const {
+  DistributedMeasurementCache::Stats outbound;
+  {
+    std::lock_guard lock(registry_mutex_);
+    for (const auto& [workload, entry] : registry_) {
+      (void)workload;
+      if (!entry.dist) continue;
+      const auto s = entry.dist->stats();
+      outbound.cluster_cache_hits += s.cluster_cache_hits;
+      outbound.claims_forwarded += s.claims_forwarded;
+      outbound.publishes_forwarded += s.publishes_forwarded;
+      outbound.fallback_claims += s.fallback_claims;
+      outbound.relay_records_stored += s.relay_records_stored;
+    }
+  }
+  const auto relay = relay_.stats();
+
+  JsonObject object;
+  // The four headline counters the CI gate and operators read:
+  object.emplace("cluster_cache_hits", outbound.cluster_cache_hits);
+  object.emplace("peer_claims_forwarded", outbound.claims_forwarded);
+  object.emplace("peer_publishes_relayed",
+                 outbound.publishes_forwarded + relay.records_sent);
+  object.emplace("relay_bytes",
+                 relay.bytes_sent +
+                     relay_bytes_received_.load(std::memory_order_relaxed));
+  // Supporting detail:
+  object.emplace("fallback_local_claims", outbound.fallback_claims);
+  object.emplace("peer_claims_served",
+                 peer_claims_served_.load(std::memory_order_relaxed));
+  object.emplace("peer_publishes_received",
+                 peer_publishes_received_.load(std::memory_order_relaxed));
+  JsonObject relay_json;
+  relay_json.emplace("frames_sent", relay.frames_sent);
+  relay_json.emplace("records_sent", relay.records_sent);
+  relay_json.emplace("bytes_sent", relay.bytes_sent);
+  relay_json.emplace("frames_dropped",
+                     relay_frames_dropped_.load(std::memory_order_relaxed));
+  relay_json.emplace("frames_received",
+                     relay_frames_received_.load(std::memory_order_relaxed));
+  relay_json.emplace(
+      "records_received",
+      relay_records_received_.load(std::memory_order_relaxed));
+  relay_json.emplace("records_stored", outbound.relay_records_stored);
+  relay_json.emplace("bytes_received",
+                     relay_bytes_received_.load(std::memory_order_relaxed));
+  relay_json.emplace("frames_ignored",
+                     relay_frames_ignored_.load(std::memory_order_relaxed));
+  object.emplace("relay", Json(std::move(relay_json)));
+  const Json health = health_json();
+  object.emplace("self", *health.find("self"));
+  object.emplace("peers", *health.find("peers"));
+  return Json(std::move(object));
+}
+
+}  // namespace bat::cluster

@@ -1,0 +1,188 @@
+// ClusterNode: one node's membership in the tuning cluster.
+//
+// Owns the moving parts of the peer protocol and glues them together:
+//
+//   PeerSet          static membership + health + HRW ownership;
+//   PeerClient[]     one keep-alive RPC connection per peer;
+//   InflightIndex    forwarded claims outstanding per claimant;
+//   RelayHub         delta-frame fan-out of fresh publishes;
+//   registry         per-workload local shard + DistributedMeasurement-
+//                    Cache (the thing TuningService sessions use).
+//
+// Two faces: PeerLink (the distributed cache's outbound transport —
+// forward_claim/publish/lookup with health bookkeeping on every
+// outcome) and handle_peers() (the inbound /v1/peers/* routes the
+// ApiServer delegates, serving this node's shards to the fleet).
+// Inbound handlers are strictly non-blocking — claim, publish, lookup
+// and relay are map operations; the blocking wait() side of the
+// protocol lives entirely at the claimant as lookup polling — so a
+// bounded HTTP worker pool can never deadlock across nodes.
+//
+// Failure handling: every RPC outcome feeds PeerSet. When a peer
+// crosses the down threshold, its outstanding forwarded claims are
+// swept from the InflightIndex and abandoned against the local shards,
+// so waiters (local sessions and polling peers alike) wake, re-claim
+// and evaluate — the claimant-death path the sharded cache's tolerant
+// variants exist for. A background gossip loop pings peers so a dead
+// node is detected within a few intervals even when no claim traffic
+// is flowing.
+//
+// Thread-safety: fully thread-safe; the registry has one mutex, all
+// counters are atomics, per-peer clients serialize internally.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/distributed_cache.hpp"
+#include "cluster/inflight_index.hpp"
+#include "cluster/peer_client.hpp"
+#include "cluster/peer_set.hpp"
+#include "cluster/relay.hpp"
+#include "common/json.hpp"
+#include "net/http.hpp"
+
+namespace bat::cluster {
+
+struct ClusterOptions {
+  /// Full membership (self included), identical on every node.
+  std::vector<PeerAddress> members;
+  std::size_t self_index = 0;
+  /// Peer RPC timeouts — finite, unlike the CLI's HttpClient defaults:
+  /// a hung peer must cost one bounded stall, not a parked worker.
+  int connect_timeout_ms = 2000;
+  int io_timeout_ms = 2000;
+  int fail_threshold = 3;
+  int gossip_interval_ms = 500;
+  /// Shards for locally-created per-workload caches.
+  std::size_t cache_shards = 16;
+  DistributedCacheOptions cache;
+  RelayOptions relay;
+};
+
+class ClusterNode final : public PeerLink {
+ public:
+  explicit ClusterNode(ClusterOptions options);
+  ~ClusterNode() override;  // stop()
+
+  ClusterNode(const ClusterNode&) = delete;
+  ClusterNode& operator=(const ClusterNode&) = delete;
+
+  void start();  // gossip + relay flusher threads; idempotent
+  void stop();   // final relay flush, joins threads; idempotent
+
+  /// The canonical workload id: "kernel|device|backend".
+  [[nodiscard]] static std::string workload_id(const std::string& kernel,
+                                               std::size_t device,
+                                               const std::string& backend);
+
+  /// The cluster-wide cache for one workload; TuningService calls this
+  /// instead of building a bare ShardedMeasurementCache. Reuses the
+  /// local shard if peer RPCs already created one for the workload
+  /// (claims can arrive before any local session does).
+  [[nodiscard]] std::shared_ptr<DistributedMeasurementCache> cache_for(
+      const std::string& kernel, std::size_t device,
+      const std::string& backend,
+      std::shared_ptr<const core::CompiledSpace> compiled);
+
+  /// Inbound /v1/peers/* dispatcher (ApiServer delegates here):
+  /// claim, publish, abandon, lookup, relay, gossip, health.
+  [[nodiscard]] net::HttpResponse handle_peers(
+      const net::HttpRequest& request);
+
+  /// The cluster section of /v1/stats: dedup counters, relay volume,
+  /// per-peer health. Names documented in docs/http-api.md.
+  [[nodiscard]] common::Json stats_json() const;
+
+  [[nodiscard]] const PeerSet& peers() const noexcept { return peers_; }
+
+  // --- PeerLink ----------------------------------------------------
+  [[nodiscard]] std::size_t self_index() const override {
+    return peers_.self_index();
+  }
+  [[nodiscard]] std::size_t owner_of(const std::string& workload,
+                                     std::uint64_t block) const override {
+    return peers_.owner_of(workload, block);
+  }
+  [[nodiscard]] bool peer_up(std::size_t peer) const override {
+    return peers_.up(peer);
+  }
+  [[nodiscard]] bool stopping() const override {
+    return stopping_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::optional<ClaimReply> forward_claim(
+      std::size_t peer, const std::string& workload,
+      std::uint64_t index) override;
+  [[nodiscard]] bool forward_publish(std::size_t peer,
+                                     const std::string& workload,
+                                     std::uint64_t index,
+                                     const core::Measurement& m) override;
+  void forward_abandon(std::size_t peer, const std::string& workload,
+                       std::uint64_t index) override;
+  [[nodiscard]] std::optional<LookupReply> forward_lookup(
+      std::size_t peer, const std::string& workload,
+      std::uint64_t index) override;
+  void announce_publish(const std::string& workload, std::uint64_t index,
+                        const core::Measurement& m) override;
+
+  /// Testing hook: force one gossip round synchronously.
+  void gossip_once();
+
+ private:
+  struct Entry {
+    std::shared_ptr<service::ShardedMeasurementCache> shard;
+    std::shared_ptr<DistributedMeasurementCache> dist;  // null until built
+  };
+
+  [[nodiscard]] Entry snapshot_entry(const std::string& workload,
+                                     bool create);
+  void record_ok(std::size_t peer);
+  void record_failure(std::size_t peer);
+  /// Dead-claimant sweep: abandon everything `peer` still owed us.
+  void sweep_peer(std::size_t peer);
+  void send_frame(std::size_t peer, const std::string& bytes);
+  void gossip_main();
+
+  [[nodiscard]] net::HttpResponse handle_claim(const common::Json& body);
+  [[nodiscard]] net::HttpResponse handle_publish(const common::Json& body);
+  [[nodiscard]] net::HttpResponse handle_abandon(const common::Json& body);
+  [[nodiscard]] net::HttpResponse handle_lookup(const common::Json& body);
+  [[nodiscard]] net::HttpResponse handle_relay(const std::string& bytes);
+  [[nodiscard]] net::HttpResponse handle_gossip(const common::Json& body);
+  [[nodiscard]] common::Json health_json() const;
+
+  ClusterOptions options_;
+  PeerSet peers_;
+  InflightIndex inflight_;
+  std::vector<std::unique_ptr<PeerClient>> clients_;
+  RelayHub relay_;
+
+  mutable std::mutex registry_mutex_;
+  std::map<std::string, Entry> registry_;
+
+  // Inbound + relay counters (outbound per-workload counters live in
+  // the DistributedMeasurementCache stats, aggregated by stats_json).
+  std::atomic<std::uint64_t> peer_claims_served_{0};
+  std::atomic<std::uint64_t> peer_publishes_received_{0};
+  std::atomic<std::uint64_t> relay_frames_received_{0};
+  std::atomic<std::uint64_t> relay_records_received_{0};
+  std::atomic<std::uint64_t> relay_bytes_received_{0};
+  std::atomic<std::uint64_t> relay_frames_ignored_{0};
+  std::atomic<std::uint64_t> relay_frames_dropped_{0};
+
+  std::atomic<bool> stopping_{false};
+  std::mutex gossip_mutex_;
+  std::condition_variable gossip_cv_;
+  bool started_ = false;
+  std::thread gossip_thread_;
+};
+
+}  // namespace bat::cluster

@@ -1,0 +1,164 @@
+#include "cluster/delta_frame.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "io/binary_format.hpp"
+
+namespace bat::cluster {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);  // little-endian: asserted repo-wide in io/
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+/// LEB128 (unsigned): 7 value bits per byte, high bit = continue.
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+
+  std::string_view take(std::size_t n, const char* what) {
+    if (bytes_.size() - pos_ < n) {
+      throw std::runtime_error(std::string("delta frame truncated in ") +
+                               what);
+    }
+    const auto view = bytes_.substr(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  std::uint32_t u32(const char* what) {
+    std::uint32_t v = 0;
+    std::memcpy(&v, take(4, what).data(), 4);
+    return v;
+  }
+
+  std::uint64_t u64(const char* what) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, take(8, what).data(), 8);
+    return v;
+  }
+
+  std::uint64_t varint(const char* what) {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const auto byte =
+          static_cast<std::uint8_t>(take(1, what).front());
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        // Final byte must not set bits past 64 (shift 63 holds 1 bit).
+        if (shift == 63 && (byte & 0x7e) != 0) break;
+        return v;
+      }
+    }
+    throw std::runtime_error(std::string("delta frame: overlong varint in ") +
+                             what);
+  }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string encode_delta_frame(DeltaFrame& frame) {
+  std::sort(frame.records.begin(), frame.records.end(),
+            [](const DeltaRecord& a, const DeltaRecord& b) {
+              return a.key < b.key;
+            });
+  std::string out;
+  // keys dominate at ~1-2 bytes each after delta coding; 16/record is a
+  // comfortable upper-bound reservation.
+  out.reserve(32 + frame.workload.size() + frame.records.size() * 16);
+  out.append(kDeltaFrameMagic, sizeof kDeltaFrameMagic);
+  put_u32(out, static_cast<std::uint32_t>(frame.workload.size()));
+  out.append(frame.workload);
+  put_u32(out, static_cast<std::uint32_t>(frame.records.size()));
+  std::uint64_t previous = 0;
+  bool first = true;
+  for (const DeltaRecord& rec : frame.records) {
+    put_varint(out, first ? rec.key : rec.key - previous);
+    previous = rec.key;
+    first = false;
+  }
+  for (const DeltaRecord& rec : frame.records) put_u64(out, rec.time_bits);
+  for (const DeltaRecord& rec : frame.records) {
+    out.push_back(static_cast<char>(rec.status));
+  }
+  put_u32(out, io::crc32(out.data(), out.size()));
+  return out;
+}
+
+DeltaFrame decode_delta_frame(std::string_view bytes) {
+  if (bytes.size() < sizeof kDeltaFrameMagic + 12) {
+    throw std::runtime_error("delta frame: shorter than any valid frame");
+  }
+  // CRC covers everything before the trailing u32.
+  const std::size_t body = bytes.size() - 4;
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + body, 4);
+  if (io::crc32(bytes.data(), body) != stored_crc) {
+    throw std::runtime_error("delta frame: CRC mismatch");
+  }
+
+  Reader reader(bytes.substr(0, body));
+  const auto magic = reader.take(sizeof kDeltaFrameMagic, "magic");
+  if (std::memcmp(magic.data(), kDeltaFrameMagic,
+                  sizeof kDeltaFrameMagic) != 0) {
+    throw std::runtime_error("delta frame: bad magic");
+  }
+
+  DeltaFrame frame;
+  const std::uint32_t wl_len = reader.u32("workload length");
+  frame.workload = std::string(reader.take(wl_len, "workload id"));
+  const std::uint32_t count = reader.u32("record count");
+  // A frame must physically hold count keys (>= 1 byte each) plus the
+  // fixed-width columns; reject absurd counts before reserving.
+  if (body - reader.pos() < static_cast<std::size_t>(count) * 10) {
+    throw std::runtime_error("delta frame: record count exceeds payload");
+  }
+  frame.records.resize(count);
+  std::uint64_t key = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t delta = reader.varint("keys");
+    if (i > 0 && delta > UINT64_MAX - key) {
+      throw std::runtime_error("delta frame: key overflow");
+    }
+    key = i == 0 ? delta : key + delta;
+    frame.records[i].key = key;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    frame.records[i].time_bits = reader.u64("time columns");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    frame.records[i].status =
+        static_cast<std::uint8_t>(reader.take(1, "status column").front());
+  }
+  if (reader.pos() != body) {
+    throw std::runtime_error("delta frame: trailing bytes");
+  }
+  return frame;
+}
+
+}  // namespace bat::cluster

@@ -1,0 +1,64 @@
+// BATDFR01: the compact relay frame shipped between cluster peers.
+//
+// When a measurement is published at its owner, every other node wants
+// it (their sessions will probe the same configuration — local minima
+// attract every tuner). Naively each node would re-request it over a
+// JSON RPC, or the owner would re-ship whole datasets. Instead the
+// owner batches fresh publishes per destination and pushes one binary
+// *delta frame* — only what the destination has not seen, in columns,
+// the sketch-and-fill discipline of compact block relay applied to
+// measurements.
+//
+// Wire layout (little-endian, matching the BATDSB01 dataset format's
+// conventions — see docs/dataset-format.md):
+//
+//   magic      8 bytes   "BATDFR01"
+//   wl_len     u32       workload id length
+//   workload   wl_len    "kernel|device|backend" (UTF-8, no NUL)
+//   count      u32       number of records
+//   keys       varint[]  LEB128 deltas of the sorted ConfigIndex keys
+//                        (first is absolute); sorted keys from one
+//                        space compile to small gaps, so most deltas
+//                        fit 1-2 bytes vs 8 raw
+//   time_bits  u64[]     IEEE-754 bit patterns of time_ms, in key order
+//                        (bit-exact by construction: the cluster's
+//                        byte-identical-trace guarantee cannot survive
+//                        a decimal round-trip)
+//   status     u8[]      MeasureStatus, in key order
+//   crc        u32       CRC-32 (io::crc32) of everything above
+//
+// decode_delta_frame() is strict: bad magic, truncation, overlong
+// varints, key overflow, or a CRC mismatch all throw — a frame comes
+// from the network and must not be trusted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bat::cluster {
+
+inline constexpr char kDeltaFrameMagic[8] = {'B', 'A', 'T', 'D',
+                                             'F', 'R', '0', '1'};
+
+struct DeltaRecord {
+  std::uint64_t key = 0;        // raw ConfigIndex (wire key)
+  std::uint64_t time_bits = 0;  // bit_cast of Measurement::time_ms
+  std::uint8_t status = 0;      // core::MeasureStatus
+};
+
+struct DeltaFrame {
+  std::string workload;  // "kernel|device|backend"
+  std::vector<DeltaRecord> records;
+};
+
+/// Encodes a frame; records are sorted by key in place first (the
+/// delta encoding requires it; duplicates are kept — last wins on
+/// decode apply, and publishers never produce them anyway).
+[[nodiscard]] std::string encode_delta_frame(DeltaFrame& frame);
+
+/// Strict decode; throws std::runtime_error on any malformation.
+[[nodiscard]] DeltaFrame decode_delta_frame(std::string_view bytes);
+
+}  // namespace bat::cluster

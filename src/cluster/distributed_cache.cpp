@@ -1,0 +1,220 @@
+#include "cluster/distributed_cache.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace bat::cluster {
+
+DistributedMeasurementCache::DistributedMeasurementCache(
+    std::string workload,
+    std::shared_ptr<service::ShardedMeasurementCache> local,
+    std::shared_ptr<const core::CompiledSpace> compiled, PeerLink& link,
+    DistributedCacheOptions options)
+    : workload_(std::move(workload)),
+      local_(std::move(local)),
+      compiled_(std::move(compiled)),
+      link_(link),
+      options_(options) {
+  if (options_.block_size == 0) options_.block_size = 1;
+  if (compiled_ && compiled_->has_valid_set()) {
+    by_ordinal_ = true;
+    invalid_offset_ = compiled_->num_valid();
+  }
+}
+
+std::uint64_t DistributedMeasurementCache::key_of(
+    core::ConfigIndex index) const {
+  // Identical mapping to ShardedMeasurementCache::key_of: dense valid
+  // ordinals (so block ownership really partitions the compiled space),
+  // invalid indices offset past num_valid. CompiledSpace is a pure
+  // function of the kernel, so every node derives the same keys.
+  if (!by_ordinal_) return index;
+  if (const auto ordinal = compiled_->rank(index)) return *ordinal;
+  return invalid_offset_ + index;
+}
+
+std::size_t DistributedMeasurementCache::owner_of_key(
+    std::uint64_t key) const {
+  return link_.owner_of(workload_, key / options_.block_size);
+}
+
+void DistributedMeasurementCache::store_remote_locked(
+    std::uint64_t key, const core::Measurement& m) {
+  // Overflow policy: clear. The map is a pure read-through cache (the
+  // owner's shard stays authoritative), so dropping it costs one claim
+  // RPC per re-probed key, never correctness. Cheaper and simpler than
+  // LRU chains at a cap this size.
+  if (remote_ready_.size() >= options_.remote_cache_cap) {
+    remote_ready_.clear();
+  }
+  remote_ready_[key] = m;
+}
+
+void DistributedMeasurementCache::store_remote(core::ConfigIndex raw,
+                                               const core::Measurement& m,
+                                               bool from_relay) {
+  const auto key = key_of(raw);
+  std::lock_guard lock(mutex_);
+  store_remote_locked(key, m);
+  if (from_relay) ++stats_.relay_records_stored;
+}
+
+DistributedMeasurementCache::Claim DistributedMeasurementCache::claim(
+    core::ConfigIndex index) {
+  const auto key = key_of(index);
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = remote_ready_.find(key);
+    if (it != remote_ready_.end()) {
+      ++stats_.cluster_cache_hits;
+      return Claim{ClaimState::kHit, it->second};
+    }
+  }
+
+  const std::size_t owner = owner_of_key(key);
+  if (owner == link_.self_index()) {
+    return local_->claim(index);  // single-node fast path, zero RPCs
+  }
+  if (!link_.peer_up(owner)) {
+    std::lock_guard lock(mutex_);
+    ++stats_.fallback_claims;
+    return local_->claim(index);
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.claims_forwarded;
+  }
+  const auto reply = link_.forward_claim(owner, workload_, index);
+  if (!reply) {
+    // Transport failure mid-claim: the owner just went dark. Evaluate
+    // locally — liveness over global dedup for the outage's duration.
+    std::lock_guard lock(mutex_);
+    ++stats_.fallback_claims;
+    return local_->claim(index);
+  }
+  switch (reply->state) {
+    case ClaimReply::State::kHit: {
+      std::lock_guard lock(mutex_);
+      store_remote_locked(key, reply->measurement);
+      ++stats_.cluster_cache_hits;
+      return Claim{ClaimState::kHit, reply->measurement};
+    }
+    case ClaimReply::State::kClaimed: {
+      // This node evaluates; remember which peer granted the claim so
+      // publish/abandon pair with it even if health flaps meanwhile.
+      std::lock_guard lock(mutex_);
+      routes_[key] = owner;
+      return Claim{ClaimState::kClaimed, {}};
+    }
+    case ClaimReply::State::kPending:
+      return Claim{ClaimState::kPending, {}};
+  }
+  return Claim{ClaimState::kPending, {}};  // unreachable
+}
+
+void DistributedMeasurementCache::publish(core::ConfigIndex index,
+                                          const core::Measurement& m) {
+  const auto key = key_of(index);
+  std::optional<std::size_t> route;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = routes_.find(key);
+    if (it != routes_.end()) {
+      route = it->second;
+      routes_.erase(it);
+      ++stats_.publishes_forwarded;
+      // Local sessions re-probing this key hit the read-through map
+      // without an RPC, exactly as if a relay frame had delivered it.
+      store_remote_locked(key, m);
+    }
+  }
+  if (route) {
+    if (!link_.forward_publish(*route, workload_, index, m)) {
+      // The owner vanished between claim and publish. Keep the value
+      // usable on this node; the owner's dead-claimant sweep releases
+      // its pending entry so nobody over there waits forever.
+      (void)local_->force_publish(index, m);
+    }
+    return;
+  }
+  // No route: the claim was served by the local shard — either this
+  // node owns the key or the owner was down at claim time (fallback).
+  local_->publish(index, m);
+  if (owner_of_key(key) == link_.self_index()) {
+    link_.announce_publish(workload_, index, m);
+  }
+}
+
+void DistributedMeasurementCache::abandon(core::ConfigIndex index) {
+  const auto key = key_of(index);
+  std::optional<std::size_t> route;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = routes_.find(key);
+    if (it != routes_.end()) {
+      route = it->second;
+      routes_.erase(it);
+    }
+  }
+  if (route) {
+    link_.forward_abandon(*route, workload_, index);  // best effort
+    return;
+  }
+  (void)local_->try_abandon(index);
+}
+
+std::optional<core::Measurement> DistributedMeasurementCache::wait(
+    core::ConfigIndex index) {
+  const auto key = key_of(index);
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = remote_ready_.find(key);
+    if (it != remote_ready_.end()) {
+      ++stats_.cluster_cache_hits;
+      return it->second;
+    }
+  }
+  // Anything the local shard knows about (self-owned, or a fallback
+  // claim raced here) resolves through the local condition variables.
+  if (local_->probe(index).state !=
+      service::ShardedMeasurementCache::ProbeState::kAbsent) {
+    return local_->wait(index);
+  }
+  const std::size_t owner = owner_of_key(key);
+  if (owner == link_.self_index()) return local_->wait(index);
+  if (!link_.peer_up(owner)) return std::nullopt;  // caller re-claims
+
+  // Poll the owner. The claim protocol guarantees the pending entry
+  // resolves in finite time (its claimant publishes or abandons, or
+  // the owner's dead-claimant sweep abandons for it), so this loop
+  // terminates; `stopping` bounds it across node shutdown.
+  while (!link_.stopping()) {
+    const auto reply = link_.forward_lookup(owner, workload_, index);
+    if (!reply) return std::nullopt;  // owner dark: re-claim, fall back
+    switch (reply->state) {
+      case LookupReply::State::kReady: {
+        std::lock_guard lock(mutex_);
+        store_remote_locked(key, reply->measurement);
+        ++stats_.cluster_cache_hits;
+        return reply->measurement;
+      }
+      case LookupReply::State::kAbsent:
+        return std::nullopt;  // abandoned: re-claim and retry
+      case LookupReply::State::kPending:
+        break;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.wait_poll_ms));
+  }
+  return std::nullopt;
+}
+
+DistributedMeasurementCache::Stats DistributedMeasurementCache::stats()
+    const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace bat::cluster

@@ -1,0 +1,166 @@
+// DistributedMeasurementCache: the cluster-wide exactly-once layer.
+//
+// Implements core::SharedMeasurementCache over a whole peer set, so
+// the service's claim/publish/abandon/wait dance (see
+// core/shared_cache.hpp and CountingBackend) transparently dedupes
+// evaluations *across nodes*, not just across sessions. The routing
+// per probed index:
+//
+//   1. read-through cache: remote publishes (claim-RPC hits and relay
+//      frames) land in a bounded local map — a repeat probe costs zero
+//      RPCs and zero shard locks;
+//   2. locally-owned keys (PeerSet::owner_of says self): straight into
+//      the local ShardedMeasurementCache — the single-node fast path,
+//      completely RPC-free;
+//   3. remotely-owned keys: one claim RPC to the owner. kHit fills the
+//      read-through cache; kClaimed means *this node* evaluates and
+//      then publishes back to the owner (a route entry remembers the
+//      pairing); kPending means some node is on it — wait() polls the
+//      owner's lookup route;
+//   4. owner down (health says so, or the RPC fails): fall back to
+//      claiming in the *local* shard. Liveness beats global dedup
+//      while a peer is actually unreachable; the duplicate work is
+//      bounded by the outage and exactly-once is preserved whenever
+//      the cluster is healthy.
+//
+// Ownership granularity: keys are grouped into blocks of `block_size`
+// consecutive valid ordinals before hashing, so neighborhood sweeps
+// (every local-search tuner) mostly talk to one owner instead of
+// scattering RPCs across the fleet. Keys are the same valid-ordinal
+// mapping ShardedMeasurementCache uses (dense via CompiledSpace::rank,
+// invalid indices offset past num_valid) — deterministic from the
+// kernel alone, so every node computes identical owners with zero
+// coordination. The *wire* always carries the raw ConfigIndex; each
+// side re-derives its own keys.
+//
+// PeerLink is the seam to the transport (implemented by ClusterNode,
+// faked in tests): forwarding RPCs, health, relay announcements. It
+// keeps this file free of HTTP and the node free of cache logic.
+//
+// Thread-safety: fully thread-safe (the SharedMeasurementCache
+// contract); one mutex guards the read-through map + routes, the
+// local shard has its own sharded locks, RPCs run lock-free.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cluster/peer_client.hpp"
+#include "core/compiled_space.hpp"
+#include "core/shared_cache.hpp"
+#include "service/sharded_cache.hpp"
+
+namespace bat::cluster {
+
+/// Transport + membership seam between the distributed cache and the
+/// node (ClusterNode implements it; tests fake it). forward_* return
+/// nullopt/false on transport failure — the caller falls back local.
+class PeerLink {
+ public:
+  virtual ~PeerLink() = default;
+
+  [[nodiscard]] virtual std::size_t self_index() const = 0;
+  [[nodiscard]] virtual std::size_t owner_of(const std::string& workload,
+                                             std::uint64_t block) const = 0;
+  [[nodiscard]] virtual bool peer_up(std::size_t peer) const = 0;
+  /// True once the node is shutting down (wait() stops polling).
+  [[nodiscard]] virtual bool stopping() const = 0;
+
+  [[nodiscard]] virtual std::optional<ClaimReply> forward_claim(
+      std::size_t peer, const std::string& workload,
+      std::uint64_t index) = 0;
+  [[nodiscard]] virtual bool forward_publish(std::size_t peer,
+                                             const std::string& workload,
+                                             std::uint64_t index,
+                                             const core::Measurement& m) = 0;
+  virtual void forward_abandon(std::size_t peer, const std::string& workload,
+                               std::uint64_t index) = 0;
+  [[nodiscard]] virtual std::optional<LookupReply> forward_lookup(
+      std::size_t peer, const std::string& workload,
+      std::uint64_t index) = 0;
+
+  /// A measurement owned here was just published locally: fan it out
+  /// to the relay hub so peers warm their read-through caches.
+  virtual void announce_publish(const std::string& workload,
+                                std::uint64_t index,
+                                const core::Measurement& m) = 0;
+};
+
+struct DistributedCacheOptions {
+  /// Consecutive valid-ordinal keys per ownership block.
+  std::uint64_t block_size = 64;
+  /// Read-through map entry cap; on overflow the map is cleared (it is
+  /// a pure cache — every entry refills via one RPC on next use).
+  std::size_t remote_cache_cap = 1u << 20;
+  /// wait()-side poll interval against a remote owner's lookup route.
+  int wait_poll_ms = 1;
+};
+
+class DistributedMeasurementCache final
+    : public core::SharedMeasurementCache {
+ public:
+  struct Stats {
+    std::uint64_t cluster_cache_hits = 0;   // served by a remote publish
+    std::uint64_t claims_forwarded = 0;     // claim RPCs sent
+    std::uint64_t publishes_forwarded = 0;  // publish RPCs sent
+    std::uint64_t fallback_claims = 0;      // owner down -> local claim
+    std::uint64_t relay_records_stored = 0; // read-through fills via relay
+  };
+
+  /// `local` is this node's shard for the workload (also what
+  /// /v1/peers/* handlers serve when this node is the owner);
+  /// `compiled` may be null (raw-index keying, as in the local cache).
+  DistributedMeasurementCache(
+      std::string workload,
+      std::shared_ptr<service::ShardedMeasurementCache> local,
+      std::shared_ptr<const core::CompiledSpace> compiled, PeerLink& link,
+      DistributedCacheOptions options = {});
+
+  [[nodiscard]] Claim claim(core::ConfigIndex index) override;
+  void publish(core::ConfigIndex index, const core::Measurement& m) override;
+  void abandon(core::ConfigIndex index) override;
+  [[nodiscard]] std::optional<core::Measurement> wait(
+      core::ConfigIndex index) override;
+
+  /// A relay frame (or forwarded hit) delivered a remote publish:
+  /// fill the read-through cache. `raw` is the wire ConfigIndex.
+  void store_remote(core::ConfigIndex raw, const core::Measurement& m,
+                    bool from_relay);
+
+  [[nodiscard]] const std::string& workload() const noexcept {
+    return workload_;
+  }
+  [[nodiscard]] const std::shared_ptr<service::ShardedMeasurementCache>&
+  local() const noexcept {
+    return local_;
+  }
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  [[nodiscard]] std::uint64_t key_of(core::ConfigIndex index) const;
+  [[nodiscard]] std::size_t owner_of_key(std::uint64_t key) const;
+  void store_remote_locked(std::uint64_t key, const core::Measurement& m);
+
+  std::string workload_;
+  std::shared_ptr<service::ShardedMeasurementCache> local_;
+  std::shared_ptr<const core::CompiledSpace> compiled_;
+  bool by_ordinal_ = false;
+  std::uint64_t invalid_offset_ = 0;
+  PeerLink& link_;
+  DistributedCacheOptions options_;
+
+  mutable std::mutex mutex_;
+  /// Remote publishes, keyed by local key. Bounded (see options).
+  std::unordered_map<std::uint64_t, core::Measurement> remote_ready_;
+  /// kClaimed-via-RPC routes: key -> owner peer, so publish/abandon
+  /// pair with the node that granted the claim (not whatever health
+  /// says at publish time).
+  std::unordered_map<std::uint64_t, std::size_t> routes_;
+  Stats stats_;
+};
+
+}  // namespace bat::cluster

@@ -1,0 +1,45 @@
+#include "cluster/inflight_index.hpp"
+
+namespace bat::cluster {
+
+void InflightIndex::record(std::size_t peer, const std::string& workload,
+                           std::uint64_t index) {
+  std::lock_guard lock(mutex_);
+  claims_[Key{workload, index}] = peer;
+}
+
+bool InflightIndex::erase(const std::string& workload, std::uint64_t index) {
+  std::lock_guard lock(mutex_);
+  return claims_.erase(Key{workload, index}) > 0;
+}
+
+std::vector<InflightIndex::Key> InflightIndex::take_peer(std::size_t peer) {
+  std::vector<Key> taken;
+  std::lock_guard lock(mutex_);
+  for (auto it = claims_.begin(); it != claims_.end();) {
+    if (it->second == peer) {
+      taken.push_back(it->first);
+      it = claims_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return taken;
+}
+
+std::size_t InflightIndex::size() const {
+  std::lock_guard lock(mutex_);
+  return claims_.size();
+}
+
+std::size_t InflightIndex::held_by(std::size_t peer) const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [key, holder] : claims_) {
+    (void)key;
+    n += holder == peer ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace bat::cluster

@@ -1,0 +1,55 @@
+// InflightIndex: which remote claims are outstanding, per claimant.
+//
+// Owner-side bookkeeping for the cluster claim protocol. When this node
+// grants a forwarded claim (a /v1/peers/claim that returned kClaimed),
+// the claimant peer now owes a publish or abandon for that key. If the
+// claimant dies first, the entry would stay pending forever and every
+// waiter — local sessions and other peers alike — would hang. The index
+// remembers (workload, key) -> claimant so that the moment a peer is
+// declared down, take_peer() hands back everything it owed and the
+// owner abandons those claims; waiters wake, re-claim, and evaluate.
+//
+// The same shape as tracking in-flight per-peer block requests in
+// compact-relay P2P stacks: a bounded ledger of promises outstanding,
+// swept on disconnect.
+//
+// Thread-safety: one mutex; operations are map lookups on keys that
+// number at most "claims currently being evaluated remotely" — tiny.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bat::cluster {
+
+class InflightIndex {
+ public:
+  using Key = std::pair<std::string, std::uint64_t>;  // (workload, index)
+
+  /// Records that `peer` owns the evaluation of (workload, index).
+  /// Re-recording overwrites (a re-claim after abandon is a new owner).
+  void record(std::size_t peer, const std::string& workload,
+              std::uint64_t index);
+
+  /// Drops the entry (the claimant published or abandoned). Returns
+  /// false when it was not tracked — e.g. already swept by take_peer(),
+  /// which is exactly the race the tolerant cache variants absorb.
+  bool erase(const std::string& workload, std::uint64_t index);
+
+  /// Removes and returns every claim held by `peer` (dead-claimant
+  /// sweep). The caller abandons each against its local shard.
+  [[nodiscard]] std::vector<Key> take_peer(std::size_t peer);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t held_by(std::size_t peer) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<Key, std::size_t> claims_;  // key -> claimant peer index
+};
+
+}  // namespace bat::cluster

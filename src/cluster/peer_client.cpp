@@ -1,0 +1,173 @@
+#include "cluster/peer_client.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace bat::cluster {
+
+void measurement_to_json(const core::Measurement& m,
+                         common::JsonObject& out) {
+  out["time_bits"] = u64_to_string(std::bit_cast<std::uint64_t>(m.time_ms));
+  out["status"] = static_cast<std::int64_t>(m.status);
+}
+
+core::Measurement measurement_from_json(const common::Json& object) {
+  core::Measurement m;
+  m.time_ms = std::bit_cast<double>(parse_u64_field(object, "time_bits"));
+  const common::Json* status = object.find("status");
+  if (status == nullptr) {
+    throw std::runtime_error("peer rpc: missing 'status'");
+  }
+  const auto raw = status->as_int();
+  if (raw < 0 || raw > static_cast<std::int64_t>(
+                           core::MeasureStatus::kInvalidDevice)) {
+    throw std::runtime_error("peer rpc: 'status' out of range");
+  }
+  m.status = static_cast<core::MeasureStatus>(raw);
+  return m;
+}
+
+std::string u64_to_string(std::uint64_t v) { return std::to_string(v); }
+
+std::uint64_t parse_u64_field(const common::Json& object,
+                              const std::string& key) {
+  const common::Json* field = object.find(key);
+  if (field == nullptr || !field->is_string()) {
+    throw std::runtime_error("peer rpc: missing or non-string '" + key +
+                             "'");
+  }
+  const std::string& text = field->as_string();
+  if (text.empty() || text.size() > 20) {
+    throw std::runtime_error("peer rpc: bad u64 in '" + key + "'");
+  }
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw std::runtime_error("peer rpc: bad u64 in '" + key + "'");
+    }
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      throw std::runtime_error("peer rpc: u64 overflow in '" + key + "'");
+    }
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+PeerClient::PeerClient(PeerAddress address, net::ClientOptions options)
+    : address_(std::move(address)),
+      http_(address_.host, address_.port,
+            net::ParseLimits{
+                .max_head_bytes = 16 * 1024,
+                .max_body_bytes = 64 * 1024 * 1024,
+                .max_headers = 100,
+            },
+            options) {}
+
+common::Json PeerClient::post_json(const std::string& route,
+                                   const common::Json& body) {
+  net::HttpResponse response;
+  {
+    std::lock_guard lock(mutex_);
+    response = http_.post(route, body.dump());
+  }
+  if (response.status < 200 || response.status >= 300) {
+    throw std::runtime_error("peer " + address_.to_string() + " " + route +
+                             " -> " + std::to_string(response.status) +
+                             ": " + response.body);
+  }
+  return common::Json::parse(response.body);
+}
+
+ClaimReply PeerClient::claim(const std::string& workload,
+                             std::uint64_t index, std::size_t self) {
+  common::JsonObject body;
+  body["workload"] = workload;
+  body["index"] = u64_to_string(index);
+  body["from"] = static_cast<std::int64_t>(self);
+  const common::Json reply = post_json("/v1/peers/claim", common::Json(body));
+  const common::Json* state = reply.find("state");
+  if (state == nullptr || !state->is_string()) {
+    throw std::runtime_error("peer rpc: claim reply missing 'state'");
+  }
+  ClaimReply out;
+  const std::string& s = state->as_string();
+  if (s == "hit") {
+    out.state = ClaimReply::State::kHit;
+    out.measurement = measurement_from_json(reply);
+  } else if (s == "claimed") {
+    out.state = ClaimReply::State::kClaimed;
+  } else if (s == "pending") {
+    out.state = ClaimReply::State::kPending;
+  } else {
+    throw std::runtime_error("peer rpc: unknown claim state '" + s + "'");
+  }
+  return out;
+}
+
+void PeerClient::publish(const std::string& workload, std::uint64_t index,
+                         const core::Measurement& m, std::size_t self) {
+  common::JsonObject body;
+  body["workload"] = workload;
+  body["index"] = u64_to_string(index);
+  body["from"] = static_cast<std::int64_t>(self);
+  measurement_to_json(m, body);
+  (void)post_json("/v1/peers/publish", common::Json(body));
+}
+
+void PeerClient::abandon(const std::string& workload, std::uint64_t index,
+                         std::size_t self) {
+  common::JsonObject body;
+  body["workload"] = workload;
+  body["index"] = u64_to_string(index);
+  body["from"] = static_cast<std::int64_t>(self);
+  (void)post_json("/v1/peers/abandon", common::Json(body));
+}
+
+LookupReply PeerClient::lookup(const std::string& workload,
+                               std::uint64_t index) {
+  common::JsonObject body;
+  body["workload"] = workload;
+  body["index"] = u64_to_string(index);
+  const common::Json reply =
+      post_json("/v1/peers/lookup", common::Json(body));
+  const common::Json* state = reply.find("state");
+  if (state == nullptr || !state->is_string()) {
+    throw std::runtime_error("peer rpc: lookup reply missing 'state'");
+  }
+  LookupReply out;
+  const std::string& s = state->as_string();
+  if (s == "ready") {
+    out.state = LookupReply::State::kReady;
+    out.measurement = measurement_from_json(reply);
+  } else if (s == "pending") {
+    out.state = LookupReply::State::kPending;
+  } else if (s == "absent") {
+    out.state = LookupReply::State::kAbsent;
+  } else {
+    throw std::runtime_error("peer rpc: unknown lookup state '" + s + "'");
+  }
+  return out;
+}
+
+void PeerClient::relay(const std::string& frame_bytes) {
+  net::HttpResponse response;
+  {
+    std::lock_guard lock(mutex_);
+    response = http_.post("/v1/peers/relay", frame_bytes,
+                          "application/octet-stream");
+  }
+  if (response.status < 200 || response.status >= 300) {
+    throw std::runtime_error("peer " + address_.to_string() +
+                             " relay -> " +
+                             std::to_string(response.status));
+  }
+}
+
+common::Json PeerClient::gossip(std::size_t self) {
+  common::JsonObject body;
+  body["from"] = static_cast<std::int64_t>(self);
+  return post_json("/v1/peers/gossip", common::Json(body));
+}
+
+}  // namespace bat::cluster

@@ -1,0 +1,103 @@
+// PeerClient: the JSON/binary RPC surface one node speaks to one peer.
+//
+// A thin, typed layer over net::HttpClient against the /v1/peers/*
+// routes. One persistent keep-alive connection per peer, serialized by
+// a mutex — peer RPCs are sub-millisecond loopback round trips and the
+// claim protocol is deliberately chatty-but-small, so one connection
+// per peer pair is plenty (and keeps the fleet's socket count linear).
+//
+// Every call throws std::runtime_error on transport failure, timeout
+// or a non-2xx status; the ClusterNode wrapper translates throws into
+// PeerSet health bookkeeping. Timeouts come from ClientOptions
+// (finite by default here, unlike the interactive CLI): a hung peer
+// costs one bounded stall, not a parked session worker.
+//
+// Wire conventions (documented in docs/cluster.md): u64 values
+// (ConfigIndex, time bit patterns) travel as decimal *strings* in JSON
+// bodies. common::Json stores integers as int64 and dumps doubles at 9
+// significant digits; either path would silently corrupt bit patterns
+// above 2^53, and byte-identical traces are a cluster invariant, not a
+// nice-to-have. Binary relay frames (delta_frame.hpp) are POSTed raw.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "cluster/peer_set.hpp"
+#include "common/json.hpp"
+#include "core/measurement.hpp"
+#include "net/http_client.hpp"
+
+namespace bat::cluster {
+
+/// Reply to a forwarded claim. Mirrors SharedMeasurementCache::Claim
+/// (kHit carries the measurement) but is a distinct wire-facing type.
+struct ClaimReply {
+  enum class State { kHit, kClaimed, kPending };
+  State state = State::kClaimed;
+  core::Measurement measurement;  // meaningful only for kHit
+};
+
+/// Reply to a non-claiming lookup (the wait-side polling RPC).
+struct LookupReply {
+  enum class State { kReady, kPending, kAbsent };
+  State state = State::kAbsent;
+  core::Measurement measurement;  // meaningful only for kReady
+};
+
+/// Measurement <-> JSON fields ("time_bits" decimal string + "status"
+/// int). Shared by PeerClient (requests) and ClusterNode (replies).
+void measurement_to_json(const core::Measurement& m,
+                         common::JsonObject& out);
+[[nodiscard]] core::Measurement measurement_from_json(
+    const common::Json& object);
+
+/// Strict u64-as-decimal-string codec for JSON bodies (see header
+/// comment). parse_u64_field throws on missing/malformed fields.
+[[nodiscard]] std::string u64_to_string(std::uint64_t v);
+[[nodiscard]] std::uint64_t parse_u64_field(const common::Json& object,
+                                            const std::string& key);
+
+class PeerClient {
+ public:
+  PeerClient(PeerAddress address, net::ClientOptions options);
+
+  [[nodiscard]] const PeerAddress& address() const noexcept {
+    return address_;
+  }
+
+  /// POST /v1/peers/claim — forwarded claim; `self` identifies the
+  /// claimant for the owner's InflightIndex.
+  [[nodiscard]] ClaimReply claim(const std::string& workload,
+                                 std::uint64_t index, std::size_t self);
+
+  /// POST /v1/peers/publish — fulfil a forwarded claim at the owner.
+  void publish(const std::string& workload, std::uint64_t index,
+               const core::Measurement& m, std::size_t self);
+
+  /// POST /v1/peers/abandon — release a forwarded claim unfulfilled.
+  void abandon(const std::string& workload, std::uint64_t index,
+               std::size_t self);
+
+  /// POST /v1/peers/lookup — non-claiming probe (wait-side polling).
+  [[nodiscard]] LookupReply lookup(const std::string& workload,
+                                   std::uint64_t index);
+
+  /// POST /v1/peers/relay — pre-encoded binary delta frame.
+  void relay(const std::string& frame_bytes);
+
+  /// POST /v1/peers/gossip — health ping; returns the peer's reply.
+  [[nodiscard]] common::Json gossip(std::size_t self);
+
+ private:
+  [[nodiscard]] common::Json post_json(const std::string& route,
+                                       const common::Json& body);
+
+  PeerAddress address_;
+  std::mutex mutex_;  // serializes the single connection
+  net::HttpClient http_;
+};
+
+}  // namespace bat::cluster

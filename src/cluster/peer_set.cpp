@@ -1,0 +1,126 @@
+#include "cluster/peer_set.hpp"
+
+#include <stdexcept>
+
+namespace bat::cluster {
+
+namespace {
+
+/// splitmix64: the standard 64-bit finalizer-style mixer. Good enough
+/// avalanche for rendezvous weights and dependency-free.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_bytes(std::string_view s) noexcept {
+  // FNV-1a, then mixed: workload ids are short strings.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return mix64(h);
+}
+
+}  // namespace
+
+PeerAddress parse_peer_address(std::string_view text) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= text.size()) {
+    throw std::invalid_argument("peer address '" + std::string(text) +
+                                "' is not host:port");
+  }
+  unsigned long port = 0;
+  for (const char c : text.substr(colon + 1)) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("peer address '" + std::string(text) +
+                                  "' has a non-numeric port");
+    }
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+    if (port > 65535) {
+      throw std::invalid_argument("peer address '" + std::string(text) +
+                                  "' port out of range");
+    }
+  }
+  if (port == 0) {
+    throw std::invalid_argument("peer address '" + std::string(text) +
+                                "' needs an explicit nonzero port "
+                                "(static membership cannot use ephemeral "
+                                "ports)");
+  }
+  return PeerAddress{std::string(text.substr(0, colon)),
+                     static_cast<std::uint16_t>(port)};
+}
+
+PeerSet::PeerSet(std::vector<PeerAddress> members, std::size_t self_index,
+                 int fail_threshold)
+    : members_(std::move(members)),
+      self_(self_index),
+      threshold_(fail_threshold > 0 ? static_cast<std::uint32_t>(fail_threshold)
+                                    : 1u) {
+  if (members_.empty()) {
+    throw std::invalid_argument("peer set must not be empty");
+  }
+  if (self_ >= members_.size()) {
+    throw std::invalid_argument("self index out of range of peer set");
+  }
+  states_ = std::make_unique<State[]>(members_.size());
+}
+
+std::size_t PeerSet::owner_of(std::string_view workload,
+                              std::uint64_t block) const noexcept {
+  // Highest-random-weight: every node scores every member and picks the
+  // max. Ties cannot disagree across nodes (scores are identical), and
+  // adding a member would remap only ~1/N of blocks — the property that
+  // makes HRW the right shape even though this PR keeps membership
+  // static.
+  const std::uint64_t seed = hash_bytes(workload) ^ mix64(block);
+  std::size_t best = 0;
+  std::uint64_t best_score = 0;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const std::uint64_t score = mix64(seed ^ mix64(i + 1));
+    if (i == 0 || score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+void PeerSet::record_ok(std::size_t peer) noexcept {
+  if (peer >= members_.size()) return;
+  states_[peer].ok.fetch_add(1, std::memory_order_relaxed);
+  states_[peer].consecutive.store(0, std::memory_order_relaxed);
+}
+
+bool PeerSet::record_failure(std::size_t peer) noexcept {
+  if (peer >= members_.size()) return false;
+  states_[peer].failed.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t now =
+      states_[peer].consecutive.fetch_add(1, std::memory_order_relaxed) + 1;
+  return now == threshold_;  // the exact crossing, reported once
+}
+
+bool PeerSet::up(std::size_t peer) const noexcept {
+  if (peer == self_) return true;
+  if (peer >= members_.size()) return false;
+  return states_[peer].consecutive.load(std::memory_order_relaxed) <
+         threshold_;
+}
+
+PeerSet::Health PeerSet::health(std::size_t peer) const noexcept {
+  Health h;
+  if (peer >= members_.size()) return h;
+  h.consecutive_failures =
+      states_[peer].consecutive.load(std::memory_order_relaxed);
+  h.up = peer == self_ || h.consecutive_failures < threshold_;
+  h.rpcs_ok = states_[peer].ok.load(std::memory_order_relaxed);
+  h.rpcs_failed = states_[peer].failed.load(std::memory_order_relaxed);
+  return h;
+}
+
+}  // namespace bat::cluster

@@ -1,0 +1,102 @@
+// PeerSet: static cluster membership, per-peer health, ownership hash.
+//
+// Membership is a fixed host:port list agreed on at startup (`tune
+// serve --peers a:1,b:2,c:3` — every node passes the same list and
+// names itself by index). No discovery, no reconfiguration: the paper's
+// workloads are batch tuning campaigns, and a static fleet keeps the
+// ownership function a pure computation every node evaluates
+// identically with zero coordination.
+//
+// Ownership: rendezvous (highest-random-weight) hashing of
+// (workload, key-block) over ALL members. Deliberately health-blind —
+// if ownership moved when a peer looked down, two nodes with different
+// failure observations would route the same ordinal to different
+// owners and exactly-once would silently break. A down owner instead
+// means claimants fall back to evaluating locally (see
+// DistributedMeasurementCache), trading duplicate work for liveness
+// only while the peer is actually unreachable.
+//
+// Health: per-peer consecutive-failure counters fed by every RPC
+// outcome (and the gossip loop); `fail_threshold` consecutive failures
+// mark a peer down, one success marks it up. record_failure() reports
+// the up->down transition exactly once so the caller can run
+// dead-claimant sweeps without double-firing.
+//
+// Thread-safety: health counters are atomics; membership is immutable
+// after construction. All methods are safe from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bat::cluster {
+
+struct PeerAddress {
+  std::string host;  // IPv4 literal, e.g. "127.0.0.1"
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    return host + ":" + std::to_string(port);
+  }
+  [[nodiscard]] bool operator==(const PeerAddress& o) const noexcept {
+    return host == o.host && port == o.port;
+  }
+};
+
+/// Parses "host:port"; throws std::invalid_argument on malformed input
+/// (missing colon, non-numeric or out-of-range port).
+[[nodiscard]] PeerAddress parse_peer_address(std::string_view text);
+
+class PeerSet {
+ public:
+  struct Health {
+    bool up = true;
+    std::uint32_t consecutive_failures = 0;
+    std::uint64_t rpcs_ok = 0;
+    std::uint64_t rpcs_failed = 0;
+  };
+
+  /// `members` is the full cluster (self included), identical on every
+  /// node; `self_index` names this node within it. Throws on an empty
+  /// set or out-of-range self.
+  PeerSet(std::vector<PeerAddress> members, std::size_t self_index,
+          int fail_threshold = 3);
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] std::size_t self_index() const noexcept { return self_; }
+  [[nodiscard]] const PeerAddress& address(std::size_t i) const {
+    return members_[i];
+  }
+
+  /// Owner of `block` for `workload`, over all members, health-blind.
+  /// Pure: identical on every node for identical membership.
+  [[nodiscard]] std::size_t owner_of(std::string_view workload,
+                                     std::uint64_t block) const noexcept;
+
+  void record_ok(std::size_t peer) noexcept;
+  /// Returns true exactly when this failure transitions the peer from
+  /// up to down (consecutive failures reached fail_threshold).
+  [[nodiscard]] bool record_failure(std::size_t peer) noexcept;
+  /// Self is always up; peers are up until fail_threshold consecutive
+  /// failures and recover on the first successful RPC.
+  [[nodiscard]] bool up(std::size_t peer) const noexcept;
+  [[nodiscard]] Health health(std::size_t peer) const noexcept;
+
+ private:
+  struct State {
+    std::atomic<std::uint32_t> consecutive{0};
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> failed{0};
+  };
+
+  std::vector<PeerAddress> members_;
+  std::size_t self_;
+  std::uint32_t threshold_;
+  std::unique_ptr<State[]> states_;  // atomics are not movable
+};
+
+}  // namespace bat::cluster

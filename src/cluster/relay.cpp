@@ -1,0 +1,107 @@
+#include "cluster/relay.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace bat::cluster {
+
+RelayHub::RelayHub(std::size_t num_peers, std::size_t self, SendFn send,
+                   RelayOptions options)
+    : self_(self),
+      send_(std::move(send)),
+      options_(options),
+      destinations_(num_peers) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.flush_interval_ms <= 0) options_.flush_interval_ms = 1;
+}
+
+RelayHub::~RelayHub() { stop(); }
+
+void RelayHub::start() {
+  std::lock_guard lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  flusher_ = std::thread([this] { flusher_main(); });
+}
+
+void RelayHub::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  flusher_.join();
+  {
+    std::lock_guard lock(mutex_);
+    started_ = false;
+  }
+  flush();  // whatever raced in after the flusher's last pass
+}
+
+void RelayHub::enqueue(const std::string& workload,
+                       const DeltaRecord& record,
+                       std::optional<std::size_t> exclude) {
+  bool wake = false;
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t peer = 0; peer < destinations_.size(); ++peer) {
+      if (peer == self_ || (exclude && *exclude == peer)) continue;
+      Destination& dest = destinations_[peer];
+      dest.pending[workload].push_back(record);
+      ++dest.pending_records;
+      if (dest.pending_records >= options_.max_batch) {
+        threshold_hit_ = true;
+        wake = true;
+      }
+    }
+  }
+  if (wake) cv_.notify_all();
+}
+
+void RelayHub::flush() {
+  // Move pending batches out under the lock, send outside it — SendFn
+  // does blocking HTTP and must not hold up concurrent enqueues.
+  std::vector<std::pair<std::size_t, std::string>> frames;
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t peer = 0; peer < destinations_.size(); ++peer) {
+      Destination& dest = destinations_[peer];
+      for (auto& [workload, records] : dest.pending) {
+        if (records.empty()) continue;
+        DeltaFrame frame{workload, std::move(records)};
+        records.clear();
+        const std::size_t count = frame.records.size();
+        frames.emplace_back(peer, encode_delta_frame(frame));
+        stats_.frames_sent += 1;
+        stats_.records_sent += count;
+        stats_.bytes_sent += frames.back().second.size();
+      }
+      dest.pending.clear();
+      dest.pending_records = 0;
+    }
+    threshold_hit_ = false;
+  }
+  for (const auto& [peer, bytes] : frames) send_(peer, bytes);
+}
+
+RelayHub::Stats RelayHub::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void RelayHub::flusher_main() {
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.flush_interval_ms),
+                 [this] { return stopping_ || threshold_hit_; });
+    lock.unlock();
+    flush();
+    lock.lock();
+  }
+  lock.unlock();
+  flush();  // drain on the way out
+}
+
+}  // namespace bat::cluster

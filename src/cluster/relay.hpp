@@ -1,0 +1,102 @@
+// RelayHub: batches fresh publishes into per-peer delta frames.
+//
+// Owners announce every newly published measurement here; the hub
+// appends it to a pending column per (destination, workload) and a
+// background flusher encodes + sends delta frames whenever a batch
+// reaches `max_batch` records or `flush_interval_ms` elapses —
+// latency-bounded batching, so a quiet cluster still converges within
+// one flush interval while a busy one amortizes the HTTP round trip
+// over hundreds of records.
+//
+// The record's *source* peer (when it arrived via a forwarded publish)
+// is excluded from the fan-out — it evidently already has the value —
+// as is self. Sending is delegated to a SendFn so the hub stays
+// transport-free (ClusterNode supplies the PeerClient call + health
+// bookkeeping; tests supply a vector sink).
+//
+// Delivery is best-effort: a failed send drops the frame (stat only).
+// Relay is a *cache warmer* — correctness never depends on it, because
+// a node that missed a frame simply pays one claim RPC on next probe.
+// That is what keeps the failure semantics trivial (no acks, no
+// retransmit queue, no peer backlog growing unboundedly).
+//
+// Thread-safety: enqueue() under one mutex; flush() drains under the
+// same mutex then sends outside it (SendFn does network I/O).
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/delta_frame.hpp"
+
+namespace bat::cluster {
+
+struct RelayOptions {
+  std::size_t max_batch = 256;  // records per frame before early flush
+  int flush_interval_ms = 20;   // latency bound for quiet workloads
+};
+
+class RelayHub {
+ public:
+  /// `send(peer, bytes)` ships one encoded frame; it must not throw
+  /// (the ClusterNode wrapper converts transport failures into health
+  /// bookkeeping and a dropped-frame stat).
+  using SendFn = std::function<void(std::size_t peer,
+                                    const std::string& bytes)>;
+
+  RelayHub(std::size_t num_peers, std::size_t self, SendFn send,
+           RelayOptions options = {});
+  ~RelayHub();  // stop()
+
+  RelayHub(const RelayHub&) = delete;
+  RelayHub& operator=(const RelayHub&) = delete;
+
+  void start();  // spawns the background flusher; idempotent
+  void stop();   // final flush + join; idempotent
+
+  /// Queues `record` of `workload` for every peer except self and
+  /// `exclude` (the node the record came from, when forwarded).
+  void enqueue(const std::string& workload, const DeltaRecord& record,
+               std::optional<std::size_t> exclude);
+
+  /// Synchronously drains everything pending (shutdown, tests).
+  void flush();
+
+  struct Stats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t records_sent = 0;
+    std::uint64_t bytes_sent = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Destination {
+    std::map<std::string, std::vector<DeltaRecord>> pending;  // by workload
+    std::size_t pending_records = 0;
+  };
+
+  void flusher_main();
+
+  std::size_t self_;
+  SendFn send_;
+  RelayOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;  // batch threshold reached / stopping
+  std::vector<Destination> destinations_;
+  bool threshold_hit_ = false;
+  bool stopping_ = false;
+  bool started_ = false;
+  Stats stats_;
+
+  std::thread flusher_;
+};
+
+}  // namespace bat::cluster

@@ -9,10 +9,18 @@
 // response bytes arrived, so a request is never replayed after the
 // server may have acted on it mid-response.
 //
-// Scope: the test suite, the `tune remote` CLI and the loopback
-// throughput bench. IPv4 literal hosts + DNS-free by design; throws
-// std::runtime_error on connect/send/recv failure and malformed
-// responses (a client, unlike a server, has a caller to throw to).
+// Scope: the test suite, the `tune remote` CLI, the loopback
+// throughput bench and the cluster peer protocol. IPv4 literal hosts +
+// DNS-free by design; throws std::runtime_error on connect/send/recv
+// failure, timeouts and malformed responses (a client, unlike a
+// server, has a caller to throw to).
+//
+// Timeouts: ClientOptions bounds how long a hung peer can block the
+// caller. connect_timeout_ms uses a nonblocking connect + poll;
+// io_timeout_ms maps to SO_RCVTIMEO/SO_SNDTIMEO, so a peer that
+// accepted but never answers fails the request instead of parking the
+// thread forever. 0 = no bound (the pre-timeout behavior, kept as the
+// default for interactive CLI use); peer traffic passes finite values.
 //
 // Thread-safety: none — one HttpClient per thread (it is one socket).
 #pragma once
@@ -24,6 +32,16 @@
 
 namespace bat::net {
 
+struct ClientOptions {
+  /// Milliseconds to wait for connect() to complete; 0 = no bound.
+  int connect_timeout_ms = 0;
+  /// Milliseconds any single send()/recv() may block; 0 = no bound.
+  /// This bounds per-syscall stalls, not whole-response time: a peer
+  /// trickling bytes resets the clock — good enough against hangs,
+  /// which is the failure mode peers actually exhibit.
+  int io_timeout_ms = 0;
+};
+
 class HttpClient {
  public:
   /// `host` is an IPv4 literal ("127.0.0.1"). Does not connect yet.
@@ -31,7 +49,8 @@ class HttpClient {
                  .max_head_bytes = 16 * 1024,
                  .max_body_bytes = 64 * 1024 * 1024,
                  .max_headers = 100,
-             });
+             },
+             ClientOptions options = {});
   ~HttpClient();
 
   HttpClient(const HttpClient&) = delete;
@@ -76,6 +95,7 @@ class HttpClient {
   std::string host_;
   std::uint16_t port_;
   ParseLimits limits_;
+  ClientOptions options_;
   int fd_ = -1;
   std::string buffer_;  // bytes past the previous response (pipelining)
 };

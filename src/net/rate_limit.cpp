@@ -100,6 +100,7 @@ void RateLimiter::evict_idle_clients(std::uint64_t now_ns) {
 
 Admission RateLimiter::admit(std::uint32_t client_ipv4, double cost) {
   if (!options_.enabled()) return {};
+  if (options_.exempt && options_.exempt(client_ipv4)) return {};
   const std::uint64_t now = clock_();
   std::lock_guard lock(mutex_);
 

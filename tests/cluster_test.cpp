@@ -1,0 +1,479 @@
+// The cluster layer's correctness pillars, tested without sockets:
+//  * the BATDFR01 delta frame survives a round trip bit-exactly and
+//    rejects every malformation (it crosses the network);
+//  * ownership is a pure function — every node computes the same owner
+//    regardless of its own index or health observations;
+//  * the InflightIndex sweeps a dead claimant's claims exactly once;
+//  * DistributedMeasurementCache keeps the SharedMeasurementCache
+//    contract across a (faked) peer link: local fast path, forwarded
+//    claim/publish, read-through hits, wait-side polling, and — the
+//    liveness trade — local fallback when the owner is down.
+// tools/ci.sh runs this binary under TSan in addition to ASan/UBSan.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/delta_frame.hpp"
+#include "cluster/distributed_cache.hpp"
+#include "cluster/inflight_index.hpp"
+#include "cluster/peer_client.hpp"
+#include "cluster/peer_set.hpp"
+#include "service/sharded_cache.hpp"
+
+namespace bat::cluster {
+namespace {
+
+using core::Measurement;
+using core::MeasureStatus;
+using service::ShardedMeasurementCache;
+using ClaimState = core::SharedMeasurementCache::ClaimState;
+
+// ------------------------------------------------------------ delta frame --
+
+TEST(DeltaFrame, RoundTripIsBitExact) {
+  DeltaFrame frame;
+  frame.workload = "gemm|0|replay";
+  // Deliberately unsorted, with a time pattern above 2^53 (a NaN bit
+  // pattern would be destroyed by any decimal round trip) and all
+  // three statuses.
+  frame.records.push_back({900, std::bit_cast<std::uint64_t>(0.25), 0});
+  frame.records.push_back({7, 0xFFF8'0000'0000'0001ull, 1});
+  frame.records.push_back({8, 0, 2});
+  frame.records.push_back({1ull << 40, ~0ull, 0});
+
+  const std::string bytes = encode_delta_frame(frame);
+  const DeltaFrame decoded = decode_delta_frame(bytes);
+
+  EXPECT_EQ(decoded.workload, "gemm|0|replay");
+  ASSERT_EQ(decoded.records.size(), 4u);
+  // encode sorts by key; expect 7, 8, 900, 2^40.
+  EXPECT_EQ(decoded.records[0].key, 7u);
+  EXPECT_EQ(decoded.records[0].time_bits, 0xFFF8'0000'0000'0001ull);
+  EXPECT_EQ(decoded.records[0].status, 1);
+  EXPECT_EQ(decoded.records[1].key, 8u);
+  EXPECT_EQ(decoded.records[2].key, 900u);
+  EXPECT_EQ(decoded.records[3].key, 1ull << 40);
+  EXPECT_EQ(decoded.records[3].time_bits, ~0ull);
+}
+
+TEST(DeltaFrame, DeltaEncodingIsCompact) {
+  // 256 adjacent keys: ~1 byte per key delta instead of 8 fixed-width.
+  // The relay's "< 25% of naive re-shipping" bench gate rests on this.
+  DeltaFrame dense;
+  dense.workload = "k|0|b";
+  DeltaFrame scattered;
+  scattered.workload = "k|0|b";
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    dense.records.push_back({1000 + i, i, 0});
+    scattered.records.push_back({i * 0x1'0000'0000ull, i, 0});
+  }
+  const std::string dense_bytes = encode_delta_frame(dense);
+  const std::string scattered_bytes = encode_delta_frame(scattered);
+  // Beats fixed-width (8 key + 8 time + 1 status per record) even with
+  // the header, and adjacency is what buys it.
+  EXPECT_LT(dense_bytes.size(), 256u * 17u);
+  EXPECT_LT(dense_bytes.size(), scattered_bytes.size());
+}
+
+TEST(DeltaFrame, RejectsEveryMalformation) {
+  DeltaFrame frame;
+  frame.workload = "k|0|b";
+  frame.records.push_back({5, 123, 0});
+  frame.records.push_back({9, 456, 1});
+  const std::string good = encode_delta_frame(frame);
+
+  EXPECT_THROW((void)decode_delta_frame(""), std::runtime_error);
+  EXPECT_THROW((void)decode_delta_frame("BATDFR99"), std::runtime_error);
+  // Truncation at every length must throw, never read out of bounds.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_THROW((void)decode_delta_frame(good.substr(0, len)),
+                 std::runtime_error)
+        << "truncated to " << len;
+  }
+  // Any single flipped byte breaks the CRC (or an earlier check).
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x5a);
+    EXPECT_THROW((void)decode_delta_frame(bad), std::runtime_error)
+        << "flipped byte " << i;
+  }
+  // Trailing garbage after a valid frame is malformed, not ignored.
+  EXPECT_THROW((void)decode_delta_frame(good + "x"), std::runtime_error);
+}
+
+// --------------------------------------------------------------- peer set --
+
+TEST(PeerSet, ParsesAddressesStrictly) {
+  const auto a = parse_peer_address("127.0.0.1:8080");
+  EXPECT_EQ(a.host, "127.0.0.1");
+  EXPECT_EQ(a.port, 8080);
+  EXPECT_EQ(a.to_string(), "127.0.0.1:8080");
+
+  EXPECT_THROW((void)parse_peer_address("127.0.0.1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_peer_address("host:"), std::invalid_argument);
+  EXPECT_THROW((void)parse_peer_address("host:0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_peer_address("host:70000"), std::invalid_argument);
+  EXPECT_THROW((void)parse_peer_address("host:12ab"), std::invalid_argument);
+  EXPECT_THROW((void)parse_peer_address(":8080"), std::invalid_argument);
+}
+
+std::vector<PeerAddress> three_members() {
+  return {{"127.0.0.1", 9001}, {"127.0.0.1", 9002}, {"127.0.0.1", 9003}};
+}
+
+TEST(PeerSet, OwnershipIsDeterministicAcrossNodesAndHealthBlind) {
+  PeerSet node0(three_members(), 0);
+  PeerSet node2(three_members(), 2);
+  // Wreck node0's view of peer 1: ownership must not move (two nodes
+  // with different failure observations would otherwise route the same
+  // block to different owners and break exactly-once).
+  for (int i = 0; i < 10; ++i) (void)node0.record_failure(1);
+  ASSERT_FALSE(node0.up(1));
+
+  std::set<std::size_t> owners_seen;
+  for (std::uint64_t block = 0; block < 512; ++block) {
+    const auto owner = node0.owner_of("gemm|0|replay", block);
+    EXPECT_EQ(owner, node2.owner_of("gemm|0|replay", block)) << block;
+    EXPECT_LT(owner, 3u);
+    owners_seen.insert(owner);
+  }
+  // HRW over 512 blocks must involve every node (probability of a
+  // missing node under a fair hash is ~3 * (2/3)^512).
+  EXPECT_EQ(owners_seen.size(), 3u);
+  // Different workloads shuffle ownership independently.
+  bool differs = false;
+  for (std::uint64_t block = 0; block < 64 && !differs; ++block) {
+    differs = node0.owner_of("gemm|0|replay", block) !=
+              node0.owner_of("hotspot|0|replay", block);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(PeerSet, FailureThresholdTransitionsExactlyOnce) {
+  PeerSet peers(three_members(), 0, /*fail_threshold=*/3);
+  EXPECT_TRUE(peers.up(1));
+  EXPECT_FALSE(peers.record_failure(1));
+  EXPECT_FALSE(peers.record_failure(1));
+  EXPECT_TRUE(peers.up(1));  // below threshold: still up
+  EXPECT_TRUE(peers.record_failure(1));   // the transition, exactly once
+  EXPECT_FALSE(peers.record_failure(1));  // already down: no re-fire
+  EXPECT_FALSE(peers.up(1));
+  peers.record_ok(1);  // one success recovers
+  EXPECT_TRUE(peers.up(1));
+  EXPECT_EQ(peers.health(1).rpcs_failed, 4u);
+  EXPECT_EQ(peers.health(1).rpcs_ok, 1u);
+  // Self is always up, regardless of bookkeeping.
+  EXPECT_TRUE(peers.up(0));
+}
+
+// --------------------------------------------------------- inflight index --
+
+TEST(InflightIndex, SweepTakesOnlyTheDeadPeersClaims) {
+  InflightIndex inflight;
+  inflight.record(/*peer=*/1, "w", 1);
+  inflight.record(/*peer=*/2, "w", 2);
+  inflight.record(/*peer=*/1, "w", 3);
+  inflight.record(/*peer=*/1, "v", 1);
+  EXPECT_EQ(inflight.size(), 4u);
+
+  auto swept = inflight.take_peer(1);
+  EXPECT_EQ(swept.size(), 3u);
+  EXPECT_EQ(inflight.size(), 1u);
+  // The survivor is peer 2's claim; erasing a swept claim reports
+  // "already gone" so a late publish after the sweep is detectable.
+  EXPECT_TRUE(inflight.erase("w", 2));
+  EXPECT_FALSE(inflight.erase("w", 1));
+}
+
+TEST(InflightIndex, ReclaimAfterSweepOverwritesOwner) {
+  InflightIndex inflight;
+  inflight.record(1, "w", 7);
+  inflight.record(2, "w", 7);  // re-claimed by another peer: last wins
+  EXPECT_EQ(inflight.size(), 1u);
+  EXPECT_EQ(inflight.take_peer(1).size(), 0u);
+  EXPECT_EQ(inflight.take_peer(2).size(), 1u);
+}
+
+// ------------------------------------------- distributed cache, fake link --
+
+/// In-process PeerLink: "the owner" is a ShardedMeasurementCache held
+/// here, RPCs are direct calls, failures are flags. Mirrors exactly
+/// what ClusterNode's handlers do against their local shard.
+class FakePeerLink final : public PeerLink {
+ public:
+  std::size_t self = 0;
+  std::size_t owner = 1;      // owner of every block
+  bool owner_reachable = true;  // health says up
+  bool transport_fails = false;  // RPCs fail despite health saying up
+  bool stop = false;
+  ShardedMeasurementCache remote{nullptr, 4};  // the owner's shard
+
+  int claims = 0, publishes = 0, abandons = 0, lookups = 0, announces = 0;
+
+  std::size_t self_index() const override { return self; }
+  std::size_t owner_of(const std::string&, std::uint64_t) const override {
+    return owner;
+  }
+  bool peer_up(std::size_t peer) const override {
+    return peer == self || owner_reachable;
+  }
+  bool stopping() const override { return stop; }
+
+  std::optional<ClaimReply> forward_claim(std::size_t,
+                                          const std::string&,
+                                          std::uint64_t index) override {
+    ++claims;
+    if (transport_fails) return std::nullopt;
+    const auto claim = remote.claim(static_cast<core::ConfigIndex>(index));
+    switch (claim.state) {
+      case ClaimState::kHit:
+        return ClaimReply{ClaimReply::State::kHit, claim.measurement};
+      case ClaimState::kClaimed:
+        return ClaimReply{ClaimReply::State::kClaimed, {}};
+      case ClaimState::kPending:
+        return ClaimReply{ClaimReply::State::kPending, {}};
+    }
+    return std::nullopt;
+  }
+  bool forward_publish(std::size_t, const std::string&, std::uint64_t index,
+                       const Measurement& m) override {
+    ++publishes;
+    if (transport_fails) return false;
+    (void)remote.force_publish(static_cast<core::ConfigIndex>(index), m);
+    return true;
+  }
+  void forward_abandon(std::size_t, const std::string&,
+                       std::uint64_t index) override {
+    ++abandons;
+    if (!transport_fails) {
+      (void)remote.try_abandon(static_cast<core::ConfigIndex>(index));
+    }
+  }
+  std::optional<LookupReply> forward_lookup(std::size_t, const std::string&,
+                                            std::uint64_t index) override {
+    ++lookups;
+    if (transport_fails) return std::nullopt;
+    const auto probe = remote.probe(static_cast<core::ConfigIndex>(index));
+    switch (probe.state) {
+      case ShardedMeasurementCache::ProbeState::kReady:
+        return LookupReply{LookupReply::State::kReady, probe.measurement};
+      case ShardedMeasurementCache::ProbeState::kPending:
+        return LookupReply{LookupReply::State::kPending, {}};
+      case ShardedMeasurementCache::ProbeState::kAbsent:
+        return LookupReply{LookupReply::State::kAbsent, {}};
+    }
+    return std::nullopt;
+  }
+  void announce_publish(const std::string&, std::uint64_t,
+                        const Measurement&) override {
+    ++announces;
+  }
+};
+
+DistributedMeasurementCache make_cache(FakePeerLink& link) {
+  return DistributedMeasurementCache(
+      "gemm|0|replay",
+      std::make_shared<ShardedMeasurementCache>(nullptr, 4), nullptr, link);
+}
+
+TEST(DistributedCache, SelfOwnedKeysNeverTouchTheWire) {
+  FakePeerLink link;
+  link.owner = link.self;  // this node owns everything
+  auto cache = make_cache(link);
+
+  ASSERT_EQ(cache.claim(5).state, ClaimState::kClaimed);
+  cache.publish(5, Measurement::valid(1.5));
+  const auto hit = cache.claim(5);
+  ASSERT_EQ(hit.state, ClaimState::kHit);
+  EXPECT_DOUBLE_EQ(hit.measurement.time_ms, 1.5);
+
+  EXPECT_EQ(link.claims, 0);
+  EXPECT_EQ(link.publishes, 0);
+  // Self-owned publishes are announced so peers' read-through caches
+  // warm via the relay.
+  EXPECT_EQ(link.announces, 1);
+  EXPECT_EQ(cache.stats().claims_forwarded, 0u);
+}
+
+TEST(DistributedCache, ForwardedClaimEvaluatesHereAndPublishesToOwner) {
+  FakePeerLink link;
+  auto cache = make_cache(link);
+
+  ASSERT_EQ(cache.claim(9).state, ClaimState::kClaimed);
+  EXPECT_EQ(link.claims, 1);
+  cache.publish(9, Measurement::valid(2.5));
+  EXPECT_EQ(link.publishes, 1);
+  EXPECT_EQ(link.announces, 0);  // not self-owned: the owner relays
+
+  // The owner's shard now serves it to the fleet...
+  const auto probe = link.remote.probe(9);
+  ASSERT_EQ(probe.state, ShardedMeasurementCache::ProbeState::kReady);
+  EXPECT_DOUBLE_EQ(probe.measurement.time_ms, 2.5);
+  // ...and a local re-probe hits the read-through map, zero RPCs.
+  const auto hit = cache.claim(9);
+  ASSERT_EQ(hit.state, ClaimState::kHit);
+  EXPECT_DOUBLE_EQ(hit.measurement.time_ms, 2.5);
+  EXPECT_EQ(link.claims, 1);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.claims_forwarded, 1u);
+  EXPECT_EQ(stats.publishes_forwarded, 1u);
+  EXPECT_EQ(stats.cluster_cache_hits, 1u);
+}
+
+TEST(DistributedCache, RemoteHitFillsTheReadThroughCache) {
+  FakePeerLink link;
+  ASSERT_EQ(link.remote.claim(3).state, ClaimState::kClaimed);
+  link.remote.publish(3, Measurement::valid(9.0));
+  auto cache = make_cache(link);
+
+  const auto first = cache.claim(3);
+  ASSERT_EQ(first.state, ClaimState::kHit);
+  EXPECT_DOUBLE_EQ(first.measurement.time_ms, 9.0);
+  EXPECT_EQ(link.claims, 1);
+  ASSERT_EQ(cache.claim(3).state, ClaimState::kHit);
+  EXPECT_EQ(link.claims, 1);  // second hit came from the local map
+  EXPECT_EQ(cache.stats().cluster_cache_hits, 2u);
+}
+
+TEST(DistributedCache, FallsBackToLocalWhenOwnerIsDown) {
+  FakePeerLink link;
+  link.owner_reachable = false;
+  auto cache = make_cache(link);
+
+  // Health says down: no RPC is even attempted; the local shard keeps
+  // the session alive (at the cost of possibly duplicating the owner's
+  // work for the outage's duration).
+  ASSERT_EQ(cache.claim(4).state, ClaimState::kClaimed);
+  EXPECT_EQ(link.claims, 0);
+  cache.publish(4, Measurement::valid(7.0));
+  EXPECT_EQ(link.publishes, 0);
+  EXPECT_EQ(link.announces, 0);  // fallback values are not relayed
+
+  const auto hit = cache.claim(4);
+  ASSERT_EQ(hit.state, ClaimState::kHit);
+  EXPECT_DOUBLE_EQ(hit.measurement.time_ms, 7.0);
+  // Both claims routed around the dead owner (the hit too — fallback
+  // values live only in the local shard, not the read-through map).
+  EXPECT_EQ(cache.stats().fallback_claims, 2u);
+
+  // A second session waiting on the fallback claim resolves locally.
+  ASSERT_EQ(cache.claim(6).state, ClaimState::kClaimed);
+  std::thread publisher([&] { cache.publish(6, Measurement::valid(8.0)); });
+  const auto waited = cache.wait(6);
+  publisher.join();
+  ASSERT_TRUE(waited.has_value());
+  EXPECT_DOUBLE_EQ(waited->time_ms, 8.0);
+}
+
+TEST(DistributedCache, FallsBackToLocalWhenTransportFailsMidClaim) {
+  FakePeerLink link;
+  link.transport_fails = true;  // health still says up: RPCs just die
+  auto cache = make_cache(link);
+
+  ASSERT_EQ(cache.claim(11).state, ClaimState::kClaimed);
+  EXPECT_EQ(link.claims, 1);  // the attempt was made
+  EXPECT_EQ(cache.stats().fallback_claims, 1u);
+  cache.publish(11, Measurement::valid(3.0));
+  EXPECT_EQ(cache.claim(11).state, ClaimState::kHit);
+}
+
+TEST(DistributedCache, WaitPollsTheOwnerUntilPublished) {
+  FakePeerLink link;
+  // Some other node holds the claim at the owner.
+  ASSERT_EQ(link.remote.claim(2).state, ClaimState::kClaimed);
+  auto cache = make_cache(link);
+
+  ASSERT_EQ(cache.claim(2).state, ClaimState::kPending);
+  std::thread other([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    link.remote.publish(2, Measurement::valid(4.25));
+  });
+  const auto waited = cache.wait(2);
+  other.join();
+  ASSERT_TRUE(waited.has_value());
+  EXPECT_DOUBLE_EQ(waited->time_ms, 4.25);
+  EXPECT_GE(link.lookups, 1);
+  EXPECT_GE(cache.stats().cluster_cache_hits, 1u);
+}
+
+TEST(DistributedCache, WaitSeesRemoteAbandonAsReclaimable) {
+  FakePeerLink link;
+  ASSERT_EQ(link.remote.claim(2).state, ClaimState::kClaimed);
+  auto cache = make_cache(link);
+  ASSERT_EQ(cache.claim(2).state, ClaimState::kPending);
+
+  std::thread other([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(link.remote.try_abandon(2));
+  });
+  // nullopt is the protocol's "re-claim and evaluate yourself".
+  EXPECT_FALSE(cache.wait(2).has_value());
+  other.join();
+  EXPECT_EQ(cache.claim(2).state, ClaimState::kClaimed);
+}
+
+TEST(DistributedCache, AbandonReleasesTheForwardedClaimAtTheOwner) {
+  FakePeerLink link;
+  auto cache = make_cache(link);
+  ASSERT_EQ(cache.claim(13).state, ClaimState::kClaimed);
+  cache.abandon(13);
+  EXPECT_EQ(link.abandons, 1);
+  // The owner's entry is gone: the next claim there wins it afresh.
+  EXPECT_EQ(link.remote.claim(13).state, ClaimState::kClaimed);
+}
+
+TEST(DistributedCache, RelayFramesWarmTheReadThroughCache) {
+  FakePeerLink link;
+  auto cache = make_cache(link);
+  cache.store_remote(21, Measurement::valid(6.5), /*from_relay=*/true);
+
+  const auto hit = cache.claim(21);
+  ASSERT_EQ(hit.state, ClaimState::kHit);
+  EXPECT_DOUBLE_EQ(hit.measurement.time_ms, 6.5);
+  EXPECT_EQ(link.claims, 0);  // zero RPCs: that is the relay's point
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.relay_records_stored, 1u);
+  EXPECT_EQ(stats.cluster_cache_hits, 1u);
+}
+
+// ---------------------------------------------------------- wire encoding --
+
+TEST(PeerWire, U64StringsSurviveValuesDoublesCannot) {
+  const std::uint64_t nan_bits = 0xFFF8'0000'0000'0001ull;
+  common::JsonObject object;
+  object.emplace("x", u64_to_string(nan_bits));
+  const common::Json round(std::move(object));
+  EXPECT_EQ(parse_u64_field(round, "x"), nan_bits);
+
+  common::JsonObject bad;
+  bad.emplace("x", "12junk");
+  EXPECT_THROW((void)parse_u64_field(common::Json(std::move(bad)), "x"),
+               std::runtime_error);
+}
+
+TEST(PeerWire, MeasurementRoundTripsBitExactly) {
+  const auto m = Measurement::valid(0.1);  // 0.1 is inexact in binary
+  common::JsonObject object;
+  measurement_to_json(m, object);
+  const auto back = measurement_from_json(common::Json(std::move(object)));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.time_ms),
+            std::bit_cast<std::uint64_t>(m.time_ms));
+  EXPECT_EQ(back.status, m.status);
+
+  const auto invalid =
+      Measurement::invalid(MeasureStatus::kInvalidDevice);
+  common::JsonObject object2;
+  measurement_to_json(invalid, object2);
+  const auto back2 = measurement_from_json(common::Json(std::move(object2)));
+  EXPECT_EQ(back2.status, MeasureStatus::kInvalidDevice);
+}
+
+}  // namespace
+}  // namespace bat::cluster

@@ -104,6 +104,108 @@ TEST(ShardedMeasurementCache, ExactlyOnceUnderContention) {
   EXPECT_EQ(cache.size(), kKeys);
 }
 
+// Claim-then-abandon under contention: the first winner of every key
+// abandons instead of publishing (a cancelled session, a dead remote
+// claimant being swept — same code path), so waiters must wake with
+// nullopt, re-claim, and the key must still end up evaluated exactly
+// once by whoever wins the re-claim.
+TEST(ShardedMeasurementCache, ClaimThenAbandonUnderContention) {
+  constexpr std::size_t kKeys = 256;
+  constexpr std::size_t kThreads = 8;
+  ShardedMeasurementCache cache(nullptr, 16);
+  std::vector<std::atomic<bool>> abandoned_once(kKeys);
+  std::vector<std::atomic<int>> evaluated(kKeys);
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kKeys; ++i) {
+        const auto key =
+            static_cast<core::ConfigIndex>((i * 61 + t * 67) % kKeys);
+        // Loop until this thread observes the key's final value: an
+        // abandon means somebody (possibly us) must re-claim it.
+        for (bool resolved = false; !resolved;) {
+          const auto claim = cache.claim(key);
+          switch (claim.state) {
+            case SharedMeasurementCache::ClaimState::kClaimed:
+              if (!abandoned_once[key].exchange(true)) {
+                cache.abandon(key);  // first winner walks away
+                break;               // and retries its own claim
+              }
+              evaluated[key].fetch_add(1);
+              cache.publish(
+                  key, core::Measurement::valid(static_cast<double>(key)));
+              resolved = true;
+              break;
+            case SharedMeasurementCache::ClaimState::kHit:
+              if (claim.measurement.time_ms != static_cast<double>(key)) {
+                failed = true;
+              }
+              resolved = true;
+              break;
+            case SharedMeasurementCache::ClaimState::kPending: {
+              const auto m = cache.wait(key);
+              // nullopt = the claimant abandoned; go around and
+              // re-claim. A value must be the final one.
+              if (m) {
+                if (m->time_ms != static_cast<double>(key)) failed = true;
+                resolved = true;
+              }
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_FALSE(failed.load());
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(evaluated[k].load(), 1) << "key " << k;
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evaluations, kKeys);
+  EXPECT_EQ(stats.abandoned, kKeys);
+  EXPECT_EQ(cache.size(), kKeys);
+}
+
+// The peer-tolerant variants the cluster layer leans on: probe never
+// claims, force_publish fills without a prior claim (remote publish
+// landing at the owner), try_abandon tolerates the entry being gone
+// (dead-claimant sweep racing a late abandon).
+TEST(ShardedMeasurementCache, PeerTolerantVariants) {
+  ShardedMeasurementCache cache(nullptr, 4);
+  using ProbeState = ShardedMeasurementCache::ProbeState;
+
+  EXPECT_EQ(cache.probe(5).state, ProbeState::kAbsent);
+  ASSERT_EQ(cache.claim(5).state, SharedMeasurementCache::ClaimState::kClaimed);
+  EXPECT_EQ(cache.probe(5).state, ProbeState::kPending);
+
+  // force_publish fulfils the pending claim (remote claimant publishing
+  // back) and reports the transition; a duplicate does not.
+  EXPECT_TRUE(cache.force_publish(5, core::Measurement::valid(1.0)));
+  EXPECT_FALSE(cache.force_publish(5, core::Measurement::valid(2.0)));
+  const auto probe = cache.probe(5);
+  ASSERT_EQ(probe.state, ProbeState::kReady);
+  EXPECT_DOUBLE_EQ(probe.measurement.time_ms, 1.0);  // first write wins
+
+  // force_publish with no claim at all (relay/unclaimed publish).
+  EXPECT_TRUE(cache.force_publish(9, core::Measurement::valid(3.0)));
+  EXPECT_EQ(cache.probe(9).state, ProbeState::kReady);
+
+  // try_abandon: released only while pending; absent and ready are
+  // tolerated no-ops (unlike abandon(), which BAT_EXPECTS a claim).
+  EXPECT_FALSE(cache.try_abandon(5));   // ready: stays
+  EXPECT_FALSE(cache.try_abandon(77));  // absent: no-op
+  ASSERT_EQ(cache.claim(6).state, SharedMeasurementCache::ClaimState::kClaimed);
+  EXPECT_TRUE(cache.try_abandon(6));
+  EXPECT_EQ(cache.probe(6).state, ProbeState::kAbsent);
+  EXPECT_EQ(cache.claim(6).state, SharedMeasurementCache::ClaimState::kClaimed);
+}
+
 // ------------------------------------------------------- service sessions --
 
 std::vector<SessionSpec> overlapping_specs(std::size_t sessions) {

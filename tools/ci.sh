@@ -2,9 +2,10 @@
 # CI pipeline: docs link check, configure + build + ctest, an ASan/UBSan
 # build of the concurrency-critical tests (evaluator/backend batching,
 # the thread pool and the compiled index-space core), a TSan build of
-# the service layer (concurrent sessions + sharded cache), finished by a
-# bench smoke stage that exercises the compiled-space paths end to end
-# on reduced sizes.
+# the service layer (concurrent sessions + sharded cache + cluster
+# cache), a live 3-node loopback cluster with gated dedup/relay
+# benchmarks, finished by a bench smoke stage that exercises the
+# compiled-space paths end to end on reduced sizes.
 #
 #   $ tools/ci.sh [build_dir]
 set -euo pipefail
@@ -53,7 +54,7 @@ SAN_DIR="${BUILD_DIR}-asan"
 SAN_TESTS=(core_backend_test core_dataset_evaluator_test
            common_thread_pool_test core_compiled_space_test
            io_dataset_test common_json_test net_http_test
-           net_rate_limit_test)
+           net_rate_limit_test cluster_test)
 cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DBAT_SANITIZE=ON
 cmake --build "${SAN_DIR}" -j "${JOBS}" --target "${SAN_TESTS[@]}"
 for t in "${SAN_TESTS[@]}"; do
@@ -68,9 +69,11 @@ echo "=== TSan build of service + thread-pool + backend tests ==="
 TSAN_DIR="${BUILD_DIR}-tsan"
 # net_http_test/api_http_test add the event-loop threads + handler pool
 # + job registry interleavings on top of the service-layer sharing;
-# net_rate_limit_test hammers the limiter's single mutex.
+# net_rate_limit_test hammers the limiter's single mutex; cluster_test
+# races threads through the distributed cache's claim/wait/abandon
+# paths over a fake peer link.
 TSAN_TESTS=(service_test common_thread_pool_test core_backend_test
-            net_http_test net_rate_limit_test api_http_test)
+            net_http_test net_rate_limit_test api_http_test cluster_test)
 cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DBAT_SANITIZE_THREAD=ON
 cmake --build "${TSAN_DIR}" -j "${JOBS}" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
@@ -85,8 +88,12 @@ echo "=== io stage: dataset convert round-trip smoke ==="
 IO_TMP="$(mktemp -d)"
 NET_TMP="$(mktemp -d)"
 SERVE_PID=""
+CLUSTER_PIDS=()
 cleanup() {
   [ -n "${SERVE_PID}" ] && kill -9 "${SERVE_PID}" 2>/dev/null || true
+  for pid in "${CLUSTER_PIDS[@]:-}"; do
+    [ -n "${pid}" ] && kill -9 "${pid}" 2>/dev/null || true
+  done
   rm -rf "${IO_TMP}" "${NET_TMP}"
 }
 trap cleanup EXIT
@@ -171,6 +178,106 @@ print(f"overload: {over['rejected_429']} x 429, goodput "
       f"{over['goodput_rps']:.0f} req/s (halves ratio {flat:.2f})")
 ok &= over["rejected_429"] > 0 and over["failures"] == 0
 ok &= flat >= 0.7
+sys.exit(0 if ok else 1)
+EOF
+
+echo "=== cluster stage: 3-node loopback cluster ==="
+# Three real `tune serve --peers` nodes on loopback, a 16-session grid
+# driven through node 1 only. The distributed cache must still dedupe
+# cluster-wide: /v1/stats on node 1 must show cluster_cache_hits > 0
+# (repeated seeds re-probe configurations owned by nodes 2 and 3), the
+# same spec must produce identical results from every node, and all
+# three nodes must shut down cleanly on SIGINT.
+read -r CP1 CP2 CP3 <<<"$(python3 - <<'EOF'
+import socket
+socks = [socket.socket() for _ in range(3)]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(" ".join(str(s.getsockname()[1]) for s in socks))
+for s in socks:
+    s.close()
+EOF
+)"
+PEERS="127.0.0.1:${CP1},127.0.0.1:${CP2},127.0.0.1:${CP3}"
+for p in "${CP1}" "${CP2}" "${CP3}"; do
+  "${BUILD_DIR}/tune" serve --port "${p}" --peers "${PEERS}" \
+      > "${NET_TMP}/node_${p}.log" 2>&1 &
+  CLUSTER_PIDS+=($!)
+done
+for p in "${CP1}" "${CP2}" "${CP3}"; do
+  up=""
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "${NET_TMP}/node_${p}.log" && { up=1; break; }
+    sleep 0.1
+  done
+  [ -n "${up}" ] || { echo "cluster node on port ${p} never came up"; exit 1; }
+done
+NODE1="127.0.0.1:${CP1}"
+
+GRID_PIDS=()
+for i in $(seq 0 15); do
+  tuner=local; [ $((i % 2)) -eq 1 ] && tuner=annealing
+  "${BUILD_DIR}/tune" remote run --server "${NODE1}" --kernel gemm \
+      --tuner "${tuner}" --budget 40 --seed $((7 + i % 3)) \
+      --backend replay > "${NET_TMP}/grid_${i}.log" 2>&1 &
+  GRID_PIDS+=($!)
+done
+for pid in "${GRID_PIDS[@]}"; do
+  wait "${pid}" || { echo "a grid session through node 1 failed"; exit 1; }
+done
+
+"${BUILD_DIR}/tune" remote stats --server "${NODE1}" \
+    > "${NET_TMP}/node1_stats.json"
+grep -q '"cluster_cache_hits": [1-9]' "${NET_TMP}/node1_stats.json" \
+    || { echo "expected cross-node cache hits on node 1"; exit 1; }
+
+# Any node answers any session identically (the distributed cache is
+# the only state); only the server-side wall clock may differ.
+"${BUILD_DIR}/tune" remote run --server "127.0.0.1:${CP2}" --kernel gemm \
+    --tuner local --budget 40 --seed 7 --backend replay \
+    | sed 's/, server wall:.*//' > "${NET_TMP}/node2_run.txt"
+"${BUILD_DIR}/tune" remote run --server "127.0.0.1:${CP3}" --kernel gemm \
+    --tuner local --budget 40 --seed 7 --backend replay \
+    | sed 's/, server wall:.*//' > "${NET_TMP}/node3_run.txt"
+cmp "${NET_TMP}/node2_run.txt" "${NET_TMP}/node3_run.txt" \
+    || { echo "nodes 2 and 3 disagree on an identical spec"; exit 1; }
+
+# --any-node failover: first candidate is a dead port, the client must
+# skip it and use node 1.
+"${BUILD_DIR}/tune" remote stats --server "127.0.0.1:1,${NODE1}" \
+    --any-node > /dev/null \
+    || { echo "--any-node failed to skip the dead node"; exit 1; }
+
+for pid in "${CLUSTER_PIDS[@]}"; do
+  kill -INT "${pid}"
+done
+for pid in "${CLUSTER_PIDS[@]}"; do
+  wait "${pid}" || { echo "a cluster node exited non-zero"; exit 1; }
+done
+CLUSTER_PIDS=()
+echo "3-node cluster ok (ports ${CP1}/${CP2}/${CP3})"
+
+echo "=== cluster throughput (BENCH_cluster.json): dedup + compact relay ==="
+# Gates (the cluster's two claims, from the in-process 3-node bench):
+#   exactly_once      cluster-wide unique evaluations <= single-node;
+#   traces_identical  every session trace bit-identical to single-node;
+#   relay_ratio       delta-frame bytes < 25% of naive JSON re-shipping;
+#   cluster_cache_hits > 0 (the cluster actually shared something).
+"${BUILD_DIR}/cluster_throughput" --sessions 12 --budget 40 \
+    --out BENCH_cluster.json > /dev/null
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_cluster.json") as f:
+    report = json.load(f)
+single, cluster = report["single"], report["cluster"]
+ratio = cluster["relay_ratio"]
+print(f"single: {single['evaluations']} evals in {single['wall_ms']:.0f}ms; "
+      f"cluster: {cluster['evaluations']} evals in {cluster['wall_ms']:.0f}ms, "
+      f"{cluster['cluster_cache_hits']} cross-node hits, "
+      f"relay ratio {ratio:.3f}")
+ok = report["exactly_once"] and report["traces_identical"]
+ok &= cluster["cluster_cache_hits"] > 0
+ok &= ratio < 0.25
 sys.exit(0 if ok else 1)
 EOF
 

@@ -52,14 +52,19 @@
 //               [--group-rps R [--group-burst B] [--group-prefix-bits 24]]
 //               [--force-poll] [--workers N] [--shards 16]
 //               [--dataset-dir DIR]
+//               [--peers h1:p1,h2:p2,... [--peer-timeout-ms 2000]]
 //       Runs the HTTP/1.1 JSON API (docs/http-api.md) over one
 //       TuningService until SIGINT/SIGTERM. --port 0 picks an
 //       ephemeral port; the chosen one is printed on the "listening"
 //       line (and parsed by tools/ci.sh). --client-rps/--group-rps
 //       switch on token-bucket traffic policing (429 + Retry-After;
-//       docs/http-api.md#overload-semantics).
+//       docs/http-api.md#overload-semantics). --peers joins a static
+//       tuning cluster (docs/cluster.md): the list is the full
+//       membership, identical on every node, and must include this
+//       node's own host:port (so --port must be explicit). Peer and
+//       loopback traffic is exempt from the rate limiter.
 //
-//   tune remote <run|get|stats|spaces> --server host:port [...]
+//   tune remote <run|get|stats|spaces> --server host:port[,...] [...]
 //       Client for a running `tune serve`:
 //         run    same spec flags as `tune run`; synchronous via
 //                POST /v1/sessions:run, or --async to submit and poll
@@ -67,6 +72,11 @@
 //         get    --id N: one job from the registry.
 //         stats  cache/session/HTTP counters.
 //         spaces search-space statistics from the server.
+//       --any-node: --server may list several cluster nodes; each is
+//       probed (bounded timeouts) and the first live one is used —
+//       the distributed cache makes any node's answer identical.
+#include <arpa/inet.h>
+
 #include <charconv>
 #include <csignal>
 #include <cmath>
@@ -74,6 +84,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -81,6 +92,7 @@
 #include <vector>
 
 #include "api/api_server.hpp"
+#include "cluster/cluster_node.hpp"
 #include "common/json.hpp"
 #include "common/statistics.hpp"
 #include "common/string_util.hpp"
@@ -587,7 +599,8 @@ int cmd_serve(const Args& args) {
                       "max-body", "workers", "shards", "dataset-dir",
                       "event-loops", "admission-capacity", "retry-after",
                       "client-rps", "client-burst", "group-rps",
-                      "group-burst", "group-prefix-bits", "force-poll"});
+                      "group-burst", "group-prefix-bits", "force-poll",
+                      "peers", "peer-timeout-ms"});
   // Block the shutdown signals *before* any thread exists so every
   // worker inherits the mask and sigwait below is the only consumer.
   // The disposition must not be SIG_IGN (non-interactive shells start
@@ -601,19 +614,61 @@ int cmd_serve(const Args& args) {
   sigaddset(&signals, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &signals, nullptr);
 
-  service::ServiceOptions service_options;
-  service_options.workers = args.get_size("workers", 0);
-  service_options.cache_shards = args.get_size("shards", 16);
-  service_options.dataset_dir = args.get("dataset-dir", "");
-  service::TuningService svc(service_options);
-
-  api::ApiOptions api_options;
-  api_options.http.host = args.get("host", "127.0.0.1");
+  const std::string host = args.get("host", "127.0.0.1");
   const std::size_t port = args.get_size("port", 8080);
   if (port > 65535) {
     throw std::invalid_argument("--port must be <= 65535, got " +
                                 std::to_string(port));
   }
+
+  // Cluster membership (optional). The node is declared *before* the
+  // service and server so it is destroyed after both: sessions hold
+  // DistributedMeasurementCache pointers into it, and HTTP workers
+  // dispatch /v1/peers/* into it until server.stop() returns.
+  std::unique_ptr<cluster::ClusterNode> node;
+  const std::string peers_flag = args.get("peers", "");
+  if (!peers_flag.empty()) {
+    cluster::ClusterOptions cluster_options;
+    for (const auto& part : common::split(peers_flag, ',')) {
+      cluster_options.members.push_back(cluster::parse_peer_address(part));
+    }
+    // Self is matched by the listen address. An ephemeral --port 0
+    // can't appear in a static membership list every node shares.
+    if (port == 0) {
+      throw std::invalid_argument(
+          "--peers requires an explicit --port (the membership list "
+          "must name this node's real listen address)");
+    }
+    cluster_options.self_index = cluster_options.members.size();
+    for (std::size_t i = 0; i < cluster_options.members.size(); ++i) {
+      const auto& m = cluster_options.members[i];
+      if (m.host == host && m.port == port) {
+        cluster_options.self_index = i;
+        break;
+      }
+    }
+    if (cluster_options.self_index == cluster_options.members.size()) {
+      throw std::invalid_argument("--peers list must include this node (" +
+                                  host + ":" + std::to_string(port) + ")");
+    }
+    const int peer_timeout =
+        static_cast<int>(args.get_size("peer-timeout-ms", 2000));
+    cluster_options.connect_timeout_ms = peer_timeout;
+    cluster_options.io_timeout_ms = peer_timeout;
+    cluster_options.cache_shards = args.get_size("shards", 16);
+    node = std::make_unique<cluster::ClusterNode>(std::move(cluster_options));
+  }
+
+  service::ServiceOptions service_options;
+  service_options.workers = args.get_size("workers", 0);
+  service_options.cache_shards = args.get_size("shards", 16);
+  service_options.dataset_dir = args.get("dataset-dir", "");
+  service_options.cluster = node.get();
+  service::TuningService svc(service_options);
+
+  api::ApiOptions api_options;
+  api_options.cluster = node.get();
+  api_options.http.host = host;
   api_options.http.port = static_cast<std::uint16_t>(port);
   api_options.http.workers = args.get_size("http-workers", 8);
   api_options.http.max_connections = args.get_size("max-connections", 1024);
@@ -636,14 +691,42 @@ int cmd_serve(const Args& args) {
       args.get_double("group-burst", 0.0);
   api_options.http.rate_limit.group_prefix_bits =
       static_cast<int>(args.get_size("group-prefix-bits", 24));
+  if (node) {
+    // Peer RPC traffic must never be policed: a throttled claim RPC
+    // would surface as a (spurious) peer failure and flap health.
+    // Exempt loopback plus every member's resolved IPv4; everything
+    // else still pays the configured buckets.
+    std::vector<std::uint32_t> peer_ips;
+    for (std::size_t i = 0; i < node->peers().size(); ++i) {
+      in_addr addr{};
+      const auto& peer_host = node->peers().address(i).host;
+      if (inet_pton(AF_INET, peer_host.c_str(), &addr) == 1) {
+        peer_ips.push_back(ntohl(addr.s_addr));
+      }
+    }
+    api_options.http.rate_limit.exempt =
+        [peer_ips = std::move(peer_ips)](std::uint32_t ipv4) {
+          if ((ipv4 >> 24) == 127u) return true;
+          for (const auto peer : peer_ips) {
+            if (peer == ipv4) return true;
+          }
+          return false;
+        };
+  }
   api::ApiServer server(svc, api_options);
   server.start();
+  if (node) node->start();
 
   std::printf("tune serve: listening on http://%s:%u "
               "(http workers=%zu, event loops=%zu, service workers=%zu)\n",
               api_options.http.host.c_str(), server.port(),
               api_options.http.workers, api_options.http.event_loops,
               svc.workers());
+  if (node) {
+    std::printf("tune serve: cluster node %zu of %zu (peers: %s)\n",
+                node->peers().self_index(), node->peers().size(),
+                peers_flag.c_str());
+  }
   if (api_options.http.rate_limit.enabled()) {
     std::printf("tune serve: rate limit client=%.1f rps (burst %.1f), "
                 "group=%.1f rps (/%d)\n",
@@ -663,8 +746,11 @@ int cmd_serve(const Args& args) {
   // so in-flight sessions (HTTP workers blocked in run_inline) stop at
   // their next batch boundary — stopping the server first would join
   // those workers only after their sessions ran to natural completion.
+  // The cluster node goes last: stopping it earlier would strand peers
+  // mid-lookup while local sessions still hold its distributed caches.
   svc.shutdown();
   server.stop();
+  if (node) node->stop();
   std::printf("http: %llu connections, %llu requests, %llu rate-limited, "
               "%llu shed, %llu over-capacity\n",
               static_cast<unsigned long long>(
@@ -682,25 +768,47 @@ int cmd_serve(const Args& args) {
 
 // --------------------------------------------------------- remote client --
 
-/// "--server host:port" -> a connected-on-demand client.
+/// "--server host:port[,host:port...]" -> a connected-on-demand client.
+/// With --any-node (and a comma list), each candidate is probed with
+/// finite timeouts and the first responsive node wins — cluster caches
+/// are global, so any node answers any session identically.
 net::HttpClient remote_client(const Args& args) {
   const std::string server = args.get("server", "");
-  const std::size_t colon = server.rfind(':');
-  if (server.empty() || colon == std::string::npos) {
+  if (server.empty()) {
     throw std::invalid_argument(
-        "tune remote requires --server <host:port>");
+        "tune remote requires --server <host:port>[,host:port...]");
   }
-  const std::string host = server.substr(0, colon);
-  const std::string port_text = server.substr(colon + 1);
-  unsigned port = 0;
-  const auto [ptr, ec] = std::from_chars(
-      port_text.data(), port_text.data() + port_text.size(), port);
-  if (port_text.empty() || ec != std::errc() ||
-      ptr != port_text.data() + port_text.size() || port == 0 ||
-      port > 65535) {
-    throw std::invalid_argument("invalid --server port '" + port_text + "'");
+  std::vector<cluster::PeerAddress> candidates;
+  for (const auto& part : common::split(server, ',')) {
+    candidates.push_back(cluster::parse_peer_address(part));
   }
-  return net::HttpClient(host, static_cast<std::uint16_t>(port));
+  if (!args.has("any-node")) {
+    if (candidates.size() != 1) {
+      throw std::invalid_argument(
+          "--server lists several nodes; add --any-node to fail over");
+    }
+    return net::HttpClient(candidates.front().host, candidates.front().port);
+  }
+  for (const auto& candidate : candidates) {
+    try {
+      // A scoped probe client with bounded timeouts: the CLI's default
+      // client blocks indefinitely, which is exactly wrong for "skip
+      // the dead node".
+      net::HttpClient probe(candidate.host, candidate.port, {},
+                            net::ClientOptions{.connect_timeout_ms = 2000,
+                                               .io_timeout_ms = 2000});
+      if (probe.get("/v1/stats").status == 200) {
+        if (candidates.size() > 1) {
+          std::fprintf(stderr, "tune remote: using node %s\n",
+                       candidate.to_string().c_str());
+        }
+        return net::HttpClient(candidate.host, candidate.port);
+      }
+    } catch (const std::exception&) {
+      // unreachable / timed out: try the next node
+    }
+  }
+  throw std::runtime_error("no reachable node in --server list: " + server);
 }
 
 /// Non-2xx: print the server's error body and fail the command.
@@ -752,8 +860,8 @@ int print_remote_result(const common::Json& result) {
 }
 
 int cmd_remote_run(const Args& args) {
-  args.require_known({"server", "kernel", "tuner", "device", "budget",
-                      "seed", "backend", "async", "poll-ms"});
+  args.require_known({"server", "any-node", "kernel", "tuner", "device",
+                      "budget", "seed", "backend", "async", "poll-ms"});
   service::SessionSpec spec;
   spec.kernel = args.get("kernel", "gemm");
   spec.tuner = args.get("tuner", "local");
@@ -789,7 +897,7 @@ int cmd_remote_run(const Args& args) {
 }
 
 int cmd_remote_get(const Args& args) {
-  args.require_known({"server", "id"});
+  args.require_known({"server", "any-node", "id"});
   if (!args.has("id")) {
     std::fprintf(stderr, "tune remote get requires --id <n>\n");
     return 2;
@@ -802,7 +910,7 @@ int cmd_remote_get(const Args& args) {
 }
 
 int cmd_remote_simple(const Args& args, const std::string& target) {
-  args.require_known({"server"});
+  args.require_known({"server", "any-node"});
   auto client = remote_client(args);
   const auto response = client.get(target);
   if (!remote_ok(response)) return 1;
@@ -846,7 +954,9 @@ void print_usage() {
       "          [--client-rps R] [--client-burst B] [--group-rps R]\n"
       "          [--group-burst B] [--group-prefix-bits N] [--force-poll]\n"
       "          [--workers N] [--shards P] [--dataset-dir DIR]\n"
-      "  remote  <run|get|stats|spaces> --server host:port\n"
+      "          [--peers h1:p1,h2:p2,... [--peer-timeout-ms 2000]]\n"
+      "  remote  <run|get|stats|spaces> --server host:port[,...]\n"
+      "          [--any-node] (probe the list, use the first live node)\n"
       "          run: spec flags like `tune run` [--async] [--poll-ms MS]\n"
       "          get: --id N\n"
       "see docs/reproducing-the-paper.md for figure/table recipes,\n"
