@@ -133,21 +133,15 @@ net::HttpResponse ApiServer::post_session(const net::HttpRequest& request) {
     return error_json(400, e.what());
   }
 
-  std::shared_future<service::SessionResult> future;
+  std::uint64_t id = 0;
   try {
     // May block while the service backlog is at capacity — that *is*
     // the backpressure: this HTTP worker (and therefore this client)
-    // waits its turn.
-    future = service_.submit(spec).share();
+    // waits its turn. With a journal, the id is durable before
+    // submit_tracked returns — the 202 below is a real promise.
+    id = service_.submit_tracked(std::move(spec));
   } catch (const std::exception& e) {
     return error_json(503, e.what());
-  }
-
-  std::uint64_t id = 0;
-  {
-    std::lock_guard lock(jobs_mutex_);
-    id = next_job_id_++;
-    jobs_.emplace(id, Job{spec, future});
   }
 
   JsonObject object;
@@ -174,42 +168,28 @@ net::HttpResponse ApiServer::run_session(const net::HttpRequest& request) {
 net::HttpResponse ApiServer::get_session(const std::string& id_text) const {
   const auto id = parse_job_id(id_text);
   if (!id) return error_json(400, "job id must be decimal digits");
-  Job job;
-  {
-    std::lock_guard lock(jobs_mutex_);
-    const auto it = jobs_.find(*id);
-    if (it == jobs_.end()) {
-      return error_json(404, "no such session: " + id_text);
-    }
-    job = it->second;
-  }
+  const auto job = service_.tracked(*id);
+  if (!job) return error_json(404, "no such session: " + id_text);
   JsonObject object;
   object.emplace("id", id_text);
-  if (job.future.wait_for(std::chrono::seconds(0)) ==
+  if (job->future.wait_for(std::chrono::seconds(0)) ==
       std::future_status::ready) {
     object.emplace("state", "done");
-    object.emplace("result", service::to_json(job.future.get()));
+    object.emplace("result", service::to_json(job->future.get()));
   } else {
     object.emplace("state", "pending");
-    object.emplace("spec", service::to_json(job.spec));
+    object.emplace("spec", service::to_json(job->spec));
   }
   return json_response(200, Json(std::move(object)));
 }
 
 net::HttpResponse ApiServer::list_sessions() const {
   JsonArray sessions;
-  {
-    std::lock_guard lock(jobs_mutex_);
-    for (const auto& [id, job] : jobs_) {
-      JsonObject entry;
-      entry.emplace("id", std::to_string(id));
-      entry.emplace("state",
-                    job.future.wait_for(std::chrono::seconds(0)) ==
-                            std::future_status::ready
-                        ? "done"
-                        : "pending");
-      sessions.emplace_back(std::move(entry));
-    }
+  for (const auto& [id, done] : service_.tracked_sessions()) {
+    JsonObject entry;
+    entry.emplace("id", std::to_string(id));
+    entry.emplace("state", done ? "done" : "pending");
+    sessions.emplace_back(std::move(entry));
   }
   JsonObject object;
   object.emplace("sessions", Json(std::move(sessions)));
@@ -239,6 +219,27 @@ net::HttpResponse ApiServer::get_stats() const {
   http_json.emplace("connections_over_capacity",
                     http_.connections_over_capacity());
 
+  // Journal counters (docs/durability.md). "enabled": false is the
+  // whole section for a memory-only registry, so dashboards can alert
+  // on a node accidentally started without its journal.
+  const auto durability = service_.durability_stats();
+  JsonObject durability_json;
+  durability_json.emplace("enabled", durability.enabled);
+  if (durability.enabled) {
+    durability_json.emplace("journal_bytes", durability.file_bytes);
+    durability_json.emplace("records_appended", durability.records_appended);
+    durability_json.emplace("commits", durability.commits);
+    durability_json.emplace("checkpoints", durability.checkpoints);
+    durability_json.emplace("recovered_pending",
+                            durability.recovered_pending);
+    durability_json.emplace("restored_completed",
+                            durability.restored_completed);
+    durability_json.emplace("evicted_completed",
+                            durability.evicted_completed);
+    durability_json.emplace("replay_dropped_bytes",
+                            durability.replay_dropped_bytes);
+  }
+
   JsonObject object;
   object.emplace("workers", static_cast<std::uint64_t>(service_.workers()));
   object.emplace("sessions_submitted",
@@ -246,6 +247,7 @@ net::HttpResponse ApiServer::get_stats() const {
   object.emplace("sessions_active",
                  static_cast<std::uint64_t>(service_.sessions_active()));
   object.emplace("cache", Json(std::move(cache_json)));
+  object.emplace("durability", Json(std::move(durability_json)));
   object.emplace("http", Json(std::move(http_json)));
   if (cluster_) object.emplace("cluster", cluster_->stats_json());
   return json_response(200, Json(std::move(object)));

@@ -3,17 +3,21 @@
 // Routes (documented with transcripts in docs/http-api.md):
 //
 //   POST /v1/sessions        SessionSpec JSON -> 202 {"id",...}; the
-//                            spec is submitted to the TuningService and
-//                            tracked in an id-keyed job registry over
-//                            the submit() future (asynchronous path).
+//                            spec goes through TuningService::
+//                            submit_tracked into the service's
+//                            id-keyed registry (asynchronous path) —
+//                            with `tune serve --journal-dir` the id is
+//                            fsync-durable before the 202 leaves.
 //   GET  /v1/sessions        registry listing: [{"id","state"},...]
 //   GET  /v1/sessions/<id>   job status; when the future is ready the
 //                            full SessionResult (trace included).
 //   POST /v1/sessions:run    synchronous: run_inline on the handling
-//                            connection's worker, full result back.
+//                            connection's worker, full result back
+//                            (untracked: no id, never journaled).
 //   GET  /v1/stats           cache counters + session/HTTP counters,
 //                            including traffic-policing sheds (429s,
-//                            admission 503s, connection-cap refusals).
+//                            admission 503s, connection-cap refusals)
+//                            and the journal's "durability" section.
 //   GET  /v1/spaces          per-kernel search-space statistics.
 //
 // Error mapping: malformed JSON / bad spec -> 400, unknown path or job
@@ -21,24 +25,20 @@
 // shutdown -> 503; the transport adds 413/431 for oversize and 500 for
 // handler escapes (net/http_server.hpp).
 //
-// The registry keeps completed jobs until the server dies — results
-// must outlive their session so a client can poll after completion.
-// Bound: jobs are one shared_future + spec each. The transport now
-// polices admission (per-client token buckets charge POST /v1/sessions*
-// at 4x a status poll — see with_api_policy in api_server.cpp), which
-// caps the registry's *growth rate*; eviction of old results is still
-// a future PR.
+// The session registry lives in TuningService (not here) so that with
+// a journal it survives restarts — results must outlive their session
+// (and, journaled, the process) so a client can poll after completion.
+// Bound: the journal's checkpoint retention evicts the oldest
+// completed sessions, and the transport polices admission (per-client
+// token buckets charge POST /v1/sessions* at 4x a status poll — see
+// with_api_policy in api_server.cpp), which caps the growth rate.
 //
-// Thread-safety: handle() runs concurrently on HTTP workers; the
-// registry has its own mutex, TuningService is thread-safe, and
-// handle() is public precisely so tests can drive routes without
-// sockets.
+// Thread-safety: handle() runs concurrently on HTTP workers;
+// TuningService is thread-safe, and handle() is public precisely so
+// tests can drive routes without sockets.
 #pragma once
 
 #include <cstdint>
-#include <future>
-#include <map>
-#include <mutex>
 #include <string>
 
 #include "net/http_server.hpp"
@@ -79,11 +79,6 @@ class ApiServer {
   [[nodiscard]] const net::HttpServer& http() const noexcept { return http_; }
 
  private:
-  struct Job {
-    service::SessionSpec spec;
-    std::shared_future<service::SessionResult> future;
-  };
-
   [[nodiscard]] net::HttpResponse post_session(const net::HttpRequest& req);
   [[nodiscard]] net::HttpResponse run_session(const net::HttpRequest& req);
   [[nodiscard]] net::HttpResponse get_session(const std::string& id) const;
@@ -93,10 +88,6 @@ class ApiServer {
 
   service::TuningService& service_;
   cluster::ClusterNode* cluster_;
-
-  mutable std::mutex jobs_mutex_;
-  std::map<std::uint64_t, Job> jobs_;
-  std::uint64_t next_job_id_ = 1;
 
   net::HttpServer http_;  // last member: its workers call handle()
 };

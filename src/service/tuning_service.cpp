@@ -33,14 +33,26 @@ TuningService::TuningService(ServiceOptions options)
   // queue_capacity = 0 would make every submit() block forever on the
   // backlog predicate; treat it as "minimal backlog", not a deadlock.
   options_.queue_capacity = std::max<std::size_t>(1, options_.queue_capacity);
+  if (!options_.journal_dir.empty()) {
+    SessionLogOptions log_options;
+    log_options.dir = options_.journal_dir;
+    log_options.retain_completed = options_.journal_retain_completed;
+    log_options.checkpoint_bytes = options_.journal_checkpoint_bytes;
+    log_ = std::make_unique<SessionLog>(std::move(log_options));
+    recover_from_journal();
+  }
 }
 
 TuningService::~TuningService() { shutdown(); }
 
 std::future<SessionResult> TuningService::submit(SessionSpec spec) {
-  auto task = std::make_shared<std::packaged_task<SessionResult()>>(
-      [this, spec = std::move(spec)] { return run_session(spec); });
-  auto future = task->get_future();
+  return enqueue(std::move(spec), 0);
+}
+
+std::future<SessionResult> TuningService::enqueue(SessionSpec spec,
+                                                  std::uint64_t id) {
+  auto promise = std::make_shared<std::promise<SessionResult>>();
+  auto future = promise->get_future();
   {
     std::unique_lock lock(mutex_);
     backlog_cv_.wait(lock, [&] {
@@ -53,13 +65,32 @@ std::future<SessionResult> TuningService::submit(SessionSpec spec) {
     ++outstanding_;
     ++submitted_;
   }
-  pool_.submit([this, task] {
+  pool_.submit([this, id, promise, spec = std::move(spec)] {
     {
       std::lock_guard lock(mutex_);
       --queued_;
     }
     backlog_cv_.notify_one();
-    (*task)();  // never throws: run_session reports failures in-band
+    auto result = run_session(spec);  // never throws: failures in-band
+    if (id != 0 && log_ && result.status != SessionStatus::kCancelled) {
+      // Journal the terminal result *before* the future resolves:
+      // once a client observed "done", a restart must agree. A
+      // cancelled session is deliberately not journaled — it stays
+      // pending and re-runs on the next boot (docs/durability.md).
+      try {
+        const auto evicted = log_->record_result(id, result);
+        if (!evicted.empty()) {
+          std::lock_guard lock(jobs_mutex_);
+          for (const auto old : evicted) jobs_.erase(old);
+        }
+      } catch (const std::exception& e) {
+        // Journal write failure degrades durability (the session will
+        // re-run after a crash), never in-process correctness.
+        common::log_error("service: journaling result of session ", id,
+                          " failed: ", e.what());
+      }
+    }
+    promise->set_value(std::move(result));
     {
       std::lock_guard lock(mutex_);
       --outstanding_;
@@ -67,6 +98,73 @@ std::future<SessionResult> TuningService::submit(SessionSpec spec) {
     idle_cv_.notify_all();
   });
   return future;
+}
+
+std::uint64_t TuningService::submit_tracked(SessionSpec spec) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lock(jobs_mutex_);
+    id = next_tracked_id_++;
+  }
+  // Durability before acknowledgement: the submit record is fsynced
+  // before the session is even queued, so a crash at any later point
+  // recovers it. (If enqueue then throws — service shut down — the
+  // journal keeps a pending entry that the *next* boot runs; the
+  // caller saw an exception, not an id, so nothing was promised.)
+  if (log_) log_->record_submit(id, spec);
+  auto future = enqueue(spec, id).share();
+  std::lock_guard lock(jobs_mutex_);
+  jobs_.emplace(id, TrackedSession{std::move(spec), std::move(future)});
+  return id;
+}
+
+std::optional<TuningService::TrackedSession> TuningService::tracked(
+    std::uint64_t id) const {
+  std::lock_guard lock(jobs_mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<std::uint64_t, bool>> TuningService::tracked_sessions()
+    const {
+  std::vector<std::pair<std::uint64_t, bool>> out;
+  std::lock_guard lock(jobs_mutex_);
+  out.reserve(jobs_.size());
+  for (const auto& [id, session] : jobs_) {
+    out.emplace_back(id, session.future.wait_for(std::chrono::seconds(0)) ==
+                             std::future_status::ready);
+  }
+  return out;
+}
+
+DurabilityStats TuningService::durability_stats() const {
+  return log_ ? log_->stats() : DurabilityStats{};
+}
+
+void TuningService::recover_from_journal() {
+  // Completed sessions come back as already-resolved futures: a client
+  // that submitted before the crash polls the same id and reads the
+  // same result (trace included).
+  for (const auto& done : log_->completed()) {
+    std::promise<SessionResult> promise;
+    promise.set_value(done.result);
+    std::lock_guard lock(jobs_mutex_);
+    jobs_.emplace(done.id,
+                  TrackedSession{done.result.spec,
+                                 promise.get_future().share()});
+  }
+  // Pending sessions re-run under their original ids without a new
+  // submit record (the journal already has one). This may block on the
+  // backlog while the pool drains — recovery of a big queue is just a
+  // busy boot, not a deadlock.
+  for (const auto& pending : log_->pending()) {
+    auto future = enqueue(pending.spec, pending.id).share();
+    std::lock_guard lock(jobs_mutex_);
+    jobs_.emplace(pending.id,
+                  TrackedSession{pending.spec, std::move(future)});
+  }
+  next_tracked_id_ = std::max(next_tracked_id_, log_->next_id());
 }
 
 std::vector<SessionResult> TuningService::run_all(

@@ -18,7 +18,18 @@
 //     each other's results (exactly once per distinct valid-ordinal);
 //   * cooperative cancellation: shutdown() flips one token that every
 //     session checks at its next batch boundary, so no worker is ever
-//     stuck mid-run.
+//     stuck mid-run;
+//   * an id-keyed tracked-session registry (submit_tracked/tracked):
+//     what the HTTP API's job routes serve. With `journal_dir` set the
+//     registry is *durable* — submissions and terminal results are
+//     written through a service::SessionLog (write-ahead journal with
+//     fsync-on-commit), and the constructor replays it: completed
+//     sessions come back with their full results, unfinished ones are
+//     resubmitted under their original ids and re-run (deterministic
+//     backends make the re-run indistinguishable from the one a crash
+//     destroyed). Sessions cancelled by shutdown are deliberately left
+//     pending in the journal for the same reason. See
+//     docs/durability.md.
 //
 // Determinism is preserved: backends are deterministic, so a session
 // produces the identical trace whether its measurements were computed
@@ -33,12 +44,15 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -46,6 +60,7 @@
 #include "io/dataset_repository.hpp"
 #include "io/dataset_view.hpp"
 #include "service/session.hpp"
+#include "service/session_log.hpp"
 #include "service/sharded_cache.hpp"
 
 namespace bat::cluster {
@@ -75,6 +90,18 @@ struct ServiceOptions {
   /// ShardedMeasurementCache. Null (default) keeps the single-node
   /// behavior unchanged.
   cluster::ClusterNode* cluster = nullptr;
+  /// Durable session journal directory. "" (default) keeps the
+  /// tracked-session registry memory-only (a restart forgets it); set,
+  /// every submit_tracked id and terminal result is journaled
+  /// (sessions.batjnl) and the constructor replays it — restoring
+  /// completed results and re-running unfinished sessions under their
+  /// original ids. docs/durability.md is the full contract.
+  std::string journal_dir;
+  /// Completed sessions the journal retains across checkpoints; older
+  /// ones are evicted from the registry (their ids 404 after that).
+  std::size_t journal_retain_completed = 1024;
+  /// Journal size that triggers a compacting checkpoint + truncate.
+  std::uint64_t journal_checkpoint_bytes = 256 * 1024;
 };
 
 class TuningService {
@@ -90,6 +117,32 @@ class TuningService {
   /// resolves to a SessionResult (failures are reported in-band as
   /// kFailed, never as a broken promise).
   [[nodiscard]] std::future<SessionResult> submit(SessionSpec spec);
+
+  /// One entry of the tracked-session registry.
+  struct TrackedSession {
+    SessionSpec spec;
+    std::shared_future<SessionResult> future;
+  };
+
+  /// submit() plus registration in the id-keyed registry; returns the
+  /// id (monotonic from 1, or from the journal's high-water mark after
+  /// recovery — ids are never reused). When journaled, the submission
+  /// is fsync-durable *before* this returns: a crash after the caller
+  /// sees the id can only delay the session, never lose it. Blocks and
+  /// throws like submit().
+  [[nodiscard]] std::uint64_t submit_tracked(SessionSpec spec);
+
+  /// Registry lookup; nullopt for unknown (or checkpoint-evicted) ids.
+  [[nodiscard]] std::optional<TrackedSession> tracked(
+      std::uint64_t id) const;
+
+  /// (id, finished?) for every registered session, in id order.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, bool>>
+  tracked_sessions() const;
+
+  /// Journal counters for /v1/stats; enabled == false when
+  /// journal_dir was empty.
+  [[nodiscard]] DurabilityStats durability_stats() const;
 
   /// Convenience: submit every spec, wait for all, results in order.
   [[nodiscard]] std::vector<SessionResult> run_all(
@@ -159,8 +212,25 @@ class TuningService {
   [[nodiscard]] SessionResult run_session(const SessionSpec& spec);
   [[nodiscard]] Workload& workload_for(const SessionSpec& spec);
   void build_workload(const SessionSpec& spec, WorkloadSlot& slot);
+  /// The shared submit path. id != 0 marks a tracked session whose
+  /// terminal result is journaled (cancellations excepted) before its
+  /// future resolves.
+  [[nodiscard]] std::future<SessionResult> enqueue(SessionSpec spec,
+                                                   std::uint64_t id);
+  /// Replays the journal into the registry: restores completed
+  /// results as ready futures, resubmits pending sessions.
+  void recover_from_journal();
 
   ServiceOptions options_;
+
+  std::unique_ptr<SessionLog> log_;  // null when journal_dir is empty
+
+  // Tracked-session registry. Its own mutex (not mutex_): lookups must
+  // not contend with the backlog/waiter machinery, and workers touch
+  // it while holding nothing else (no ordering to get wrong).
+  mutable std::mutex jobs_mutex_;
+  std::map<std::uint64_t, TrackedSession> jobs_;
+  std::uint64_t next_tracked_id_ = 1;
 
   mutable std::mutex mutex_;
   std::condition_variable backlog_cv_;  // queued_ dropped below capacity

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI pipeline: docs link check, configure + build + ctest, an ASan/UBSan
 # build of the concurrency-critical tests (evaluator/backend batching,
-# the thread pool and the compiled index-space core), a TSan build of
-# the service layer (concurrent sessions + sharded cache + cluster
-# cache), a live 3-node loopback cluster with gated dedup/relay
+# the thread pool, the compiled index-space core and the session
+# journal), a TSan build of the service layer (concurrent sessions +
+# sharded cache + cluster cache + journal group commit), a kill -9
+# durability stage (a journaled server killed mid-grid must recover
+# every submitted session id and converge to the uninterrupted
+# results), a live 3-node loopback cluster with gated dedup/relay
 # benchmarks, finished by a bench smoke stage that exercises the
 # compiled-space paths end to end on reduced sizes.
 #
@@ -51,10 +54,14 @@ echo "=== ASan/UBSan build of evaluator + thread-pool + compiled-space + io + js
 # bombs, bad escapes) and net_http_test malformed wire bytes — exactly
 # the binaries where ASan/UBSan have teeth.
 SAN_DIR="${BUILD_DIR}-asan"
+# io_journal_test/service_recovery_test replay deliberately torn and
+# bit-flipped journal bytes — recovery paths where an out-of-bounds
+# read would be silent in a release build.
 SAN_TESTS=(core_backend_test core_dataset_evaluator_test
            common_thread_pool_test core_compiled_space_test
            io_dataset_test common_json_test net_http_test
-           net_rate_limit_test cluster_test)
+           net_rate_limit_test cluster_test io_journal_test
+           service_recovery_test)
 cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DBAT_SANITIZE=ON
 cmake --build "${SAN_DIR}" -j "${JOBS}" --target "${SAN_TESTS[@]}"
 for t in "${SAN_TESTS[@]}"; do
@@ -72,8 +79,12 @@ TSAN_DIR="${BUILD_DIR}-tsan"
 # net_rate_limit_test hammers the limiter's single mutex; cluster_test
 # races threads through the distributed cache's claim/wait/abandon
 # paths over a fake peer link.
+# io_journal_test races 8 appenders through the journal's group
+# commit; service_recovery_test adds journaled submit/result traffic
+# to the worker-pool interleavings.
 TSAN_TESTS=(service_test common_thread_pool_test core_backend_test
-            net_http_test net_rate_limit_test api_http_test cluster_test)
+            net_http_test net_rate_limit_test api_http_test cluster_test
+            io_journal_test service_recovery_test)
 cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DBAT_SANITIZE_THREAD=ON
 cmake --build "${TSAN_DIR}" -j "${JOBS}" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
@@ -137,6 +148,117 @@ kill -INT "${SERVE_PID}"
 wait "${SERVE_PID}" || { echo "tune serve exited non-zero"; exit 1; }
 SERVE_PID=""
 echo "serve/remote round trip ok (port ${NET_PORT})"
+
+echo "=== durability stage: kill -9 mid-grid, journal recovery ==="
+# A journaled single-worker server takes an 8-session grid and is
+# SIGKILLed while most of it is still queued (the first session's
+# replay sweep keeps the lone worker busy). A second server on the
+# same --journal-dir must (a) find every submitted id, (b) run the
+# grid to completion, and (c) produce results identical — wall clock
+# aside — to an uninterrupted server given the same grid. That is the
+# paper trail for docs/durability.md's headline claim: an acknowledged
+# id survives kill -9 with nothing but fsync underneath it.
+wait_for_port() {  # log file -> prints the ephemeral port
+  local log="$1" port=""
+  for _ in $(seq 1 100); do
+    port="$(grep -oE 'http://[0-9.]+:[0-9]+' "${log}" \
+              | grep -oE '[0-9]+$' || true)"
+    [ -n "${port}" ] && { echo "${port}"; return 0; }
+    sleep 0.1
+  done
+  return 1
+}
+submit_durability_grid() {  # server -> session ids, one per line
+  local server="$1" i tuner
+  for i in $(seq 0 7); do
+    tuner=local; [ $((i % 2)) -eq 1 ] && tuner=annealing
+    "${BUILD_DIR}/tune" remote submit --server "${server}" \
+        --kernel gemm --tuner "${tuner}" --budget 40 \
+        --seed $((7 + i % 3)) --backend replay
+  done
+}
+fetch_done_session() {  # server id out.json -> polls until "done"
+  local server="$1" id="$2" out="$3"
+  for _ in $(seq 1 600); do
+    "${BUILD_DIR}/tune" remote get --server "${server}" --id "${id}" \
+        > "${out}" || return 1
+    grep -q '"state": "done"' "${out}" && return 0
+    sleep 0.2
+  done
+  return 1
+}
+JOURNAL_DIR="${NET_TMP}/journal"
+"${BUILD_DIR}/tune" serve --port 0 --workers 1 \
+    --journal-dir "${JOURNAL_DIR}" > "${NET_TMP}/dur1.log" 2>&1 &
+SERVE_PID=$!
+DUR_PORT="$(wait_for_port "${NET_TMP}/dur1.log")" \
+    || { echo "durability server never came up"; exit 1; }
+mapfile -t DUR_IDS < <(submit_durability_grid "127.0.0.1:${DUR_PORT}")
+[ "${#DUR_IDS[@]}" -eq 8 ] || { echo "expected 8 submitted ids"; exit 1; }
+kill -9 "${SERVE_PID}"
+wait "${SERVE_PID}" 2>/dev/null || true
+SERVE_PID=""
+
+"${BUILD_DIR}/tune" serve --port 0 --workers 1 \
+    --journal-dir "${JOURNAL_DIR}" > "${NET_TMP}/dur2.log" 2>&1 &
+SERVE_PID=$!
+DUR_PORT="$(wait_for_port "${NET_TMP}/dur2.log")" \
+    || { echo "restarted durability server never came up"; exit 1; }
+DUR_SERVER="127.0.0.1:${DUR_PORT}"
+grep -q "tune serve: journal" "${NET_TMP}/dur2.log" \
+    || { echo "restart did not report journal recovery"; exit 1; }
+# (a) no acknowledged id was lost, (b) the whole grid completes.
+for id in "${DUR_IDS[@]}"; do
+  "${BUILD_DIR}/tune" remote get --server "${DUR_SERVER}" --id "${id}" \
+      > /dev/null || { echo "id ${id} lost by kill -9"; exit 1; }
+done
+for id in "${DUR_IDS[@]}"; do
+  fetch_done_session "${DUR_SERVER}" "${id}" \
+      "${NET_TMP}/dur_recovered_${id}.json" \
+      || { echo "id ${id} never completed after recovery"; exit 1; }
+done
+"${BUILD_DIR}/tune" remote stats --server "${DUR_SERVER}" \
+    | grep -q '"enabled": true' \
+    || { echo "/v1/stats durability section missing"; exit 1; }
+kill -INT "${SERVE_PID}"
+wait "${SERVE_PID}" || { echo "recovered server exited non-zero"; exit 1; }
+SERVE_PID=""
+
+# (c) the uninterrupted reference: same grid on a fresh journal-less
+# server; ids are allocated identically (1..8), so results pair up.
+"${BUILD_DIR}/tune" serve --port 0 --workers 1 \
+    > "${NET_TMP}/dur_ref.log" 2>&1 &
+SERVE_PID=$!
+REF_PORT="$(wait_for_port "${NET_TMP}/dur_ref.log")" \
+    || { echo "reference server never came up"; exit 1; }
+REF_SERVER="127.0.0.1:${REF_PORT}"
+mapfile -t REF_IDS < <(submit_durability_grid "${REF_SERVER}")
+for id in "${REF_IDS[@]}"; do
+  fetch_done_session "${REF_SERVER}" "${id}" \
+      "${NET_TMP}/dur_reference_${id}.json" \
+      || { echo "reference id ${id} never completed"; exit 1; }
+done
+kill -INT "${SERVE_PID}"
+wait "${SERVE_PID}" || { echo "reference server exited non-zero"; exit 1; }
+SERVE_PID=""
+NET_TMP="${NET_TMP}" python3 - <<'EOF'
+import json, os, sys
+tmp = os.environ["NET_TMP"]
+ok = True
+for sid in range(1, 9):
+    with open(f"{tmp}/dur_recovered_{sid}.json") as f:
+        recovered = json.load(f)["result"]
+    with open(f"{tmp}/dur_reference_{sid}.json") as f:
+        reference = json.load(f)["result"]
+    recovered.pop("wall_ms"); reference.pop("wall_ms")
+    if recovered != reference:
+        print(f"id {sid}: recovered result differs from uninterrupted run")
+        ok = False
+print("kill -9 recovery matches the uninterrupted grid" if ok else
+      "durability gate FAILED")
+sys.exit(0 if ok else 1)
+EOF
+echo "durability stage ok (journal ${JOURNAL_DIR})"
 
 echo "=== net throughput (BENCH_net.json): baseline + 1k conns + overload ==="
 # All three scenarios from the release build. Floors are deliberately

@@ -52,23 +52,33 @@
 //               [--group-rps R [--group-burst B] [--group-prefix-bits 24]]
 //               [--force-poll] [--workers N] [--shards 16]
 //               [--dataset-dir DIR]
+//               [--journal-dir DIR [--journal-retain N]
+//                [--journal-checkpoint-bytes BYTES]]
 //               [--peers h1:p1,h2:p2,... [--peer-timeout-ms 2000]]
 //       Runs the HTTP/1.1 JSON API (docs/http-api.md) over one
 //       TuningService until SIGINT/SIGTERM. --port 0 picks an
 //       ephemeral port; the chosen one is printed on the "listening"
 //       line (and parsed by tools/ci.sh). --client-rps/--group-rps
 //       switch on token-bucket traffic policing (429 + Retry-After;
-//       docs/http-api.md#overload-semantics). --peers joins a static
-//       tuning cluster (docs/cluster.md): the list is the full
-//       membership, identical on every node, and must include this
-//       node's own host:port (so --port must be explicit). Peer and
-//       loopback traffic is exempt from the rate limiter.
+//       docs/http-api.md#overload-semantics). --journal-dir makes the
+//       session registry durable (docs/durability.md): every POSTed
+//       session id and result is write-ahead journaled, and a restart
+//       on the same directory restores completed results and re-runs
+//       unfinished sessions under their original ids — kill -9 loses
+//       nothing that was acknowledged. --peers joins a static tuning
+//       cluster (docs/cluster.md): the list is the full membership,
+//       identical on every node, and must include this node's own
+//       host:port (so --port must be explicit). Peer and loopback
+//       traffic is exempt from the rate limiter.
 //
-//   tune remote <run|get|stats|spaces> --server host:port[,...] [...]
+//   tune remote <run|submit|get|stats|spaces> --server host:port[,...]
 //       Client for a running `tune serve`:
 //         run    same spec flags as `tune run`; synchronous via
 //                POST /v1/sessions:run, or --async to submit and poll
 //                the job id ([--poll-ms 100]).
+//         submit same spec flags; POST /v1/sessions, print the bare
+//                session id and return — the script-friendly half of
+//                --async (re-attach later with `get --id N`).
 //         get    --id N: one job from the registry.
 //         stats  cache/session/HTTP counters.
 //         spaces search-space statistics from the server.
@@ -600,7 +610,9 @@ int cmd_serve(const Args& args) {
                       "event-loops", "admission-capacity", "retry-after",
                       "client-rps", "client-burst", "group-rps",
                       "group-burst", "group-prefix-bits", "force-poll",
-                      "peers", "peer-timeout-ms"});
+                      "journal-dir", "journal-retain",
+                      "journal-checkpoint-bytes", "peers",
+                      "peer-timeout-ms"});
   // Block the shutdown signals *before* any thread exists so every
   // worker inherits the mask and sigwait below is the only consumer.
   // The disposition must not be SIG_IGN (non-interactive shells start
@@ -664,7 +676,28 @@ int cmd_serve(const Args& args) {
   service_options.cache_shards = args.get_size("shards", 16);
   service_options.dataset_dir = args.get("dataset-dir", "");
   service_options.cluster = node.get();
+  service_options.journal_dir = args.get("journal-dir", "");
+  service_options.journal_retain_completed =
+      args.get_size("journal-retain", 1024);
+  service_options.journal_checkpoint_bytes =
+      args.get_size("journal-checkpoint-bytes", 256 * 1024);
+  // The constructor replays the journal (and starts re-running any
+  // unfinished sessions) before the HTTP listener below exists, so a
+  // client can never observe a post-restart server without its
+  // pre-crash registry.
   service::TuningService svc(service_options);
+  if (!service_options.journal_dir.empty()) {
+    const auto durability = svc.durability_stats();
+    std::printf("tune serve: journal %s (restored %llu completed, "
+                "re-running %llu pending, dropped %llu torn byte(s))\n",
+                service_options.journal_dir.c_str(),
+                static_cast<unsigned long long>(
+                    durability.restored_completed),
+                static_cast<unsigned long long>(
+                    durability.recovered_pending),
+                static_cast<unsigned long long>(
+                    durability.replay_dropped_bytes));
+  }
 
   api::ApiOptions api_options;
   api_options.cluster = node.get();
@@ -896,6 +929,30 @@ int cmd_remote_run(const Args& args) {
   }
 }
 
+int cmd_remote_submit(const Args& args) {
+  args.require_known({"server", "any-node", "kernel", "tuner", "device",
+                      "budget", "seed", "backend"});
+  service::SessionSpec spec;
+  spec.kernel = args.get("kernel", "gemm");
+  spec.tuner = args.get("tuner", "local");
+  spec.budget = args.get_size("budget", 150);
+  spec.seed = args.get_size("seed", 42);
+  spec.backend = args.get("backend", "live");
+  spec.device =
+      resolve_device(*kernels::make(spec.kernel), args.get("device", "0"));
+
+  auto client = remote_client(args);
+  const auto response =
+      client.post("/v1/sessions", service::to_json(spec).dump());
+  if (!remote_ok(response)) return 1;
+  // Bare id on stdout: scripts capture it and re-attach with `get
+  // --id` — possibly against a restarted server (the journal keeps
+  // the id meaningful across a crash).
+  std::printf("%s\n",
+              common::Json::parse(response.body).at("id").as_string().c_str());
+  return 0;
+}
+
 int cmd_remote_get(const Args& args) {
   args.require_known({"server", "any-node", "id"});
   if (!args.has("id")) {
@@ -922,11 +979,12 @@ int cmd_remote(const Args& args) {
   const std::string sub =
       args.positional.empty() ? "" : args.positional.front();
   if (sub == "run") return cmd_remote_run(args);
+  if (sub == "submit") return cmd_remote_submit(args);
   if (sub == "get") return cmd_remote_get(args);
   if (sub == "stats") return cmd_remote_simple(args, "/v1/stats");
   if (sub == "spaces") return cmd_remote_simple(args, "/v1/spaces");
   std::fprintf(stderr,
-               "usage: tune remote <run|get|stats|spaces> --server "
+               "usage: tune remote <run|submit|get|stats|spaces> --server "
                "host:port [--flags...]\n");
   return 2;
 }
@@ -954,14 +1012,18 @@ void print_usage() {
       "          [--client-rps R] [--client-burst B] [--group-rps R]\n"
       "          [--group-burst B] [--group-prefix-bits N] [--force-poll]\n"
       "          [--workers N] [--shards P] [--dataset-dir DIR]\n"
+      "          [--journal-dir DIR [--journal-retain N]\n"
+      "           [--journal-checkpoint-bytes BYTES]]\n"
       "          [--peers h1:p1,h2:p2,... [--peer-timeout-ms 2000]]\n"
-      "  remote  <run|get|stats|spaces> --server host:port[,...]\n"
+      "  remote  <run|submit|get|stats|spaces> --server host:port[,...]\n"
       "          [--any-node] (probe the list, use the first live node)\n"
       "          run: spec flags like `tune run` [--async] [--poll-ms MS]\n"
+      "          submit: spec flags; prints the bare session id\n"
       "          get: --id N\n"
       "see docs/reproducing-the-paper.md for figure/table recipes,\n"
-      "docs/dataset-format.md for the binary archive layout and\n"
-      "docs/http-api.md for the serve/remote wire protocol\n",
+      "docs/dataset-format.md for the binary archive layout,\n"
+      "docs/http-api.md for the serve/remote wire protocol and\n"
+      "docs/durability.md for the session journal\n",
       stderr);
 }
 
