@@ -156,7 +156,7 @@ Journal::Journal(std::string path) : path_(std::move(path)) {
 Journal::~Journal() {
   std::unique_lock lock(mutex_);
   try {
-    if (committed_seq_ < appended_seq_) flush_locked(lock);
+    if (!failed_ && committed_seq_ < appended_seq_) flush_locked(lock);
   } catch (...) {
     // Destructor best-effort: uncommitted records were never promised.
   }
@@ -205,6 +205,13 @@ void Journal::commit() {
   std::unique_lock lock(mutex_);
   const std::uint64_t target = appended_seq_;
   while (committed_seq_ < target) {
+    if (failed_) {
+      throw std::runtime_error(
+          "BAT journal: commit failed: " + path_ +
+          " (an earlier write/fsync failed; the on-disk state of "
+          "unflushed records is unknown until a checkpoint rewrites "
+          "the file)");
+    }
     if (flushing_) {
       // Another thread's flush is in flight; it (or a successor) will
       // cover our records — group commit.
@@ -221,8 +228,21 @@ void Journal::flush_locked(std::unique_lock<std::mutex>& lock) {
   out.swap(buffer_);
   const std::uint64_t covers = appended_seq_;
   lock.unlock();  // appenders keep running during the write + fsync
-  write_all(fd_, out.data(), out.size(), path_);
-  fsync_or_throw(fd_, path_);
+  try {
+    write_all(fd_, out.data(), out.size(), path_);
+    fsync_or_throw(fd_, path_);
+  } catch (...) {
+    lock.lock();
+    // A failed write or fsync leaves the kernel's view of these pages
+    // unknown (a failed fsync may drop dirty pages yet succeed if
+    // retried), so the journal is poisoned rather than retried: every
+    // commit fails until a checkpoint rewrites the whole file. Waiters
+    // must still be woken or they would block on flushed_cv_ forever.
+    flushing_ = false;
+    failed_ = true;
+    flushed_cv_.notify_all();
+    throw;
+  }
   lock.lock();
   committed_seq_ = covers;
   stats_.file_bytes += out.size();
@@ -269,8 +289,11 @@ void Journal::checkpoint(const std::vector<JournalRecord>& records) {
   // The checkpoint is the new authoritative state: buffered-but-
   // uncommitted appends are discarded (callers serialize appends
   // against checkpoints and fold pending records into `records`).
+  // Because every byte of that state was just written and fsynced to a
+  // fresh file, a poisoned journal (failed flush) is healthy again.
   buffer_.clear();
   committed_seq_ = appended_seq_;
+  failed_ = false;
   stats_.file_bytes = bytes.size();
   ++stats_.checkpoints;
   ++stats_.commits;

@@ -117,7 +117,12 @@ class Journal {
 
   /// Makes every previously appended record durable (write + fsync).
   /// Group commit: concurrent callers whose records were covered by an
-  /// in-flight flush return without a second fsync.
+  /// in-flight flush return without a second fsync. If a flush's write
+  /// or fsync fails, the journal is poisoned — that commit and every
+  /// later one throws std::runtime_error (a failed fsync leaves the
+  /// on-disk state of the affected records unknown, so "retry" would
+  /// be a lie) — until a successful checkpoint() rewrites the whole
+  /// file and restores health.
   void commit();
 
   /// Atomically replaces the journal's contents with `records` (temp
@@ -143,6 +148,7 @@ class Journal {
   std::uint64_t appended_seq_ = 0;
   std::uint64_t committed_seq_ = 0;
   bool flushing_ = false;
+  bool failed_ = false;  // a flush failed; commits throw until checkpoint
   Stats stats_;
 };
 

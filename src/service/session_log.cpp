@@ -67,6 +67,7 @@ class Reader {
   void expect_done() const {
     if (pos_ != bytes_->size()) fail("trailing bytes");
   }
+  [[nodiscard]] std::size_t remaining() const { return bytes_->size() - pos_; }
 
   [[noreturn]] void fail(const char* what) const {
     throw std::invalid_argument(
@@ -165,6 +166,10 @@ std::pair<std::uint64_t, SessionResult> SessionLog::decode_result(
   result.wall_ms = in.f64();
   result.error = in.str();
   const std::uint32_t entries = in.u32();
+  // Validate the declared count against the bytes actually present
+  // (16 per entry) *before* reserving: a corrupt count must reject as
+  // invalid_argument, not request a multi-gigabyte allocation.
+  if (entries > in.remaining() / 16) in.fail("implausible trace length");
   result.run.trace.reserve(entries);
   for (std::uint32_t i = 0; i < entries; ++i) {
     core::TraceEntry entry;
@@ -233,6 +238,13 @@ SessionLog::SessionLog(SessionLogOptions options)
 }
 
 void SessionLog::record_submit(std::uint64_t id, const SessionSpec& spec) {
+  // Shared log lock across "mutate map, then append+commit": a
+  // concurrent checkpoint (exclusive) either snapshots this entry with
+  // its append already on the old file (discarded by the rewrite) or
+  // runs entirely before, so the append lands on the new file and is
+  // absent from the snapshot. Either way the id is journaled exactly
+  // once — two submit records for one id would refuse to replay.
+  std::shared_lock log(log_mutex_);
   {
     std::lock_guard lock(mutex_);
     sessions_[id] = Entry{spec, std::nullopt};
@@ -244,18 +256,26 @@ void SessionLog::record_submit(std::uint64_t id, const SessionSpec& spec) {
 std::vector<std::uint64_t> SessionLog::record_result(
     std::uint64_t id, const SessionResult& result) {
   {
-    std::lock_guard lock(mutex_);
-    const auto it = sessions_.find(id);
-    if (it != sessions_.end()) it->second.result = result;
+    std::shared_lock log(log_mutex_);
+    {
+      std::lock_guard lock(mutex_);
+      const auto it = sessions_.find(id);
+      if (it != sessions_.end()) it->second.result = result;
+    }
+    journal_->append(kResultRecord, encode_result(id, result));
+    journal_->commit();
+    if (journal_->stats().file_bytes <= options_.checkpoint_bytes) return {};
   }
-  journal_->append(kResultRecord, encode_result(id, result));
-  journal_->commit();
+  std::unique_lock log(log_mutex_);
+  // Re-check under the exclusive lock: a concurrent record_result may
+  // already have compacted the file while we waited.
   if (journal_->stats().file_bytes <= options_.checkpoint_bytes) return {};
   std::lock_guard lock(mutex_);
   return checkpoint_locked();
 }
 
 std::vector<std::uint64_t> SessionLog::checkpoint() {
+  std::unique_lock log(log_mutex_);
   std::lock_guard lock(mutex_);
   return checkpoint_locked();
 }

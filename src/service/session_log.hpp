@@ -34,8 +34,16 @@
 // the same logical state as replaying the original
 // (tests/service_recovery_test.cpp proves the equivalence).
 //
-// Thread-safety: all methods are safe to call concurrently (one
-// mutex over the id map; the Journal has its own for the byte layer).
+// Thread-safety: all methods are safe to call concurrently. Two locks
+// cooperate: `mutex_` guards the id map, and `log_mutex_` (a
+// reader-writer lock) orders journal writes against checkpoints —
+// record_submit/record_result hold it shared across "mutate map, then
+// append+commit" (so concurrent writers still group-commit), while a
+// checkpoint holds it exclusive across "snapshot map, rewrite file".
+// Every submission is therefore either entirely inside the checkpoint
+// snapshot or entirely after the rewrite — never appended to the new
+// file *and* present in the snapshot, which would replay as a
+// duplicate submit record and refuse to boot.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +51,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -149,6 +158,7 @@ class SessionLog {
     std::optional<SessionResult> result;
   };
 
+  /// Requires log_mutex_ held exclusive and mutex_ held.
   [[nodiscard]] std::vector<std::uint64_t> checkpoint_locked();
 
   SessionLogOptions options_;
@@ -159,6 +169,9 @@ class SessionLog {
   std::uint64_t next_id_ = 1;
   std::uint64_t replay_dropped_bytes_ = 0;
 
+  /// Ordered before mutex_ (never acquire log_mutex_ while holding
+  /// mutex_). Shared by journal writers, exclusive for checkpoints.
+  mutable std::shared_mutex log_mutex_;
   mutable std::mutex mutex_;
   std::map<std::uint64_t, Entry> sessions_;  // journal's logical content
   std::uint64_t evicted_completed_ = 0;

@@ -18,10 +18,12 @@
 // tools/ci.sh's durability stage.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "io/journal.hpp"
@@ -246,6 +248,51 @@ TEST(ServiceRecovery, CheckpointEvictsOldestCompletedAndBoundsTheFile) {
   EXPECT_FALSE(svc.tracked(3).has_value());
 }
 
+TEST(ServiceRecovery, ConcurrentSubmitsRacingCheckpointsReplayExactlyOnce) {
+  // Regression: record_submit once wrote its journal record *outside*
+  // the lock a checkpoint held, so a submit could land in the
+  // checkpoint's snapshot AND be appended to the rewritten file — two
+  // submit records for one id, which replay rejects, bricking the
+  // server on its own journal. Hammer submits against results that
+  // each trip a checkpoint; the reboot below throws if the race is
+  // ever reintroduced. (tools/ci.sh also runs this under TSan.)
+  const std::string dir = fresh_dir("recovery_concurrent");
+  SessionLogOptions options;
+  options.dir = dir;
+  options.retain_completed = 1024;  // never evict: every id must replay
+  options.checkpoint_bytes = 1;     // every result trips a checkpoint
+  constexpr std::uint64_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 16;
+  {
+    SessionLog log(options);
+    std::atomic<std::uint64_t> next_id{1};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::uint64_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          const std::uint64_t id = next_id.fetch_add(1);
+          const SessionSpec spec = grid_specs(1)[0];
+          log.record_submit(id, spec);
+          SessionResult result;
+          result.spec = spec;
+          result.status = SessionStatus::kCompleted;
+          result.run.trace = {{id, 1.0}};
+          (void)log.record_result(id, result);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  SessionLog log(options);  // throws "duplicate submit record" on the race
+  EXPECT_TRUE(log.pending().empty());
+  ASSERT_EQ(log.completed().size(), kThreads * kPerThread);
+  for (std::uint64_t i = 0; i < kThreads * kPerThread; ++i) {
+    EXPECT_EQ(log.completed()[i].id, i + 1);  // each id exactly once
+  }
+  EXPECT_EQ(log.next_id(), kThreads * kPerThread + 1);
+}
+
 // ------------------------------------------- exhaustive fault sweep --
 
 /// What a strict record-prefix of [submit 1][submit 2][result 1]
@@ -343,6 +390,27 @@ TEST(ServiceRecovery, EveryTruncationAndByteFlipRecoversPrefixOrRejects) {
         expect_state(log, expected_by_prefix()[surviving_records(pos)],
                      "flip at byte " + std::to_string(pos));
       });
+}
+
+TEST(ServiceRecovery, HugeDeclaredTraceLengthRejectsWithoutAllocating) {
+  // A CRC-valid record whose declared trace length dwarfs the payload
+  // (an incompatible build, or corruption a CRC collision let through)
+  // must reject as invalid_argument — not attempt a ~64 GB reserve and
+  // die of bad_alloc mid-recovery.
+  SessionResult result;
+  result.spec = grid_specs(1)[0];
+  result.status = SessionStatus::kCompleted;
+  result.run.trace = {{1, 2.0}};
+  ASSERT_TRUE(result.error.empty());
+  std::string payload = SessionLog::encode_result(7, result);
+  // The trace-count u32 sits after id(8) + status(1) + cancelled(1) +
+  // wall_ms(8) + empty error string (4).
+  const std::size_t count_offset = 22;
+  for (std::size_t i = 0; i < 4; ++i) {
+    payload[count_offset + i] = static_cast<char>(0xFF);
+  }
+  EXPECT_THROW((void)SessionLog::decode_result(payload),
+               std::invalid_argument);
 }
 
 TEST(ServiceRecovery, TornTailAfterRealSessionsIsDroppedCleanly) {
