@@ -1,0 +1,259 @@
+// jit_compile: the compile-cost benchmark behind BENCH_jit.json.
+//
+// For each emitted kernel (gemm, hotspot, pnpoly) the harness samples
+// valid configurations and measures three evaluation regimes over the
+// same indices:
+//
+//   cold  — fresh artifact dir: every config compiles (compile cost
+//           dominates; the number it proves is compiles > 0);
+//   warm  — same backend, same indices: handle-cache dispatch;
+//   live  — LiveBackend baseline for the same indices.
+//
+// Warm and live timings self-calibrate (--repeats is the starting
+// count; measurement grows until >= 50ms of wall time) so the ratio
+// gate compares per-batch costs, not timer jitter.
+//
+// A second backend instance on the same artifact dir then proves the
+// on-disk cache: zero compiles, all disk hits. The JSON gates CI on
+//   * parity: warm objectives bit-identical to live,
+//   * warm_vs_live <= threshold (warm dispatch within noise of live),
+//   * total_cold_compiles > 0 and total_second_run_compiles == 0.
+//
+//   jit_compile [--configs 6] [--repeats 200] [--artifact-dir DIR]
+//               [--out BENCH_jit.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "core/backend.hpp"
+#include "jit/compiled_backend.hpp"
+#include "kernels/all_kernels.hpp"
+#include "kernels/kernel_benchmark.hpp"
+
+namespace {
+
+using bat::common::Json;
+using bat::common::JsonObject;
+
+struct Options {
+  std::size_t configs = 6;
+  std::size_t repeats = 200;
+  std::string artifact_dir;
+  std::string out = "BENCH_jit.json";
+};
+
+Options parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(arg + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--configs") {
+      options.configs = std::stoul(value());
+    } else if (arg == "--repeats") {
+      options.repeats = std::stoul(value());
+    } else if (arg == "--artifact-dir") {
+      options.artifact_dir = value();
+    } else if (arg == "--out") {
+      options.out = value();
+    } else {
+      throw std::invalid_argument("unknown flag " + arg);
+    }
+  }
+  if (options.configs == 0) options.configs = 1;
+  if (options.repeats == 0) options.repeats = 1;
+  return options;
+}
+
+double now_ms_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::vector<bat::core::ConfigIndex> sample_valid(
+    const bat::core::Benchmark& bench, std::size_t n) {
+  bat::common::Rng rng(2024);
+  const auto& params = bench.space().params();
+  std::vector<bat::core::ConfigIndex> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(
+        params.index_of_config(bench.space().random_valid_config(rng)));
+  }
+  return out;
+}
+
+/// Wall time of `repeats` full-batch evaluations — the steady-state
+/// dispatch cost (callers time the first, cold batch separately).
+template <typename Backend>
+double timed_repeats(Backend& backend,
+                     const std::vector<bat::core::ConfigIndex>& indices,
+                     std::size_t repeats) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const auto results = backend.evaluate_batch(indices);
+    if (results.empty()) throw std::runtime_error("empty batch result");
+  }
+  return now_ms_since(t0);
+}
+
+struct TimedRun {
+  double wall_ms = 0.0;
+  std::size_t repeats = 0;
+  [[nodiscard]] double per_batch_ms() const {
+    return repeats ? wall_ms / static_cast<double>(repeats) : 0.0;
+  }
+};
+
+/// Self-calibrating variant: grows the repeat count until the measured
+/// wall time clears `min_wall_ms`, so the warm-vs-live ratio compares
+/// real work, not timer noise (a 4-config batch dispatches in under a
+/// microsecond — a fixed small repeat count gates CI on jitter).
+template <typename Backend>
+TimedRun timed_at_least(Backend& backend,
+                        const std::vector<bat::core::ConfigIndex>& indices,
+                        std::size_t repeats, double min_wall_ms) {
+  constexpr std::size_t kMaxRepeats = 1u << 22;
+  for (;;) {
+    TimedRun run;
+    run.repeats = repeats;
+    run.wall_ms = timed_repeats(backend, indices, repeats);
+    if (run.wall_ms >= min_wall_ms || repeats >= kMaxRepeats) return run;
+    repeats = std::min<std::size_t>(
+        kMaxRepeats,
+        std::max<std::size_t>(
+            repeats * 2,
+            static_cast<std::size_t>(
+                static_cast<double>(repeats) *
+                (1.5 * min_wall_ms / std::max(run.wall_ms, 0.01)))));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse(argc, argv);
+  namespace fs = std::filesystem;
+  const std::string artifact_root =
+      options.artifact_dir.empty()
+          ? (fs::temp_directory_path() / "bat-jit-bench").string()
+          : options.artifact_dir;
+
+  JsonObject kernels_json;
+  double max_warm_vs_live = 0.0;
+  std::uint64_t total_cold_compiles = 0;
+  std::uint64_t total_second_run_compiles = 0;
+  bool parity = true;
+
+  for (const char* kernel : {"gemm", "hotspot", "pnpoly"}) {
+    const auto bench = bat::kernels::make(kernel);
+    const auto& kernel_bench =
+        dynamic_cast<const bat::kernels::KernelBenchmark&>(*bench);
+    const auto indices = sample_valid(*bench, options.configs);
+
+    bat::jit::CompiledBackendOptions jit_options;
+    jit_options.artifact_dir =
+        (fs::path(artifact_root) / kernel).string();
+    fs::remove_all(jit_options.artifact_dir);  // force the cold path
+
+    bat::jit::CompiledKernelBackend jit(kernel_bench, 0, jit_options);
+    bat::core::LiveBackend live(*bench, 0);
+
+    // Cold: every artifact compiles exactly once.
+    const auto cold_t0 = std::chrono::steady_clock::now();
+    const auto cold_results = jit.evaluate_batch(indices);
+    const double cold_wall_ms = now_ms_since(cold_t0);
+    const auto cold_stats = jit.stats();
+
+    // Warm vs live: three interleaved rounds per side, keep the
+    // fastest per-batch time of each. The minimum is the noise floor —
+    // a single timed window can catch a scheduler hiccup and turn a
+    // true ~1.0x ratio into a spurious gate failure.
+    TimedRun warm = timed_at_least(jit, indices, options.repeats, 50.0);
+    TimedRun live_run = timed_at_least(live, indices, options.repeats, 50.0);
+    for (int round = 0; round < 2; ++round) {
+      const TimedRun w = timed_at_least(jit, indices, warm.repeats, 50.0);
+      if (w.per_batch_ms() < warm.per_batch_ms()) warm = w;
+      const TimedRun l = timed_at_least(live, indices, live_run.repeats, 50.0);
+      if (l.per_batch_ms() < live_run.per_batch_ms()) live_run = l;
+    }
+
+    const auto live_results = live.evaluate_batch(indices);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      if (cold_results[i].objective() != live_results[i].objective() ||
+          cold_results[i].status != live_results[i].status) {
+        parity = false;
+      }
+    }
+
+    // Second backend on the same dir models the next process: all disk
+    // hits, zero recompiles.
+    bat::jit::CompiledKernelBackend second(kernel_bench, 0, jit_options);
+    (void)second.evaluate_batch(indices);
+    const auto second_stats = second.stats();
+
+    const double warm_batch_ms = warm.per_batch_ms();
+    const double live_batch_ms = live_run.per_batch_ms();
+    const double warm_vs_live =
+        live_batch_ms > 0.0 ? warm_batch_ms / live_batch_ms : 1.0;
+    max_warm_vs_live = std::max(max_warm_vs_live, warm_vs_live);
+    total_cold_compiles += cold_stats.compiles;
+    total_second_run_compiles += second_stats.compiles;
+
+    JsonObject k;
+    k.emplace("configs", static_cast<std::uint64_t>(indices.size()));
+    k.emplace("warm_repeats", static_cast<std::uint64_t>(warm.repeats));
+    k.emplace("live_repeats", static_cast<std::uint64_t>(live_run.repeats));
+    k.emplace("cold_wall_ms", cold_wall_ms);
+    k.emplace("cold_compiles", cold_stats.compiles);
+    k.emplace("compile_ms", cold_stats.compile_ms);
+    k.emplace("warm_wall_ms", warm.wall_ms);
+    k.emplace("live_wall_ms", live_run.wall_ms);
+    k.emplace("warm_batch_ms", warm_batch_ms);
+    k.emplace("live_batch_ms", live_batch_ms);
+    k.emplace("warm_vs_live", warm_vs_live);
+    k.emplace("cold_vs_warm_speedup",
+              warm_batch_ms > 0.0 ? cold_wall_ms / warm_batch_ms : 0.0);
+    k.emplace("second_run_compiles", second_stats.compiles);
+    k.emplace("second_run_cache_hits", second_stats.artifact_cache_hits);
+    kernels_json.emplace(kernel, Json(std::move(k)));
+
+    std::printf("%-8s cold %.1fms (%llu compiles)  warm %.4fms/batch  "
+                "live %.4fms/batch  warm/live %.3f  2nd-run compiles %llu\n",
+                kernel, cold_wall_ms,
+                static_cast<unsigned long long>(cold_stats.compiles),
+                warm_batch_ms, live_batch_ms, warm_vs_live,
+                static_cast<unsigned long long>(second_stats.compiles));
+  }
+
+  JsonObject report;
+  report.emplace("benchmark", "jit_compile");
+  report.emplace("kernels", Json(std::move(kernels_json)));
+  report.emplace("max_warm_vs_live", max_warm_vs_live);
+  report.emplace("total_cold_compiles", total_cold_compiles);
+  report.emplace("total_second_run_compiles", total_second_run_compiles);
+  report.emplace("parity", parity);
+
+  std::ofstream out(options.out);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", options.out.c_str());
+    return 1;
+  }
+  out << Json(std::move(report)).dump(2) << "\n";
+  std::printf("wrote %s (max warm/live %.3f, parity %s)\n",
+              options.out.c_str(), max_warm_vs_live,
+              parity ? "true" : "false");
+  return parity ? 0 : 1;
+}

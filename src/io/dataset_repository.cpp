@@ -16,6 +16,7 @@ int getpid() { return 0; }  // serial suffix alone disambiguates in-process
 #include "core/runner.hpp"
 #include "io/dataset_file.hpp"
 #include "io/dataset_writer.hpp"
+#include "io/fsync.hpp"
 
 namespace bat::io {
 
@@ -92,17 +93,22 @@ std::shared_ptr<const core::Dataset> DatasetRepository::get(
     const auto path = archive_path(key, ".bin");
     try {
       std::filesystem::create_directories(options_.cache_dir);
-      // Write-then-rename so a killed process never leaves a partial
-      // archive under the final name, and concurrent sweeps of the
-      // same key (both deterministic, so either result is right)
-      // don't interleave writes into one file.
+      // The journal's tmp + fsync + rename discipline: a killed process
+      // never leaves a partial archive under the final name, concurrent
+      // sweeps of the same key (both deterministic, so either result is
+      // right) don't interleave writes into one file, and a crash right
+      // after the rename can tear neither the bytes (file fsynced
+      // before rename) nor the directory entry (directory fsynced
+      // after).
       static std::atomic<unsigned> temp_serial{0};
       const auto temp = path + ".tmp" +
                         std::to_string(temp_serial.fetch_add(1)) + "-" +
                         std::to_string(::getpid());
       save_dataset(temp, *swept, DatasetFormat::kBinary,
                    options_.writer_chunk_rows);
+      fsync_file(temp);
       std::filesystem::rename(temp, path);
+      fsync_parent_dir(path);
       swept->set_source(path);
       common::log_info("dataset repository: persisted ", key.first, "@",
                        key.second, " to ", path, " (", swept->size(),

@@ -1,0 +1,44 @@
+#include "io/fsync.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+namespace bat::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("BAT io: " + what + ": " + path +
+                           (errno != 0 ? std::string(" (") +
+                                             std::strerror(errno) + ")"
+                                       : std::string()));
+}
+
+}  // namespace
+
+void fsync_file(const std::string& path) {
+  errno = 0;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail(path, "cannot open for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) fail(path, "fsync failed");
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const auto dir = std::filesystem::path(path).parent_path();
+  const std::string dir_path = dir.empty() ? "." : dir.string();
+  errno = 0;
+  const int fd = ::open(dir_path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) fail(dir_path, "cannot open directory for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) fail(dir_path, "directory fsync failed");
+}
+
+}  // namespace bat::io

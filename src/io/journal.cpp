@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "io/binary_format.hpp"
+#include "io/fsync.hpp"
 
 namespace bat::io {
 
@@ -40,18 +41,9 @@ void fsync_or_throw(int fd, const std::string& path) {
   if (::fsync(fd) != 0) fail_io(path, "fsync failed");
 }
 
-/// fsync of the containing directory: without it, a freshly created or
-/// renamed file can itself vanish in a crash even though its bytes
-/// were synced.
-void fsync_parent_dir(const std::string& path) {
-  const auto dir = std::filesystem::path(path).parent_path();
-  const std::string dir_path = dir.empty() ? "." : dir.string();
-  const int fd = ::open(dir_path.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) fail_io(dir_path, "cannot open directory for fsync");
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) fail_io(dir_path, "directory fsync failed");
-}
+// Directory-entry durability comes from the shared io::fsync_parent_dir
+// (io/fsync.hpp), the same helper DatasetRepository and the JIT
+// artifact cache use for their tmp + fsync + rename publishes.
 
 std::uint32_t read_u32(const char* p) {
   std::uint32_t v;

@@ -1,0 +1,49 @@
+// The ABI between the host and a JIT-compiled kernel shared object.
+//
+// An emitted translation unit (src/kernels/jit_emitters.cpp) #includes
+// this header plus the relevant kernels/models/*_model.hpp, bakes the
+// configuration into a constexpr struct, and exports one symbol:
+//
+//   extern "C" double bat_jit_eval(const bat::gpusim::DeviceSpec* device,
+//                                  bat::jit::EstimateFn estimate);
+//
+// The host passes `estimate` — a trampoline around
+// gpusim::LaunchModel::estimate_ms — so the emitted object needs no
+// symbols from libbat: it depends only on header-only gpusim code and
+// is safe to dlopen from any process built against the same headers.
+// Both sides return kInvalidTime (< 0) for device-invalid launches;
+// constraint checking and measurement noise stay host-side.
+//
+// The ABI is only sound when host and object were compiled from the
+// same headers by the same compiler — which the artifact cache enforces
+// by keying on (emitted source, compiler id, flags) and by bumping
+// kJitAbiVersion (part of every cache key) whenever this contract or
+// the model headers change.
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "gpusim/launch_model.hpp"
+
+namespace bat::jit {
+
+/// Part of every artifact-cache key: bump when the entry-point contract,
+/// the gpusim headers, or the kernels/models headers change shape, so
+/// stale on-disk artifacts from an older build are never dispatched.
+inline constexpr int kJitAbiVersion = 1;
+
+/// The single symbol an emitted shared object exports.
+inline constexpr const char* kEntrySymbol = "bat_jit_eval";
+
+/// Sentinel for "launch impossible on this device" (maps to
+/// MeasureStatus::kInvalidDevice host-side).
+inline constexpr double kInvalidTime = -1.0;
+
+/// Host-provided wrapper around LaunchModel::estimate_ms: returns the
+/// modeled milliseconds or kInvalidTime.
+using EstimateFn = double (*)(const gpusim::DeviceSpec*,
+                              const gpusim::KernelProfile*);
+
+/// Signature of the emitted entry point.
+using EvalFn = double (*)(const gpusim::DeviceSpec*, EstimateFn);
+
+}  // namespace bat::jit

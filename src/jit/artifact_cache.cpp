@@ -1,0 +1,372 @@
+#include "jit/artifact_cache.hpp"
+
+#include <dlfcn.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "io/binary_format.hpp"
+#include "io/fsync.hpp"
+#include "jit/abi.hpp"
+
+namespace bat::jit {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kMetaMagic = "BATJIT01";
+
+std::uint64_t fnv1a64(const std::string& bytes,
+                      std::uint64_t h = 14695981039346656037ULL) {
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex(std::uint64_t v, int digits) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(static_cast<std::size_t>(digits), '0');
+  for (int i = digits - 1; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string read_file_or_empty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// RAII flock on <key>.lock: serializes build attempts across
+/// processes. Lock-file creation failure degrades to in-process-only
+/// locking rather than failing the build.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) return;
+    while (::flock(fd_, LOCK_EX) != 0) {
+      if (errno != EINTR) {
+        ::close(fd_);
+        fd_ = -1;
+        return;
+      }
+    }
+  }
+  ~FileLock() {
+    if (fd_ >= 0) ::close(fd_);  // releases the flock
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Parses "BATJIT01 <crc hex> <size>\n"; false on any malformation.
+/// The trailing newline is the completion marker: a meta torn even one
+/// byte short of it reads as corrupt, never as a shorter valid record.
+bool parse_meta(const std::string& bytes, std::uint32_t& crc,
+                std::uint64_t& size) {
+  if (bytes.empty() || bytes.back() != '\n') return false;
+  std::istringstream in(bytes);
+  std::string magic, crc_hex;
+  if (!(in >> magic >> crc_hex >> size)) return false;
+  if (magic != kMetaMagic) return false;
+  if (crc_hex.size() != 8) return false;
+  std::uint64_t v = 0;
+  for (const char c : crc_hex) {
+    int d;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  crc = static_cast<std::uint32_t>(v);
+  std::string trailing;
+  if (in >> trailing) return false;  // junk after the size field
+  return true;
+}
+
+std::string format_meta(std::uint32_t crc, std::uint64_t size) {
+  return std::string(kMetaMagic) + " " + hex(crc, 8) + " " +
+         std::to_string(size) + "\n";
+}
+
+/// Unique-enough temp suffix: pid disambiguates processes, a process-
+/// wide serial disambiguates threads.
+std::string tmp_suffix() {
+  static std::atomic<std::uint64_t> serial{0};
+  return ".tmp-" + std::to_string(::getpid()) + "-" +
+         std::to_string(serial.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- DlHandle
+
+DlHandle::DlHandle(const std::string& path) : path_(path) {
+  ::dlerror();  // clear any stale error
+  handle_ = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle_ == nullptr) {
+    const char* err = ::dlerror();
+    throw std::runtime_error("jit: dlopen failed for " + path + ": " +
+                             (err != nullptr ? err : "unknown error"));
+  }
+}
+
+DlHandle::~DlHandle() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+void* DlHandle::symbol(const char* name) const {
+  ::dlerror();
+  void* sym = ::dlsym(handle_, name);
+  if (sym == nullptr) {
+    const char* err = ::dlerror();
+    throw std::runtime_error("jit: missing symbol '" + std::string(name) +
+                             "' in " + path_ + ": " +
+                             (err != nullptr ? err : "unknown error"));
+  }
+  return sym;
+}
+
+// ------------------------------------------------------------ ArtifactCache
+
+std::string cache_key(const std::string& source, const std::string& compiler_id,
+                      const std::string& flags) {
+  std::string blob = "abi" + std::to_string(kJitAbiVersion) + "\n" +
+                     compiler_id + "\n" + flags + "\n" + source;
+  return hex(fnv1a64(blob), 16) +
+         hex(io::crc32(blob.data(), blob.size()), 8);
+}
+
+ArtifactCache::ArtifactCache(ArtifactCacheOptions options)
+    : options_(std::move(options)) {
+  if (options_.dir.empty()) {
+    throw std::invalid_argument("jit: artifact cache directory is empty");
+  }
+  options_.max_artifacts = std::max<std::size_t>(1, options_.max_artifacts);
+  fs::create_directories(options_.dir);
+}
+
+std::string ArtifactCache::so_path(const std::string& key) const {
+  return (fs::path(options_.dir) / (key + ".so")).string();
+}
+
+std::string ArtifactCache::meta_path(const std::string& key) const {
+  return (fs::path(options_.dir) / (key + ".meta")).string();
+}
+
+std::string ArtifactCache::lock_path(const std::string& key) const {
+  return (fs::path(options_.dir) / (key + ".lock")).string();
+}
+
+ArtifactCache::DiskState ArtifactCache::probe(const std::string& key) const {
+  const std::string meta_bytes = read_file_or_empty(meta_path(key));
+  if (meta_bytes.empty()) return DiskState::kMissing;
+  std::uint32_t want_crc = 0;
+  std::uint64_t want_size = 0;
+  if (!parse_meta(meta_bytes, want_crc, want_size)) return DiskState::kCorrupt;
+  const std::string so_bytes = read_file_or_empty(so_path(key));
+  if (so_bytes.empty() && want_size != 0) {
+    // No .so next to a .meta claiming one: treat as corrupt (a complete
+    // publish always renames the .so before the .meta).
+    return DiskState::kCorrupt;
+  }
+  if (so_bytes.size() != want_size) return DiskState::kCorrupt;
+  if (io::crc32(so_bytes.data(), so_bytes.size()) != want_crc) {
+    return DiskState::kCorrupt;
+  }
+  return DiskState::kIntact;
+}
+
+std::shared_ptr<DlHandle> ArtifactCache::try_load_disk(
+    const std::string& key, bool& was_corrupt) const {
+  was_corrupt = false;
+  switch (probe(key)) {
+    case DiskState::kMissing:
+      return nullptr;
+    case DiskState::kCorrupt:
+      was_corrupt = true;
+      return nullptr;
+    case DiskState::kIntact:
+      break;
+  }
+  try {
+    auto handle = std::make_shared<DlHandle>(so_path(key));
+    // Resolve the entry point eagerly: an object that verified but does
+    // not export the ABI (foreign file under our key) must rebuild, not
+    // dispatch.
+    (void)handle->symbol(kEntrySymbol);
+    return handle;
+  } catch (const std::runtime_error&) {
+    was_corrupt = true;
+    return nullptr;
+  }
+}
+
+void ArtifactCache::publish(const std::string& key,
+                            const std::string& tmp_so) const {
+  const std::string so_bytes = read_file_or_empty(tmp_so);
+  if (so_bytes.empty()) {
+    throw std::runtime_error("jit: builder produced no object at " + tmp_so);
+  }
+  const std::uint32_t crc = io::crc32(so_bytes.data(), so_bytes.size());
+  const std::string meta = format_meta(crc, so_bytes.size());
+  const std::string tmp_meta = meta_path(key) + tmp_suffix();
+  {
+    std::ofstream out(tmp_meta, std::ios::binary | std::ios::trunc);
+    out << meta;
+    if (!out.flush()) {
+      std::error_code ignored;
+      fs::remove(tmp_meta, ignored);
+      throw std::runtime_error("jit: short write to " + tmp_meta);
+    }
+  }
+  if (options_.sync_publish) {
+    io::fsync_file(tmp_so);
+    io::fsync_file(tmp_meta);
+  }
+  // .so first, .meta second: the .meta rename is the commit point, so a
+  // crash between the two leaves a .so without a .meta — invisible to
+  // readers, overwritten by the next build.
+  fs::rename(tmp_so, so_path(key));
+  fs::rename(tmp_meta, meta_path(key));
+  if (options_.sync_publish) io::fsync_parent_dir(meta_path(key));
+}
+
+std::shared_ptr<DlHandle> ArtifactCache::load_or_build(const std::string& key,
+                                                       const Builder& build) {
+  std::shared_ptr<std::mutex> key_mutex;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = handles_.find(key);
+    if (it != handles_.end()) {
+      ++stats_.handle_hits;
+      return it->second;
+    }
+    auto& slot = key_mutexes_[key];
+    if (!slot) slot = std::make_shared<std::mutex>();
+    key_mutex = slot;
+  }
+
+  std::lock_guard key_lock(*key_mutex);
+  {
+    // Another thread may have finished this key while we waited.
+    std::lock_guard lock(mutex_);
+    const auto it = handles_.find(key);
+    if (it != handles_.end()) {
+      ++stats_.handle_hits;
+      return it->second;
+    }
+  }
+
+  // Cross-process build lock; re-check disk after acquiring so a build
+  // finished by another process is loaded, not repeated.
+  FileLock process_lock(lock_path(key));
+
+  bool was_corrupt = false;
+  if (auto handle = try_load_disk(key, was_corrupt)) {
+    std::error_code ignored;
+    fs::last_write_time(meta_path(key),
+                        fs::file_time_type::clock::now(), ignored);  // LRU bump
+    std::lock_guard lock(mutex_);
+    ++stats_.disk_hits;
+    handles_[key] = handle;
+    return handle;
+  }
+
+  const std::string tmp_so = so_path(key) + tmp_suffix();
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    build(tmp_so);
+    publish(key, tmp_so);
+  } catch (...) {
+    std::error_code ignored;
+    fs::remove(tmp_so, ignored);
+    std::lock_guard lock(mutex_);
+    ++stats_.misses;
+    ++stats_.compile_failures;
+    if (was_corrupt) ++stats_.corrupt_rebuilds;
+    throw;
+  }
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  auto handle = std::make_shared<DlHandle>(so_path(key));
+  (void)handle->symbol(kEntrySymbol);
+  std::lock_guard lock(mutex_);
+  ++stats_.misses;
+  ++stats_.compiles;
+  if (was_corrupt) ++stats_.corrupt_rebuilds;
+  stats_.compile_ms += elapsed_ms;
+  handles_[key] = handle;
+  evict_lru_locked();
+  return handle;
+}
+
+void ArtifactCache::evict_lru_locked() {
+  // Bounded scan after each publish: collect (mtime, key) for every
+  // .meta in the directory, drop the oldest beyond the cap. Keys with
+  // live handles in this process are exempt (their artifact may be
+  // re-opened by a sibling process at any time).
+  std::vector<std::pair<fs::file_time_type, std::string>> entries;
+  std::error_code ec;
+  for (fs::directory_iterator it(options_.dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const fs::path& p = it->path();
+    if (p.extension() != ".meta") continue;
+    const std::string key = p.stem().string();
+    if (handles_.find(key) != handles_.end()) continue;
+    std::error_code stat_ec;
+    const auto mtime = fs::last_write_time(p, stat_ec);
+    if (stat_ec) continue;
+    entries.emplace_back(mtime, key);
+  }
+  const std::size_t live = handles_.size();
+  const std::size_t cap =
+      options_.max_artifacts > live ? options_.max_artifacts - live : 0;
+  if (entries.size() <= cap) return;
+  std::sort(entries.begin(), entries.end());
+  const std::size_t excess = entries.size() - cap;
+  for (std::size_t i = 0; i < excess; ++i) {
+    const std::string& key = entries[i].second;
+    std::error_code ignored;
+    fs::remove(so_path(key), ignored);
+    fs::remove(meta_path(key), ignored);
+    fs::remove(lock_path(key), ignored);
+    ++stats_.evictions;
+  }
+}
+
+ArtifactCacheStats ArtifactCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace bat::jit

@@ -1,0 +1,146 @@
+// Content-addressed on-disk cache of JIT-compiled shared objects, with
+// an in-memory dlopen handle cache on top.
+//
+// Keying: cache_key() hashes (ABI version, compiler id, flags, emitted
+// source) — FNV-1a 64 plus CRC-32 over the same bytes, hex-concatenated
+// — so a changed config, compiler or flag set lands on a different key,
+// and two processes emitting the same source converge on one artifact.
+//
+// Disk layout per key, in `dir`:
+//   <key>.so    the compiled object
+//   <key>.meta  "BATJIT01 <crc32(so)> <size(so)>\n" — the commit point
+//   <key>.lock  flock() target serializing cross-process builds
+//
+// The Dali discipline, hardened for concurrent *processes*:
+//   * load-or-build runs under a per-key in-process mutex plus a
+//     per-key flock, so concurrent workers and concurrent processes
+//     never double-compile;
+//   * artifacts are published tmp + (fsync) + rename, .so before .meta:
+//     a reader either sees a complete pair or no .meta, never a torn
+//     object (the .meta rename is the commit point);
+//   * the .so is verified against the .meta CRC/size before every
+//     dlopen: corruption is detected and rebuilt, never dispatched.
+//
+// Eviction is bounded LRU by .meta mtime (bumped on every disk hit);
+// artifacts whose handles are live in this process are exempt.
+//
+// Thread-safe. Compile work itself runs inside the caller-provided
+// builder — CompiledKernelBackend hands it to a dedicated compile pool
+// so a cold compile never serializes evaluation workers (the ThreadPool
+// nested-inline rule).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace bat::jit {
+
+/// RAII dlopen handle; resolves symbols, dlcloses on destruction.
+class DlHandle {
+ public:
+  /// Throws std::runtime_error with the dlerror() text on failure.
+  explicit DlHandle(const std::string& path);
+  ~DlHandle();
+  DlHandle(const DlHandle&) = delete;
+  DlHandle& operator=(const DlHandle&) = delete;
+
+  /// Resolved symbol address; throws std::runtime_error if absent.
+  [[nodiscard]] void* symbol(const char* name) const;
+
+  template <typename Fn>
+  [[nodiscard]] Fn symbol_as(const char* name) const {
+    return reinterpret_cast<Fn>(symbol(name));
+  }
+
+ private:
+  void* handle_ = nullptr;
+  std::string path_;
+};
+
+struct ArtifactCacheOptions {
+  std::string dir;  // required
+
+  /// LRU bound on on-disk artifacts; publishing past it evicts the
+  /// least-recently-used entries.
+  std::size_t max_artifacts = 256;
+
+  /// fsync artifacts and the cache directory on publish. Tests doing
+  /// thousands of corruption round-trips disable it; production keeps
+  /// the journal's durability discipline.
+  bool sync_publish = true;
+};
+
+struct ArtifactCacheStats {
+  std::uint64_t handle_hits = 0;   // served from the in-memory dlopen cache
+  std::uint64_t disk_hits = 0;     // verified + dlopened from disk
+  std::uint64_t misses = 0;        // nothing usable on disk: builder ran
+  std::uint64_t compiles = 0;      // successful builds published
+  std::uint64_t compile_failures = 0;
+  std::uint64_t corrupt_rebuilds = 0;  // on-disk artifact failed verification
+  std::uint64_t evictions = 0;
+  double compile_ms = 0.0;  // wall time spent inside builders
+};
+
+class ArtifactCache {
+ public:
+  /// What probe() found on disk for a key (verification only, no dlopen).
+  enum class DiskState { kMissing, kCorrupt, kIntact };
+
+  /// Builder contract: produce a complete shared object at the given
+  /// private temp path, or throw. Runs under the per-key locks.
+  using Builder = std::function<void(const std::string& tmp_so_path)>;
+
+  explicit ArtifactCache(ArtifactCacheOptions options);
+
+  /// Returns a live handle for `key`, from (in order) the handle cache,
+  /// a verified on-disk artifact, or a fresh build. Throws what the
+  /// builder throws (after counting the failure) and std::runtime_error
+  /// when a freshly built artifact cannot be loaded.
+  [[nodiscard]] std::shared_ptr<DlHandle> load_or_build(
+      const std::string& key, const Builder& build);
+
+  /// Verification-only inspection of the on-disk artifact (meta parse +
+  /// size + CRC). Never dlopens, never rebuilds; exposed for the fault-
+  /// injection tests and for ops tooling.
+  [[nodiscard]] DiskState probe(const std::string& key) const;
+
+  [[nodiscard]] ArtifactCacheStats stats() const;
+
+  [[nodiscard]] const std::string& dir() const noexcept {
+    return options_.dir;
+  }
+
+  [[nodiscard]] std::string so_path(const std::string& key) const;
+  [[nodiscard]] std::string meta_path(const std::string& key) const;
+
+ private:
+  [[nodiscard]] std::string lock_path(const std::string& key) const;
+
+  /// Verified load of the published artifact; nullptr when missing or
+  /// corrupt (the caller rebuilds).
+  [[nodiscard]] std::shared_ptr<DlHandle> try_load_disk(
+      const std::string& key, bool& was_corrupt) const;
+
+  void publish(const std::string& key, const std::string& tmp_so) const;
+  void evict_lru_locked();
+
+  ArtifactCacheOptions options_;
+
+  mutable std::mutex mutex_;  // handle map, key-mutex map, stats
+  std::unordered_map<std::string, std::shared_ptr<DlHandle>> handles_;
+  std::unordered_map<std::string, std::shared_ptr<std::mutex>> key_mutexes_;
+  ArtifactCacheStats stats_;
+};
+
+/// Content-addressed key over everything that determines the artifact's
+/// bytes and ABI: the ABI version, the compiler identity + flags, and
+/// the emitted source itself.
+[[nodiscard]] std::string cache_key(const std::string& source,
+                                    const std::string& compiler_id,
+                                    const std::string& flags);
+
+}  // namespace bat::jit

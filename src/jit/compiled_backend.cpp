@@ -1,0 +1,197 @@
+#include "jit/compiled_backend.hpp"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/log.hpp"
+#include "gpusim/noise.hpp"
+#include "kernels/jit_emitters.hpp"
+
+namespace bat::jit {
+
+namespace {
+
+/// The EstimateFn handed to every emitted object: wraps the host's
+/// LaunchModel so the object needs no libbat symbols.
+double estimate_trampoline(const gpusim::DeviceSpec* device,
+                           const gpusim::KernelProfile* profile) {
+  const auto t = gpusim::LaunchModel::estimate_ms(*device, *profile);
+  return t ? *t : kInvalidTime;
+}
+
+}  // namespace
+
+std::string default_artifact_dir() {
+  return (std::filesystem::temp_directory_path() /
+          ("bat-jit-cache-" + std::to_string(::getuid())))
+      .string();
+}
+
+CompiledKernelBackend::CompiledKernelBackend(
+    const kernels::KernelBenchmark& benchmark, core::DeviceIndex device,
+    CompiledBackendOptions options)
+    : benchmark_(&benchmark),
+      device_(device),
+      options_(std::move(options)),
+      name_("jit:" + benchmark.name() + "@" + benchmark.device_name(device)),
+      compiler_(CompilerOptions{"", "", options_.extra_compiler_flags}),
+      fallback_(benchmark, device, options_.parallel_threshold),
+      compile_pool_(std::max<std::size_t>(1, options_.compile_threads)) {
+  BAT_EXPECTS(device < benchmark.device_count());
+  if (!kernels::jit_emitter_available(benchmark.name())) {
+    throw std::invalid_argument(
+        "jit backend: no emitter for kernel '" + benchmark.name() +
+        "' (supported: gemm, hotspot, pnpoly); use --backend live");
+  }
+  device_spec_ = &gpusim::paper_devices()[device];
+  device_noise_id_ = gpusim::stable_name_hash(device_spec_->name);
+  ArtifactCacheOptions cache_options;
+  cache_options.dir = options_.artifact_dir.empty() ? default_artifact_dir()
+                                                    : options_.artifact_dir;
+  cache_options.max_artifacts = options_.max_artifacts;
+  cache_ = std::make_unique<ArtifactCache>(std::move(cache_options));
+}
+
+std::shared_ptr<DlHandle> CompiledKernelBackend::artifact_for(
+    const std::string& key, const std::string& source) {
+  {
+    std::lock_guard lock(mutex_);
+    if (failed_keys_.find(key) != failed_keys_.end()) return nullptr;
+  }
+  try {
+    return cache_->load_or_build(key, [&](const std::string& tmp_so) {
+      // Async handoff to the dedicated pool: the global pool runs
+      // nested submissions inline, so compiling on the calling thread
+      // (often a global-pool worker) would serialize its whole batch
+      // behind one cold compile.
+      std::promise<void> done;
+      auto finished = done.get_future();
+      compile_pool_.submit([&] {
+        {
+          std::lock_guard lock(mutex_);
+          last_compile_thread_ = std::this_thread::get_id();
+        }
+        try {
+          compiler_.compile(source, tmp_so);
+          done.set_value();
+        } catch (...) {
+          done.set_exception(std::current_exception());
+        }
+      });
+      finished.get();
+    });
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard lock(mutex_);
+      failed_keys_.insert(key);
+    }
+    common::log_warn(name_, ": falling back to live evaluation for key ", key,
+                     ": ", e.what());
+    return nullptr;
+  }
+}
+
+core::Measurement CompiledKernelBackend::evaluate_one(core::ConfigIndex index,
+                                                      core::Config& scratch,
+                                                      EvalFn fn,
+                                                      bool resolved) {
+  benchmark_->space().compiled().decode_into(index, scratch);
+  if (!benchmark_->space().is_valid(scratch)) {
+    return core::Measurement::invalid(core::MeasureStatus::kInvalidConstraint);
+  }
+  if (!resolved) {
+    const std::string source =
+        kernels::emit_jit_source(benchmark_->name(), scratch);
+    const std::string key =
+        cache_key(source, compiler_.id(), compiler_.flags());
+    if (const auto handle = artifact_for(key, source)) {
+      fn = handle->symbol_as<EvalFn>(kEntrySymbol);
+    }
+    std::unique_lock lock(fn_mutex_);
+    fn_cache_[index] = fn;  // nullptr: this index permanently falls back
+  }
+  if (fn == nullptr) {
+    // Counted, never fatal: the internal LiveBackend computes the exact
+    // same measurement the object would have.
+    fallback_evals_.fetch_add(1, std::memory_order_relaxed);
+    return fallback_.evaluate(index);
+  }
+
+  const double time_ms = fn(device_spec_, &estimate_trampoline);
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  if (time_ms < 0.0) {
+    return core::Measurement::invalid(core::MeasureStatus::kInvalidDevice);
+  }
+  // Host-side noise, the exact KernelBenchmark::evaluate recipe (the
+  // decode/index round-trip is the identity, so `index` is the same
+  // ordinal evaluate() derives from the config).
+  const double noisy =
+      time_ms * gpusim::noise_factor(benchmark_->kernel_noise_id(), index,
+                                     device_noise_id_,
+                                     benchmark_->noise_amplitude());
+  return core::Measurement::valid(noisy);
+}
+
+std::vector<core::Measurement> CompiledKernelBackend::evaluate_batch(
+    std::span<const core::ConfigIndex> indices) {
+  std::vector<core::Measurement> results(indices.size());
+  // One shared-lock pass resolves the whole batch's entry points. Warm
+  // batches then dispatch without touching fn_mutex_ again — the
+  // per-eval lock would otherwise rival the launch-model math itself
+  // for the cheaper kernels.
+  std::vector<EvalFn> fns(indices.size(), nullptr);
+  std::vector<std::uint8_t> resolved(indices.size(), 0);
+  {
+    std::shared_lock lock(fn_mutex_);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const auto it = fn_cache_.find(indices[i]);
+      if (it != fn_cache_.end()) {
+        fns[i] = it->second;
+        resolved[i] = 1;
+      }
+    }
+  }
+  if (indices.size() < std::max<std::size_t>(options_.parallel_threshold, 2)) {
+    core::Config scratch;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      results[i] = evaluate_one(indices[i], scratch, fns[i], resolved[i] != 0);
+    }
+    return results;
+  }
+  common::parallel_for_chunked(
+      0, indices.size(), [&](std::size_t lo, std::size_t hi, std::size_t) {
+        core::Config scratch;
+        for (std::size_t i = lo; i < hi; ++i) {
+          results[i] =
+              evaluate_one(indices[i], scratch, fns[i], resolved[i] != 0);
+        }
+      });
+  return results;
+}
+
+BackendStats CompiledKernelBackend::stats() const {
+  const ArtifactCacheStats cache = cache_->stats();
+  BackendStats out;
+  out.compiles = cache.compiles;
+  out.compile_failures = cache.compile_failures;
+  out.artifact_cache_hits = cache.handle_hits + cache.disk_hits;
+  out.artifact_cache_misses = cache.misses;
+  out.corrupt_rebuilds = cache.corrupt_rebuilds;
+  out.evictions = cache.evictions;
+  out.compile_ms = cache.compile_ms;
+  out.evaluations = evaluations_.load(std::memory_order_relaxed);
+  out.fallback_evals = fallback_evals_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::thread::id CompiledKernelBackend::last_compile_thread() const {
+  std::lock_guard lock(mutex_);
+  return last_compile_thread_;
+}
+
+}  // namespace bat::jit

@@ -1,0 +1,156 @@
+// CompiledKernelBackend: live evaluation through JIT-compiled,
+// per-configuration shared objects.
+//
+// For each requested ConfigIndex the backend emits specialized C++
+// source (kernels/jit_emitters.hpp — config values baked as constants),
+// resolves it through the content-addressed ArtifactCache (load, or
+// compile on the dedicated compile pool), dlopens the object and calls
+// its single entry point. Constraint checking and measurement noise are
+// applied host-side with the exact KernelBenchmark::evaluate recipe, so
+// results are bit-identical to LiveBackend — tuners, the service, and
+// replay parity tests cannot tell the backends apart except through the
+// new compile-cost counters.
+//
+// Failure policy: a compile or load failure is counted and the
+// configuration is evaluated through an internal LiveBackend instead —
+// never fatal, and failed keys are memoized so a broken toolchain
+// degrades to live evaluation after one attempt per configuration.
+//
+// Concurrency: evaluate_batch mirrors LiveBackend (parallel above a
+// threshold via the global pool). Compiles always run on a small
+// dedicated pool — the global pool runs nested submissions inline, so
+// compiling there would serialize a whole batch behind one cold
+// compile (and deadlock-prone blocking of pool workers on pool work).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/thread_pool.hpp"
+#include "core/backend.hpp"
+#include "jit/abi.hpp"
+#include "jit/artifact_cache.hpp"
+#include "jit/compiler.hpp"
+#include "kernels/kernel_benchmark.hpp"
+
+namespace bat::jit {
+
+struct CompiledBackendOptions {
+  /// Artifact cache directory; empty uses a shared per-user directory
+  /// under the system temp root.
+  std::string artifact_dir;
+
+  /// LRU bound on on-disk artifacts (ArtifactCacheOptions).
+  std::size_t max_artifacts = 256;
+
+  /// Threads in the dedicated compile pool.
+  std::size_t compile_threads = 2;
+
+  /// Batches at least this large fan out over the global pool, exactly
+  /// like LiveBackend.
+  std::size_t parallel_threshold = 8;
+
+  /// Appended to the compiler flag set (tests inject a bad flag to
+  /// exercise the fallback path).
+  std::string extra_compiler_flags;
+};
+
+/// Aggregated backend counters (the service sums these across
+/// workloads for /v1/stats; `backends` is filled by that aggregation).
+struct BackendStats {
+  std::uint64_t evaluations = 0;      // configs dispatched through a .so
+  std::uint64_t fallback_evals = 0;   // configs served by LiveBackend
+  std::uint64_t compiles = 0;
+  std::uint64_t compile_failures = 0;
+  std::uint64_t artifact_cache_hits = 0;    // handle + verified disk hits
+  std::uint64_t artifact_cache_misses = 0;  // builder had to run
+  std::uint64_t corrupt_rebuilds = 0;
+  std::uint64_t evictions = 0;
+  double compile_ms = 0.0;
+  std::uint64_t backends = 0;  // workloads aggregated (service-level)
+};
+
+class CompiledKernelBackend final : public core::EvaluationBackend {
+ public:
+  /// Throws std::invalid_argument when `benchmark`'s kernel has no JIT
+  /// emitter (the service surfaces that as a failed session, not a
+  /// crash).
+  CompiledKernelBackend(const kernels::KernelBenchmark& benchmark,
+                        core::DeviceIndex device,
+                        CompiledBackendOptions options = {});
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const core::SearchSpace& space() const override {
+    return benchmark_->space();
+  }
+  [[nodiscard]] std::vector<core::Measurement> evaluate_batch(
+      std::span<const core::ConfigIndex> indices) override;
+
+  [[nodiscard]] BackendStats stats() const;
+
+  [[nodiscard]] const ArtifactCache& artifact_cache() const noexcept {
+    return *cache_;
+  }
+
+  /// Thread that executed the most recent compile; exposed for the
+  /// regression test pinning compiles to the dedicated pool.
+  [[nodiscard]] std::thread::id last_compile_thread() const;
+
+ private:
+  /// `fn`/`resolved` carry the batch-level fn-cache lookup (one shared
+  /// lock per batch, not per evaluation); resolved==false takes the
+  /// cold path: emit, load-or-build, memoize.
+  [[nodiscard]] core::Measurement evaluate_one(core::ConfigIndex index,
+                                               core::Config& scratch,
+                                               EvalFn fn, bool resolved);
+
+  /// Resolves the artifact for one emitted source, dispatching any
+  /// compile to the dedicated pool; nullptr after a counted failure
+  /// (caller falls back to live evaluation).
+  [[nodiscard]] std::shared_ptr<DlHandle> artifact_for(
+      const std::string& key, const std::string& source);
+
+  const kernels::KernelBenchmark* benchmark_;
+  core::DeviceIndex device_;
+  const gpusim::DeviceSpec* device_spec_;
+  std::uint64_t device_noise_id_;
+  CompiledBackendOptions options_;
+  std::string name_;
+
+  Compiler compiler_;
+  std::unique_ptr<ArtifactCache> cache_;
+  core::LiveBackend fallback_;
+
+  /// Resolved entry points per config ordinal — the warm fast path.
+  /// Emitting + hashing the source costs microseconds, which would
+  /// dominate a warm dispatch; after the first evaluation of an index
+  /// this map goes straight to the function pointer (nullptr marks an
+  /// index whose compile failed: permanent live fallback). Pointers
+  /// stay valid for the backend's lifetime because the ArtifactCache
+  /// pins every dlopen handle it ever returned.
+  mutable std::shared_mutex fn_mutex_;
+  std::unordered_map<core::ConfigIndex, EvalFn> fn_cache_;
+
+  mutable std::mutex mutex_;  // failed keys, last compile thread
+  std::unordered_set<std::string> failed_keys_;
+  std::atomic<std::uint64_t> fallback_evals_{0};
+  std::atomic<std::uint64_t> evaluations_{0};
+  std::thread::id last_compile_thread_;
+
+  // Last member: destroyed first, so queued compile tasks drain while
+  // the cache and compiler they reference are still alive.
+  common::ThreadPool compile_pool_;
+};
+
+/// The default shared artifact directory (under the system temp root,
+/// namespaced per uid so multi-user hosts do not collide).
+[[nodiscard]] std::string default_artifact_dir();
+
+}  // namespace bat::jit

@@ -1,0 +1,110 @@
+#include "jit/compiler.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+// Injected by CMake: the compiler building this tree and its src/ root,
+// so emitted objects share headers and toolchain with the host by
+// default. The fallbacks keep non-CMake builds compiling.
+#ifndef BAT_JIT_DEFAULT_CXX
+#define BAT_JIT_DEFAULT_CXX "c++"
+#endif
+#ifndef BAT_JIT_DEFAULT_INCLUDE_DIR
+#define BAT_JIT_DEFAULT_INCLUDE_DIR "src"
+#endif
+
+namespace bat::jit {
+
+namespace {
+
+/// POSIX-shell single-quote escaping for paths/flags we interpolate into
+/// the compiler command line.
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+std::string first_version_line(const std::string& cxx) {
+  const std::string cmd = shell_quote(cxx) + " --version 2>/dev/null";
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return cxx;
+  char buf[256];
+  std::string line;
+  if (std::fgets(buf, sizeof buf, pipe) != nullptr) line = buf;
+  ::pclose(pipe);
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.pop_back();
+  }
+  return line.empty() ? cxx : line;
+}
+
+std::string read_file_or_empty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+Compiler::Compiler(CompilerOptions options) : options_(std::move(options)) {
+  if (options_.cxx.empty()) options_.cxx = BAT_JIT_DEFAULT_CXX;
+  if (options_.include_dir.empty()) {
+    options_.include_dir = BAT_JIT_DEFAULT_INCLUDE_DIR;
+  }
+  // -ffp-contract=off pins FP semantics: the host library is built for
+  // baseline x86-64 (no FMA contraction), and emitted objects must
+  // compute the identical doubles regardless of optimization level.
+  flags_ = "-std=c++20 -O2 -fPIC -shared -ffp-contract=off";
+  if (!options_.extra_flags.empty()) flags_ += " " + options_.extra_flags;
+  id_ = first_version_line(options_.cxx);
+}
+
+void Compiler::compile(const std::string& source,
+                       const std::string& so_path) const {
+  const std::string src_path = so_path + ".cpp";
+  const std::string err_path = so_path + ".err";
+  {
+    std::ofstream out(src_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("jit: cannot write source file " + src_path);
+    }
+    out << source;
+    if (!out.flush()) {
+      throw std::runtime_error("jit: short write to " + src_path);
+    }
+  }
+  const std::string cmd = shell_quote(options_.cxx) + " " + flags_ + " -I" +
+                          shell_quote(options_.include_dir) + " " +
+                          shell_quote(src_path) + " -o " +
+                          shell_quote(so_path) + " 2> " +
+                          shell_quote(err_path);
+  const int rc = std::system(cmd.c_str());
+  std::error_code ignored;
+  std::filesystem::remove(src_path, ignored);
+  if (rc != 0) {
+    std::string diag = read_file_or_empty(err_path);
+    if (diag.size() > 2048) diag.resize(2048);  // first errors suffice
+    std::filesystem::remove(err_path, ignored);
+    std::filesystem::remove(so_path, ignored);
+    throw std::runtime_error("jit: compile failed (exit " +
+                             std::to_string(rc) + "): " + options_.cxx +
+                             (diag.empty() ? "" : "\n" + diag));
+  }
+  std::filesystem::remove(err_path, ignored);
+}
+
+}  // namespace bat::jit

@@ -1,0 +1,51 @@
+// System-compiler invocation for the JIT backend: C++ source in, shared
+// object out. Deliberately dumb — one subprocess per compile, stderr
+// captured for diagnostics — because the artifact cache above it makes
+// compiles rare, and the dedicated compile pool in CompiledKernelBackend
+// keeps them off the evaluation workers.
+#pragma once
+
+#include <string>
+
+namespace bat::jit {
+
+struct CompilerOptions {
+  /// C++ compiler binary. Defaults to the compiler this build used
+  /// (BAT_JIT_DEFAULT_CXX, injected by CMake), falling back to c++.
+  std::string cxx;
+
+  /// Include root for jit/abi.hpp and the model headers; defaults to the
+  /// source tree's src/ directory (BAT_JIT_DEFAULT_INCLUDE_DIR).
+  std::string include_dir;
+
+  /// Extra flags appended to the baseline set (tests inject invalid
+  /// flags here to exercise the compile-failure fallback).
+  std::string extra_flags;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(CompilerOptions options = {});
+
+  /// The flag string every compile uses (baseline + extra_flags).
+  /// Part of the artifact cache key.
+  [[nodiscard]] const std::string& flags() const noexcept { return flags_; }
+
+  /// Identity of the compiler binary (first line of `cxx --version`,
+  /// resolved once). Part of the artifact cache key: artifacts from a
+  /// different compiler never collide.
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+
+  /// Compiles `source` into a shared object at `so_path` (written in
+  /// place — callers pass a private temp path and publish via rename).
+  /// Throws std::runtime_error carrying the compiler's stderr on
+  /// failure.
+  void compile(const std::string& source, const std::string& so_path) const;
+
+ private:
+  CompilerOptions options_;
+  std::string flags_;
+  std::string id_;
+};
+
+}  // namespace bat::jit

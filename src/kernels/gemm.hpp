@@ -12,6 +12,7 @@
 #pragma once
 
 #include "kernels/kernel_benchmark.hpp"
+#include "kernels/models/gemm_model.hpp"
 
 namespace bat::kernels {
 
@@ -21,10 +22,10 @@ struct GemmParams {
 
 class GemmBenchmark final : public KernelBenchmark {
  public:
-  static constexpr int kM = 4096;
-  static constexpr int kN = 4096;
-  static constexpr int kK = 4096;
-  static constexpr int kKwg = 32;  // k-loop blocking factor (fixed)
+  static constexpr int kM = models::kGemmM;
+  static constexpr int kN = models::kGemmN;
+  static constexpr int kK = models::kGemmK;
+  static constexpr int kKwg = models::kGemmKwg;  // k-loop blocking (fixed)
 
   GemmBenchmark();
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "kernels/kernel_benchmark.hpp"
+#include "kernels/models/hotspot_model.hpp"
 
 namespace bat::kernels {
 
@@ -24,8 +25,8 @@ struct HotspotParams {
 
 class HotspotBenchmark final : public KernelBenchmark {
  public:
-  static constexpr int kGrid = 4096;    // simulation grid (kGrid x kGrid)
-  static constexpr int kSteps = 60;     // time steps per measurement
+  static constexpr int kGrid = models::kHotspotGrid;   // grid side length
+  static constexpr int kSteps = models::kHotspotSteps; // steps per measurement
   static constexpr double kOpsPerCell = 25.0;
 
   HotspotBenchmark();

@@ -1,0 +1,27 @@
+// Per-kernel C++ source emitters for the JIT backend (src/jit/).
+//
+// emit_jit_source lowers a (kernel, decoded config) to a complete,
+// self-contained translation unit: the configuration values are baked
+// into a constexpr struct and the shared analytical model header
+// (kernels/models/*_model.hpp) is instantiated over it, so the emitted
+// object computes bit-for-bit the same profile as the host path. See
+// jit/abi.hpp for the entry-point contract.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+
+namespace bat::kernels {
+
+/// True when `kernel` has a JIT emitter (currently gemm, hotspot,
+/// pnpoly).
+[[nodiscard]] bool jit_emitter_available(const std::string& kernel);
+
+/// Emits the specialized translation unit for one configuration.
+/// `config` must be a decoded config of `kernel`'s search space.
+/// Throws std::invalid_argument for kernels without an emitter.
+[[nodiscard]] std::string emit_jit_source(const std::string& kernel,
+                                          const core::Config& config);
+
+}  // namespace bat::kernels

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "kernels/kernel_benchmark.hpp"
+#include "kernels/models/pnpoly_model.hpp"
 
 namespace bat::kernels {
 
@@ -22,8 +23,8 @@ struct PnpolyParams {
 
 class PnpolyBenchmark final : public KernelBenchmark {
  public:
-  static constexpr int kPoints = 20'000'000;
-  static constexpr int kVertices = 600;
+  static constexpr int kPoints = models::kPnpolyPoints;
+  static constexpr int kVertices = models::kPnpolyVertices;
 
   PnpolyBenchmark();
 

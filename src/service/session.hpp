@@ -22,9 +22,10 @@
 namespace bat::service {
 
 /// One tuning workload unit. `backend` selects how the service
-/// evaluates: "live" (gpusim model) or "replay" (a registered or
+/// evaluates: "live" (gpusim model), "replay" (a registered or
 /// service-swept tabular dataset; requires an exhaustively enumerable
-/// space or a registered dataset).
+/// space or a registered dataset) or "jit" (per-config compiled shared
+/// objects, results bit-identical to "live"; gemm/hotspot/pnpoly only).
 struct SessionSpec {
   std::string kernel = "gemm";
   std::string tuner = "local";
@@ -32,6 +33,20 @@ struct SessionSpec {
   std::size_t budget = 150;
   std::uint64_t seed = 42;
   std::string backend = "live";
+};
+
+/// Compile-cost telemetry for "jit" sessions (all zero otherwise):
+/// deltas of the shared workload backend's counters across this
+/// session's execution. Concurrent sessions on the same workload share
+/// the artifact cache, so a delta attributes whatever happened while
+/// this session ran — compile amortization is the point, not perfect
+/// attribution.
+struct JitSessionCost {
+  double compile_ms = 0.0;
+  std::uint64_t compiles = 0;
+  std::uint64_t artifact_cache_hits = 0;
+  std::uint64_t artifact_cache_misses = 0;
+  std::uint64_t fallback_evals = 0;
 };
 
 enum class SessionStatus {
@@ -55,6 +70,7 @@ struct SessionResult {
   std::string error;      // what() when status == kFailed
   tuners::TuningRun run;  // trace/best; partial when cancelled
   double wall_ms = 0.0;   // execution wall clock (excludes queue wait)
+  JitSessionCost jit;     // compile-cost dimension ("jit" backend only)
 };
 
 }  // namespace bat::service

@@ -153,6 +153,15 @@ std::string SessionLog::encode_result(std::uint64_t id,
     put_u64(out, entry.index);
     put_f64(out, entry.objective);
   }
+  // Compile-cost dimension (all zero for non-jit sessions). Appended
+  // after the trace so the trace-count plausibility bound keeps
+  // holding; the strict expect_done() on decode makes the extension a
+  // clean break, not a silent reinterpretation, for older journals.
+  put_f64(out, result.jit.compile_ms);
+  put_u64(out, result.jit.compiles);
+  put_u64(out, result.jit.artifact_cache_hits);
+  put_u64(out, result.jit.artifact_cache_misses);
+  put_u64(out, result.jit.fallback_evals);
   return out;
 }
 
@@ -177,6 +186,11 @@ std::pair<std::uint64_t, SessionResult> SessionLog::decode_result(
     entry.objective = in.f64();
     result.run.trace.push_back(entry);
   }
+  result.jit.compile_ms = in.f64();
+  result.jit.compiles = in.u64();
+  result.jit.artifact_cache_hits = in.u64();
+  result.jit.artifact_cache_misses = in.u64();
+  result.jit.fallback_evals = in.u64();
   in.expect_done();
   result.run.best = core::trace_best(result.run.trace);
   result.run.best_so_far = core::trace_best_so_far(result.run.trace);

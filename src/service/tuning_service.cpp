@@ -247,6 +247,29 @@ ShardedMeasurementCache::Stats TuningService::cache_stats() const {
   return total;
 }
 
+jit::BackendStats TuningService::jit_stats() const {
+  // Workloads are never removed, so the jit pointers stay valid; the
+  // mutex only guards against racing a concurrent first-session
+  // publish of slot->workload.
+  jit::BackendStats total;
+  std::lock_guard lock(mutex_);
+  for (const auto& [key, slot] : workloads_) {
+    if (!slot->workload || slot->workload->jit == nullptr) continue;
+    const auto s = slot->workload->jit->stats();
+    total.evaluations += s.evaluations;
+    total.fallback_evals += s.fallback_evals;
+    total.compiles += s.compiles;
+    total.compile_failures += s.compile_failures;
+    total.artifact_cache_hits += s.artifact_cache_hits;
+    total.artifact_cache_misses += s.artifact_cache_misses;
+    total.corrupt_rebuilds += s.corrupt_rebuilds;
+    total.evictions += s.evictions;
+    total.compile_ms += s.compile_ms;
+    ++total.backends;
+  }
+  return total;
+}
+
 std::size_t TuningService::sessions_submitted() const {
   std::lock_guard lock(mutex_);
   return submitted_;
@@ -270,8 +293,21 @@ SessionResult TuningService::run_session(const SessionSpec& spec) {
       core::EvaluationHooks hooks;
       if (options_.share_cache) hooks.shared_cache = workload.shared.get();
       hooks.cancel = &cancel_;
+      jit::BackendStats jit_before;
+      if (workload.jit != nullptr) jit_before = workload.jit->stats();
       result.run = tuners::run_tuner(*tuner, *workload.backend, spec.budget,
                                      spec.seed, hooks);
+      if (workload.jit != nullptr) {
+        const auto jit_after = workload.jit->stats();
+        result.jit.compile_ms = jit_after.compile_ms - jit_before.compile_ms;
+        result.jit.compiles = jit_after.compiles - jit_before.compiles;
+        result.jit.artifact_cache_hits =
+            jit_after.artifact_cache_hits - jit_before.artifact_cache_hits;
+        result.jit.artifact_cache_misses =
+            jit_after.artifact_cache_misses - jit_before.artifact_cache_misses;
+        result.jit.fallback_evals =
+            jit_after.fallback_evals - jit_before.fallback_evals;
+      }
       // run.cancelled records whether the token actually aborted an
       // evaluation — a session that converged below budget in the same
       // instant shutdown() flipped the token still counts as completed.
@@ -290,7 +326,8 @@ SessionResult TuningService::run_session(const SessionSpec& spec) {
 }
 
 TuningService::Workload& TuningService::workload_for(const SessionSpec& spec) {
-  if (spec.backend != "live" && spec.backend != "replay") {
+  if (spec.backend != "live" && spec.backend != "replay" &&
+      spec.backend != "jit") {
     throw std::invalid_argument("unknown session backend: " + spec.backend);
   }
   std::shared_ptr<WorkloadSlot> slot;
@@ -353,6 +390,20 @@ void TuningService::build_workload(const SessionSpec& spec,
           workload->benchmark->space(), *dataset);
       workload->dataset = std::move(dataset);
     }
+  } else if (spec.backend == "jit") {
+    const auto* kernel_bench =
+        dynamic_cast<const kernels::KernelBenchmark*>(workload->benchmark.get());
+    if (kernel_bench == nullptr) {
+      throw std::invalid_argument(spec.kernel +
+                                  ": jit sessions need a kernel benchmark");
+    }
+    jit::CompiledBackendOptions jit_options;
+    jit_options.artifact_dir = options_.artifact_dir;
+    jit_options.max_artifacts = options_.artifact_max_entries;
+    auto jit_backend = std::make_unique<jit::CompiledKernelBackend>(
+        *kernel_bench, spec.device, std::move(jit_options));
+    workload->jit = jit_backend.get();
+    workload->backend = std::move(jit_backend);
   } else {
     workload->backend =
         std::make_unique<core::LiveBackend>(*workload->benchmark, spec.device);

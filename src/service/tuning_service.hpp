@@ -59,6 +59,7 @@
 #include "core/dataset.hpp"
 #include "io/dataset_repository.hpp"
 #include "io/dataset_view.hpp"
+#include "jit/compiled_backend.hpp"
 #include "service/session.hpp"
 #include "service/session_log.hpp"
 #include "service/sharded_cache.hpp"
@@ -102,6 +103,12 @@ struct ServiceOptions {
   std::size_t journal_retain_completed = 1024;
   /// Journal size that triggers a compacting checkpoint + truncate.
   std::uint64_t journal_checkpoint_bytes = 256 * 1024;
+  /// Artifact cache directory for "jit" workloads. "" uses the shared
+  /// per-user directory under the system temp root, which is what makes
+  /// compiles amortize across service restarts and across processes.
+  std::string artifact_dir;
+  /// LRU bound on on-disk jit artifacts per workload cache.
+  std::size_t artifact_max_entries = 256;
 };
 
 class TuningService {
@@ -179,6 +186,11 @@ class TuningService {
   /// stats().cross_session_hits() > 0 is the service's raison d'être.
   [[nodiscard]] ShardedMeasurementCache::Stats cache_stats() const;
 
+  /// JIT compile/artifact-cache counters aggregated over every "jit"
+  /// workload built so far (`backends` = number aggregated). All-zero
+  /// when no jit session ever ran.
+  [[nodiscard]] jit::BackendStats jit_stats() const;
+
   [[nodiscard]] std::size_t workers() const noexcept { return pool_.size(); }
   [[nodiscard]] std::size_t sessions_submitted() const;
   [[nodiscard]] std::size_t sessions_active() const;
@@ -193,6 +205,9 @@ class TuningService {
     std::shared_ptr<const core::Dataset> dataset;
     std::shared_ptr<const io::DatasetView> view;
     std::unique_ptr<core::EvaluationBackend> backend;
+    /// Non-owning view of `backend` when it is a CompiledKernelBackend
+    /// ("jit" workloads): where the compile-cost counters come from.
+    jit::CompiledKernelBackend* jit = nullptr;
     std::shared_ptr<ShardedMeasurementCache> cache;
     /// What sessions actually share through: the cache above when
     /// single-node, the cluster's DistributedMeasurementCache (whose

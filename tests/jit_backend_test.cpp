@@ -1,0 +1,305 @@
+// CompiledKernelBackend contract tests: emitted-object parity with
+// LiveBackend across every kernel that has an emitter, warm-cache reuse
+// across backend instances, the dedicated-compile-pool regression
+// (satellite of the ThreadPool nested-inline rule), and the counted
+// compile-failure fallback. Compiles invoke the real system compiler,
+// so each test keeps its cold-config count small.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/backend.hpp"
+#include "jit/artifact_cache.hpp"
+#include "jit/compiled_backend.hpp"
+#include "core/trace.hpp"
+#include "kernels/all_kernels.hpp"
+#include "kernels/jit_emitters.hpp"
+#include "kernels/kernel_benchmark.hpp"
+#include "service/session_log.hpp"
+#include "service/tuning_service.hpp"
+
+namespace bat::jit {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const auto dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);  // TempDir() persists across test-binary runs
+  return dir.string();
+}
+
+const kernels::KernelBenchmark& as_kernel(const core::Benchmark& bench) {
+  return dynamic_cast<const kernels::KernelBenchmark&>(bench);
+}
+
+std::vector<core::ConfigIndex> sample_valid(const core::Benchmark& bench,
+                                            std::size_t n,
+                                            std::uint64_t seed) {
+  common::Rng rng(seed);
+  const auto& params = bench.space().params();
+  std::vector<core::ConfigIndex> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(
+        params.index_of_config(bench.space().random_valid_config(rng)));
+  }
+  return out;
+}
+
+/// First index whose config is constraint-valid but device-invalid on
+/// device 0 (model returns nullopt), found through the live path.
+std::optional<core::ConfigIndex> find_device_invalid(
+    const core::Benchmark& bench) {
+  const auto& params = bench.space().params();
+  const auto limit =
+      std::min<core::ConfigIndex>(params.cardinality(), 200'000);
+  core::Config scratch;
+  for (core::ConfigIndex i = 0; i < limit; ++i) {
+    bench.space().compiled().decode_into(i, scratch);
+    if (!bench.space().is_valid(scratch)) continue;
+    if (bench.evaluate(scratch, 0).status ==
+        core::MeasureStatus::kInvalidDevice) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(JitBackend, ParityWithLiveAcrossAllEmittedKernels) {
+  for (const char* kernel : {"gemm", "hotspot", "pnpoly"}) {
+    SCOPED_TRACE(kernel);
+    const auto bench = kernels::make(kernel);
+    CompiledBackendOptions options;
+    options.artifact_dir = fresh_dir(std::string("jit_parity_") + kernel);
+    CompiledKernelBackend jit(as_kernel(*bench), 0, options);
+    core::LiveBackend live(*bench, 0);
+
+    auto indices = sample_valid(*bench, 3, 7);
+    // An always-invalid constraint case rides along when one exists in
+    // the first few ordinals (index 0 is invalid for all three spaces).
+    indices.push_back(0);
+
+    const auto from_jit = jit.evaluate_batch(indices);
+    const auto from_live = live.evaluate_batch(indices);
+    ASSERT_EQ(from_jit.size(), from_live.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      SCOPED_TRACE(indices[i]);
+      EXPECT_EQ(from_jit[i].status, from_live[i].status);
+      EXPECT_DOUBLE_EQ(from_jit[i].objective(), from_live[i].objective());
+    }
+
+    const auto stats = jit.stats();
+    EXPECT_GT(stats.compiles, 0u);
+    EXPECT_EQ(stats.compile_failures, 0u);
+    EXPECT_EQ(stats.fallback_evals, 0u);
+  }
+}
+
+TEST(JitBackend, DeviceInvalidConfigMatchesLiveStatus) {
+  const auto bench = kernels::make("hotspot");
+  const auto index = find_device_invalid(*bench);
+  ASSERT_TRUE(index.has_value()) << "hotspot space lost its device-invalid "
+                                    "configs; pick another kernel";
+  CompiledBackendOptions options;
+  options.artifact_dir = fresh_dir("jit_device_invalid");
+  CompiledKernelBackend jit(as_kernel(*bench), 0, options);
+  const auto m = jit.evaluate(*index);
+  EXPECT_EQ(m.status, core::MeasureStatus::kInvalidDevice);
+  EXPECT_EQ(jit.stats().fallback_evals, 0u);
+}
+
+TEST(JitBackend, SecondInstanceWarmLoadsFromDiskWithoutRecompiling) {
+  const auto bench = kernels::make("pnpoly");
+  const auto dir = fresh_dir("jit_warm_reuse");
+  const auto indices = sample_valid(*bench, 2, 11);
+
+  CompiledBackendOptions options;
+  options.artifact_dir = dir;
+  std::vector<core::Measurement> cold;
+  {
+    CompiledKernelBackend first(as_kernel(*bench), 0, options);
+    cold = first.evaluate_batch(indices);
+    EXPECT_GT(first.stats().compiles, 0u);
+  }
+  // A new instance models a fresh worker process sharing the cache dir:
+  // everything must come off disk, nothing recompiles.
+  CompiledKernelBackend second(as_kernel(*bench), 0, options);
+  const auto warm = second.evaluate_batch(indices);
+  const auto stats = second.stats();
+  EXPECT_EQ(stats.compiles, 0u);
+  EXPECT_EQ(stats.artifact_cache_misses, 0u);
+  EXPECT_GT(stats.artifact_cache_hits, 0u);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_DOUBLE_EQ(warm[i].objective(), cold[i].objective());
+  }
+}
+
+// Satellite regression: a compile submitted from a pool worker must not
+// run inline on that worker (the global pool executes nested
+// submissions inline, which would serialize the whole batch behind one
+// cold compile). The structural assert — the compile thread is neither
+// the caller nor any global-pool worker — holds on any machine,
+// unlike a timing assert.
+TEST(JitBackend, ColdCompileRunsOnDedicatedPoolNotCaller) {
+  const auto bench = kernels::make("pnpoly");
+  CompiledBackendOptions options;
+  options.artifact_dir = fresh_dir("jit_compile_pool");
+  CompiledKernelBackend jit(as_kernel(*bench), 0, options);
+  const auto indices = sample_valid(*bench, 1, 13);
+
+  std::thread::id worker_id;
+  std::promise<void> done;
+  common::ThreadPool::global().submit([&] {
+    worker_id = std::this_thread::get_id();
+    (void)jit.evaluate(indices[0]);  // cold: compiles
+    done.set_value();
+  });
+  done.get_future().get();
+
+  const auto compile_thread = jit.last_compile_thread();
+  EXPECT_NE(compile_thread, std::thread::id());
+  EXPECT_NE(compile_thread, worker_id);
+  EXPECT_NE(compile_thread, std::this_thread::get_id());
+  EXPECT_GT(jit.stats().compiles, 0u);
+}
+
+// While one thread sits in a cold compile, warm evaluations of other
+// configs must keep flowing (they only need the handle cache).
+TEST(JitBackend, WarmEvalsProceedDuringColdCompile) {
+  const auto bench = kernels::make("pnpoly");
+  CompiledBackendOptions options;
+  options.artifact_dir = fresh_dir("jit_no_block");
+  CompiledKernelBackend jit(as_kernel(*bench), 0, options);
+  const auto indices = sample_valid(*bench, 2, 17);
+  (void)jit.evaluate(indices[0]);  // warm up one artifact
+
+  std::promise<void> cold_done;
+  std::thread cold([&] {
+    (void)jit.evaluate(indices[1]);
+    cold_done.set_value();
+  });
+  // Warm evaluations on this thread while the compile is (likely) in
+  // flight; correctness, not timing, is the assertion — none of these
+  // may deadlock or fall back.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(jit.evaluate(indices[0]).status, core::MeasureStatus::kOk);
+  }
+  cold_done.get_future().get();
+  cold.join();
+  EXPECT_EQ(jit.stats().fallback_evals, 0u);
+}
+
+TEST(JitBackend, CompileFailureFallsBackToLiveExactly) {
+  const auto bench = kernels::make("pnpoly");
+  CompiledBackendOptions options;
+  options.artifact_dir = fresh_dir("jit_fallback");
+  options.extra_compiler_flags = "-this-flag-does-not-exist";
+  CompiledKernelBackend jit(as_kernel(*bench), 0, options);
+  core::LiveBackend live(*bench, 0);
+
+  const auto indices = sample_valid(*bench, 2, 19);
+  const auto from_jit = jit.evaluate_batch(indices);
+  const auto from_live = live.evaluate_batch(indices);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(from_jit[i].status, from_live[i].status);
+    EXPECT_DOUBLE_EQ(from_jit[i].objective(), from_live[i].objective());
+  }
+  const auto stats = jit.stats();
+  EXPECT_EQ(stats.compiles, 0u);
+  EXPECT_GT(stats.compile_failures, 0u);
+  EXPECT_EQ(stats.fallback_evals, indices.size());
+
+  // Failed keys are memoized: re-evaluating must not retry the compile.
+  const auto failures_before = jit.stats().compile_failures;
+  (void)jit.evaluate(indices[0]);
+  EXPECT_EQ(jit.stats().compile_failures, failures_before);
+}
+
+TEST(JitBackend, KernelsWithoutEmittersAreRejectedAtConstruction) {
+  EXPECT_FALSE(kernels::jit_emitter_available("nbody"));
+  EXPECT_TRUE(kernels::jit_emitter_available("gemm"));
+  const auto bench = kernels::make("nbody");
+  EXPECT_THROW(CompiledKernelBackend(as_kernel(*bench), 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)kernels::emit_jit_source("nbody", core::Config{}),
+               std::invalid_argument);
+}
+
+TEST(JitBackend, CacheKeyCoversSourceCompilerAndFlags) {
+  const auto base = cache_key("src", "g++ 1.0", "-O2");
+  EXPECT_EQ(base, cache_key("src", "g++ 1.0", "-O2"));
+  EXPECT_NE(base, cache_key("src2", "g++ 1.0", "-O2"));
+  EXPECT_NE(base, cache_key("src", "g++ 2.0", "-O2"));
+  EXPECT_NE(base, cache_key("src", "g++ 1.0", "-O3"));
+}
+
+// Service integration: a "jit" session produces the identical trace a
+// "live" session does, and reports its compile cost through the new
+// SessionResult dimension + service-level aggregation.
+TEST(JitService, JitSessionMatchesLiveAndReportsCompileCost) {
+  service::ServiceOptions options;
+  options.artifact_dir = fresh_dir("jit_service_session");
+  service::TuningService svc(options);
+
+  service::SessionSpec spec;
+  spec.kernel = "pnpoly";
+  spec.tuner = "local";
+  spec.budget = 6;
+  spec.seed = 5;
+  spec.backend = "jit";
+  const auto jit_result = svc.run_inline(spec);
+  ASSERT_EQ(jit_result.status, service::SessionStatus::kCompleted)
+      << jit_result.error;
+  EXPECT_GT(jit_result.jit.compiles, 0u);
+  EXPECT_GT(jit_result.jit.compile_ms, 0.0);
+  EXPECT_EQ(jit_result.jit.fallback_evals, 0u);
+
+  spec.backend = "live";
+  const auto live_result = svc.run_inline(spec);
+  ASSERT_EQ(live_result.status, service::SessionStatus::kCompleted);
+  EXPECT_EQ(live_result.jit.compiles, 0u);  // zero outside jit sessions
+  ASSERT_EQ(jit_result.run.trace.size(), live_result.run.trace.size());
+  for (std::size_t i = 0; i < jit_result.run.trace.size(); ++i) {
+    EXPECT_EQ(jit_result.run.trace[i].index, live_result.run.trace[i].index);
+    EXPECT_DOUBLE_EQ(jit_result.run.trace[i].objective,
+                     live_result.run.trace[i].objective);
+  }
+
+  const auto stats = svc.jit_stats();
+  EXPECT_EQ(stats.backends, 1u);  // the live workload does not count
+  EXPECT_GT(stats.compiles, 0u);
+}
+
+TEST(JitService, SessionLogCodecRoundTripsCompileCost) {
+  service::SessionResult result;
+  result.status = service::SessionStatus::kCompleted;
+  result.wall_ms = 12.5;
+  result.run.trace.push_back(core::TraceEntry{3, 1.25});
+  result.jit.compile_ms = 987.5;
+  result.jit.compiles = 4;
+  result.jit.artifact_cache_hits = 17;
+  result.jit.artifact_cache_misses = 4;
+  result.jit.fallback_evals = 1;
+
+  const auto payload = service::SessionLog::encode_result(9, result);
+  const auto [id, decoded] = service::SessionLog::decode_result(payload);
+  EXPECT_EQ(id, 9u);
+  ASSERT_EQ(decoded.run.trace.size(), 1u);
+  EXPECT_EQ(decoded.run.trace[0].index, 3u);
+  EXPECT_DOUBLE_EQ(decoded.jit.compile_ms, 987.5);
+  EXPECT_EQ(decoded.jit.compiles, 4u);
+  EXPECT_EQ(decoded.jit.artifact_cache_hits, 17u);
+  EXPECT_EQ(decoded.jit.artifact_cache_misses, 4u);
+  EXPECT_EQ(decoded.jit.fallback_evals, 1u);
+}
+
+}  // namespace
+}  // namespace bat::jit

@@ -6,9 +6,11 @@
 # sharded cache + cluster cache + journal group commit), a kill -9
 # durability stage (a journaled server killed mid-grid must recover
 # every submitted session id and converge to the uninterrupted
-# results), a live 3-node loopback cluster with gated dedup/relay
-# benchmarks, finished by a bench smoke stage that exercises the
-# compiled-space paths end to end on reduced sizes.
+# results), a jit stage (cold-then-warm compiled-backend runs over one
+# artifact cache plus the BENCH_jit.json warm-dispatch gate), a live
+# 3-node loopback cluster with gated dedup/relay benchmarks, finished
+# by a bench smoke stage that exercises the compiled-space paths end to
+# end on reduced sizes.
 #
 #   $ tools/ci.sh [build_dir]
 set -euo pipefail
@@ -57,11 +59,14 @@ SAN_DIR="${BUILD_DIR}-asan"
 # io_journal_test/service_recovery_test replay deliberately torn and
 # bit-flipped journal bytes — recovery paths where an out-of-bounds
 # read would be silent in a release build.
+# jit_artifact_cache_test byte-flips and truncates real shared objects
+# and metadata; jit_backend_test drives dlopen'd code — both are places
+# where a stale pointer or over-read would otherwise go unnoticed.
 SAN_TESTS=(core_backend_test core_dataset_evaluator_test
            common_thread_pool_test core_compiled_space_test
            io_dataset_test common_json_test net_http_test
            net_rate_limit_test cluster_test io_journal_test
-           service_recovery_test)
+           service_recovery_test jit_backend_test jit_artifact_cache_test)
 cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DBAT_SANITIZE=ON
 cmake --build "${SAN_DIR}" -j "${JOBS}" --target "${SAN_TESTS[@]}"
 for t in "${SAN_TESTS[@]}"; do
@@ -82,9 +87,14 @@ TSAN_DIR="${BUILD_DIR}-tsan"
 # io_journal_test races 8 appenders through the journal's group
 # commit; service_recovery_test adds journaled submit/result traffic
 # to the worker-pool interleavings.
+# jit_backend_test races warm evaluations against cold compiles on the
+# dedicated pool and hammers the fn-cache's shared_mutex from batch
+# workers; jit_artifact_cache_test races 8 threads through per-key
+# load-or-build.
 TSAN_TESTS=(service_test common_thread_pool_test core_backend_test
             net_http_test net_rate_limit_test api_http_test cluster_test
-            io_journal_test service_recovery_test)
+            io_journal_test service_recovery_test jit_backend_test
+            jit_artifact_cache_test)
 cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DBAT_SANITIZE_THREAD=ON
 cmake --build "${TSAN_DIR}" -j "${JOBS}" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
@@ -118,6 +128,55 @@ trap cleanup EXIT
 "${BUILD_DIR}/tune" convert --in "${IO_TMP}/b.bin" --out "${IO_TMP}/b.csv"
 cmp "${IO_TMP}/a.csv" "${IO_TMP}/b.csv"
 echo "csv -> binary -> csv round-trip is bit-identical"
+
+echo "=== jit stage: compiled backend, cold then warm on one artifact dir ==="
+# The same tuning run twice through one artifact cache. The first run
+# must compile (cold), the second must recompile *nothing* and serve
+# every artifact from the cache — and both must land on the identical
+# best configuration (the cache can never change results).
+JIT_DIR="${IO_TMP}/jit-artifacts"
+"${BUILD_DIR}/tune" run --kernel pnpoly --tuner local --budget 8 \
+    --backend jit --artifact-dir "${JIT_DIR}" > "${IO_TMP}/jit_cold.txt"
+grep -qE 'jit: compiles=[1-9]' "${IO_TMP}/jit_cold.txt" \
+    || { echo "cold jit run compiled nothing"; exit 1; }
+"${BUILD_DIR}/tune" run --kernel pnpoly --tuner local --budget 8 \
+    --backend jit --artifact-dir "${JIT_DIR}" > "${IO_TMP}/jit_warm.txt"
+grep -qE 'jit: compiles=0 ' "${IO_TMP}/jit_warm.txt" \
+    || { echo "warm jit run recompiled"; exit 1; }
+grep -qE 'artifact_cache_hits=[1-9]' "${IO_TMP}/jit_warm.txt" \
+    || { echo "warm jit run missed the artifact cache"; exit 1; }
+cmp <(grep '^best' "${IO_TMP}/jit_cold.txt") \
+    <(grep '^best' "${IO_TMP}/jit_warm.txt") \
+    || { echo "cold and warm jit runs disagree on the best config"; exit 1; }
+echo "jit cold/warm round trip ok (second run: zero compiles, cache hits)"
+
+echo "=== jit compile bench (BENCH_jit.json): warm dispatch vs live ==="
+# Gates (from the release build, docs/jit.md):
+#   parity                     warm objectives bit-identical to live;
+#   max_warm_vs_live <= 1.15   steady-state dispatch within noise of
+#                              the live backend across all kernels;
+#   total_cold_compiles > 0    the cold leg really compiled;
+#   total_second_run_compiles == 0  a fresh process on the same dir
+#                              reuses every artifact.
+"${BUILD_DIR}/jit_compile" --configs 4 --repeats 100 \
+    --artifact-dir "${IO_TMP}/jit-bench" --out BENCH_jit.json
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_jit.json") as f:
+    report = json.load(f)
+for name, k in report["kernels"].items():
+    print(f"{name}: cold {k['cold_wall_ms']:.0f}ms ({k['cold_compiles']} "
+          f"compiles), warm/live {k['warm_vs_live']:.2f}, cold/warm "
+          f"{k['cold_vs_warm_speedup']:.0f}x, "
+          f"2nd-run compiles {k['second_run_compiles']}")
+print(f"max warm/live {report['max_warm_vs_live']:.3f} (gate 1.15), "
+      f"parity {report['parity']}")
+ok = report["parity"]
+ok &= report["max_warm_vs_live"] <= 1.15
+ok &= report["total_cold_compiles"] > 0
+ok &= report["total_second_run_compiles"] == 0
+sys.exit(0 if ok else 1)
+EOF
 
 echo "=== net stage: serve + remote round trip over loopback ==="
 # Start the release server on an ephemeral port, drive it with the

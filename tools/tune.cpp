@@ -5,14 +5,18 @@
 // each paper artifact to an invocation):
 //
 //   tune run    --kernel gemm --tuner local --budget 150 --seed 42
-//               [--device 0|RTX_3090] [--backend live|replay]
-//               [--dataset path.csv]
+//               [--device 0|RTX_3090] [--backend live|replay|jit]
+//               [--dataset path.csv] [--artifact-dir DIR]
 //       One session; prints the trace summary and best configuration.
+//       --backend jit evaluates through per-config compiled shared
+//       objects (docs/jit.md) — results identical to live, and the
+//       "jit:" line reports compiles / artifact-cache traffic for the
+//       run (a second run on the same --artifact-dir compiles nothing).
 //
 //   tune grid   --kernels gemm,hotspot --tuners local,annealing,ils
 //               --sessions 16 [--budget 150] [--seed 1000] [--device 0]
-//               [--backend live|replay] [--workers N] [--shards 16]
-//               [--no-shared-cache]
+//               [--backend live|replay|jit] [--workers N] [--shards 16]
+//               [--no-shared-cache] [--artifact-dir DIR]
 //       Round-robins the kernel x tuner combinations into --sessions
 //       concurrent sessions (seeds increment per session) through one
 //       TuningService; reports per-session results plus the sharded
@@ -51,7 +55,7 @@
 //               [--client-rps R [--client-burst B]]
 //               [--group-rps R [--group-burst B] [--group-prefix-bits 24]]
 //               [--force-poll] [--workers N] [--shards 16]
-//               [--dataset-dir DIR]
+//               [--dataset-dir DIR] [--artifact-dir DIR]
 //               [--journal-dir DIR [--journal-retain N]
 //                [--journal-checkpoint-bytes BYTES]]
 //               [--peers h1:p1,h2:p2,... [--peer-timeout-ms 2000]]
@@ -247,8 +251,8 @@ void print_cache_stats(const service::TuningService& svc) {
 // ------------------------------------------------------------- subcommands --
 
 int cmd_run(const Args& args) {
-  args.require_known(
-      {"kernel", "tuner", "device", "budget", "seed", "backend", "dataset"});
+  args.require_known({"kernel", "tuner", "device", "budget", "seed",
+                      "backend", "dataset", "artifact-dir"});
   // With --dataset the kernel defaults to the dataset's own benchmark
   // (mirroring cmd_replay) so the archive is registered against the
   // space it was swept from.
@@ -274,7 +278,9 @@ int cmd_run(const Args& args) {
   spec.device = resolve_device(
       *bench, args.get("device", dataset ? dataset->device_name() : "0"));
 
-  service::TuningService svc;
+  service::ServiceOptions svc_options;
+  svc_options.artifact_dir = args.get("artifact-dir", "");
+  service::TuningService svc(svc_options);
   if (dataset) {
     svc.register_dataset(spec.kernel, spec.device, std::move(*dataset));
     spec.backend = "replay";
@@ -291,6 +297,20 @@ int cmd_run(const Args& args) {
   if (result.status == service::SessionStatus::kFailed) return 1;
   std::printf("distinct evaluations: %zu, wall: %.1fms\n",
               result.run.trace.size(), result.wall_ms);
+  if (spec.backend == "jit") {
+    // Machine-greppable (tools/ci.sh asserts a warm second run shows
+    // compiles=0 with nonzero artifact_cache_hits).
+    const auto jit = svc.jit_stats();
+    std::printf("jit: compiles=%llu compile_failures=%llu "
+                "artifact_cache_hits=%llu artifact_cache_misses=%llu "
+                "fallback_evals=%llu compile_ms=%.1f\n",
+                static_cast<unsigned long long>(jit.compiles),
+                static_cast<unsigned long long>(jit.compile_failures),
+                static_cast<unsigned long long>(jit.artifact_cache_hits),
+                static_cast<unsigned long long>(jit.artifact_cache_misses),
+                static_cast<unsigned long long>(jit.fallback_evals),
+                jit.compile_ms);
+  }
   if (result.run.best) {
     std::printf("best: %.4fms at config index %llu\n",
                 result.run.best->objective,
@@ -312,7 +332,7 @@ int cmd_run(const Args& args) {
 int cmd_grid(const Args& args) {
   args.require_known({"kernels", "tuners", "sessions", "budget", "seed",
                       "device", "backend", "workers", "shards",
-                      "no-shared-cache", "dataset-dir"});
+                      "no-shared-cache", "dataset-dir", "artifact-dir"});
   const auto kernel_names =
       common::split(args.get("kernels", "gemm,hotspot"), ',');
   const auto tuner_names =
@@ -332,6 +352,7 @@ int cmd_grid(const Args& args) {
   // this directory (binary ones zero-copy via mmap) and persist swept
   // datasets back into it.
   options.dataset_dir = args.get("dataset-dir", "");
+  options.artifact_dir = args.get("artifact-dir", "");
   service::TuningService svc(options);
 
   // One device resolution per kernel, not per session.
@@ -376,6 +397,18 @@ int cmd_grid(const Args& args) {
   }
   std::fputs(table.to_string().c_str(), stdout);
   print_cache_stats(svc);
+  const auto jit = svc.jit_stats();
+  if (jit.backends != 0) {
+    std::printf("jit: compiles=%llu compile_failures=%llu "
+                "artifact_cache_hits=%llu artifact_cache_misses=%llu "
+                "fallback_evals=%llu compile_ms=%.1f\n",
+                static_cast<unsigned long long>(jit.compiles),
+                static_cast<unsigned long long>(jit.compile_failures),
+                static_cast<unsigned long long>(jit.artifact_cache_hits),
+                static_cast<unsigned long long>(jit.artifact_cache_misses),
+                static_cast<unsigned long long>(jit.fallback_evals),
+                jit.compile_ms);
+  }
   return failed ? 1 : 0;
 }
 
@@ -607,6 +640,7 @@ int cmd_info(const Args& args) {
 int cmd_serve(const Args& args) {
   args.require_known({"port", "host", "http-workers", "max-connections",
                       "max-body", "workers", "shards", "dataset-dir",
+                      "artifact-dir",
                       "event-loops", "admission-capacity", "retry-after",
                       "client-rps", "client-burst", "group-rps",
                       "group-burst", "group-prefix-bits", "force-poll",
@@ -675,6 +709,7 @@ int cmd_serve(const Args& args) {
   service_options.workers = args.get_size("workers", 0);
   service_options.cache_shards = args.get_size("shards", 16);
   service_options.dataset_dir = args.get("dataset-dir", "");
+  service_options.artifact_dir = args.get("artifact-dir", "");
   service_options.cluster = node.get();
   service_options.journal_dir = args.get("journal-dir", "");
   service_options.journal_retain_completed =
