@@ -9,6 +9,8 @@
 #include "cluster/cluster_node.hpp"
 #include "common/json.hpp"
 #include "kernels/all_kernels.hpp"
+#include "obs/build_info.hpp"
+#include "obs/trace.hpp"
 #include "service/session_json.hpp"
 
 namespace bat::api {
@@ -51,7 +53,8 @@ std::optional<std::uint64_t> parse_job_id(std::string_view text) {
 /// let a status-poll budget fund session spam; 4x is deliberately
 /// coarse — the point is an ordering, not a calibration. Installed
 /// only when the embedder did not set its own policy.
-net::ServerOptions with_api_policy(net::ServerOptions http) {
+net::ServerOptions with_api_policy(
+    net::ServerOptions http, std::shared_ptr<obs::MetricsRegistry> metrics) {
   if (!http.request_cost) {
     http.request_cost = [](const net::HttpRequest& request) {
       if (request.method == "POST" &&
@@ -61,6 +64,19 @@ net::ServerOptions with_api_policy(net::ServerOptions http) {
       return 1.0;
     };
   }
+  if (!http.police_exempt) {
+    // Liveness probes must answer while a scraper (or an attacker) has
+    // the client's token bucket drained — exempt from the limiter, but
+    // deliberately NOT from admission control: a server with every
+    // worker wedged *should* fail its health check.
+    http.police_exempt = [](const net::HttpRequest& request) {
+      return request.method == "GET" &&
+             request.target.compare(0, 11, "/v1/healthz") == 0;
+    };
+  }
+  // One process registry: the transport's bat_http_* series land next
+  // to everything else /v1/metrics renders.
+  if (!http.metrics) http.metrics = std::move(metrics);
   return http;
 }
 
@@ -69,10 +85,34 @@ net::ServerOptions with_api_policy(net::ServerOptions http) {
 ApiServer::ApiServer(service::TuningService& service, ApiOptions options)
     : service_(service),
       cluster_(options.cluster),
-      http_(with_api_policy(std::move(options.http)),
+      metrics_(options.metrics ? std::move(options.metrics)
+                               : std::make_shared<obs::MetricsRegistry>()),
+      http_(with_api_policy(std::move(options.http), metrics_),
             [this](const net::HttpRequest& request) {
               return handle(request);
-            }) {}
+            }) {
+  using CallbackKind = obs::MetricsRegistry::CallbackKind;
+  // bat_build_info: the Prometheus idiom for "which binary is this" —
+  // constant 1, identity in the label.
+  metric_guards_.push_back(metrics_->callback(
+      "bat_build_info", "Build identity (value is always 1)",
+      CallbackKind::kGauge, {{"build_id", obs::build_id()}},
+      [] { return 1.0; }));
+  metric_guards_.push_back(metrics_->callback(
+      "bat_uptime_seconds", "Seconds since process start",
+      CallbackKind::kGauge, {}, [] { return obs::uptime_seconds(); }));
+  metric_guards_.push_back(metrics_->callback(
+      "bat_trace_spans_recorded_total", "Spans recorded into the trace ring",
+      CallbackKind::kCounter, {}, [] {
+        return static_cast<double>(obs::trace_buffer().recorded());
+      }));
+  metric_guards_.push_back(metrics_->callback(
+      "bat_trace_spans_dropped_total",
+      "Spans overwritten by trace-ring wraparound", CallbackKind::kCounter,
+      {}, [] {
+        return static_cast<double>(obs::trace_buffer().dropped());
+      }));
+}
 
 ApiServer::~ApiServer() { stop(); }
 
@@ -101,13 +141,32 @@ net::HttpResponse ApiServer::handle(const net::HttpRequest& request) {
     if (request.method != "GET") {
       return error_json(405, "use GET on /v1/sessions/<id>");
     }
-    return get_session(path.substr(kSessionPrefix.size()));
+    std::string rest = path.substr(kSessionPrefix.size());
+    constexpr std::string_view kTraceSuffix = "/trace";
+    if (rest.size() > kTraceSuffix.size() &&
+        rest.compare(rest.size() - kTraceSuffix.size(), kTraceSuffix.size(),
+                     kTraceSuffix) == 0) {
+      return get_trace(rest.substr(0, rest.size() - kTraceSuffix.size()));
+    }
+    return get_session(rest);
   }
   if (path == "/v1/stats") {
     if (request.method != "GET") {
       return error_json(405, "use GET on /v1/stats");
     }
     return get_stats();
+  }
+  if (path == "/v1/metrics") {
+    if (request.method != "GET") {
+      return error_json(405, "use GET on /v1/metrics");
+    }
+    return get_metrics();
+  }
+  if (path == "/v1/healthz") {
+    if (request.method != "GET") {
+      return error_json(405, "use GET on /v1/healthz");
+    }
+    return get_healthz();
   }
   if (path == "/v1/spaces") {
     if (request.method != "GET") {
@@ -180,6 +239,55 @@ net::HttpResponse ApiServer::get_session(const std::string& id_text) const {
     object.emplace("state", "pending");
     object.emplace("spec", service::to_json(job->spec));
   }
+  return json_response(200, Json(std::move(object)));
+}
+
+net::HttpResponse ApiServer::get_trace(const std::string& id_text) const {
+  const auto id = parse_job_id(id_text);
+  if (!id) return error_json(400, "job id must be decimal digits");
+  const auto job = service_.tracked(*id);
+  if (!job) return error_json(404, "no such session: " + id_text);
+  if (job->trace_id == 0) {
+    // Sessions restored from the journal as already-completed never
+    // ran in this process: there is no timeline to show.
+    return error_json(404, "session " + id_text +
+                               " has no trace in this process");
+  }
+  const auto spans = obs::trace_buffer().for_trace(job->trace_id);
+  JsonArray span_json;
+  // Timestamps are relative to the trace's first surviving span: what
+  // a reader wants is offsets within the session, not process uptime.
+  const std::uint64_t t0 = spans.empty() ? 0 : spans.front().start_ns;
+  for (const auto& span : spans) {
+    JsonObject entry;
+    entry.emplace("name", span.name);
+    if (!span.detail.empty()) entry.emplace("detail", span.detail);
+    entry.emplace("start_us", (span.start_ns - t0) / 1000);
+    entry.emplace("duration_us", (span.end_ns - span.start_ns) / 1000);
+    span_json.emplace_back(std::move(entry));
+  }
+  JsonObject object;
+  object.emplace("id", id_text);
+  object.emplace("trace_id", job->trace_id);
+  object.emplace("spans", Json(std::move(span_json)));
+  return json_response(200, Json(std::move(object)));
+}
+
+net::HttpResponse ApiServer::get_metrics() const {
+  net::HttpResponse response;
+  response.status = 200;
+  response.headers.emplace_back(
+      "content-type", "text/plain; version=0.0.4; charset=utf-8");
+  response.body = metrics_->render_prometheus();
+  return response;
+}
+
+net::HttpResponse ApiServer::get_healthz() const {
+  JsonObject object;
+  object.emplace("status",
+                 service_.accepting() ? "ready" : "draining");
+  object.emplace("build_id", obs::build_id());
+  object.emplace("uptime_seconds", obs::uptime_seconds());
   return json_response(200, Json(std::move(object)));
 }
 

@@ -18,7 +18,18 @@
 //                            including traffic-policing sheds (429s,
 //                            admission 503s, connection-cap refusals)
 //                            and the journal's "durability" section.
+//                            Every number is a registry series read at
+//                            request time — /v1/metrics is the same
+//                            data in Prometheus clothes.
 //   GET  /v1/spaces          per-kernel search-space statistics.
+//   GET  /v1/metrics         Prometheus text exposition (0.0.4) of the
+//                            process registry (docs/observability.md).
+//   GET  /v1/healthz         liveness: build id, uptime, ready |
+//                            draining. Exempt from rate limiting (but
+//                            not admission) so probes survive an
+//                            aggressive scraper next door.
+//   GET  /v1/sessions/<id>/trace
+//                            span timeline of a tracked session.
 //
 // Error mapping: malformed JSON / bad spec -> 400, unknown path or job
 // id -> 404, wrong method on a known path -> 405, submit after service
@@ -39,9 +50,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "net/http_server.hpp"
+#include "obs/metrics.hpp"
 #include "service/tuning_service.hpp"
 
 namespace bat::cluster {
@@ -56,6 +70,11 @@ struct ApiOptions {
   /// /v1/peers/* delegates to ClusterNode::handle_peers and /v1/stats
   /// grows a "cluster" section. Null = single-node: /v1/peers/* is 404.
   cluster::ClusterNode* cluster = nullptr;
+  /// The registry /v1/metrics renders. Null makes a private one — but
+  /// then the exposition only carries the API server's own series;
+  /// `tune serve` shares one registry across service, cluster, HTTP
+  /// transport and here so the scrape sees the whole process.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 class ApiServer {
@@ -82,12 +101,18 @@ class ApiServer {
   [[nodiscard]] net::HttpResponse post_session(const net::HttpRequest& req);
   [[nodiscard]] net::HttpResponse run_session(const net::HttpRequest& req);
   [[nodiscard]] net::HttpResponse get_session(const std::string& id) const;
+  [[nodiscard]] net::HttpResponse get_trace(const std::string& id) const;
   [[nodiscard]] net::HttpResponse list_sessions() const;
   [[nodiscard]] net::HttpResponse get_stats() const;
+  [[nodiscard]] net::HttpResponse get_metrics() const;
+  [[nodiscard]] net::HttpResponse get_healthz() const;
   [[nodiscard]] static net::HttpResponse get_spaces();
 
   service::TuningService& service_;
   cluster::ClusterNode* cluster_;
+
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  std::vector<obs::CallbackGuard> metric_guards_;
 
   net::HttpServer http_;  // last member: its workers call handle()
 };

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace bat::cluster {
 
@@ -46,6 +47,26 @@ std::size_t from_field(const Json& body) {
   return static_cast<std::size_t>(field->as_int());
 }
 
+/// Observes the enclosing scope's wall time into `h` — including the
+/// error paths, so timeout-bound failures show up in the tail.
+class RpcTimer {
+ public:
+#ifndef BAT_OBS_OFF
+  explicit RpcTimer(obs::Histogram* h) noexcept
+      : h_(h), start_ns_(obs::monotonic_now_ns()) {}
+  ~RpcTimer() {
+    h_->observe(
+        static_cast<double>(obs::monotonic_now_ns() - start_ns_) / 1e9);
+  }
+
+ private:
+  obs::Histogram* h_;
+  std::uint64_t start_ns_;
+#else
+  explicit RpcTimer(obs::Histogram*) noexcept {}
+#endif
+};
+
 }  // namespace
 
 ClusterNode::ClusterNode(ClusterOptions options)
@@ -65,6 +86,39 @@ ClusterNode::ClusterNode(ClusterOptions options)
     clients_.push_back(
         std::make_unique<PeerClient>(peers_.address(i), client_options));
   }
+
+  metrics_ = options_.metrics ? options_.metrics
+                              : std::make_shared<obs::MetricsRegistry>();
+  peer_claims_served_ =
+      metrics_->counter("bat_cluster_peer_claims_served_total",
+                        "Inbound peer claims answered with a hit");
+  peer_publishes_received_ =
+      metrics_->counter("bat_cluster_peer_publishes_received_total",
+                        "Inbound peer publish RPCs accepted");
+  relay_frames_received_ = metrics_->counter(
+      "bat_cluster_relay_frames_received_total", "Relay frames received");
+  relay_records_received_ =
+      metrics_->counter("bat_cluster_relay_records_received_total",
+                        "Delta records received via relay frames");
+  relay_bytes_received_ = metrics_->counter(
+      "bat_cluster_relay_bytes_received_total", "Relay bytes received");
+  relay_frames_ignored_ =
+      metrics_->counter("bat_cluster_relay_frames_ignored_total",
+                        "Relay frames for workloads with no local sessions");
+  relay_frames_dropped_ =
+      metrics_->counter("bat_cluster_relay_frames_dropped_total",
+                        "Relay frames dropped (peer down or send failed)");
+  // 100us..~3.3s log-scale; the io timeout bounds the +Inf tail.
+  const auto rpc_bounds = obs::Histogram::exponential(1e-4, 2.0, 15);
+  const auto rpc_histogram = [&](const char* rpc) {
+    return metrics_->histogram("bat_cluster_peer_rpc_duration_seconds",
+                               "Outbound peer RPC wall time, by rpc",
+                               rpc_bounds, {{"rpc", rpc}});
+  };
+  rpc_claim_duration_ = rpc_histogram("claim");
+  rpc_publish_duration_ = rpc_histogram("publish");
+  rpc_abandon_duration_ = rpc_histogram("abandon");
+  rpc_lookup_duration_ = rpc_histogram("lookup");
 }
 
 ClusterNode::~ClusterNode() { stop(); }
@@ -159,6 +213,9 @@ void ClusterNode::sweep_peer(std::size_t peer) {
 
 std::optional<ClaimReply> ClusterNode::forward_claim(
     std::size_t peer, const std::string& workload, std::uint64_t index) {
+  obs::ScopedSpan span("peer.claim");
+  if (span.active()) span.set_detail("peer=" + std::to_string(peer));
+  RpcTimer timer(rpc_claim_duration_);
   try {
     auto reply =
         clients_[peer]->claim(workload, index, peers_.self_index());
@@ -174,6 +231,9 @@ bool ClusterNode::forward_publish(std::size_t peer,
                                   const std::string& workload,
                                   std::uint64_t index,
                                   const core::Measurement& m) {
+  obs::ScopedSpan span("peer.publish");
+  if (span.active()) span.set_detail("peer=" + std::to_string(peer));
+  RpcTimer timer(rpc_publish_duration_);
   try {
     clients_[peer]->publish(workload, index, m, peers_.self_index());
     record_ok(peer);
@@ -187,6 +247,9 @@ bool ClusterNode::forward_publish(std::size_t peer,
 void ClusterNode::forward_abandon(std::size_t peer,
                                   const std::string& workload,
                                   std::uint64_t index) {
+  obs::ScopedSpan span("peer.abandon");
+  if (span.active()) span.set_detail("peer=" + std::to_string(peer));
+  RpcTimer timer(rpc_abandon_duration_);
   try {
     clients_[peer]->abandon(workload, index, peers_.self_index());
     record_ok(peer);
@@ -200,6 +263,9 @@ void ClusterNode::forward_abandon(std::size_t peer,
 
 std::optional<LookupReply> ClusterNode::forward_lookup(
     std::size_t peer, const std::string& workload, std::uint64_t index) {
+  obs::ScopedSpan span("peer.lookup");
+  if (span.active()) span.set_detail("peer=" + std::to_string(peer));
+  RpcTimer timer(rpc_lookup_duration_);
   try {
     auto reply = clients_[peer]->lookup(workload, index);
     record_ok(peer);
@@ -223,14 +289,14 @@ void ClusterNode::send_frame(std::size_t peer, const std::string& bytes) {
   if (!peers_.up(peer)) {
     // Don't burn a timeout per frame on a known-down peer; it re-warms
     // via claim RPCs once gossip sees it again.
-    relay_frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    relay_frames_dropped_->add();
     return;
   }
   try {
     clients_[peer]->relay(bytes);
     record_ok(peer);
   } catch (const std::exception&) {
-    relay_frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    relay_frames_dropped_->add();
     record_failure(peer);
   }
 }
@@ -299,7 +365,7 @@ net::HttpResponse ClusterNode::handle_claim(const Json& body) {
   JsonObject reply;
   switch (claim.state) {
     case service::ShardedMeasurementCache::ClaimState::kHit:
-      peer_claims_served_.fetch_add(1, std::memory_order_relaxed);
+      peer_claims_served_->add();
       reply["state"] = "hit";
       measurement_to_json(claim.measurement, reply);
       break;
@@ -323,7 +389,7 @@ net::HttpResponse ClusterNode::handle_publish(const Json& body) {
   const core::Measurement m = measurement_from_json(body);
   const Entry entry = snapshot_entry(workload, /*create=*/true);
 
-  peer_publishes_received_.fetch_add(1, std::memory_order_relaxed);
+  peer_publishes_received_->add();
   (void)inflight_.erase(workload, index);
   // force_publish: a late publish can race our dead-claimant sweep (the
   // entry is gone) or a local fallback evaluation (already ready) —
@@ -381,16 +447,15 @@ net::HttpResponse ClusterNode::handle_lookup(const Json& body) {
 
 net::HttpResponse ClusterNode::handle_relay(const std::string& bytes) {
   const DeltaFrame frame = decode_delta_frame(bytes);
-  relay_frames_received_.fetch_add(1, std::memory_order_relaxed);
-  relay_bytes_received_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  relay_frames_received_->add();
+  relay_bytes_received_->add(bytes.size());
   const Entry entry = snapshot_entry(frame.workload, /*create=*/false);
   if (!entry.dist) {
     // No local sessions on this workload (yet): nothing to warm. The
     // claim RPC path still covers a workload that shows up later.
-    relay_frames_ignored_.fetch_add(1, std::memory_order_relaxed);
+    relay_frames_ignored_->add();
   } else {
-    relay_records_received_.fetch_add(frame.records.size(),
-                                      std::memory_order_relaxed);
+    relay_records_received_->add(frame.records.size());
     for (const DeltaRecord& rec : frame.records) {
       core::Measurement m;
       m.time_ms = std::bit_cast<double>(rec.time_bits);
@@ -462,29 +527,29 @@ Json ClusterNode::stats_json() const {
                  outbound.publishes_forwarded + relay.records_sent);
   object.emplace("relay_bytes",
                  relay.bytes_sent +
-                     relay_bytes_received_.load(std::memory_order_relaxed));
+                     relay_bytes_received_->value());
   // Supporting detail:
   object.emplace("fallback_local_claims", outbound.fallback_claims);
   object.emplace("peer_claims_served",
-                 peer_claims_served_.load(std::memory_order_relaxed));
+                 peer_claims_served_->value());
   object.emplace("peer_publishes_received",
-                 peer_publishes_received_.load(std::memory_order_relaxed));
+                 peer_publishes_received_->value());
   JsonObject relay_json;
   relay_json.emplace("frames_sent", relay.frames_sent);
   relay_json.emplace("records_sent", relay.records_sent);
   relay_json.emplace("bytes_sent", relay.bytes_sent);
   relay_json.emplace("frames_dropped",
-                     relay_frames_dropped_.load(std::memory_order_relaxed));
+                     relay_frames_dropped_->value());
   relay_json.emplace("frames_received",
-                     relay_frames_received_.load(std::memory_order_relaxed));
+                     relay_frames_received_->value());
   relay_json.emplace(
       "records_received",
-      relay_records_received_.load(std::memory_order_relaxed));
+      relay_records_received_->value());
   relay_json.emplace("records_stored", outbound.relay_records_stored);
   relay_json.emplace("bytes_received",
-                     relay_bytes_received_.load(std::memory_order_relaxed));
+                     relay_bytes_received_->value());
   relay_json.emplace("frames_ignored",
-                     relay_frames_ignored_.load(std::memory_order_relaxed));
+                     relay_frames_ignored_->value());
   object.emplace("relay", Json(std::move(relay_json)));
   const Json health = health_json();
   object.emplace("self", *health.find("self"));

@@ -49,6 +49,7 @@
 #include "cluster/relay.hpp"
 #include "common/json.hpp"
 #include "net/http.hpp"
+#include "obs/metrics.hpp"
 
 namespace bat::cluster {
 
@@ -66,6 +67,9 @@ struct ClusterOptions {
   std::size_t cache_shards = 16;
   DistributedCacheOptions cache;
   RelayOptions relay;
+  /// Registry hosting the bat_cluster_* series; null makes a private
+  /// one. `tune serve` shares the process registry here.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 class ClusterNode final : public PeerLink {
@@ -170,13 +174,19 @@ class ClusterNode final : public PeerLink {
 
   // Inbound + relay counters (outbound per-workload counters live in
   // the DistributedMeasurementCache stats, aggregated by stats_json).
-  std::atomic<std::uint64_t> peer_claims_served_{0};
-  std::atomic<std::uint64_t> peer_publishes_received_{0};
-  std::atomic<std::uint64_t> relay_frames_received_{0};
-  std::atomic<std::uint64_t> relay_records_received_{0};
-  std::atomic<std::uint64_t> relay_bytes_received_{0};
-  std::atomic<std::uint64_t> relay_frames_ignored_{0};
-  std::atomic<std::uint64_t> relay_frames_dropped_{0};
+  // Registry-hosted: /v1/metrics and stats_json() read the same series.
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* peer_claims_served_;
+  obs::Counter* peer_publishes_received_;
+  obs::Counter* relay_frames_received_;
+  obs::Counter* relay_records_received_;
+  obs::Counter* relay_bytes_received_;
+  obs::Counter* relay_frames_ignored_;
+  obs::Counter* relay_frames_dropped_;
+  obs::Histogram* rpc_claim_duration_;
+  obs::Histogram* rpc_publish_duration_;
+  obs::Histogram* rpc_abandon_duration_;
+  obs::Histogram* rpc_lookup_duration_;
 
   std::atomic<bool> stopping_{false};
   std::mutex gossip_mutex_;

@@ -1,9 +1,23 @@
-// Tiny leveled logger. Harnesses set the level from BAT_LOG_LEVEL or flags.
+// Tiny leveled logger with structured stderr lines.
+//
+// Emitted lines are logfmt-shaped and machine-greppable:
+//
+//   level=warn ts=2026-08-08T12:34:56.789Z msg="jit: falling back ..."
+//
+// The level is runtime-settable (BAT_LOG_LEVEL env, `tune serve
+// --log-level`, or set_log_level()), timestamps are UTC wall time with
+// millisecond precision, and the message value is quoted with
+// backslash escapes so one line is always one record. Tests install a
+// sink (set_log_sink) and receive the raw (level, message) pair —
+// formatting applies only on the stderr path.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace bat::common {
 
@@ -13,7 +27,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-/// Emits `message` to stderr with a level prefix if level >= global level.
+/// "debug"/"info"/"warn"/"error"/"off" (case-insensitive) -> level;
+/// nullopt for anything else. Shared by the env init and CLI flags.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view text);
+
+/// The lowercase token for a level ("info"), as emitted in `level=`.
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
+/// Emits `message` as a structured stderr line if level >= global level.
 void log_message(LogLevel level, const std::string& message);
 
 /// Redirects emitted messages to `sink` instead of stderr (tests assert
@@ -21,6 +42,13 @@ void log_message(LogLevel level, const std::string& message);
 /// against concurrent log_message calls — install before spawning work.
 using LogSink = std::function<void(LogLevel, const std::string&)>;
 void set_log_sink(LogSink sink);
+
+/// One finished stderr line (sans trailing newline) for `message` at
+/// `level` and `unix_ms` UTC wall-clock milliseconds — the formatting
+/// contract, exposed so tests pin it without scraping stderr.
+[[nodiscard]] std::string format_log_line(LogLevel level,
+                                          const std::string& message,
+                                          std::int64_t unix_ms);
 
 namespace detail {
 template <typename... Args>

@@ -5,6 +5,7 @@
 #include "common/contracts.hpp"
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace bat::core {
 
@@ -174,6 +175,13 @@ CountingBackend::CountingBackend(EvaluationBackend& inner, std::size_t budget,
 
 std::vector<Measurement> CountingBackend::evaluate_batch(
     std::span<const ConfigIndex> indices) {
+  // Every tuner measurement funnels through here, so this one span
+  // gives a traced session its evaluate-phase timeline. Free (one TLS
+  // read) when the calling thread is untraced.
+  obs::ScopedSpan span("backend.batch");
+  if (span.active()) {
+    span.set_detail("configs=" + std::to_string(indices.size()));
+  }
   // Batch-boundary cancellation point: both tuner driving styles funnel
   // every measurement through here, so a set token stops the session
   // before it spends anything else.

@@ -11,6 +11,7 @@
 #include "common/log.hpp"
 #include "gpusim/noise.hpp"
 #include "kernels/jit_emitters.hpp"
+#include "obs/trace.hpp"
 
 namespace bat::jit {
 
@@ -55,6 +56,13 @@ CompiledKernelBackend::CompiledKernelBackend(
                                                     : options_.artifact_dir;
   cache_options.max_artifacts = options_.max_artifacts;
   cache_ = std::make_unique<ArtifactCache>(std::move(cache_options));
+  metrics_ = options_.metrics ? options_.metrics
+                              : std::make_shared<obs::MetricsRegistry>();
+  // 10ms..~80s log-scale: a toolchain invocation per observation.
+  compile_duration_ = metrics_->histogram(
+      "bat_jit_compile_duration_seconds",
+      "Wall time a caller spent blocked on one jit compile",
+      obs::Histogram::exponential(1e-2, 2.0, 13));
 }
 
 std::shared_ptr<DlHandle> CompiledKernelBackend::artifact_for(
@@ -69,6 +77,11 @@ std::shared_ptr<DlHandle> CompiledKernelBackend::artifact_for(
       // nested submissions inline, so compiling on the calling thread
       // (often a global-pool worker) would serialize its whole batch
       // behind one cold compile.
+      obs::ScopedSpan span("jit.compile");
+      if (span.active()) span.set_detail(name_);
+#ifndef BAT_OBS_OFF
+      const std::uint64_t start_ns = obs::monotonic_now_ns();
+#endif
       std::promise<void> done;
       auto finished = done.get_future();
       compile_pool_.submit([&] {
@@ -84,6 +97,10 @@ std::shared_ptr<DlHandle> CompiledKernelBackend::artifact_for(
         }
       });
       finished.get();
+#ifndef BAT_OBS_OFF
+      compile_duration_->observe(
+          static_cast<double>(obs::monotonic_now_ns() - start_ns) / 1e9);
+#endif
     });
   } catch (const std::exception& e) {
     {

@@ -39,6 +39,7 @@
 #include "jit/artifact_cache.hpp"
 #include "jit/compiler.hpp"
 #include "kernels/kernel_benchmark.hpp"
+#include "obs/metrics.hpp"
 
 namespace bat::jit {
 
@@ -60,6 +61,11 @@ struct CompiledBackendOptions {
   /// Appended to the compiler flag set (tests inject a bad flag to
   /// exercise the fallback path).
   std::string extra_compiler_flags;
+
+  /// Registry hosting bat_jit_compile_duration_seconds; null makes a
+  /// private one. (The bat_jit_*_total counters are scrape-time
+  /// bridges over the service's jit_stats() aggregation, not here.)
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /// Aggregated backend counters (the service sums these across
@@ -143,6 +149,9 @@ class CompiledKernelBackend final : public core::EvaluationBackend {
   std::atomic<std::uint64_t> fallback_evals_{0};
   std::atomic<std::uint64_t> evaluations_{0};
   std::thread::id last_compile_thread_;
+
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Histogram* compile_duration_ = nullptr;
 
   // Last member: destroyed first, so queued compile tasks drain while
   // the cache and compiler they reference are still alive.

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "common/json.hpp"
+#include "obs/trace.hpp"
 
 namespace bat::net {
 
@@ -70,10 +71,35 @@ HttpServer::HttpServer(ServerOptions options, Handler handler)
   if (options_.max_connections == 0) options_.max_connections = 1;
   if (options_.admission_capacity == 0) options_.admission_capacity = 4096;
   if (options_.retry_after_seconds <= 0.0) options_.retry_after_seconds = 1.0;
+  metrics_ = options_.metrics ? options_.metrics
+                              : std::make_shared<obs::MetricsRegistry>();
   if (options_.rate_limit.enabled()) {
-    limiter_ =
-        std::make_unique<RateLimiter>(options_.rate_limit, options_.clock);
+    limiter_ = std::make_unique<RateLimiter>(options_.rate_limit,
+                                             options_.clock, metrics_);
   }
+  accepted_total_ = metrics_->counter("bat_http_connections_accepted_total",
+                                      "Connections accepted");
+  served_total_ =
+      metrics_->counter("bat_http_requests_total", "Requests served");
+  rate_limited_total_ =
+      metrics_->counter("bat_http_requests_rate_limited_total",
+                        "Requests answered 429 by the rate limiter");
+  shed_total_ =
+      metrics_->counter("bat_http_requests_shed_total",
+                        "Requests answered 503 by the admission queue");
+  over_capacity_total_ =
+      metrics_->counter("bat_http_connections_over_capacity_total",
+                        "Connections refused at the max_connections cap");
+  // 100us..~6.5s log-scale: spans sub-ms status probes and multi-second
+  // synchronous tuning runs.
+  request_duration_ = metrics_->histogram(
+      "bat_http_request_duration_seconds",
+      "Handler wall time per dispatched request",
+      obs::Histogram::exponential(1e-4, 2.0, 16));
+  open_connections_gauge_ = metrics_->callback(
+      "bat_http_connections_open", "Connections currently open",
+      obs::MetricsRegistry::CallbackKind::kGauge, {},
+      [this] { return static_cast<double>(open_connections_.load()); });
 }
 
 HttpServer::~HttpServer() { stop(); }
@@ -204,7 +230,7 @@ void HttpServer::on_accept() {
       // Clean refusal: tell the client when to come back, half-close
       // so the 503 is flushed ahead of the FIN, then release the fd.
       // Never adopted, so it cannot strand a keep-alive mid-pipeline.
-      over_capacity_.fetch_add(1);
+      over_capacity_total_->add();
       const std::string bytes =
           policed_response(503, "connection limit reached",
                            options_.retry_after_seconds,
@@ -214,7 +240,7 @@ void HttpServer::on_accept() {
       ::close(fd);
       continue;
     }
-    accepted_.fetch_add(1);
+    accepted_total_->add();
     open_connections_.fetch_add(1);
     const std::uint32_t peer_ip = ntohl(peer.sin_addr.s_addr);
     const std::size_t shard =
@@ -326,12 +352,13 @@ void HttpServer::process_input(std::size_t shard, ConnState& conn) {
     // Traffic policing. Sheds are answered inline — no handler
     // dispatch, no pool occupancy — and the connection stays usable:
     // the request was well-formed, only ill-timed.
-    if (limiter_) {
+    if (limiter_ &&
+        !(options_.police_exempt && options_.police_exempt(request))) {
       const double cost =
           options_.request_cost ? options_.request_cost(request) : 1.0;
       const Admission admission = limiter_->admit(conn.peer_ipv4(), cost);
       if (!admission.allowed) {
-        rate_limited_.fetch_add(1);
+        rate_limited_total_->add();
         conn.queue_output(policed_response(
             429,
             std::string("rate limit exceeded (") + admission.denied_by +
@@ -342,7 +369,7 @@ void HttpServer::process_input(std::size_t shard, ConnState& conn) {
       }
     }
     if (in_flight_.load() >= options_.admission_capacity) {
-      shed_.fetch_add(1);
+      shed_total_->add();
       conn.queue_output(policed_response(
           503, "server overloaded, admission queue full",
           options_.retry_after_seconds, keep));
@@ -355,8 +382,23 @@ void HttpServer::process_input(std::size_t shard, ConnState& conn) {
     const std::uint64_t id = conn.id();
     pool_->submit([this, shard, id, keep,
                    request = std::move(request)]() mutable {
+#ifndef BAT_OBS_OFF
+      // Every dispatched request gets its own trace: handlers (and the
+      // layers they call into) record spans under it implicitly. The
+      // span's own clock pair doubles as the duration observation.
+      obs::TraceScope trace(obs::mint_trace_id());
+      HttpResponse response;
+      {
+        obs::ScopedSpan span("http.request", request_duration_);
+        if (span.active()) {
+          span.set_detail(request.method + " " + request.target);
+        }
+        response = dispatch(request);
+      }
+#else
       HttpResponse response = dispatch(request);
-      served_.fetch_add(1);
+#endif
+      served_total_->add();
       const bool keep_final = keep && running_.load();
       std::string bytes = serialize_response(response, keep_final);
       // Decrement before posting: admission tracks handler occupancy,

@@ -62,6 +62,7 @@
 #include "net/event_loop.hpp"
 #include "net/http.hpp"
 #include "net/rate_limit.hpp"
+#include "obs/metrics.hpp"
 
 namespace bat::net {
 
@@ -90,9 +91,17 @@ struct ServerOptions {
   /// Tokens a request costs against the rate buckets (default 1.0);
   /// lets the API charge heavy endpoints more than status probes.
   std::function<double(const HttpRequest&)> request_cost;
+  /// Requests exempt from token-bucket policing (the bounded admission
+  /// queue still applies — liveness probes must never be starved by a
+  /// throttled client, but they also must not bypass overload
+  /// protection). api::with_api_policy installs one for /v1/healthz.
+  std::function<bool(const HttpRequest&)> police_exempt;
   /// Use the poll(2) backend even where epoll is available.
   bool force_poll = false;
   ParseLimits limits;
+  /// Registry hosting the bat_http_* series; null makes a private one
+  /// (per-instance getters keep working either way).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 class HttpServer {
@@ -119,24 +128,26 @@ class HttpServer {
   [[nodiscard]] std::uint16_t port() const noexcept { return port_.load(); }
   [[nodiscard]] bool running() const noexcept { return running_.load(); }
 
-  // ----------------------------------------------------------- stats --
+  // ------------------------------------------------------------ stats --
+  // Telemetry counters live on the metrics registry (bat_http_*); the
+  // getters read the same series /v1/metrics renders.
   [[nodiscard]] std::uint64_t connections_accepted() const noexcept {
-    return accepted_.load();
+    return accepted_total_->value();
   }
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
-    return served_.load();
+    return served_total_->value();
   }
   /// Requests answered 429 by the token-bucket/quota layer.
   [[nodiscard]] std::uint64_t requests_rate_limited() const noexcept {
-    return rate_limited_.load();
+    return rate_limited_total_->value();
   }
   /// Requests answered 503 by the bounded admission queue.
   [[nodiscard]] std::uint64_t requests_shed() const noexcept {
-    return shed_.load();
+    return shed_total_->value();
   }
   /// Connections answered 503 + close at the max_connections cap.
   [[nodiscard]] std::uint64_t connections_over_capacity() const noexcept {
-    return over_capacity_.load();
+    return over_capacity_total_->value();
   }
   [[nodiscard]] std::uint64_t connections_open() const noexcept {
     return open_connections_.load();
@@ -184,14 +195,21 @@ class HttpServer {
 
   std::atomic<std::size_t> next_shard_{0};
   std::atomic<std::uint64_t> next_conn_id_{1};
+  // Control state, NOT telemetry: max_connections and admission
+  // enforcement read these, so they must survive BAT_OBS_OFF. The
+  // open-connections gauge below exposes the same atomic at scrape.
   std::atomic<std::uint64_t> open_connections_{0};
   std::atomic<std::uint64_t> in_flight_{0};
 
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> served_{0};
-  std::atomic<std::uint64_t> rate_limited_{0};
-  std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::uint64_t> over_capacity_{0};
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* accepted_total_;
+  obs::Counter* served_total_;
+  obs::Counter* rate_limited_total_;
+  obs::Counter* shed_total_;
+  obs::Counter* over_capacity_total_;
+  obs::Histogram* request_duration_;
+  // Declared last: unregisters before the atomics it reads die.
+  obs::CallbackGuard open_connections_gauge_;
 };
 
 }  // namespace bat::net

@@ -60,8 +60,12 @@ bool TokenBucket::full(std::uint64_t now_ns) const {
   return tokens(now_ns) >= burst_;
 }
 
-RateLimiter::RateLimiter(RateLimitOptions options, Clock clock)
-    : options_(options), clock_(std::move(clock)) {
+RateLimiter::RateLimiter(RateLimitOptions options, Clock clock,
+                         std::shared_ptr<obs::MetricsRegistry> metrics)
+    : options_(options),
+      clock_(std::move(clock)),
+      metrics_(metrics ? std::move(metrics)
+                       : std::make_shared<obs::MetricsRegistry>()) {
   if (!clock_) clock_ = steady_now_ns;
   if (options_.per_client_burst <= 0.0) {
     options_.per_client_burst = options_.per_client_rps;
@@ -73,6 +77,25 @@ RateLimiter::RateLimiter(RateLimitOptions options, Clock clock)
       std::clamp(options_.group_prefix_bits, 0, 32);
   options_.max_tracked_clients =
       std::max<std::size_t>(options_.max_tracked_clients, 16);
+
+  allowed_total_ = metrics_->counter(
+      "bat_ratelimit_allowed_total", "Requests admitted by the rate limiter");
+  denied_client_total_ =
+      metrics_->counter("bat_ratelimit_denied_total",
+                        "Requests denied by the rate limiter, by scope",
+                        {{"scope", "client"}});
+  denied_group_total_ =
+      metrics_->counter("bat_ratelimit_denied_total",
+                        "Requests denied by the rate limiter, by scope",
+                        {{"scope", "group"}});
+  exempt_total_ = metrics_->counter(
+      "bat_ratelimit_exempt_total",
+      "Requests admitted via the exemption predicate without charge");
+  tracked_clients_gauge_ = metrics_->callback(
+      "bat_ratelimit_tracked_clients",
+      "Client token buckets currently tracked",
+      obs::MetricsRegistry::CallbackKind::kGauge, {},
+      [this] { return static_cast<double>(tracked_clients()); });
 }
 
 std::uint32_t RateLimiter::group_of(std::uint32_t ipv4) const noexcept {
@@ -100,7 +123,10 @@ void RateLimiter::evict_idle_clients(std::uint64_t now_ns) {
 
 Admission RateLimiter::admit(std::uint32_t client_ipv4, double cost) {
   if (!options_.enabled()) return {};
-  if (options_.exempt && options_.exempt(client_ipv4)) return {};
+  if (options_.exempt && options_.exempt(client_ipv4)) {
+    exempt_total_->add();
+    return {};
+  }
   const std::uint64_t now = clock_();
   std::lock_guard lock(mutex_);
 
@@ -111,6 +137,7 @@ Admission RateLimiter::admit(std::uint32_t client_ipv4, double cost) {
       evict_idle_clients(now);
       if (clients_.size() >= options_.max_tracked_clients) {
         // Saturated tracker: fail closed with a short, fixed hint.
+        denied_client_total_->add();
         return {false, 1.0, "client"};
       }
       it = clients_
@@ -121,6 +148,7 @@ Admission RateLimiter::admit(std::uint32_t client_ipv4, double cost) {
     }
     client = &it->second;
     if (client->tokens(now) < cost) {
+      denied_client_total_->add();
       return {false, client->retry_after_seconds(now, cost), "client"};
     }
   }
@@ -137,6 +165,7 @@ Admission RateLimiter::admit(std::uint32_t client_ipv4, double cost) {
           g = g->second.full(now) ? groups_.erase(g) : std::next(g);
         }
         if (groups_.size() >= options_.max_tracked_clients) {
+          denied_group_total_->add();
           return {false, 1.0, "group"};
         }
       }
@@ -147,6 +176,7 @@ Admission RateLimiter::admit(std::uint32_t client_ipv4, double cost) {
     }
     group = &it->second;
     if (group->tokens(now) < cost) {
+      denied_group_total_->add();
       return {false, group->retry_after_seconds(now, cost), "group"};
     }
   }
@@ -154,6 +184,7 @@ Admission RateLimiter::admit(std::uint32_t client_ipv4, double cost) {
   // Both scopes admit: charge both (checked above, so these succeed).
   if (client != nullptr) (void)client->try_acquire(now, cost);
   if (group != nullptr) (void)group->try_acquire(now, cost);
+  allowed_total_->add();
   return {};
 }
 

@@ -35,8 +35,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
+
+#include "obs/metrics.hpp"
 
 namespace bat::net {
 
@@ -107,7 +110,10 @@ class RateLimiter {
   /// Monotonic nanoseconds. The default reads std::chrono::steady_clock.
   using Clock = std::function<std::uint64_t()>;
 
-  explicit RateLimiter(RateLimitOptions options, Clock clock = {});
+  /// `metrics` hosts the bat_ratelimit_* series; null makes a private
+  /// registry so standalone limiters (tests) still count correctly.
+  explicit RateLimiter(RateLimitOptions options, Clock clock = {},
+                       std::shared_ptr<obs::MetricsRegistry> metrics = {});
 
   /// Charges one request of `cost` tokens from `client_ipv4` (host
   /// byte order). Both scopes must admit before either is charged.
@@ -131,6 +137,14 @@ class RateLimiter {
   mutable std::mutex mutex_;
   std::unordered_map<std::uint32_t, TokenBucket> clients_;
   std::unordered_map<std::uint32_t, TokenBucket> groups_;
+
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* allowed_total_;
+  obs::Counter* denied_client_total_;
+  obs::Counter* denied_group_total_;
+  obs::Counter* exempt_total_;
+  // Declared last: unregisters before mutex_/clients_ die.
+  obs::CallbackGuard tracked_clients_gauge_;
 };
 
 }  // namespace bat::net

@@ -1,0 +1,20 @@
+#include "obs/build_info.hpp"
+
+#include "obs/trace.hpp"
+
+#ifndef BAT_BUILD_ID
+#define BAT_BUILD_ID "unknown"
+#endif
+
+namespace bat::obs {
+
+const std::string& build_id() {
+  static const std::string id = BAT_BUILD_ID;
+  return id;
+}
+
+double uptime_seconds() {
+  return static_cast<double>(monotonic_now_ns()) / 1e9;
+}
+
+}  // namespace bat::obs

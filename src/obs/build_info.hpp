@@ -1,0 +1,15 @@
+// Build/process identity for /v1/healthz and bat_build_info.
+#pragma once
+
+#include <string>
+
+namespace bat::obs {
+
+/// `git describe --always --dirty` of the checkout this library was
+/// configured from (CMake injects BAT_BUILD_ID); "unknown" without git.
+[[nodiscard]] const std::string& build_id();
+
+/// Seconds since process start (monotonic).
+[[nodiscard]] double uptime_seconds();
+
+}  // namespace bat::obs

@@ -1,0 +1,386 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace bat::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// Canonical label signature: rendered exactly as exposed, which makes
+/// it both the dedup key and the deterministic series sort key.
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string label_signature(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Prometheus sample value: integral values print without an exponent
+/// or trailing zeros ("5", not "5.0"); everything else as shortest %g.
+std::string format_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+/// `le` bound formatting: same rule as sample values, so goldens stay
+/// stable ("0.001", "4096", "+Inf").
+std::string format_bound(double v) { return format_value(v); }
+
+}  // namespace
+
+// ----------------------------------------------------------- Histogram --
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("histogram: needs at least one boundary");
+  }
+  for (std::size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    if (!(bounds_[i] < bounds_[i + 1])) {
+      throw std::invalid_argument(
+          "histogram: boundaries must be strictly increasing");
+    }
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  std::uint64_t total = 0;
+  for (const auto b : buckets) total += b;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t prev = cum;
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= target && buckets[i] > 0) {
+      if (i >= bounds.size()) return bounds.back();  // +Inf bucket
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double within =
+          (target - static_cast<double>(prev)) /
+          static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+  }
+  return bounds.back();
+}
+
+std::vector<double> Histogram::exponential(double start, double factor,
+                                           std::size_t n) {
+  if (!(start > 0.0) || !(factor > 1.0) || n == 0) {
+    throw std::invalid_argument("histogram: bad exponential bucket spec");
+  }
+  std::vector<double> out;
+  out.reserve(n);
+  double v = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+// ------------------------------------------------------- CallbackGuard --
+
+CallbackGuard::CallbackGuard(CallbackGuard&& other) noexcept
+    : registry_(other.registry_),
+      name_(std::move(other.name_)),
+      id_(other.id_) {
+  other.registry_ = nullptr;
+  other.id_ = 0;
+}
+
+CallbackGuard& CallbackGuard::operator=(CallbackGuard&& other) noexcept {
+  if (this != &other) {
+    release();
+    registry_ = other.registry_;
+    name_ = std::move(other.name_);
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+CallbackGuard::~CallbackGuard() { release(); }
+
+void CallbackGuard::release() {
+  if (registry_ != nullptr && id_ != 0) {
+    registry_->remove_callback(name_, id_);
+  }
+  registry_ = nullptr;
+  id_ = 0;
+}
+
+// ----------------------------------------------------- MetricsRegistry --
+
+MetricsRegistry::Family& MetricsRegistry::family_locked(
+    const std::string& name, const std::string& help, Kind kind) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("metrics: invalid metric name '" + name + "'");
+  }
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.help = help;
+    it->second.kind = kind;
+  } else if (it->second.kind != kind) {
+    throw std::invalid_argument("metrics: '" + name +
+                                "' re-registered as a different kind");
+  }
+  return it->second;
+}
+
+MetricsRegistry::Series* MetricsRegistry::find_series_locked(
+    Family& family, const std::string& key) {
+  for (const auto& s : family.series) {
+    if (s->label_key == key) return s.get();
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help, Labels labels) {
+  std::lock_guard lock(mutex_);
+  Family& family = family_locked(name, help, Kind::kCounter);
+  const std::string key = label_signature(labels);
+  if (Series* existing = find_series_locked(family, key)) {
+    return existing->counter.get();
+  }
+  auto series = std::make_unique<Series>();
+  series->labels = std::move(labels);
+  series->label_key = key;
+  series->counter = std::make_unique<Counter>();
+  Counter* out = series->counter.get();
+  family.series.push_back(std::move(series));
+  return out;
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              Labels labels) {
+  std::lock_guard lock(mutex_);
+  Family& family = family_locked(name, help, Kind::kGauge);
+  const std::string key = label_signature(labels);
+  if (Series* existing = find_series_locked(family, key)) {
+    return existing->gauge.get();
+  }
+  auto series = std::make_unique<Series>();
+  series->labels = std::move(labels);
+  series->label_key = key;
+  series->gauge = std::make_unique<Gauge>();
+  Gauge* out = series->gauge.get();
+  family.series.push_back(std::move(series));
+  return out;
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> bounds,
+                                      Labels labels) {
+  std::lock_guard lock(mutex_);
+  Family& family = family_locked(name, help, Kind::kHistogram);
+  const std::string key = label_signature(labels);
+  if (Series* existing = find_series_locked(family, key)) {
+    if (existing->histogram->bounds() != bounds) {
+      throw std::invalid_argument("metrics: '" + name +
+                                  "' re-registered with different buckets");
+    }
+    return existing->histogram.get();
+  }
+  auto series = std::make_unique<Series>();
+  series->labels = std::move(labels);
+  series->label_key = key;
+  series->histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram* out = series->histogram.get();
+  family.series.push_back(std::move(series));
+  return out;
+}
+
+CallbackGuard MetricsRegistry::callback(const std::string& name,
+                                        const std::string& help,
+                                        CallbackKind kind, Labels labels,
+                                        std::function<double()> fn) {
+  if (!fn) throw std::invalid_argument("metrics: callback must be callable");
+  std::lock_guard lock(mutex_);
+  Family& family = family_locked(name, help, Kind::kCallback);
+  if (!family.series.empty() && family.callback_kind != kind) {
+    throw std::invalid_argument("metrics: '" + name +
+                                "' callbacks disagree on counter vs gauge");
+  }
+  family.callback_kind = kind;
+  const std::string key = label_signature(labels);
+  if (find_series_locked(family, key) != nullptr) {
+    throw std::invalid_argument("metrics: duplicate callback series '" + name +
+                                key + "'");
+  }
+  auto series = std::make_unique<Series>();
+  series->labels = std::move(labels);
+  series->label_key = key;
+  series->fn = std::move(fn);
+  series->callback_id = next_callback_id_++;
+  const std::uint64_t id = series->callback_id;
+  family.series.push_back(std::move(series));
+  return CallbackGuard(this, name, id);
+}
+
+void MetricsRegistry::remove_callback(const std::string& name,
+                                      std::uint64_t id) {
+  std::lock_guard lock(mutex_);
+  const auto it = families_.find(name);
+  if (it == families_.end()) return;
+  auto& series = it->second.series;
+  series.erase(std::remove_if(series.begin(), series.end(),
+                              [&](const std::unique_ptr<Series>& s) {
+                                return s->callback_id == id;
+                              }),
+               series.end());
+  if (series.empty() && it->second.kind == Kind::kCallback) {
+    families_.erase(it);
+  }
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, family] : families_) {
+    if (family.series.empty()) continue;
+    out += "# HELP " + name + " " + escape_help(family.help) + "\n";
+    const char* type = "untyped";
+    switch (family.kind) {
+      case Kind::kCounter: type = "counter"; break;
+      case Kind::kGauge: type = "gauge"; break;
+      case Kind::kHistogram: type = "histogram"; break;
+      case Kind::kCallback:
+        type = family.callback_kind == CallbackKind::kCounter ? "counter"
+                                                              : "gauge";
+        break;
+    }
+    out += "# TYPE " + name + " " + type + "\n";
+
+    // Deterministic series order within the family.
+    std::vector<const Series*> ordered;
+    ordered.reserve(family.series.size());
+    for (const auto& s : family.series) ordered.push_back(s.get());
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Series* a, const Series* b) {
+                return a->label_key < b->label_key;
+              });
+
+    for (const Series* s : ordered) {
+      if (family.kind == Kind::kHistogram) {
+        const auto snap = s->histogram->snapshot();
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+          cum += snap.buckets[i];
+          Labels with_le = s->labels;
+          with_le.emplace_back("le", i < snap.bounds.size()
+                                         ? format_bound(snap.bounds[i])
+                                         : "+Inf");
+          out += name + "_bucket" + label_signature(with_le) + " " +
+                 std::to_string(cum) + "\n";
+        }
+        out += name + "_sum" + s->label_key + " " + format_value(snap.sum) +
+               "\n";
+        out += name + "_count" + s->label_key + " " + std::to_string(cum) +
+               "\n";
+        continue;
+      }
+      double value = 0.0;
+      switch (family.kind) {
+        case Kind::kCounter:
+          value = static_cast<double>(s->counter->value());
+          break;
+        case Kind::kGauge:
+          value = static_cast<double>(s->gauge->value());
+          break;
+        case Kind::kCallback:
+          value = s->fn();
+          break;
+        case Kind::kHistogram:
+          break;  // handled above
+      }
+      out += name + s->label_key + " " + format_value(value) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace bat::obs

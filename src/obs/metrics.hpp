@@ -1,0 +1,234 @@
+// MetricsRegistry: the process's one vocabulary for counters, gauges
+// and latency histograms — every subsystem's ad-hoc atomics migrated
+// here so /v1/stats, /v1/metrics and dashboards read the same numbers.
+//
+// Design rules (docs/observability.md is the operator-facing story):
+//
+//   * registration happens at startup (constructors), the hot path is
+//     ONE relaxed atomic op on a pre-resolved handle — no map lookup,
+//     no lock, no allocation. counter()/gauge()/histogram() get-or-
+//     create: the same (name, labels) pair always returns the same
+//     handle, so two instruments of the same series aggregate;
+//   * histograms use fixed boundaries (log-scale via exponential())
+//     chosen at registration: observe() is a short linear scan plus
+//     two relaxed adds, and p50/p99 come from bucket interpolation
+//     (Snapshot::quantile) — no reservoir, no per-observation heap;
+//   * scrape-time series (callback()) render a value computed at
+//     exposition time — the bridge for counters that already live
+//     elsewhere (journal stats, per-workload cache aggregates), which
+//     keeps a single source of truth instead of double bookkeeping;
+//   * render_prometheus() emits text format 0.0.4 (golden-tested in
+//     tests/obs_metrics_test.cpp): families sorted by name, series by
+//     label signature, histograms as cumulative le-buckets + _sum +
+//     _count.
+//
+// Compile-time kill switch: with BAT_OBS_OFF defined every mutation
+// (add/set/observe) compiles to nothing — the baseline the
+// bench/obs_overhead 1.03x gate measures against. Registration and
+// rendering still work (series expose zeros), and control-flow state
+// (connection caps, admission queues) deliberately does NOT live here
+// so the switch can never change behavior.
+//
+// Thread-safety: registration and rendering serialize on one mutex;
+// handle mutations are lock-free relaxed atomics and safe from any
+// thread. Handles stay valid for the registry's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bat::obs {
+
+/// Label set for one series ({{"scope","client"}, ...}). Order given
+/// at registration is preserved in the exposition.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. The only mutation is add(); value() is exact.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+#ifndef BAT_OBS_OFF
+    v_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Settable signed gauge (telemetry only — never store control state
+/// here: BAT_OBS_OFF turns every mutation into a no-op).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+#ifndef BAT_OBS_OFF
+    v_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void add(std::int64_t d) noexcept {
+#ifndef BAT_OBS_OFF
+    v_.fetch_add(d, std::memory_order_relaxed);
+#else
+    (void)d;
+#endif
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-boundary histogram. Boundaries are upper bucket edges in
+/// ascending order; an implicit +Inf bucket catches the rest.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument unless `bounds` is non-empty and
+  /// strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept {
+#ifndef BAT_OBS_OFF
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (+Inf last)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+
+    /// Linear interpolation inside the bucket holding the q-quantile
+    /// (q in [0,1]); 0 when empty, the last finite bound when the
+    /// quantile lands in +Inf.
+    [[nodiscard]] double quantile(double q) const;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+
+  /// n log-scale boundaries: start, start*factor, start*factor^2, ...
+  [[nodiscard]] static std::vector<double> exponential(double start,
+                                                       double factor,
+                                                       std::size_t n);
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry;
+
+/// RAII registration of a scrape-time callback series; unregisters on
+/// destruction, so holders can capture `this` safely (destroy the
+/// guard before whatever the callback reads — member order does it).
+class CallbackGuard {
+ public:
+  CallbackGuard() = default;
+  CallbackGuard(CallbackGuard&& other) noexcept;
+  CallbackGuard& operator=(CallbackGuard&& other) noexcept;
+  ~CallbackGuard();
+
+  CallbackGuard(const CallbackGuard&) = delete;
+  CallbackGuard& operator=(const CallbackGuard&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  CallbackGuard(MetricsRegistry* registry, std::string name,
+                std::uint64_t id)
+      : registry_(registry), name_(std::move(name)), id_(id) {}
+  void release();
+
+  MetricsRegistry* registry_ = nullptr;
+  std::string name_;
+  std::uint64_t id_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create. Same (name, labels) -> same handle; a name
+  /// registered as a different kind (or a histogram with different
+  /// bounds) throws std::invalid_argument. Names must match
+  /// [a-zA-Z_:][a-zA-Z0-9_:]*.
+  Counter* counter(const std::string& name, const std::string& help,
+                   Labels labels = {});
+  Gauge* gauge(const std::string& name, const std::string& help,
+               Labels labels = {});
+  Histogram* histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds, Labels labels = {});
+
+  enum class CallbackKind { kCounter, kGauge };
+  /// Scrape-time series: `fn` runs under the registry mutex at every
+  /// render — keep it cheap and never let it call back into this
+  /// registry. The guard unregisters it.
+  [[nodiscard]] CallbackGuard callback(const std::string& name,
+                                       const std::string& help,
+                                       CallbackKind kind, Labels labels,
+                                       std::function<double()> fn);
+
+  /// Prometheus text format 0.0.4. Deterministic: families sorted by
+  /// name, series by label signature.
+  [[nodiscard]] std::string render_prometheus() const;
+
+ private:
+  friend class CallbackGuard;
+
+  enum class Kind { kCounter, kGauge, kHistogram, kCallback };
+
+  struct Series {
+    Labels labels;
+    std::string label_key;  // canonical signature for dedup + ordering
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> fn;
+    std::uint64_t callback_id = 0;
+  };
+  struct Family {
+    std::string help;
+    Kind kind = Kind::kCounter;
+    CallbackKind callback_kind = CallbackKind::kCounter;
+    std::vector<std::unique_ptr<Series>> series;
+  };
+
+  Family& family_locked(const std::string& name, const std::string& help,
+                        Kind kind);
+  Series* find_series_locked(Family& family, const std::string& key);
+  void remove_callback(const std::string& name, std::uint64_t id);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+  std::uint64_t next_callback_id_ = 1;
+};
+
+}  // namespace bat::obs

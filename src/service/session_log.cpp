@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/trace.hpp"
+#include "obs/trace.hpp"
 
 namespace bat::service {
 
@@ -249,6 +250,32 @@ SessionLog::SessionLog(SessionLogOptions options)
       pending_.push_back(PendingSession{id, entry.spec});
     }
   }
+
+  metrics_ = options_.metrics ? options_.metrics
+                              : std::make_shared<obs::MetricsRegistry>();
+  commit_duration_ = metrics_->histogram(
+      "bat_journal_commit_duration_seconds",
+      "Append + fsync wall time per journaled record",
+      obs::Histogram::exponential(5e-5, 2.0, 15));
+  using CallbackKind = obs::MetricsRegistry::CallbackKind;
+  const auto bridge = [this](const char* name, const char* help,
+                             CallbackKind kind, auto getter) {
+    metric_guards_.push_back(metrics_->callback(
+        name, help, kind, {},
+        [this, getter] { return static_cast<double>(getter(*journal_)); }));
+  };
+  bridge("bat_journal_file_bytes", "Current journal file size",
+         CallbackKind::kGauge,
+         [](const io::Journal& j) { return j.stats().file_bytes; });
+  bridge("bat_journal_records_appended_total", "Records appended",
+         CallbackKind::kCounter,
+         [](const io::Journal& j) { return j.stats().records_appended; });
+  bridge("bat_journal_commits_total", "Durable commits (fsync)",
+         CallbackKind::kCounter,
+         [](const io::Journal& j) { return j.stats().commits; });
+  bridge("bat_journal_checkpoints_total", "Compacting checkpoints",
+         CallbackKind::kCounter,
+         [](const io::Journal& j) { return j.stats().checkpoints; });
 }
 
 void SessionLog::record_submit(std::uint64_t id, const SessionSpec& spec) {
@@ -263,8 +290,16 @@ void SessionLog::record_submit(std::uint64_t id, const SessionSpec& spec) {
     std::lock_guard lock(mutex_);
     sessions_[id] = Entry{spec, std::nullopt};
   }
+  obs::ScopedSpan span("journal.submit");
+#ifndef BAT_OBS_OFF
+  const std::uint64_t start_ns = obs::monotonic_now_ns();
+#endif
   journal_->append(kSubmitRecord, encode_submit(id, spec));
   journal_->commit();  // durable before the id is acknowledged
+#ifndef BAT_OBS_OFF
+  commit_duration_->observe(
+      static_cast<double>(obs::monotonic_now_ns() - start_ns) / 1e9);
+#endif
 }
 
 std::vector<std::uint64_t> SessionLog::record_result(
@@ -276,8 +311,16 @@ std::vector<std::uint64_t> SessionLog::record_result(
       const auto it = sessions_.find(id);
       if (it != sessions_.end()) it->second.result = result;
     }
+    obs::ScopedSpan span("journal.result");
+#ifndef BAT_OBS_OFF
+    const std::uint64_t start_ns = obs::monotonic_now_ns();
+#endif
     journal_->append(kResultRecord, encode_result(id, result));
     journal_->commit();
+#ifndef BAT_OBS_OFF
+    commit_duration_->observe(
+        static_cast<double>(obs::monotonic_now_ns() - start_ns) / 1e9);
+#endif
     if (journal_->stats().file_bytes <= options_.checkpoint_bytes) return {};
   }
   std::unique_lock log(log_mutex_);

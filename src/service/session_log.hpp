@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "io/journal.hpp"
+#include "obs/metrics.hpp"
 #include "service/session.hpp"
 
 namespace bat::service {
@@ -71,6 +72,10 @@ struct SessionLogOptions {
   /// Journal size that triggers a compacting checkpoint on the next
   /// record_result.
   std::uint64_t checkpoint_bytes = 256 * 1024;
+  /// Registry hosting the bat_journal_* series; null makes a private
+  /// one. The counters are scrape-time bridges over io::Journal::stats
+  /// — the journal stays the single source of truth.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /// The /v1/stats "durability" section, aggregated by TuningService.
@@ -175,6 +180,12 @@ class SessionLog {
   mutable std::mutex mutex_;
   std::map<std::uint64_t, Entry> sessions_;  // journal's logical content
   std::uint64_t evicted_completed_ = 0;
+
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Histogram* commit_duration_ = nullptr;
+  // Declared last: the callbacks read journal_ and must unregister
+  // before it dies.
+  std::vector<obs::CallbackGuard> metric_guards_;
 };
 
 }  // namespace bat::service

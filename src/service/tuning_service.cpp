@@ -9,6 +9,7 @@
 #include "core/runner.hpp"
 #include "io/replay_view.hpp"
 #include "kernels/all_kernels.hpp"
+#include "obs/trace.hpp"
 
 namespace bat::service {
 
@@ -33,24 +34,114 @@ TuningService::TuningService(ServiceOptions options)
   // queue_capacity = 0 would make every submit() block forever on the
   // backlog predicate; treat it as "minimal backlog", not a deadlock.
   options_.queue_capacity = std::max<std::size_t>(1, options_.queue_capacity);
+  metrics_ = options_.metrics ? options_.metrics
+                              : std::make_shared<obs::MetricsRegistry>();
+  register_metrics();
   if (!options_.journal_dir.empty()) {
     SessionLogOptions log_options;
     log_options.dir = options_.journal_dir;
     log_options.retain_completed = options_.journal_retain_completed;
     log_options.checkpoint_bytes = options_.journal_checkpoint_bytes;
+    log_options.metrics = metrics_;
     log_ = std::make_unique<SessionLog>(std::move(log_options));
     recover_from_journal();
   }
 }
 
+void TuningService::register_metrics() {
+  submitted_total_ = metrics_->counter("bat_sessions_submitted_total",
+                                       "Sessions submitted (lifetime)");
+  const std::string finished_help = "Sessions finished, by terminal status";
+  finished_completed_ =
+      metrics_->counter("bat_sessions_finished_total", finished_help,
+                        {{"status", "completed"}});
+  finished_failed_ = metrics_->counter("bat_sessions_finished_total",
+                                       finished_help, {{"status", "failed"}});
+  finished_cancelled_ =
+      metrics_->counter("bat_sessions_finished_total", finished_help,
+                        {{"status", "cancelled"}});
+  // 1ms..~2200s log-scale: replay probes to marathon live sessions.
+  session_duration_ = metrics_->histogram(
+      "bat_session_duration_seconds", "Session wall time, any terminal status",
+      obs::Histogram::exponential(1e-3, 3.0, 14));
+
+  using CallbackKind = obs::MetricsRegistry::CallbackKind;
+  const auto add = [this](const char* name, const char* help,
+                          CallbackKind kind, std::function<double()> fn) {
+    metric_guards_.push_back(
+        metrics_->callback(name, help, kind, {}, std::move(fn)));
+  };
+  add("bat_sessions_active", "Sessions submitted but not finished",
+      CallbackKind::kGauge,
+      [this] { return static_cast<double>(sessions_active()); });
+  add("bat_sessions_queued", "Sessions waiting for a worker",
+      CallbackKind::kGauge, [this] {
+        std::lock_guard lock(mutex_);
+        return static_cast<double>(queued_);
+      });
+  // Cache and jit series bridge the per-workload aggregations — the
+  // same single source of truth /v1/stats reports.
+  const auto cache_series = [&](const char* name, const char* help,
+                                auto getter) {
+    add(name, help, CallbackKind::kCounter, [this, getter] {
+      return static_cast<double>(getter(cache_stats()));
+    });
+  };
+  using CacheStats = ShardedMeasurementCache::Stats;
+  cache_series("bat_cache_lookups_total", "Shared-cache lookups",
+               [](const CacheStats& s) { return s.lookups; });
+  cache_series("bat_cache_hits_total", "Shared-cache hits",
+               [](const CacheStats& s) { return s.hits; });
+  cache_series("bat_cache_waited_total",
+               "Lookups that waited on a concurrent evaluation",
+               [](const CacheStats& s) { return s.waited; });
+  cache_series("bat_cache_evaluations_total",
+               "Evaluations performed through the shared cache",
+               [](const CacheStats& s) { return s.evaluations; });
+  cache_series("bat_cache_abandoned_total", "Abandoned claims",
+               [](const CacheStats& s) { return s.abandoned; });
+  cache_series("bat_cache_cross_session_hits_total",
+               "Hits + waits served by another session's work",
+               [](const CacheStats& s) { return s.cross_session_hits(); });
+  const auto jit_series = [&](const char* name, const char* help,
+                              auto getter) {
+    add(name, help, CallbackKind::kCounter, [this, getter] {
+      return static_cast<double>(getter(jit_stats()));
+    });
+  };
+  using JitStats = jit::BackendStats;
+  jit_series("bat_jit_evaluations_total", "Configs dispatched through a .so",
+             [](const JitStats& s) { return s.evaluations; });
+  jit_series("bat_jit_fallback_evals_total",
+             "Configs served by the live fallback",
+             [](const JitStats& s) { return s.fallback_evals; });
+  jit_series("bat_jit_compiles_total", "JIT compiles",
+             [](const JitStats& s) { return s.compiles; });
+  jit_series("bat_jit_compile_failures_total", "JIT compile failures",
+             [](const JitStats& s) { return s.compile_failures; });
+  jit_series("bat_jit_artifact_cache_hits_total", "Artifact cache hits",
+             [](const JitStats& s) { return s.artifact_cache_hits; });
+  jit_series("bat_jit_artifact_cache_misses_total", "Artifact cache misses",
+             [](const JitStats& s) { return s.artifact_cache_misses; });
+  jit_series("bat_jit_corrupt_rebuilds_total",
+             "Artifacts rebuilt after corruption",
+             [](const JitStats& s) { return s.corrupt_rebuilds; });
+  jit_series("bat_jit_evictions_total", "Artifacts evicted (LRU)",
+             [](const JitStats& s) { return s.evictions; });
+  add("bat_jit_backends", "JIT workload backends built",
+      CallbackKind::kGauge,
+      [this] { return static_cast<double>(jit_stats().backends); });
+}
+
 TuningService::~TuningService() { shutdown(); }
 
 std::future<SessionResult> TuningService::submit(SessionSpec spec) {
-  return enqueue(std::move(spec), 0);
+  return enqueue(std::move(spec), 0, 0);
 }
 
 std::future<SessionResult> TuningService::enqueue(SessionSpec spec,
-                                                  std::uint64_t id) {
+                                                  std::uint64_t id,
+                                                  std::uint64_t trace_id) {
   auto promise = std::make_shared<std::promise<SessionResult>>();
   auto future = promise->get_future();
   {
@@ -63,15 +154,23 @@ std::future<SessionResult> TuningService::enqueue(SessionSpec spec,
     }
     ++queued_;
     ++outstanding_;
-    ++submitted_;
   }
-  pool_.submit([this, id, promise, spec = std::move(spec)] {
+  submitted_total_->add();
+  pool_.submit([this, id, trace_id, promise, spec = std::move(spec)] {
     {
       std::lock_guard lock(mutex_);
       --queued_;
     }
     backlog_cv_.notify_one();
-    auto result = run_session(spec);  // never throws: failures in-band
+    // Re-enter the session's trace on the worker thread: evaluate,
+    // backend batches, jit compiles and the journal commit below all
+    // land on the timeline minted at submit.
+    obs::TraceScope trace(trace_id);
+    SessionResult result;
+    {
+      obs::ScopedSpan span("evaluate");
+      result = run_session(spec);  // never throws: failures in-band
+    }
     if (id != 0 && log_ && result.status != SessionStatus::kCancelled) {
       // Journal the terminal result *before* the future resolves:
       // once a client observed "done", a restart must agree. A
@@ -106,15 +205,22 @@ std::uint64_t TuningService::submit_tracked(SessionSpec spec) {
     std::lock_guard lock(jobs_mutex_);
     id = next_tracked_id_++;
   }
+  // Tracked sessions are the traced ones: the id minted here is what
+  // GET /v1/sessions/<id>/trace resolves, and the TraceScope makes the
+  // journal submit record a span on the same timeline.
+  const std::uint64_t trace_id = obs::mint_trace_id();
+  obs::TraceScope trace(trace_id);
+  obs::ScopedSpan span("submit");
   // Durability before acknowledgement: the submit record is fsynced
   // before the session is even queued, so a crash at any later point
   // recovers it. (If enqueue then throws — service shut down — the
   // journal keeps a pending entry that the *next* boot runs; the
   // caller saw an exception, not an id, so nothing was promised.)
   if (log_) log_->record_submit(id, spec);
-  auto future = enqueue(spec, id).share();
+  auto future = enqueue(spec, id, trace_id).share();
   std::lock_guard lock(jobs_mutex_);
-  jobs_.emplace(id, TrackedSession{std::move(spec), std::move(future)});
+  jobs_.emplace(id,
+                TrackedSession{std::move(spec), std::move(future), trace_id});
   return id;
 }
 
@@ -159,10 +265,13 @@ void TuningService::recover_from_journal() {
   // backlog while the pool drains — recovery of a big queue is just a
   // busy boot, not a deadlock.
   for (const auto& pending : log_->pending()) {
-    auto future = enqueue(pending.spec, pending.id).share();
+    // Recovered runs get a fresh trace: the pre-crash spans are gone
+    // with the old process, but the re-run's timeline is live.
+    const std::uint64_t trace_id = obs::mint_trace_id();
+    auto future = enqueue(pending.spec, pending.id, trace_id).share();
     std::lock_guard lock(jobs_mutex_);
     jobs_.emplace(pending.id,
-                  TrackedSession{pending.spec, std::move(future)});
+                  TrackedSession{pending.spec, std::move(future), trace_id});
   }
   next_tracked_id_ = std::max(next_tracked_id_, log_->next_id());
 }
@@ -185,8 +294,8 @@ SessionResult TuningService::run_inline(const SessionSpec& spec) {
       throw std::runtime_error("TuningService: run_inline after shutdown");
     }
     ++outstanding_;
-    ++submitted_;
   }
+  submitted_total_->add();
   auto result = run_session(spec);  // noexcept in practice: in-band errors
   {
     std::lock_guard lock(mutex_);
@@ -271,13 +380,17 @@ jit::BackendStats TuningService::jit_stats() const {
 }
 
 std::size_t TuningService::sessions_submitted() const {
-  std::lock_guard lock(mutex_);
-  return submitted_;
+  return static_cast<std::size_t>(submitted_total_->value());
 }
 
 std::size_t TuningService::sessions_active() const {
   std::lock_guard lock(mutex_);
   return outstanding_;
+}
+
+bool TuningService::accepting() const {
+  std::lock_guard lock(mutex_);
+  return accepting_;
 }
 
 SessionResult TuningService::run_session(const SessionSpec& spec) {
@@ -322,6 +435,12 @@ SessionResult TuningService::run_session(const SessionSpec& spec) {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
+  session_duration_->observe(result.wall_ms / 1000.0);
+  switch (result.status) {
+    case SessionStatus::kCompleted: finished_completed_->add(); break;
+    case SessionStatus::kFailed: finished_failed_->add(); break;
+    case SessionStatus::kCancelled: finished_cancelled_->add(); break;
+  }
   return result;
 }
 
@@ -400,6 +519,7 @@ void TuningService::build_workload(const SessionSpec& spec,
     jit::CompiledBackendOptions jit_options;
     jit_options.artifact_dir = options_.artifact_dir;
     jit_options.max_artifacts = options_.artifact_max_entries;
+    jit_options.metrics = metrics_;
     auto jit_backend = std::make_unique<jit::CompiledKernelBackend>(
         *kernel_bench, spec.device, std::move(jit_options));
     workload->jit = jit_backend.get();

@@ -60,6 +60,7 @@
 #include "io/dataset_repository.hpp"
 #include "io/dataset_view.hpp"
 #include "jit/compiled_backend.hpp"
+#include "obs/metrics.hpp"
 #include "service/session.hpp"
 #include "service/session_log.hpp"
 #include "service/sharded_cache.hpp"
@@ -109,6 +110,11 @@ struct ServiceOptions {
   std::string artifact_dir;
   /// LRU bound on on-disk jit artifacts per workload cache.
   std::size_t artifact_max_entries = 256;
+  /// Registry hosting the bat_sessions_*/bat_cache_*/bat_jit_* series;
+  /// null makes a private one. Forwarded into the session journal and
+  /// every jit backend the service builds, so one `tune serve` process
+  /// scrapes as one coherent surface.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 class TuningService {
@@ -129,6 +135,9 @@ class TuningService {
   struct TrackedSession {
     SessionSpec spec;
     std::shared_future<SessionResult> future;
+    /// The obs trace this session's spans record under (0 = untraced:
+    /// sessions restored as already-completed have no live timeline).
+    std::uint64_t trace_id = 0;
   };
 
   /// submit() plus registration in the id-keyed registry; returns the
@@ -194,6 +203,8 @@ class TuningService {
   [[nodiscard]] std::size_t workers() const noexcept { return pool_.size(); }
   [[nodiscard]] std::size_t sessions_submitted() const;
   [[nodiscard]] std::size_t sessions_active() const;
+  /// False once shutdown() has started — /v1/healthz reports draining.
+  [[nodiscard]] bool accepting() const;
 
  private:
   /// Everything sessions on one (kernel, device, backend) triple share.
@@ -229,9 +240,13 @@ class TuningService {
   void build_workload(const SessionSpec& spec, WorkloadSlot& slot);
   /// The shared submit path. id != 0 marks a tracked session whose
   /// terminal result is journaled (cancellations excepted) before its
-  /// future resolves.
+  /// future resolves. trace_id != 0 makes the worker record the
+  /// session's spans (evaluate, backend batches, jit compiles, journal
+  /// commits) under that trace.
   [[nodiscard]] std::future<SessionResult> enqueue(SessionSpec spec,
-                                                   std::uint64_t id);
+                                                   std::uint64_t id,
+                                                   std::uint64_t trace_id);
+  void register_metrics();
   /// Replays the journal into the registry: restores completed
   /// results as ready futures, resubmits pending sessions.
   void recover_from_journal();
@@ -251,13 +266,24 @@ class TuningService {
   std::condition_variable backlog_cv_;  // queued_ dropped below capacity
   std::condition_variable idle_cv_;     // outstanding_ reached zero
   bool accepting_ = true;
+  // Control state (backpressure + idle predicates), not telemetry —
+  // the lifetime submitted counter lives on the registry instead.
   std::size_t queued_ = 0;       // submitted, no worker picked it up yet
   std::size_t outstanding_ = 0;  // submitted, not finished
-  std::size_t submitted_ = 0;    // lifetime counter
   std::map<WorkloadKey, std::shared_ptr<WorkloadSlot>> workloads_;
   io::DatasetRepository repo_;
 
   std::atomic<bool> cancel_{false};
+
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* submitted_total_ = nullptr;
+  obs::Counter* finished_completed_ = nullptr;
+  obs::Counter* finished_failed_ = nullptr;
+  obs::Counter* finished_cancelled_ = nullptr;
+  obs::Histogram* session_duration_ = nullptr;
+  // Scrape-time bridges over cache_stats()/jit_stats()/queue state.
+  // Declared after everything they read (destroyed first).
+  std::vector<obs::CallbackGuard> metric_guards_;
 
   // Last member: destroyed first, so no worker can touch service state
   // after the maps above are gone (shutdown() has already drained it).

@@ -15,6 +15,9 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +25,7 @@
 #include "api/api_server.hpp"
 #include "common/json.hpp"
 #include "net/http_client.hpp"
+#include "obs/metrics.hpp"
 #include "service/session_json.hpp"
 #include "service/tuning_service.hpp"
 
@@ -227,6 +231,183 @@ TEST(ApiServer, SubmitAfterShutdownIs503) {
   EXPECT_EQ(response.status, 503);
   api.stop();
 }
+
+// ------------------------------------------------------- observability ----
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const auto dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Regression net for the /v1/stats contract: the registry migration
+/// must not rename, drop or re-nest a single pre-existing key —
+/// dashboards and tools/ci.sh parse these names.
+TEST(ApiServer, StatsKeysSurviveTheRegistryMigration) {
+  const auto journal_dir = fresh_dir("obs_stats_keys");
+  service::ServiceOptions options;
+  options.journal_dir = journal_dir.string();
+  service::TuningService svc(options);
+  ASSERT_EQ(svc.run_inline(small_spec(5)).status,
+            service::SessionStatus::kCompleted);
+  ApiServer api(svc);  // handle() directly: no sockets needed
+
+  net::HttpRequest req;
+  req.method = "GET";
+  req.target = "/v1/stats";
+  const auto response = api.handle(req);
+  ASSERT_EQ(response.status, 200);
+  const auto stats = Json::parse(response.body);
+
+  for (const auto* key :
+       {"workers", "sessions_submitted", "sessions_active", "cache", "jit",
+        "durability", "http"}) {
+    EXPECT_NE(stats.find(key), nullptr) << "missing top-level key " << key;
+  }
+  for (const auto* key : {"lookups", "hits", "waited", "evaluations",
+                          "abandoned", "cross_session_hits"}) {
+    EXPECT_NE(stats.at("cache").find(key), nullptr)
+        << "missing cache key " << key;
+  }
+  for (const auto* key :
+       {"connections_accepted", "requests_served", "connections_open",
+        "requests_rate_limited", "requests_shed",
+        "connections_over_capacity"}) {
+    EXPECT_NE(stats.at("http").find(key), nullptr)
+        << "missing http key " << key;
+  }
+  for (const auto* key :
+       {"backends", "evaluations", "fallback_evals", "compiles",
+        "compile_failures", "compile_ms", "artifact_cache_hits",
+        "artifact_cache_misses", "corrupt_rebuilds", "evictions"}) {
+    EXPECT_NE(stats.at("jit").find(key), nullptr)
+        << "missing jit key " << key;
+  }
+  ASSERT_TRUE(stats.at("durability").at("enabled").as_bool());
+  for (const auto* key :
+       {"journal_bytes", "records_appended", "commits", "checkpoints",
+        "recovered_pending", "restored_completed", "evicted_completed",
+        "replay_dropped_bytes"}) {
+    EXPECT_NE(stats.at("durability").find(key), nullptr)
+        << "missing durability key " << key;
+  }
+  EXPECT_EQ(stats.at("sessions_submitted").as_uint(), 1u);
+}
+
+TEST(ApiServer, MetricsEndpointRendersTheSharedRegistry) {
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+  service::ServiceOptions service_options;
+  service_options.metrics = metrics;
+  service::TuningService svc(service_options);
+  ASSERT_EQ(svc.run_inline(small_spec(3)).status,
+            service::SessionStatus::kCompleted);
+
+  ApiOptions api_options;
+  api_options.metrics = metrics;
+  ApiServer api(svc, api_options);
+
+  net::HttpRequest req;
+  req.method = "GET";
+  req.target = "/v1/metrics";
+  const auto response = api.handle(req);
+  ASSERT_EQ(response.status, 200);
+  ASSERT_FALSE(response.headers.empty());
+  EXPECT_EQ(response.headers.front().second,
+            "text/plain; version=0.0.4; charset=utf-8");
+  // One scrape carries every layer: service counters, the cache bridge,
+  // the transport's series, build identity and trace-ring accounting.
+  for (const auto* needle :
+       {"bat_sessions_submitted_total 1", "# TYPE bat_session_duration_seconds histogram",
+        "bat_cache_lookups_total", "bat_http_requests_total",
+        "bat_build_info{build_id=\"", "bat_uptime_seconds",
+        "bat_trace_spans_recorded_total"}) {
+    EXPECT_NE(response.body.find(needle), std::string::npos)
+        << "missing from exposition: " << needle << "\n" << response.body;
+  }
+
+  req.method = "POST";
+  EXPECT_EQ(api.handle(req).status, 405);
+}
+
+TEST(ApiServer, HealthzReportsReadyThenDraining) {
+  service::TuningService svc;
+  ApiServer api(svc);
+  net::HttpRequest req;
+  req.method = "GET";
+  req.target = "/v1/healthz";
+  const auto ready = Json::parse(api.handle(req).body);
+  EXPECT_EQ(ready.at("status").as_string(), "ready");
+  EXPECT_FALSE(ready.at("build_id").as_string().empty());
+  EXPECT_GE(ready.at("uptime_seconds").as_double(), 0.0);
+
+  svc.shutdown();
+  const auto draining = Json::parse(api.handle(req).body);
+  EXPECT_EQ(draining.at("status").as_string(), "draining");
+}
+
+#ifndef BAT_OBS_OFF
+/// The tentpole end-to-end: a tracked session's timeline must show the
+/// lifecycle phases in causal order — submit (with its nested journal
+/// fsync), the evaluate phase with backend batches inside it, and the
+/// terminal journal.result commit after evaluation finished.
+TEST(ApiServer, TrackedSessionTraceShowsLifecycleSpansInOrder) {
+  const auto journal_dir = fresh_dir("obs_trace_spans");
+  service::ServiceOptions options;
+  options.journal_dir = journal_dir.string();
+  service::TuningService svc(options);
+  ApiServer api(svc);
+
+  net::HttpRequest req;
+  req.method = "POST";
+  req.target = "/v1/sessions";
+  req.body = service::to_json(small_spec(11)).dump();
+  const auto submitted = api.handle(req);
+  ASSERT_EQ(submitted.status, 202);
+  const std::string id = Json::parse(submitted.body).at("id").as_string();
+  svc.wait_idle();
+
+  req.method = "GET";
+  req.target = "/v1/sessions/" + id + "/trace";
+  const auto response = api.handle(req);
+  ASSERT_EQ(response.status, 200);
+  const auto trace = Json::parse(response.body);
+  EXPECT_EQ(trace.at("id").as_string(), id);
+  EXPECT_GT(trace.at("trace_id").as_uint(), 0u);
+
+  const auto& spans = trace.at("spans").as_array();
+  auto first_start = [&](const std::string& name) -> std::int64_t {
+    for (const auto& span : spans) {
+      if (span.at("name").as_string() == name) {
+        return static_cast<std::int64_t>(span.at("start_us").as_uint());
+      }
+    }
+    return -1;
+  };
+  const auto submit_us = first_start("submit");
+  const auto journal_submit_us = first_start("journal.submit");
+  const auto evaluate_us = first_start("evaluate");
+  const auto batch_us = first_start("backend.batch");
+  const auto journal_result_us = first_start("journal.result");
+  ASSERT_GE(submit_us, 0) << response.body;
+  ASSERT_GE(journal_submit_us, 0) << response.body;
+  ASSERT_GE(evaluate_us, 0) << response.body;
+  ASSERT_GE(batch_us, 0) << response.body;
+  ASSERT_GE(journal_result_us, 0) << response.body;
+  EXPECT_LE(submit_us, journal_submit_us);
+  EXPECT_LE(submit_us, evaluate_us);
+  EXPECT_LE(evaluate_us, batch_us);
+  EXPECT_LE(batch_us, journal_result_us);
+
+  // Untracked ids have no trace; garbage ids are a client error.
+  req.target = "/v1/sessions/424242/trace";
+  EXPECT_EQ(api.handle(req).status, 404);
+  req.target = "/v1/sessions/xyz/trace";
+  EXPECT_EQ(api.handle(req).status, 400);
+}
+#endif  // BAT_OBS_OFF
 
 }  // namespace
 }  // namespace bat::api

@@ -7,10 +7,12 @@
 # durability stage (a journaled server killed mid-grid must recover
 # every submitted session id and converge to the uninterrupted
 # results), a jit stage (cold-then-warm compiled-backend runs over one
-# artifact cache plus the BENCH_jit.json warm-dispatch gate), a live
-# 3-node loopback cluster with gated dedup/relay benchmarks, finished
-# by a bench smoke stage that exercises the compiled-space paths end to
-# end on reduced sizes.
+# artifact cache plus the BENCH_jit.json warm-dispatch gate), an obs
+# stage (the bench built with and without -DBAT_OBS_OFF, gated at
+# 1.03x in BENCH_obs.json, plus a live Prometheus scrape of a running
+# server), a live 3-node loopback cluster with gated dedup/relay
+# benchmarks, finished by a bench smoke stage that exercises the
+# compiled-space paths end to end on reduced sizes.
 #
 #   $ tools/ci.sh [build_dir]
 set -euo pipefail
@@ -62,11 +64,15 @@ SAN_DIR="${BUILD_DIR}-asan"
 # jit_artifact_cache_test byte-flips and truncates real shared objects
 # and metadata; jit_backend_test drives dlopen'd code — both are places
 # where a stale pointer or over-read would otherwise go unnoticed.
+# obs_metrics_test renders the Prometheus exposition from concurrently
+# mutated instruments; api_http_test walks the trace ring through the
+# JSON serializer — both read shared buffers a bad index would corrupt.
 SAN_TESTS=(core_backend_test core_dataset_evaluator_test
            common_thread_pool_test core_compiled_space_test
            io_dataset_test common_json_test net_http_test
            net_rate_limit_test cluster_test io_journal_test
-           service_recovery_test jit_backend_test jit_artifact_cache_test)
+           service_recovery_test jit_backend_test jit_artifact_cache_test
+           obs_metrics_test api_http_test)
 cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DBAT_SANITIZE=ON
 cmake --build "${SAN_DIR}" -j "${JOBS}" --target "${SAN_TESTS[@]}"
 for t in "${SAN_TESTS[@]}"; do
@@ -91,10 +97,13 @@ TSAN_DIR="${BUILD_DIR}-tsan"
 # dedicated pool and hammers the fn-cache's shared_mutex from batch
 # workers; jit_artifact_cache_test races 8 threads through per-key
 # load-or-build.
+# obs_metrics_test hammers one counter/gauge/histogram and the trace
+# ring from 8 threads — the proof that "lock-cheap" means relaxed
+# atomics, not silent data races.
 TSAN_TESTS=(service_test common_thread_pool_test core_backend_test
             net_http_test net_rate_limit_test api_http_test cluster_test
             io_journal_test service_recovery_test jit_backend_test
-            jit_artifact_cache_test)
+            jit_artifact_cache_test obs_metrics_test)
 cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DBAT_SANITIZE_THREAD=ON
 cmake --build "${TSAN_DIR}" -j "${JOBS}" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
@@ -178,6 +187,72 @@ ok &= report["total_second_run_compiles"] == 0
 sys.exit(0 if ok else 1)
 EOF
 
+echo "=== obs overhead (BENCH_obs.json): instrumented vs BAT_OBS_OFF ==="
+# The observability tax, measured: the same bench binary built twice —
+# the release build (metrics + spans live by default) and a
+# -DBAT_OBS_OFF=ON twin with every mutation compiled out. Gate
+# (docs/observability.md): the end-to-end hot paths, warm-jit-dispatch
+# and http-rps (the live-loopback HTTP baseline), must stay within
+# 1.03x of the uninstrumented baseline. The micro scenarios
+# (counter-add, histogram-observe, cache-claim, http-handle) are
+# reported for trend-watching but not gated — a lone atomic add has no
+# meaningful "off" baseline to divide by, and the per-request span is
+# priced against a real request, not a bare in-process dispatch.
+OBS_OFF_DIR="${BUILD_DIR}-obsoff"
+cmake -B "${OBS_OFF_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DBAT_OBS_OFF=ON
+cmake --build "${OBS_OFF_DIR}" -j "${JOBS}" --target obs_overhead
+# Interleave 3 runs of each build and gate on the per-scenario minima:
+# each invocation is already min-of-N internally, and alternating the
+# binaries decorrelates slow machine drift from the on/off comparison
+# (a loaded CI box must not fail the gate, nor mask a regression).
+for i in 1 2 3; do
+  "${BUILD_DIR}/obs_overhead" --artifact-dir "${IO_TMP}/obs-on" \
+      --out "${IO_TMP}/obs_on_${i}.json"
+  "${OBS_OFF_DIR}/obs_overhead" --artifact-dir "${IO_TMP}/obs-off" \
+      --out "${IO_TMP}/obs_off_${i}.json"
+done
+IO_TMP="${IO_TMP}" python3 - <<'EOF'
+import json, os, sys
+tmp = os.environ["IO_TMP"]
+def minima(prefix, expect_enabled):
+    best = {}
+    for i in (1, 2, 3):
+        with open(f"{tmp}/{prefix}_{i}.json") as f:
+            report = json.load(f)
+        assert report["obs_enabled"] == expect_enabled
+        for name, scen in report["scenarios"].items():
+            best[name] = min(best.get(name, float("inf")),
+                             scen["per_repeat_ns"])
+    return best
+on = minima("obs_on", True)
+off = minima("obs_off", False)
+GATED = ("warm-jit-dispatch", "http-rps")
+GATE = 1.03
+merged = {"gate_max_ratio": GATE, "scenarios": {}}
+ok = True
+for name in sorted(on):
+    ratio = on[name] / off[name] if off[name] else 0.0
+    merged["scenarios"][name] = {
+        "on_ns": on[name],
+        "off_ns": off[name],
+        "ratio": ratio,
+        "gated": name in GATED,
+    }
+    flag = ""
+    if name in GATED and ratio > GATE:
+        ok = False
+        flag = f"  <-- over the {GATE}x gate"
+    print(f"{name:18s} on {on[name]:10.1f}ns  off {off[name]:10.1f}ns  "
+          f"ratio {ratio:5.2f}"
+          f"{' (gated)' if name in GATED else ''}{flag}")
+merged["ok"] = ok
+with open("BENCH_obs.json", "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print("obs overhead gate " + ("ok" if ok else "FAILED"))
+sys.exit(0 if ok else 1)
+EOF
+
 echo "=== net stage: serve + remote round trip over loopback ==="
 # Start the release server on an ephemeral port, drive it with the
 # remote client (sync gemm replay run, async submit/poll, stats), stop
@@ -203,6 +278,49 @@ SERVER="127.0.0.1:${NET_PORT}"
     | grep -q '"cross_session_hits": [1-9]' \
     || { echo "expected cross-session hits across remote clients"; exit 1; }
 "${BUILD_DIR}/tune" remote spaces --server "${SERVER}" > /dev/null
+
+# obs: the same live server must answer health, the operator summary
+# and a per-session span timeline, and its /v1/metrics exposition must
+# be *parseable* Prometheus text (0.0.4), not just non-empty.
+"${BUILD_DIR}/tune" remote health --server "${SERVER}" \
+    | grep -q '"status": "ready"' \
+    || { echo "/v1/healthz did not report ready"; exit 1; }
+"${BUILD_DIR}/tune" remote top --server "${SERVER}" > /dev/null
+"${BUILD_DIR}/tune" remote trace --server "${SERVER}" --id 1 \
+    | grep -q 'evaluate' \
+    || { echo "session 1 trace missing its evaluate span"; exit 1; }
+SERVER="${SERVER}" python3 - <<'EOF'
+import os, sys, urllib.request
+with urllib.request.urlopen(
+        "http://" + os.environ["SERVER"] + "/v1/metrics") as resp:
+    ctype = resp.headers.get("Content-Type", "")
+    text = resp.read().decode()
+assert ctype.startswith("text/plain; version=0.0.4"), ctype
+typed, samples = {}, {}
+for line in text.splitlines():
+    if line.startswith("# TYPE "):
+        _, _, name, kind = line.split(" ")
+        assert name not in typed, f"duplicate family {name}"
+        typed[name] = kind
+        continue
+    if line.startswith("#") or not line:
+        continue
+    name = line.split("{", 1)[0].split(" ", 1)[0]
+    samples[name] = samples.get(name, 0.0) + float(line.rsplit(" ", 1)[1])
+for name, kind in [("bat_sessions_submitted_total", "counter"),
+                   ("bat_cache_lookups_total", "counter"),
+                   ("bat_http_requests_total", "counter"),
+                   ("bat_sessions_active", "gauge"),
+                   ("bat_build_info", "gauge"),
+                   ("bat_session_duration_seconds", "histogram"),
+                   ("bat_trace_spans_recorded_total", "counter")]:
+    assert typed.get(name) == kind, (name, typed.get(name))
+assert samples["bat_sessions_submitted_total"] >= 2
+assert samples["bat_http_requests_total"] > 0
+print(f"live scrape ok: {len(typed)} families, "
+      f"{samples['bat_sessions_submitted_total']:.0f} sessions submitted")
+EOF
+
 kill -INT "${SERVE_PID}"
 wait "${SERVE_PID}" || { echo "tune serve exited non-zero"; exit 1; }
 SERVE_PID=""

@@ -59,6 +59,7 @@
 //               [--journal-dir DIR [--journal-retain N]
 //                [--journal-checkpoint-bytes BYTES]]
 //               [--peers h1:p1,h2:p2,... [--peer-timeout-ms 2000]]
+//               [--log-level debug|info|warn|error|off]
 //       Runs the HTTP/1.1 JSON API (docs/http-api.md) over one
 //       TuningService until SIGINT/SIGTERM. --port 0 picks an
 //       ephemeral port; the chosen one is printed on the "listening"
@@ -75,7 +76,8 @@
 //       host:port (so --port must be explicit). Peer and loopback
 //       traffic is exempt from the rate limiter.
 //
-//   tune remote <run|submit|get|stats|spaces> --server host:port[,...]
+//   tune remote <run|submit|get|stats|spaces|health|top|trace>
+//               --server host:port[,...]
 //       Client for a running `tune serve`:
 //         run    same spec flags as `tune run`; synchronous via
 //                POST /v1/sessions:run, or --async to submit and poll
@@ -86,6 +88,11 @@
 //         get    --id N: one job from the registry.
 //         stats  cache/session/HTTP counters.
 //         spaces search-space statistics from the server.
+//         health GET /v1/healthz: build id, uptime, ready|draining.
+//         top    one-shot operational summary assembled from
+//                /v1/healthz + /v1/stats.
+//         trace  --id N: span timeline of a tracked session
+//                (GET /v1/sessions/<id>/trace).
 //       --any-node: --server may list several cluster nodes; each is
 //       probed (bounded timeouts) and the first live one is used —
 //       the distributed cache makes any node's answer identical.
@@ -118,7 +125,9 @@
 #include "io/dataset_view.hpp"
 #include "io/dataset_writer.hpp"
 #include "kernels/all_kernels.hpp"
+#include "common/log.hpp"
 #include "net/http_client.hpp"
+#include "obs/metrics.hpp"
 #include "service/session_json.hpp"
 #include "service/tuning_service.hpp"
 
@@ -646,7 +655,18 @@ int cmd_serve(const Args& args) {
                       "group-burst", "group-prefix-bits", "force-poll",
                       "journal-dir", "journal-retain",
                       "journal-checkpoint-bytes", "peers",
-                      "peer-timeout-ms"});
+                      "peer-timeout-ms", "log-level"});
+  // Set the log level before anything can log (journal recovery below
+  // emits info lines; a --log-level error boot should not).
+  if (args.has("log-level")) {
+    const std::string level_flag = args.get("log-level", "info");
+    const auto level = common::parse_log_level(level_flag);
+    if (!level) {
+      throw std::invalid_argument(
+          "--log-level must be debug|info|warn|error|off, got " + level_flag);
+    }
+    common::set_log_level(*level);
+  }
   // Block the shutdown signals *before* any thread exists so every
   // worker inherits the mask and sigwait below is the only consumer.
   // The disposition must not be SIG_IGN (non-interactive shells start
@@ -666,6 +686,11 @@ int cmd_serve(const Args& args) {
     throw std::invalid_argument("--port must be <= 65535, got " +
                                 std::to_string(port));
   }
+
+  // One process-wide registry: cluster node, service (and through it
+  // journal + jit backends), HTTP transport and API server all record
+  // here, so GET /v1/metrics is a single scrape of everything.
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
 
   // Cluster membership (optional). The node is declared *before* the
   // service and server so it is destroyed after both: sessions hold
@@ -702,6 +727,7 @@ int cmd_serve(const Args& args) {
     cluster_options.connect_timeout_ms = peer_timeout;
     cluster_options.io_timeout_ms = peer_timeout;
     cluster_options.cache_shards = args.get_size("shards", 16);
+    cluster_options.metrics = metrics;
     node = std::make_unique<cluster::ClusterNode>(std::move(cluster_options));
   }
 
@@ -716,6 +742,7 @@ int cmd_serve(const Args& args) {
       args.get_size("journal-retain", 1024);
   service_options.journal_checkpoint_bytes =
       args.get_size("journal-checkpoint-bytes", 256 * 1024);
+  service_options.metrics = metrics;
   // The constructor replays the journal (and starts re-running any
   // unfinished sessions) before the HTTP listener below exists, so a
   // client can never observe a post-restart server without its
@@ -736,6 +763,7 @@ int cmd_serve(const Args& args) {
 
   api::ApiOptions api_options;
   api_options.cluster = node.get();
+  api_options.metrics = metrics;
   api_options.http.host = host;
   api_options.http.port = static_cast<std::uint16_t>(port);
   api_options.http.workers = args.get_size("http-workers", 8);
@@ -1010,6 +1038,106 @@ int cmd_remote_simple(const Args& args, const std::string& target) {
   return 0;
 }
 
+/// `tune remote top`: one-line-per-subsystem operational summary — the
+/// numbers an operator glances at first, assembled from /v1/healthz
+/// and /v1/stats (both registry-backed, so this agrees with a
+/// Prometheus scrape taken at the same instant).
+int cmd_remote_top(const Args& args) {
+  args.require_known({"server", "any-node"});
+  auto client = remote_client(args);
+  const auto health_response = client.get("/v1/healthz");
+  if (!remote_ok(health_response)) return 1;
+  const auto health = common::Json::parse(health_response.body);
+  const auto stats_response = client.get("/v1/stats");
+  if (!remote_ok(stats_response)) return 1;
+  const auto stats = common::Json::parse(stats_response.body);
+
+  std::printf("node:     %s build=%s uptime=%.0fs\n",
+              health.at("status").as_string().c_str(),
+              health.at("build_id").as_string().c_str(),
+              health.at("uptime_seconds").as_double());
+  std::printf("sessions: submitted=%llu active=%llu workers=%llu\n",
+              static_cast<unsigned long long>(
+                  stats.at("sessions_submitted").as_uint()),
+              static_cast<unsigned long long>(
+                  stats.at("sessions_active").as_uint()),
+              static_cast<unsigned long long>(stats.at("workers").as_uint()));
+  const auto& cache = stats.at("cache");
+  std::printf("cache:    lookups=%llu hits=%llu evaluations=%llu "
+              "cross_session_hits=%llu\n",
+              static_cast<unsigned long long>(cache.at("lookups").as_uint()),
+              static_cast<unsigned long long>(cache.at("hits").as_uint()),
+              static_cast<unsigned long long>(
+                  cache.at("evaluations").as_uint()),
+              static_cast<unsigned long long>(
+                  cache.at("cross_session_hits").as_uint()));
+  const auto& jit = stats.at("jit");
+  std::printf("jit:      backends=%llu compiles=%llu cache_hits=%llu "
+              "failures=%llu\n",
+              static_cast<unsigned long long>(jit.at("backends").as_uint()),
+              static_cast<unsigned long long>(jit.at("compiles").as_uint()),
+              static_cast<unsigned long long>(
+                  jit.at("artifact_cache_hits").as_uint()),
+              static_cast<unsigned long long>(
+                  jit.at("compile_failures").as_uint()));
+  const auto& http = stats.at("http");
+  std::printf("http:     requests=%llu open=%llu rate_limited=%llu "
+              "shed=%llu\n",
+              static_cast<unsigned long long>(
+                  http.at("requests_served").as_uint()),
+              static_cast<unsigned long long>(
+                  http.at("connections_open").as_uint()),
+              static_cast<unsigned long long>(
+                  http.at("requests_rate_limited").as_uint()),
+              static_cast<unsigned long long>(
+                  http.at("requests_shed").as_uint()));
+  const auto& durability = stats.at("durability");
+  if (durability.at("enabled").as_bool()) {
+    std::printf("journal:  bytes=%llu commits=%llu checkpoints=%llu\n",
+                static_cast<unsigned long long>(
+                    durability.at("journal_bytes").as_uint()),
+                static_cast<unsigned long long>(
+                    durability.at("commits").as_uint()),
+                static_cast<unsigned long long>(
+                    durability.at("checkpoints").as_uint()));
+  } else {
+    std::printf("journal:  disabled\n");
+  }
+  return 0;
+}
+
+/// `tune remote trace --id N`: the span timeline of a tracked session,
+/// one line per span with offsets relative to the first span.
+int cmd_remote_trace(const Args& args) {
+  args.require_known({"server", "any-node", "id"});
+  if (!args.has("id")) {
+    std::fprintf(stderr, "tune remote trace requires --id <n>\n");
+    return 2;
+  }
+  auto client = remote_client(args);
+  const auto response =
+      client.get("/v1/sessions/" + args.get("id", "") + "/trace");
+  if (!remote_ok(response)) return 1;
+  const auto trace = common::Json::parse(response.body);
+  const auto& spans = trace.at("spans").as_array();
+  std::printf("session %s trace %llu (%zu span(s))\n",
+              trace.at("id").as_string().c_str(),
+              static_cast<unsigned long long>(
+                  trace.at("trace_id").as_uint()),
+              spans.size());
+  for (const auto& span : spans) {
+    const double start_ms =
+        static_cast<double>(span.at("start_us").as_uint()) / 1000.0;
+    const double duration_ms =
+        static_cast<double>(span.at("duration_us").as_uint()) / 1000.0;
+    std::string detail;
+    if (const auto* d = span.find("detail")) detail = d->as_string();
+    std::printf("  +%10.3fms %10.3fms  %-16s %s\n", start_ms, duration_ms,
+                span.at("name").as_string().c_str(), detail.c_str());
+  }
+  return 0;
+}
+
 int cmd_remote(const Args& args) {
   const std::string sub =
       args.positional.empty() ? "" : args.positional.front();
@@ -1018,8 +1146,12 @@ int cmd_remote(const Args& args) {
   if (sub == "get") return cmd_remote_get(args);
   if (sub == "stats") return cmd_remote_simple(args, "/v1/stats");
   if (sub == "spaces") return cmd_remote_simple(args, "/v1/spaces");
+  if (sub == "health") return cmd_remote_simple(args, "/v1/healthz");
+  if (sub == "top") return cmd_remote_top(args);
+  if (sub == "trace") return cmd_remote_trace(args);
   std::fprintf(stderr,
-               "usage: tune remote <run|submit|get|stats|spaces> --server "
+               "usage: tune remote "
+               "<run|submit|get|stats|spaces|health|top|trace> --server "
                "host:port [--flags...]\n");
   return 2;
 }
@@ -1050,11 +1182,17 @@ void print_usage() {
       "          [--journal-dir DIR [--journal-retain N]\n"
       "           [--journal-checkpoint-bytes BYTES]]\n"
       "          [--peers h1:p1,h2:p2,... [--peer-timeout-ms 2000]]\n"
-      "  remote  <run|submit|get|stats|spaces> --server host:port[,...]\n"
+      "          [--log-level debug|info|warn|error|off]\n"
+      "  remote  <run|submit|get|stats|spaces|health|top|trace>\n"
+      "          --server host:port[,...]\n"
       "          [--any-node] (probe the list, use the first live node)\n"
       "          run: spec flags like `tune run` [--async] [--poll-ms MS]\n"
       "          submit: spec flags; prints the bare session id\n"
       "          get: --id N\n"
+      "          health: build id, uptime, ready|draining\n"
+      "          top: one-shot operational summary (sessions, cache,\n"
+      "               jit, http, journal)\n"
+      "          trace: --id N; span timeline of a tracked session\n"
       "see docs/reproducing-the-paper.md for figure/table recipes,\n"
       "docs/dataset-format.md for the binary archive layout,\n"
       "docs/http-api.md for the serve/remote wire protocol and\n"
